@@ -1,0 +1,652 @@
+// Benchmark harness: one benchmark per figure, table and example of
+// "Model-Based Mediation with Domain Maps" (ICDE 2001), plus the
+// quantitative comparisons and ablations DESIGN.md calls out. The paper
+// has no quantitative evaluation section — its evaluation is the worked
+// scenario — so the *shape* results here (who wins, by what factor) are
+// recorded in EXPERIMENTS.md next to the functional reproductions.
+package modelmed_test
+
+import (
+	"fmt"
+	"testing"
+
+	"modelmed/internal/baseline"
+	"modelmed/internal/datalog"
+	"modelmed/internal/dl"
+	"modelmed/internal/domainmap"
+	"modelmed/internal/flogic"
+	"modelmed/internal/gcm"
+	"modelmed/internal/mediator"
+	"modelmed/internal/sources"
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+	"modelmed/internal/xmlio"
+)
+
+// --- Figure 1: the SYNAPSE/NCMIR domain map and its DL reasoning ---
+
+func BenchmarkFig1DomainMapBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dm := sources.NeuroDM()
+		if !dm.HasConcept("spine") {
+			b.Fatal("bad DM")
+		}
+	}
+}
+
+func BenchmarkFig1ContainmentReasoning(b *testing.B) {
+	dm := sources.NeuroDM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// The paper's motivating chain: Purkinje cells have dendrites
+		// that have branches that contain spines.
+		if !dm.Reaches("has_a", "purkinje_cell", "spine") {
+			b.Fatal("containment lost")
+		}
+	}
+}
+
+func BenchmarkFig1Subsumption(b *testing.B) {
+	tb := sources.NeuroDM().TBox()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := tb.SubsumesNamed("neuron", "purkinje_cell")
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+// --- Figure 2: the registration architecture (XML wire + index) ---
+
+func BenchmarkFig2Registration(b *testing.B) {
+	for _, n := range []int{50, 500} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			ws, err := sources.Wrappers(11, n, n, n/2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m := mediator.New(sources.NeuroDM(), nil)
+				for _, w := range ws {
+					if err := m.Register(w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// --- Figure 3: runtime concept registration ---
+
+func BenchmarkFig3ConceptRegistration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dm := sources.NeuroDM()
+		if err := dm.AddAxioms(sources.Fig3Registration()...); err != nil {
+			b.Fatal(err)
+		}
+		if got := dm.DC("proj", "my_neuron"); len(got) != 1 {
+			b.Fatalf("definite projections = %v", got)
+		}
+	}
+}
+
+// --- Table 1: GCM <-> F-logic correspondence and axiom closure ---
+
+func BenchmarkTable1RoundTrip(b *testing.B) {
+	exprs := []flogic.GCMExpr{
+		{Form: "instance", Args: []term.Term{term.Atom("x"), term.Atom("c")}},
+		{Form: "subclass", Args: []term.Term{term.Atom("c1"), term.Atom("c2")}},
+		{Form: "method", Args: []term.Term{term.Atom("c"), term.Atom("m"), term.Atom("d")}},
+		{Form: "methodinst", Args: []term.Term{term.Atom("x"), term.Atom("m"), term.Atom("y")}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, e := range exprs {
+			if _, err := flogic.ParseFL(e.ToFL()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkTable1AxiomClosure(b *testing.B) {
+	for _, depth := range []int{8, 64} {
+		b.Run(fmt.Sprintf("chain=%d", depth), func(b *testing.B) {
+			var facts []datalog.Rule
+			for i := 0; i < depth; i++ {
+				facts = append(facts, flogic.Subclass(
+					term.Atom(fmt.Sprintf("c%d", i)), term.Atom(fmt.Sprintf("c%d", i+1))))
+			}
+			facts = append(facts, flogic.Instance(term.Atom("o"), term.Atom("c0")))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := datalog.NewEngine(nil)
+				if err := e.AddRules(flogic.Axioms()...); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.AddRules(facts...); err != nil {
+					b.Fatal(err)
+				}
+				res, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Holds("instance", term.Atom("o"), term.Atom(fmt.Sprintf("c%d", depth))) {
+					b.Fatal("closure incomplete")
+				}
+			}
+		})
+	}
+}
+
+// --- Example 2: partial-order integrity constraints ---
+
+func BenchmarkEx2PartialOrderCheck(b *testing.B) {
+	for _, n := range []int{10, 40} {
+		b.Run(fmt.Sprintf("elems=%d", n), func(b *testing.B) {
+			m := gcm.NewModel("ex2")
+			m.AddClass(&gcm.Class{Name: "c"})
+			m.AddRelation(&gcm.Relation{Name: "po", Attrs: []gcm.RelAttr{
+				{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+			m.Constraints = append(m.Constraints, gcm.PartialOrder{Class: "c", Rel: "po"})
+			// A clean chain order with full reflexive-transitive closure.
+			for i := 0; i < n; i++ {
+				m.AddObject(gcm.Object{ID: term.Atom(fmt.Sprintf("x%d", i)), Class: "c"})
+				for j := i; j < n; j++ {
+					m.AddTuple("po", term.Atom(fmt.Sprintf("x%d", i)), term.Atom(fmt.Sprintf("x%d", j)))
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := gcm.Check(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ws := gcm.Witnesses(res); len(ws) != 0 {
+					b.Fatalf("unexpected witnesses %v", ws)
+				}
+			}
+		})
+	}
+}
+
+// --- Example 3: cardinality constraints via aggregation ---
+
+func BenchmarkEx3Cardinality(b *testing.B) {
+	for _, n := range []int{50, 400} {
+		b.Run(fmt.Sprintf("tuples=%d", n), func(b *testing.B) {
+			m := gcm.NewModel("ex3")
+			m.AddClass(&gcm.Class{Name: "neuron"})
+			m.AddClass(&gcm.Class{Name: "axon"})
+			m.AddRelation(&gcm.Relation{Name: "has", Attrs: []gcm.RelAttr{
+				{Name: "a", Class: "neuron", Card: gcm.Exactly(1)},
+				{Name: "b", Class: "axon", Card: gcm.AtMost(2)},
+			}})
+			for i := 0; i < n; i++ {
+				nid := term.Atom(fmt.Sprintf("n%d", i/2))
+				xid := term.Atom(fmt.Sprintf("x%d", i))
+				m.AddObject(gcm.Object{ID: xid, Class: "axon"})
+				if i%2 == 0 {
+					m.AddObject(gcm.Object{ID: nid, Class: "neuron"})
+				}
+				m.AddTuple("has", nid, xid)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := gcm.Check(m)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ws := gcm.Witnesses(res); len(ws) != 0 {
+					b.Fatalf("unexpected witnesses %v", ws)
+				}
+			}
+		})
+	}
+}
+
+// --- Example 4: the protein_distribution view ---
+
+func newScenario(b *testing.B, nSyn, nNcm, nSl int) *mediator.Mediator {
+	b.Helper()
+	m := mediator.New(sources.NeuroDM(), nil)
+	ws, err := sources.Wrappers(11, nSyn, nNcm, nSl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range ws {
+		if err := m.Register(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := m.DefineStandardViews(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkEx4Materialize(b *testing.B) {
+	for _, n := range []int{100, 400} {
+		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := newScenario(b, n/2, n, n/4)
+				b.StartTimer()
+				if _, err := m.Materialize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEx4ProteinDistribution(b *testing.B) {
+	m := newScenario(b, 50, 200, 30)
+	if _, err := m.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ans, err := m.Query(
+			`protein_distribution(cerebellum, "ryanodine_receptor", "rat", Total, N)`,
+			"Total", "N")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ans.Rows) != 1 {
+			b.Fatal("no distribution")
+		}
+	}
+}
+
+func BenchmarkEx4DistributionTree(b *testing.B) {
+	m := newScenario(b, 50, 200, 30)
+	if _, err := m.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := m.DistributionOf("calbindin", "rat", "cerebellum")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if d.Total().Count == 0 {
+			b.Fatal("empty distribution")
+		}
+	}
+}
+
+// --- Section 5: the four-step query plan ---
+
+func BenchmarkSec5QueryPlan(b *testing.B) {
+	m := newScenario(b, 50, 200, 30)
+	if _, err := m.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := m.CalciumBindingProteinQuery("SENSELAB", "rat", "parallel_fiber", "calcium")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Distributions) == 0 {
+			b.Fatal("no distributions")
+		}
+	}
+}
+
+// --- Source selection: semantic index vs structural fan-out ---
+
+func registerFleet(b *testing.B, med *mediator.Mediator, bl *baseline.Mediator, nSources int) {
+	b.Helper()
+	ws, err := sources.Wrappers(11, 10, 30, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range ws {
+		if med != nil {
+			if err := med.Register(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if bl != nil {
+			if err := bl.Register(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	// Irrelevant sources anchored away from the query concepts.
+	for i := 0; i < nSources; i++ {
+		src := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 30,
+			[]string{"ca1", "dentate_gyrus", "neostriatum"})
+		w, err := wrapper.NewInMemory(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if med != nil {
+			if err := med.Register(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if bl != nil {
+			if err := bl.Register(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSourceSelectionSemanticIndex(b *testing.B) {
+	for _, extra := range []int{5, 25, 100} {
+		b.Run(fmt.Sprintf("sources=%d", extra+3), func(b *testing.B) {
+			med := mediator.New(sources.NeuroDM(), nil)
+			registerFleet(b, med, nil, extra)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := med.SelectSourcesForPair("purkinje_cell", "dendrite", "SENSELAB")
+				if len(got) != 1 {
+					b.Fatalf("selected %v", got)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSourceSelectionBaselineContactsAll(b *testing.B) {
+	for _, extra := range []int{5, 25} {
+		b.Run(fmt.Sprintf("sources=%d", extra+3), func(b *testing.B) {
+			bl := baseline.New()
+			registerFleet(b, nil, bl, extra)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := bl.ObjectValueQuery("location", "purkinje_cell"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Section 4 graph operations: closure scaling ---
+
+func BenchmarkClosureDownNative(b *testing.B) {
+	for _, cfg := range []struct{ d, f int }{{4, 3}, {6, 3}, {8, 2}} {
+		dm := sources.SyntheticDM(cfg.d, cfg.f, 2)
+		name := fmt.Sprintf("concepts=%d", len(dm.Concepts()))
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if got := dm.DownClosure("has_a", "root"); len(got) < 2 {
+					b.Fatal("closure too small")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkClosureDatalogRoleStar(b *testing.B) {
+	for _, cfg := range []struct{ d, f int }{{4, 3}, {6, 2}} {
+		dm := sources.SyntheticDM(cfg.d, cfg.f, 1)
+		name := fmt.Sprintf("concepts=%d", len(dm.Concepts()))
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := datalog.NewEngine(nil)
+				if err := e.AddRules(dm.Facts()...); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.AddRules(dm.RoleFacts()...); err != nil {
+					b.Fatal(err)
+				}
+				if err := e.AddRules(domainmap.ClosureRules()...); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLUB(b *testing.B) {
+	dm := sources.NeuroDM()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lub := dm.LUB("has_a", []string{"purkinje_cell", "dendrite", "spine"})
+		if len(lub) == 0 || lub[0] != "purkinje_cell" {
+			b.Fatalf("lub = %v", lub)
+		}
+	}
+}
+
+// --- Ablations ---
+
+// BenchmarkAblationSemiNaive compares semi-naive and naive evaluation on
+// transitive closure over a chain (the design choice in the engine).
+func BenchmarkAblationSemiNaive(b *testing.B) {
+	for _, naive := range []bool{false, true} {
+		name := "seminaive"
+		if naive {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := datalog.NewEngine(&datalog.Options{Naive: naive})
+				for j := 0; j < 60; j++ {
+					if err := e.AddFact("edge",
+						term.Atom(fmt.Sprintf("n%d", j)), term.Atom(fmt.Sprintf("n%d", j+1))); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := e.AddRules(
+					datalog.NewRule(datalog.Lit("tc", term.Var("X"), term.Var("Y")),
+						datalog.Lit("edge", term.Var("X"), term.Var("Y"))),
+					datalog.NewRule(datalog.Lit("tc", term.Var("X"), term.Var("Y")),
+						datalog.Lit("tc", term.Var("X"), term.Var("Z")),
+						datalog.Lit("edge", term.Var("Z"), term.Var("Y"))),
+				); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := e.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPushdown compares pushed-down selections against
+// scan-and-filter at the mediator (the binding-pattern design choice).
+func BenchmarkAblationPushdown(b *testing.B) {
+	model := sources.NCMIR(7, 2000)
+	pushW, err := wrapper.NewInMemory(model,
+		wrapper.Capability{Target: "protein_amount", Kind: wrapper.CapClassSelect,
+			Bindable: []string{"location"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	scanW, err := wrapper.NewInMemory(sources.NCMIR(7, 2000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := wrapper.Selection{Attr: "location", Value: term.Atom("spine")}
+	b.Run("pushdown", func(b *testing.B) {
+		med := mediator.New(sources.NeuroDM(), nil)
+		if err := med.Register(pushW); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := med.PushSelect("NCMIR", "protein_amount", sel)
+			if err != nil || !r.Pushed {
+				b.Fatal(err, r)
+			}
+		}
+	})
+	b.Run("scan-filter", func(b *testing.B) {
+		med := mediator.New(sources.NeuroDM(), nil)
+		if err := med.Register(scanW); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := med.PushSelect("NCMIR", "protein_amount", sel)
+			if err != nil || r.Pushed {
+				b.Fatal(err, r)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationFlatVsRegion is the multiple-worlds payoff: the
+// structural flat lookup vs the model-based region aggregation (what
+// each one *finds* is checked in the baseline tests; here we measure
+// what each one *costs*).
+func BenchmarkAblationFlatVsRegion(b *testing.B) {
+	ws, err := sources.Wrappers(11, 20, 150, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("structural-flat", func(b *testing.B) {
+		bl := baseline.New()
+		for _, w := range ws {
+			if err := bl.Register(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bl.FlatAmountSum("calbindin", "rat", "purkinje_cell"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("model-based-region", func(b *testing.B) {
+		med := mediator.New(sources.NeuroDM(), nil)
+		for _, w := range ws {
+			if err := med.Register(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := med.Materialize(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := med.DistributionOf("calbindin", "rat", "purkinje_cell"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- XML wire and plug-ins ---
+
+func BenchmarkXMLWireRoundTrip(b *testing.B) {
+	m := sources.NCMIR(7, 300)
+	w, err := wrapper.NewInMemory(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, doc, err := w.ExportCM()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := xmlio.DecodeModel(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDLTranslation measures the axioms-to-rules compiler.
+func BenchmarkDLTranslation(b *testing.B) {
+	axioms := sources.NeuroDM().Axioms()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := dl.Translate(axioms, dl.ModeAssertion)
+		if len(tr.Rules) == 0 {
+			b.Fatal("no rules")
+		}
+	}
+}
+
+// BenchmarkPlannerVsFull compares the planned execution (semantic-index
+// pruning + pushdown partial materialization) against full
+// materialization for a selective query, at growing fleet sizes.
+func BenchmarkPlannerVsFull(b *testing.B) {
+	build := func(extra int) *mediator.Mediator {
+		m := newScenario(b, 20, 100, 20)
+		for i := 0; i < extra; i++ {
+			src := sources.SyntheticSource(fmt.Sprintf("EX%02d", i), int64(i), 50,
+				[]string{"ca1", "dentate_gyrus"})
+			w, err := wrapper.NewInMemory(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.Register(w); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return m
+	}
+	const q = `
+		src_obj('NCMIR', O, protein_amount),
+		src_val('NCMIR', O, location, spine),
+		src_val('NCMIR', O, amount, A)`
+	for _, extra := range []int{0, 10} {
+		m := build(extra)
+		b.Run(fmt.Sprintf("planned/extra=%d", extra), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ans, _, err := m.PlannedQuery(q, "O", "A")
+				if err != nil || len(ans.Rows) == 0 {
+					b.Fatal(err, len(ans.Rows))
+				}
+			}
+		})
+		m2 := build(extra)
+		b.Run(fmt.Sprintf("full/extra=%d", extra), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m2.DefineView(fmt.Sprintf("cachebust%d(x) :- dm_concept(x).", i)) // invalidate cache
+				b.StartTimer()
+				ans, err := m2.Query(q, "O", "A")
+				if err != nil || len(ans.Rows) == 0 {
+					b.Fatal(err, len(ans.Rows))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkConsistencyCheck(b *testing.B) {
+	m := newScenario(b, 30, 100, 30)
+	if _, err := m.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := m.CheckConsistency(false)
+		if err != nil || !rep.Consistent() {
+			b.Fatal(err, rep)
+		}
+	}
+}
+
+func BenchmarkExplain(b *testing.B) {
+	m := newScenario(b, 10, 50, 20)
+	if _, err := m.Materialize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := m.Explain("dm_dc",
+			term.Atom("has_a"), term.Atom("purkinje_cell"), term.Atom("compartment"))
+		if err != nil || d == nil {
+			b.Fatal(err)
+		}
+	}
+}

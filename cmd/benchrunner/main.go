@@ -1,0 +1,465 @@
+// Command benchrunner regenerates every table and figure of
+// "Model-Based Mediation with Domain Maps" (ICDE 2001) from this
+// implementation, printing for each experiment what the paper shows and
+// what this build measures. EXPERIMENTS.md records a reference run.
+//
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|compare|scale]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"modelmed/internal/baseline"
+	"modelmed/internal/datalog"
+	"modelmed/internal/flogic"
+	"modelmed/internal/gcm"
+	"modelmed/internal/mediator"
+	"modelmed/internal/sources"
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run")
+	flag.Parse()
+	experiments := []struct {
+		id  string
+		fn  func() error
+		hdr string
+	}{
+		{"fig1", fig1, "Figure 1 — SYNAPSE/NCMIR domain map and its entailments"},
+		{"fig2", fig2, "Figure 2 — registration architecture over the XML wire"},
+		{"fig3", fig3, "Figure 3 — runtime registration of MyNeuron/MyDendrite"},
+		{"table1", table1, "Table 1 — GCM <-> F-logic correspondence"},
+		{"ex2", ex2, "Example 2 — partial-order integrity constraints"},
+		{"ex3", ex3, "Example 3 — cardinality constraints"},
+		{"ex4", ex4, "Example 4 — protein_distribution integrated view"},
+		{"sec5", sec5, "Section 5 — the KIND query plan"},
+		{"plan", plannerExp, "Generic query planner — pruning and pushdown for arbitrary queries"},
+		{"compare", compare, "Comparison — model-based vs structural mediation"},
+		{"scale", scale, "Scaling — closure and source-selection sweeps"},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if *exp != "all" && *exp != e.id {
+			continue
+		}
+		fmt.Printf("\n================ %s ================\n", e.hdr)
+		start := time.Now()
+		if err := e.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fig1() error {
+	dm := sources.NeuroDM()
+	fmt.Printf("domain map: %d concepts, %d roles\n", len(dm.Concepts()), len(dm.Roles()))
+	fmt.Println("\npaper's domain knowledge, as entailments (expected: all true):")
+	checks := []struct {
+		desc string
+		got  bool
+	}{
+		{"purkinje_cell isa* spiny_neuron", containsStr(dm.Ancestors("purkinje_cell"), "spiny_neuron")},
+		{"pyramidal_cell isa* neuron", containsStr(dm.Ancestors("pyramidal_cell"), "neuron")},
+		{"dendrite isa* compartment", containsStr(dm.Ancestors("dendrite"), "compartment")},
+		{"purkinje_cell contains(has_a*) dendrite", dm.Reaches("has_a", "purkinje_cell", "dendrite")},
+		{"dendrite contains(has_a*) branch", dm.Reaches("has_a", "dendrite", "branch")},
+		{"purkinje_cell contains(has_a*) spine", dm.Reaches("has_a", "purkinje_cell", "spine")},
+		{"spine isa* ion_regulating_component", containsStr(dm.Ancestors("spine"), "ion_regulating_component")},
+	}
+	tb := dm.TBox()
+	for _, c := range checks {
+		fmt.Printf("  %-45s %v\n", c.desc, c.got)
+	}
+	fmt.Println("\nTBox subsumption (restricted EL fragment, Proposition 1 discussion):")
+	for _, c := range []struct {
+		sup, sub string
+		want     bool
+	}{
+		{"neuron", "purkinje_cell", true},
+		{"protein", "ion_binding_protein", true},
+		{"ion_regulating_component", "spine", true},
+		{"branch", "shaft", true},
+		{"compartment", "shaft", false}, // shaft is a branch, not a compartment
+	} {
+		ok, err := tb.SubsumesNamed(c.sup, c.sub)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s subsumes %s: %v (expected %v)\n", c.sup, c.sub, ok, c.want)
+	}
+	return nil
+}
+
+func fig2() error {
+	for _, n := range []int{100, 1000} {
+		ws, err := sources.Wrappers(11, n, n, n/2)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		m := mediator.New(sources.NeuroDM(), nil)
+		var wireBytes int
+		for _, w := range ws {
+			_, doc, err := w.ExportCM()
+			if err != nil {
+				return err
+			}
+			wireBytes += len(doc)
+			if err := m.Register(w); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("records/source=%-5d  wire=%7d bytes  anchors=%4d  registration=%v\n",
+			n, wireBytes, m.Index().AnchorCount(), time.Since(start).Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig3() error {
+	dm := sources.NeuroDM()
+	fmt.Println("before: medium_spiny_neuron projects to one of",
+		dm.DisjunctiveTargets("medium_spiny_neuron", "proj"))
+	for _, a := range sources.Fig3Registration() {
+		fmt.Println("register:", a)
+	}
+	if err := dm.AddAxioms(sources.Fig3Registration()...); err != nil {
+		return err
+	}
+	fmt.Println("after:  my_neuron definite projections:", dm.DC("proj", "my_neuron"),
+		"(paper: definitely projects to Globus Pallidus External)")
+	tb := dm.TBox()
+	ok, err := tb.SubsumesNamed("dendrite", "my_dendrite")
+	if err != nil {
+		return err
+	}
+	fmt.Println("        dendrite subsumes my_dendrite:", ok)
+	return nil
+}
+
+func table1() error {
+	rows := []struct {
+		gcm  string
+		expr flogic.GCMExpr
+	}{
+		{"instance(X,C)", flogic.GCMExpr{Form: "instance", Args: []term.Term{term.Var("X"), term.Var("C")}}},
+		{"subclass(C1,C2)", flogic.GCMExpr{Form: "subclass", Args: []term.Term{term.Var("C1"), term.Var("C2")}}},
+		{"method(C,M,CM)", flogic.GCMExpr{Form: "method", Args: []term.Term{term.Var("C"), term.Var("M"), term.Var("CM")}}},
+		{"methodinst(X,M,Y)", flogic.GCMExpr{Form: "methodinst", Args: []term.Term{term.Var("X"), term.Var("M"), term.Var("Y")}}},
+		{"relation(R,A1=>C1,A2=>C2)", flogic.GCMExpr{Form: "relation", Args: []term.Term{term.Var("R"), term.Var("A1"), term.Var("C1"), term.Var("A2"), term.Var("C2")}}},
+		{"relationinst(R,A1->X1,A2->X2)", flogic.GCMExpr{Form: "relationinst", Args: []term.Term{term.Var("R"), term.Var("A1"), term.Var("X1"), term.Var("A2"), term.Var("X2")}}},
+	}
+	fmt.Printf("%-32s %s\n", "GCM expression", "F-logic expression")
+	fmt.Println(strings.Repeat("-", 70))
+	for _, r := range rows {
+		fmt.Printf("%-32s %s\n", r.gcm, r.expr.ToFL())
+	}
+	fmt.Println("\nFL axioms (closure check on c0 :: c1 :: ... :: c8 with o : c0):")
+	e := datalog.NewEngine(nil)
+	if err := e.AddRules(flogic.Axioms()...); err != nil {
+		return err
+	}
+	for i := 0; i < 8; i++ {
+		if err := e.AddRules(flogic.Subclass(term.Atom(fmt.Sprintf("c%d", i)), term.Atom(fmt.Sprintf("c%d", i+1)))); err != nil {
+			return err
+		}
+	}
+	if err := e.AddRules(flogic.Instance(term.Atom("o"), term.Atom("c0"))); err != nil {
+		return err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  o : c8 derived: %v;  c0 :: c0 (reflexivity): %v;  c0 :: c8 (transitivity): %v\n",
+		res.Holds("instance", term.Atom("o"), term.Atom("c8")),
+		res.Holds("subclass", term.Atom("c0"), term.Atom("c0")),
+		res.Holds("subclass", term.Atom("c0"), term.Atom("c8")))
+	return nil
+}
+
+func ex2() error {
+	m := gcm.NewModel("ex2")
+	m.AddClass(&gcm.Class{Name: "c"})
+	m.AddRelation(&gcm.Relation{Name: "po", Attrs: []gcm.RelAttr{
+		{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+	m.Constraints = append(m.Constraints, gcm.PartialOrder{Class: "c", Rel: "po"})
+	for _, x := range []string{"x", "y", "z"} {
+		m.AddObject(gcm.Object{ID: term.Atom(x), Class: "c"})
+	}
+	for _, p := range [][2]string{{"x", "x"}, {"x", "y"}, {"y", "z"}, {"y", "x"}} {
+		m.AddTuple("po", term.Atom(p[0]), term.Atom(p[1]))
+	}
+	res, err := gcm.Check(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println("seeded violations on po over {x,y,z}: missing reflexive edges,")
+	fmt.Println("missing transitive edge, antisymmetry cycle x<->y; witnesses in ic:")
+	for _, w := range gcm.Witnesses(res) {
+		fmt.Println("  ", w)
+	}
+	fmt.Printf("(paper: R is a partial order on C iff rules (1-3) insert no witness)\n")
+	return nil
+}
+
+func ex3() error {
+	m := gcm.NewModel("ex3")
+	m.AddClass(&gcm.Class{Name: "neuron"})
+	m.AddClass(&gcm.Class{Name: "axon"})
+	m.AddRelation(&gcm.Relation{Name: "has", Attrs: []gcm.RelAttr{
+		{Name: "a", Class: "neuron", Card: gcm.Exactly(1)},
+		{Name: "b", Class: "axon", Card: gcm.AtMost(2)},
+	}})
+	for _, n := range []string{"n1", "n2"} {
+		m.AddObject(gcm.Object{ID: term.Atom(n), Class: "neuron"})
+	}
+	for _, x := range []string{"x1", "x2", "x3", "x4", "x5"} {
+		m.AddObject(gcm.Object{ID: term.Atom(x), Class: "axon"})
+	}
+	for _, p := range [][2]string{{"n1", "x1"}, {"n1", "x2"}, {"n1", "x3"}, {"n2", "x1"}, {"n2", "x4"}} {
+		m.AddTuple("has", term.Atom(p[0]), term.Atom(p[1]))
+	}
+	res, err := gcm.Check(m)
+	if err != nil {
+		return err
+	}
+	fmt.Println("has(neuron, axon) with card_A(N):=(N=1), card_B(N):=(N=<2);")
+	fmt.Println("seeded: n1 has 3 axons; x1 shared by n1,n2; x5 orphaned. witnesses:")
+	for _, w := range gcm.Witnesses(res) {
+		fmt.Println("  ", w)
+	}
+	return nil
+}
+
+func neuroMediator(nSyn, nNcm, nSl int) (*mediator.Mediator, error) {
+	m := mediator.New(sources.NeuroDM(), nil)
+	ws, err := sources.Wrappers(2026, nSyn, nNcm, nSl)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		if err := m.Register(w); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.DefineStandardViews(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func ex4() error {
+	m, err := neuroMediator(60, 160, 40)
+	if err != nil {
+		return err
+	}
+	fmt.Println("protein_distribution(cerebellum, P, \"rat\", Total, N) for calcium binders:")
+	ans, err := m.Query(`
+		protein_distribution(cerebellum, P, "rat", Total, N)`, "P", "Total", "N")
+	if err != nil {
+		return err
+	}
+	fmt.Print(mediator.FormatAnswer(ans))
+	fmt.Println("\nper-level tree for ryanodine_receptor (the paper's system snapshot):")
+	d, err := m.DistributionOf("ryanodine_receptor", "rat", "cerebellum")
+	if err != nil {
+		return err
+	}
+	fmt.Print(d)
+	return nil
+}
+
+func sec5() error {
+	m, err := neuroMediator(60, 160, 40)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := m.CalciumBindingProteinQuery("SENSELAB", "rat", "parallel_fiber", "calcium")
+	if err != nil {
+		return err
+	}
+	for _, s := range res.Trace {
+		fmt.Println(" ", s)
+	}
+	fmt.Printf("answer: %d calcium-binding proteins with distributions under %s (%v)\n",
+		len(res.Distributions), res.Root, time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func plannerExp() error {
+	m, err := neuroMediator(40, 120, 30)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 6; i++ {
+		src := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 30,
+			[]string{"ca1", "dentate_gyrus"})
+		w, err := wrapper.NewInMemory(src)
+		if err != nil {
+			return err
+		}
+		if err := m.Register(w); err != nil {
+			return err
+		}
+	}
+	q := `anchor(S, O, purkinje_cell), src_val(S, O, protein_name, P), src_val(S, O, amount, A)`
+	fmt.Println("query:", q)
+	ans, plan, err := m.PlannedQuery(q, "P", "A")
+	if err != nil {
+		return err
+	}
+	for _, step := range plan.Trace {
+		fmt.Println(" ", step)
+	}
+	fmt.Printf("%d rows; restricted=%v, candidates=%v of %d registered sources\n",
+		len(ans.Rows), plan.Restricted, plan.Sources, len(m.Sources()))
+	full, err := m.Query(q, "P", "A")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cross-check against full materialization: %d rows (must match)\n", len(full.Rows))
+	if len(full.Rows) != len(ans.Rows) {
+		return fmt.Errorf("planner diverged: %d vs %d rows", len(ans.Rows), len(full.Rows))
+	}
+	return nil
+}
+
+func compare() error {
+	ws, err := sources.Wrappers(42, 40, 150, 30)
+	if err != nil {
+		return err
+	}
+	bl := baseline.New()
+	med := mediator.New(sources.NeuroDM(), nil)
+	for _, w := range ws {
+		if err := bl.Register(w); err != nil {
+			return err
+		}
+		if err := med.Register(w); err != nil {
+			return err
+		}
+	}
+	// Coverage: flat string match vs containment region.
+	fSum, fN, err := bl.FlatAmountSum("calbindin", "rat", "purkinje_cell")
+	if err != nil {
+		return err
+	}
+	d, err := med.DistributionOf("calbindin", "rat", "purkinje_cell")
+	if err != nil {
+		return err
+	}
+	t := d.Total()
+	fmt.Printf("%-28s %10s %10s\n", "calbindin in purkinje_cell", "records", "total")
+	fmt.Printf("%-28s %10d %10.1f\n", "structural (exact match)", fN, fSum)
+	fmt.Printf("%-28s %10d %10.1f\n", "model-based (region)", t.Count, t.Sum)
+	if fN > 0 {
+		fmt.Printf("coverage factor: %.1fx records\n", float64(t.Count)/float64(fN))
+	}
+	// Fan-out: sources contacted for one location query.
+	for _, extra := range []int{5, 25} {
+		bl2 := baseline.New()
+		med2 := mediator.New(sources.NeuroDM(), nil)
+		for _, w := range ws {
+			if err := bl2.Register(w); err != nil {
+				return err
+			}
+			if err := med2.Register(w); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < extra; i++ {
+			src := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 20,
+				[]string{"ca1", "dentate_gyrus"})
+			w, err := wrapper.NewInMemory(src)
+			if err != nil {
+				return err
+			}
+			if err := bl2.Register(w); err != nil {
+				return err
+			}
+			if err := med2.Register(w); err != nil {
+				return err
+			}
+		}
+		selected := med2.SelectSourcesForPair("purkinje_cell", "dendrite", "SENSELAB")
+		bl2.ResetStats()
+		if _, err := bl2.ObjectValueQuery("location", "purkinje_cell"); err != nil {
+			return err
+		}
+		fmt.Printf("with %2d sources registered: semantic index selects %d source(s) %v; baseline contacts %d\n",
+			extra+3, len(selected), selected, bl2.Stats().SourcesContacted)
+	}
+	return nil
+}
+
+func scale() error {
+	fmt.Println("downward-closure scaling on synthetic containment trees:")
+	for _, cfg := range []struct{ d, f, isa int }{{3, 3, 2}, {5, 3, 2}, {7, 2, 2}, {10, 2, 1}} {
+		dm := sources.SyntheticDM(cfg.d, cfg.f, cfg.isa)
+		start := time.Now()
+		const reps = 20
+		var size int
+		for i := 0; i < reps; i++ {
+			size = len(dm.DownClosure("has_a", "root"))
+		}
+		per := time.Since(start) / reps
+		fmt.Printf("  depth=%2d fanout=%d: %5d concepts, closure size %5d, %v/op\n",
+			cfg.d, cfg.f, len(dm.Concepts()), size, per.Round(time.Microsecond))
+	}
+	fmt.Println("\nsemantic-index source selection vs fleet size:")
+	for _, extra := range []int{10, 100, 1000} {
+		med := mediator.New(sources.NeuroDM(), nil)
+		ws, err := sources.Wrappers(11, 5, 20, 5)
+		if err != nil {
+			return err
+		}
+		for _, w := range ws {
+			if err := med.Register(w); err != nil {
+				return err
+			}
+		}
+		for i := 0; i < extra; i++ {
+			src := sources.SyntheticSource(fmt.Sprintf("E%04d", i), int64(i), 5,
+				[]string{"ca1", "dentate_gyrus", "neostriatum"})
+			w, err := wrapper.NewInMemory(src)
+			if err != nil {
+				return err
+			}
+			if err := med.Register(w); err != nil {
+				return err
+			}
+		}
+		start := time.Now()
+		const reps = 200
+		var n int
+		for i := 0; i < reps; i++ {
+			n = len(med.SelectSourcesForPair("purkinje_cell", "dendrite", "SENSELAB"))
+		}
+		fmt.Printf("  %5d sources: selected %d, %v/selection\n",
+			extra+3, n, (time.Since(start) / reps).Round(time.Nanosecond))
+	}
+	return nil
+}
+
+func containsStr(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,57 @@
+// Command dmviz renders a domain map as GraphViz DOT, reproducing the
+// graph portrayals of the paper's Figures 1 and 3.
+//
+// Usage:
+//
+//	dmviz [-map neuro|synthetic] [-fig3] [-depth N -fanout N -isa N]
+//
+// The output goes to stdout; pipe it into `dot -Tsvg` to draw it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"modelmed/internal/domainmap"
+	"modelmed/internal/sources"
+)
+
+func main() {
+	mapName := flag.String("map", "neuro", "which domain map to render: neuro | synthetic | file")
+	axioms := flag.String("axioms", "", "with -map file: path to a DL axiom file")
+	fig3 := flag.Bool("fig3", false, "additionally register the Figure 3 MyNeuron/MyDendrite knowledge")
+	depth := flag.Int("depth", 3, "synthetic map: containment depth")
+	fanout := flag.Int("fanout", 2, "synthetic map: children per node")
+	isa := flag.Int("isa", 1, "synthetic map: isa chain length per leaf")
+	flag.Parse()
+
+	switch *mapName {
+	case "neuro":
+		dm := sources.NeuroDM()
+		if *fig3 {
+			if err := dm.AddAxioms(sources.Fig3Registration()...); err != nil {
+				fmt.Fprintln(os.Stderr, "dmviz:", err)
+				os.Exit(1)
+			}
+		}
+		fmt.Print(dm.DOT())
+	case "synthetic":
+		fmt.Print(sources.SyntheticDM(*depth, *fanout, *isa).DOT())
+	case "file":
+		data, err := os.ReadFile(*axioms)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmviz:", err)
+			os.Exit(1)
+		}
+		dm, err := domainmap.FromText("custom", string(data))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmviz:", err)
+			os.Exit(1)
+		}
+		fmt.Print(dm.DOT())
+	default:
+		fmt.Fprintf(os.Stderr, "dmviz: unknown map %q\n", *mapName)
+		os.Exit(2)
+	}
+}

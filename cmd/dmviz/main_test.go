@@ -1,0 +1,25 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"modelmed/internal/sources"
+)
+
+func TestNeuroDOTOutput(t *testing.T) {
+	dm := sources.NeuroDM()
+	dot := dm.DOT()
+	for _, want := range []string{"digraph", "purkinje_cell", "OR_0"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestSyntheticDOTOutput(t *testing.T) {
+	dot := sources.SyntheticDM(2, 2, 1).DOT()
+	if !strings.Contains(dot, "root") {
+		t.Error("synthetic DOT missing root")
+	}
+}

@@ -1,0 +1,256 @@
+// Command medsh is an interactive shell for the model-based mediator:
+// it builds the paper's Neuroscience scenario (ANATOM domain map plus
+// the SYNAPSE, NCMIR and SENSELAB sources), registers the standard
+// views, and evaluates rule-language queries from the command line or
+// stdin.
+//
+// Usage:
+//
+//	medsh [-synapse N -ncmir N -senselab N] [-seed S] [-q QUERY]
+//
+// Without -q, medsh reads one query per line from stdin. Special
+// commands: `.sources`, `.views`, `.concepts`, `.plan` (runs the
+// Section 5 query with its plan trace), `.planq QUERY` (plans and runs
+// an arbitrary query, printing the plan trace), `.check` (integrity
+// constraints over the federation), `.checkdm` (also data-completeness
+// of domain-map edges), `.dot` (domain map as GraphViz), `.load FILE`
+// (rule file with views and `?-` queries), `.fig3` (registers the
+// Figure 3 knowledge), `.quit`.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"modelmed/internal/dl"
+	"modelmed/internal/mediator"
+	"modelmed/internal/parser"
+	"modelmed/internal/sources"
+	"modelmed/internal/term"
+)
+
+func main() {
+	nSyn := flag.Int("synapse", 50, "SYNAPSE measurement records")
+	nNcm := flag.Int("ncmir", 100, "NCMIR protein amount records")
+	nSl := flag.Int("senselab", 30, "SENSELAB neurotransmission records")
+	seed := flag.Int64("seed", 11, "generator seed")
+	query := flag.String("q", "", "single query to evaluate (then exit)")
+	flag.Parse()
+
+	med, err := buildScenario(*seed, *nSyn, *nNcm, *nSl)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "medsh:", err)
+		os.Exit(1)
+	}
+
+	if *query != "" {
+		if err := runLine(med, *query); err != nil {
+			fmt.Fprintln(os.Stderr, "medsh:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("model-based mediator: %d sources registered over %s (%d concepts)\n",
+		len(med.Sources()), med.DomainMap().Name(), len(med.DomainMap().Concepts()))
+	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .check .checkdm .dot .load FILE .fig3 .quit`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("medsh> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == ".quit" || line == ".exit" {
+			return
+		}
+		if err := runLine(med, line); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func buildScenario(seed int64, nSyn, nNcm, nSl int) (*mediator.Mediator, error) {
+	med := mediator.New(sources.NeuroDM(), nil)
+	ws, err := sources.Wrappers(seed, nSyn, nNcm, nSl)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range ws {
+		if err := med.Register(w); err != nil {
+			return nil, err
+		}
+	}
+	if err := med.DefineStandardViews(); err != nil {
+		return nil, err
+	}
+	return med, nil
+}
+
+// loadRuleFile registers the rules of a file as a view and runs its
+// `?-` queries.
+func loadRuleFile(med *mediator.Mediator, src string) error {
+	pp, err := parser.Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(pp.Program.Rules) > 0 {
+		text := pp.Program.String()
+		if err := med.DefineView(text); err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d rules\n", len(pp.Program.Rules))
+	}
+	for _, q := range pp.Queries {
+		parts := make([]string, len(q))
+		for i, e := range q {
+			parts[i] = e.String()
+		}
+		qs := strings.Join(parts, ", ")
+		fmt.Println("?-", qs)
+		ans, err := med.Query(qs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(mediator.FormatAnswer(ans))
+		fmt.Printf("(%d rows)\n", len(ans.Rows))
+	}
+	return nil
+}
+
+func runLine(med *mediator.Mediator, line string) error {
+	switch {
+	case line == ".sources":
+		for _, s := range med.Sources() {
+			src, _ := med.Source(s)
+			objs := 0
+			if src.Model != nil {
+				objs = len(src.Model.Objects)
+			}
+			fmt.Printf("  %-10s %d objects, %d capabilities\n", s, objs, len(src.Caps))
+		}
+		return nil
+	case line == ".views":
+		for _, v := range med.Views() {
+			fmt.Println(strings.TrimSpace(v))
+			fmt.Println()
+		}
+		return nil
+	case line == ".concepts":
+		for _, c := range med.DomainMap().Concepts() {
+			fmt.Println(" ", c)
+		}
+		return nil
+	case line == ".fig3":
+		if err := med.RegisterKnowledge(sources.Fig3Registration()...); err != nil {
+			return err
+		}
+		fmt.Println("registered my_neuron / my_dendrite (Figure 3)")
+		return nil
+	case line == ".plan":
+		res, err := med.CalciumBindingProteinQuery("SENSELAB", "rat", "parallel_fiber", "calcium")
+		if err != nil {
+			return err
+		}
+		for _, step := range res.Trace {
+			fmt.Println(" ", step)
+		}
+		for _, p := range res.Proteins {
+			fmt.Printf("\n%s distribution under %s:\n%s", p, res.Root, res.Distributions[p])
+		}
+		return nil
+	case strings.HasPrefix(line, ".planq "):
+		ans, plan, err := med.PlannedQuery(strings.TrimPrefix(line, ".planq "))
+		if err != nil {
+			return err
+		}
+		for _, step := range plan.Trace {
+			fmt.Println(" ", step)
+		}
+		fmt.Print(mediator.FormatAnswer(ans))
+		fmt.Printf("(%d rows)\n", len(ans.Rows))
+		return nil
+	case line == ".check" || line == ".checkdm":
+		rep, err := med.CheckConsistency(line == ".checkdm")
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
+		for _, w := range rep.Witnesses {
+			fmt.Println("  ", w)
+		}
+		return nil
+	case strings.HasPrefix(line, ".why "):
+		goal := strings.TrimSpace(strings.TrimPrefix(line, ".why "))
+		t, err := parser.ParseTerm(goal)
+		if err != nil {
+			return err
+		}
+		if t.Kind() != term.KindCompound {
+			return fmt.Errorf("usage: .why pred(arg1, ...)")
+		}
+		d, err := med.Explain(t.Name(), t.Args()...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(d)
+		return nil
+	case strings.HasPrefix(line, ".register "):
+		axioms, err := dl.ParseAxioms(strings.TrimPrefix(line, ".register "))
+		if err != nil {
+			return err
+		}
+		if err := med.RegisterKnowledge(axioms...); err != nil {
+			return err
+		}
+		for _, a := range axioms {
+			fmt.Println("registered:", a)
+		}
+		return nil
+	case line == ".taxonomy":
+		tax, err := med.DomainMap().TBox().Classify()
+		if err != nil {
+			return err
+		}
+		fmt.Print(tax)
+		return nil
+	case strings.HasPrefix(line, ".dist "):
+		// .dist PROTEIN ORGANISM ROOT [dot]
+		args := strings.Fields(strings.TrimPrefix(line, ".dist "))
+		if len(args) < 3 {
+			return fmt.Errorf("usage: .dist PROTEIN ORGANISM ROOT [dot]")
+		}
+		d, err := med.DistributionOf(args[0], args[1], args[2])
+		if err != nil {
+			return err
+		}
+		if len(args) > 3 && args[3] == "dot" {
+			fmt.Print(d.DOT())
+		} else {
+			fmt.Print(d)
+		}
+		return nil
+	case line == ".dot":
+		fmt.Print(med.DomainMap().DOT())
+		return nil
+	case strings.HasPrefix(line, ".load "):
+		data, err := os.ReadFile(strings.TrimSpace(strings.TrimPrefix(line, ".load ")))
+		if err != nil {
+			return err
+		}
+		return loadRuleFile(med, string(data))
+	}
+	ans, err := med.Query(line)
+	if err != nil {
+		return err
+	}
+	fmt.Print(mediator.FormatAnswer(ans))
+	fmt.Printf("(%d rows)\n", len(ans.Rows))
+	return nil
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestBuildScenario(t *testing.T) {
+	med, err := buildScenario(3, 10, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(med.Sources()); got != 3 {
+		t.Errorf("sources = %d", got)
+	}
+	if got := len(med.Views()); got != 2 {
+		t.Errorf("views = %d", got)
+	}
+}
+
+func TestRunLineCommands(t *testing.T) {
+	med, err := buildScenario(3, 10, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{".sources", ".views", ".concepts", ".fig3"} {
+		if err := runLine(med, cmd); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestRunLineQuery(t *testing.T) {
+	med, err := buildScenario(3, 10, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLine(med, `anchor('NCMIR', O, C)`); err != nil {
+		t.Errorf("query: %v", err)
+	}
+	if err := runLine(med, `broken(`); err == nil {
+		t.Error("bad query should error")
+	}
+}
+
+func TestRunLinePlan(t *testing.T) {
+	med, err := buildScenario(3, 10, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLine(med, ".plan"); err != nil {
+		t.Errorf(".plan: %v", err)
+	}
+}
+
+func TestRunLineCheckAndDot(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{".check", ".dot"} {
+		if err := runLine(med, cmd); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+		}
+	}
+}
+
+func TestRunLinePlanq(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLine(med, `.planq anchor(S, O, purkinje_cell)`); err != nil {
+		t.Errorf(".planq: %v", err)
+	}
+}
+
+func TestLoadRuleFile(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+		spine_data(O) :- anchor(S, O, spine).
+		?- spine_data(O).
+	`
+	if err := loadRuleFile(med, src); err != nil {
+		t.Fatalf("loadRuleFile: %v", err)
+	}
+}
+
+func TestRunLineWhy(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// instance(sl_n0, neurotransmission) is derived via the bridge rule.
+	if err := runLine(med, ".why instance(sl_n0, neurotransmission)"); err != nil {
+		t.Errorf(".why: %v", err)
+	}
+	if err := runLine(med, ".why instance(ghost, nothing)"); err == nil {
+		t.Error(".why on a false fact should error")
+	}
+}
+
+func TestLoadShippedRuleFile(t *testing.T) {
+	med, err := buildScenario(3, 10, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile("../../examples/rules/spine_report.mbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loadRuleFile(med, string(data)); err != nil {
+		t.Fatalf("shipped rule file: %v", err)
+	}
+}
+
+func TestRunLineRegisterAndTaxonomy(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLine(med, ".register my_cell sub purkinje_cell and exists exp.dopamine_r."); err != nil {
+		t.Fatalf(".register: %v", err)
+	}
+	if !med.DomainMap().HasConcept("my_cell") {
+		t.Error("registered concept missing")
+	}
+	if err := runLine(med, ".taxonomy"); err != nil {
+		t.Fatalf(".taxonomy: %v", err)
+	}
+}
+
+func TestRunLineDist(t *testing.T) {
+	med, err := buildScenario(3, 5, 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLine(med, ".dist calbindin rat cerebellum"); err != nil {
+		t.Errorf(".dist: %v", err)
+	}
+	if err := runLine(med, ".dist calbindin rat cerebellum dot"); err != nil {
+		t.Errorf(".dist dot: %v", err)
+	}
+	if err := runLine(med, ".dist onlyone"); err == nil {
+		t.Error("usage error expected")
+	}
+}

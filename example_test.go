@@ -1,0 +1,63 @@
+package modelmed_test
+
+import (
+	"fmt"
+
+	"modelmed"
+	"modelmed/internal/term"
+)
+
+// Example demonstrates the whole public API: a domain map from DL text,
+// a wrapped source, registration, and a cross-world query navigating
+// the map's containment region.
+func Example() {
+	dm, _ := modelmed.DomainMapFromText("garage", `
+		car sub exists has_a.engine.
+		engine sub exists has_a.engine_part.
+		turbocharger sub engine_part.
+	`)
+	med := modelmed.NewMediator(dm, nil)
+
+	repairs := modelmed.NewModel("WORKSHOP")
+	repairs.AddClass(&modelmed.Class{Name: "repair", Methods: []modelmed.MethodSig{
+		{Name: "component", Result: "string", Anchor: true},
+		{Name: "cost", Result: "integer", Scalar: true},
+	}})
+	repairs.AddObject(modelmed.Object{ID: term.Atom("r1"), Class: "repair",
+		Values: map[string][]term.Term{
+			"component": {term.Atom("turbocharger")},
+			"cost":      {term.Int(1200)},
+		}})
+	w, _ := modelmed.WrapModel(repairs)
+	med.Register(w)
+
+	ans, _ := med.Query(`
+		anchor('WORKSHOP', O, Comp),
+		dm_down(has_a, car, Comp),
+		src_val('WORKSHOP', O, cost, Cost)`, "O", "Comp", "Cost")
+	for _, row := range ans.Rows {
+		fmt.Println(row[0], row[1], row[2])
+	}
+	// Output:
+	// r1 turbocharger 1200
+}
+
+// Example_registration shows runtime knowledge registration (the
+// paper's Figure 3 mechanism) and its effect on reasoning.
+func Example_registration() {
+	dm := modelmed.NewDomainMap("demo")
+	dm.AddAxioms(
+		modelmed.Sub("neuron", modelmed.ExistsR("has_a", modelmed.C("compartment"))),
+		modelmed.Sub("dendrite", modelmed.C("compartment")),
+	)
+	med := modelmed.NewMediator(dm, nil)
+	axioms, _ := modelmed.ParseAxioms(`my_neuron sub neuron and exists has_a.dendrite.`)
+	med.RegisterKnowledge(axioms...)
+
+	ok, _ := dm.TBox().SubsumesNamed("neuron", "my_neuron")
+	fmt.Println("neuron subsumes my_neuron:", ok)
+	fmt.Println("my_neuron contains dendrite:", dm.Reaches("has_a", "my_neuron", "dendrite"))
+	// Output:
+	// neuron subsumes my_neuron: true
+	// my_neuron contains dendrite: true
+}

@@ -1,0 +1,100 @@
+// Quickstart: build a small domain map, wrap two sources from different
+// "worlds", register them with a model-based mediator, and run a
+// cross-world query that neither source can answer alone.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"modelmed"
+	"modelmed/internal/mediator"
+	"modelmed/internal/term"
+)
+
+func main() {
+	// 1. Domain knowledge: a tiny domain map. Engines have parts; a
+	//    turbocharger is an engine part; sensors attach to parts.
+	dm := modelmed.NewDomainMap("garage")
+	err := dm.AddAxioms(
+		modelmed.Sub("engine", modelmed.ExistsR("has_a", modelmed.C("engine_part"))),
+		modelmed.Sub("turbocharger", modelmed.C("engine_part")),
+		modelmed.Sub("crankshaft", modelmed.C("engine_part")),
+		modelmed.Sub("car", modelmed.ExistsR("has_a", modelmed.C("engine"))),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Two sources from different worlds. The workshop records repairs
+	//    per component; the fleet service records vibration readings.
+	//    Their schemas share nothing — only the domain map relates them.
+	repairs := modelmed.NewModel("WORKSHOP")
+	repairs.AddClass(&modelmed.Class{Name: "repair", Methods: []modelmed.MethodSig{
+		{Name: "component", Result: "string", Anchor: true},
+		{Name: "cost", Result: "integer", Scalar: true},
+	}})
+	for i, r := range []struct {
+		comp string
+		cost int64
+	}{{"turbocharger", 1200}, {"turbocharger", 800}, {"crankshaft", 2500}} {
+		repairs.AddObject(modelmed.Object{
+			ID:    term.Atom(fmt.Sprintf("rep%d", i)),
+			Class: "repair",
+			Values: map[string][]term.Term{
+				"component": {term.Atom(r.comp)},
+				"cost":      {term.Int(r.cost)},
+			},
+		})
+	}
+
+	readings := modelmed.NewModel("FLEET")
+	readings.AddClass(&modelmed.Class{Name: "reading", Methods: []modelmed.MethodSig{
+		{Name: "location", Result: "string", Anchor: true},
+		{Name: "vibration", Result: "float", Scalar: true},
+	}})
+	for i, v := range []float64{0.8, 1.9, 2.4} {
+		readings.AddObject(modelmed.Object{
+			ID:    term.Atom(fmt.Sprintf("read%d", i)),
+			Class: "reading",
+			Values: map[string][]term.Term{
+				"location":  {term.Atom("engine")},
+				"vibration": {term.Float(v)},
+			},
+		})
+	}
+
+	// 3. Register both with the mediator. Registration ships each CM
+	//    over the XML wire and anchors its data in the domain map.
+	med := modelmed.NewMediator(dm, nil)
+	for _, m := range []*modelmed.Model{repairs, readings} {
+		w, err := modelmed.WrapModel(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := med.Register(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("sources:", med.Sources())
+
+	// 4. A cross-world query: vibration readings on assemblies that
+	//    contain components with repairs. The join runs through the
+	//    domain map's containment region (dm_down), not through any
+	//    shared attribute.
+	ans, err := med.Query(`
+		anchor('FLEET', R, Assembly),
+		dm_down(has_a, Assembly, Component),
+		anchor('WORKSHOP', Rep, Component),
+		src_val('WORKSHOP', Rep, cost, Cost),
+		src_val('FLEET', R, vibration, V)`,
+		"Assembly", "Component", "Cost", "V")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(mediator.FormatAnswer(ans))
+	fmt.Printf("(%d rows: every repair correlates with every engine reading,\n", len(ans.Rows))
+	fmt.Println(" because turbocharger and crankshaft are engine parts in the domain map)")
+}

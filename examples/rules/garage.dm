@@ -1,0 +1,8 @@
+% garage.dm — a small domain map in DL text syntax.
+% Render with: dmviz -map file -axioms examples/rules/garage.dm
+car sub exists has_a.engine.
+car sub exists has_a.gearbox.
+engine sub exists has_a.engine_part.
+turbocharger sub engine_part.
+crankshaft sub engine_part.
+sensor_equipped eqv (engine_part and exists monitored_by.sensor).

@@ -1,0 +1,3 @@
+module modelmed
+
+go 1.22

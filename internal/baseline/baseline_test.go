@@ -1,0 +1,147 @@
+package baseline
+
+import (
+	"testing"
+
+	"modelmed/internal/mediator"
+	"modelmed/internal/sources"
+	"modelmed/internal/wrapper"
+)
+
+func newBaseline(t testing.TB, nSyn, nNcm, nSl int) *Mediator {
+	t.Helper()
+	b := New()
+	ws, err := sources.Wrappers(11, nSyn, nNcm, nSl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if err := b.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b
+}
+
+func TestRegisterAndSources(t *testing.T) {
+	b := newBaseline(t, 5, 5, 5)
+	if got := len(b.Sources()); got != 3 {
+		t.Errorf("sources = %d", got)
+	}
+	ws, _ := sources.Wrappers(11, 1, 1, 1)
+	if err := b.Register(ws[0]); err == nil {
+		t.Error("duplicate registration should fail")
+	}
+}
+
+func TestQueryContactsEverySource(t *testing.T) {
+	b := newBaseline(t, 5, 5, 5)
+	b.ResetStats()
+	_, err := b.ObjectValueQuery("location", "purkinje_cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().SourcesContacted; got != 3 {
+		t.Errorf("structural mediator contacted %d sources, must contact all 3", got)
+	}
+}
+
+func TestObjectValueQueryExactMatchOnly(t *testing.T) {
+	b := newBaseline(t, 30, 60, 20)
+	hits, err := b.ObjectValueQuery("location", "purkinje_cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NCMIR has purkinje_cell locations; SYNAPSE uses pyramidal_cell and
+	// compartments, SENSELAB has no location method.
+	if len(hits["NCMIR"]) == 0 {
+		t.Error("NCMIR purkinje_cell values should match")
+	}
+	if len(hits["SENSELAB"]) != 0 {
+		t.Errorf("SENSELAB should not match: %v", hits["SENSELAB"])
+	}
+}
+
+// TestBaselineMissesContainedData is the crux of the comparison: the
+// structural sum over location="purkinje_cell" misses the amounts
+// recorded at contained compartments (dendrite, spine, ...), which the
+// model-based mediator's downward closure finds.
+func TestBaselineMissesContainedData(t *testing.T) {
+	nSyn, nNcm, nSl := 10, 120, 10
+	b := newBaseline(t, nSyn, nNcm, nSl)
+	flatSum, flatN, err := b.FlatAmountSum("calbindin", "rat", "purkinje_cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := mediator.New(sources.NeuroDM(), nil)
+	ws, _ := sources.Wrappers(11, nSyn, nNcm, nSl)
+	for _, w := range ws {
+		if err := m.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, err := m.DistributionOf("calbindin", "rat", "purkinje_cell")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := d.Total()
+	if total.Count <= flatN {
+		t.Errorf("model-based mediation should find strictly more records: flat=%d region=%d",
+			flatN, total.Count)
+	}
+	if total.Sum <= flatSum {
+		t.Errorf("region sum %.2f should exceed flat sum %.2f", total.Sum, flatSum)
+	}
+	// The flat records are a subset of the region's: the direct node
+	// matches exactly.
+	direct := d.Nodes["purkinje_cell"].Direct
+	if direct.Count != flatN {
+		t.Errorf("direct node count %d should equal the structural result %d", direct.Count, flatN)
+	}
+}
+
+func TestModelBasedSelectsFewerSources(t *testing.T) {
+	// The semantic index narrows source fan-out; the baseline cannot.
+	dm := sources.NeuroDM()
+	m := mediator.New(dm, nil)
+	b := New()
+	ws, _ := sources.Wrappers(11, 10, 10, 10)
+	for _, w := range ws {
+		if err := m.Register(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Add 5 irrelevant sources anchored far from the query concepts.
+	for i := 0; i < 5; i++ {
+		src := sources.SyntheticSource(srcName(i), int64(i), 10, []string{"ca1", "dentate_gyrus"})
+		w, err := wrapper.NewInMemory(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Register(w); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// SENSELAB is the driver source of the Section 5 plan; step 2
+	// excludes it, leaving exactly NCMIR.
+	selected := m.SelectSourcesForPair("purkinje_cell", "dendrite", "SENSELAB")
+	if len(selected) != 1 || selected[0] != "NCMIR" {
+		t.Errorf("semantic index selected %v, want [NCMIR]", selected)
+	}
+	b.ResetStats()
+	if _, err := b.ObjectValueQuery("location", "purkinje_cell"); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stats().SourcesContacted; got != 8 {
+		t.Errorf("baseline contacted %d, want all 8", got)
+	}
+}
+
+func srcName(i int) string { return string(rune('A'+i)) + "SRC" }

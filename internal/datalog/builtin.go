@@ -1,0 +1,235 @@
+package datalog
+
+import (
+	"fmt"
+	"math"
+
+	"modelmed/internal/term"
+)
+
+// Built-in predicate names. The parser maps infix operators onto these.
+const (
+	BuiltinUnify  = "="   // unification
+	BuiltinNotEq  = "\\=" // disunification (both sides ground)
+	BuiltinLess   = "<"
+	BuiltinLessEq = "=<"
+	BuiltinGrtr   = ">"
+	BuiltinGrtrEq = ">="
+	BuiltinIs     = "is" // arithmetic evaluation
+)
+
+// IsBuiltin reports whether pred/arity names a built-in predicate.
+func IsBuiltin(pred string, arity int) bool {
+	if arity != 2 {
+		return false
+	}
+	switch pred {
+	case BuiltinUnify, BuiltinNotEq, BuiltinLess, BuiltinLessEq,
+		BuiltinGrtr, BuiltinGrtrEq, BuiltinIs:
+		return true
+	}
+	return false
+}
+
+// EvalArith evaluates t as an arithmetic expression under s. Supported
+// functors: + - * / (float division), // (integer division), mod, abs,
+// min, max, neg. Leaves must be numeric constants after substitution.
+func EvalArith(t term.Term, s *term.Subst) (term.Term, error) {
+	t = s.Walk(t)
+	switch t.Kind() {
+	case term.KindInt, term.KindFloat:
+		return t, nil
+	case term.KindVar:
+		return term.Term{}, fmt.Errorf("datalog: unbound variable %s in arithmetic expression", t.Name())
+	case term.KindCompound:
+		return evalArithComp(t, s)
+	default:
+		return term.Term{}, fmt.Errorf("datalog: non-numeric term %s in arithmetic expression", t)
+	}
+}
+
+func evalArithComp(t term.Term, s *term.Subst) (term.Term, error) {
+	args := t.Args()
+	if t.Name() == "neg" && len(args) == 1 {
+		v, err := EvalArith(args[0], s)
+		if err != nil {
+			return term.Term{}, err
+		}
+		if v.Kind() == term.KindInt {
+			return term.Int(-v.IntVal()), nil
+		}
+		return term.Float(-v.FloatVal()), nil
+	}
+	if t.Name() == "abs" && len(args) == 1 {
+		v, err := EvalArith(args[0], s)
+		if err != nil {
+			return term.Term{}, err
+		}
+		if v.Kind() == term.KindInt {
+			if v.IntVal() < 0 {
+				return term.Int(-v.IntVal()), nil
+			}
+			return v, nil
+		}
+		return term.Float(math.Abs(v.FloatVal())), nil
+	}
+	if len(args) != 2 {
+		return term.Term{}, fmt.Errorf("datalog: unknown arithmetic functor %s/%d", t.Name(), len(args))
+	}
+	a, err := EvalArith(args[0], s)
+	if err != nil {
+		return term.Term{}, err
+	}
+	b, err := EvalArith(args[1], s)
+	if err != nil {
+		return term.Term{}, err
+	}
+	bothInt := a.Kind() == term.KindInt && b.Kind() == term.KindInt
+	af, _ := a.Numeric()
+	bf, _ := b.Numeric()
+	switch t.Name() {
+	case "+":
+		if bothInt {
+			return term.Int(a.IntVal() + b.IntVal()), nil
+		}
+		return term.Float(af + bf), nil
+	case "-":
+		if bothInt {
+			return term.Int(a.IntVal() - b.IntVal()), nil
+		}
+		return term.Float(af - bf), nil
+	case "*":
+		if bothInt {
+			return term.Int(a.IntVal() * b.IntVal()), nil
+		}
+		return term.Float(af * bf), nil
+	case "/":
+		if bf == 0 {
+			return term.Term{}, fmt.Errorf("datalog: division by zero")
+		}
+		return term.Float(af / bf), nil
+	case "//":
+		if !bothInt {
+			return term.Term{}, fmt.Errorf("datalog: // requires integer operands")
+		}
+		if b.IntVal() == 0 {
+			return term.Term{}, fmt.Errorf("datalog: division by zero")
+		}
+		return term.Int(a.IntVal() / b.IntVal()), nil
+	case "mod":
+		if !bothInt {
+			return term.Term{}, fmt.Errorf("datalog: mod requires integer operands")
+		}
+		if b.IntVal() == 0 {
+			return term.Term{}, fmt.Errorf("datalog: mod by zero")
+		}
+		return term.Int(a.IntVal() % b.IntVal()), nil
+	case "min":
+		if bothInt {
+			if a.IntVal() < b.IntVal() {
+				return a, nil
+			}
+			return b, nil
+		}
+		return term.Float(math.Min(af, bf)), nil
+	case "max":
+		if bothInt {
+			if a.IntVal() > b.IntVal() {
+				return a, nil
+			}
+			return b, nil
+		}
+		return term.Float(math.Max(af, bf)), nil
+	}
+	return term.Term{}, fmt.Errorf("datalog: unknown arithmetic functor %s/2", t.Name())
+}
+
+// isArithExpr reports whether t, after walking, could be an arithmetic
+// expression (numeric constant or arithmetic compound).
+func isArithExpr(t term.Term, s *term.Subst) bool {
+	t = s.Walk(t)
+	switch t.Kind() {
+	case term.KindInt, term.KindFloat:
+		return true
+	case term.KindCompound:
+		switch t.Name() {
+		case "+", "-", "*", "/", "//", "mod", "min", "max", "neg", "abs":
+			return true
+		}
+	}
+	return false
+}
+
+// evalBuiltin evaluates the built-in literal l under s, extending s for
+// BuiltinUnify and BuiltinIs. It returns the binding trail (to undo on
+// backtracking), whether the builtin succeeded, and an error for
+// instantiation faults (which indicate an unsafe rule that slipped past
+// the safety checker, or a genuine runtime type error).
+func evalBuiltin(l Literal, s *term.Subst) (trail []string, ok bool, err error) {
+	a, b := l.Args[0], l.Args[1]
+	switch l.Pred {
+	case BuiltinUnify:
+		trail, ok = s.Unify(a, b)
+		return trail, ok, nil
+	case BuiltinNotEq:
+		aw, bw := s.Apply(a), s.Apply(b)
+		if !aw.IsGround() || !bw.IsGround() {
+			return nil, false, fmt.Errorf("datalog: \\= requires ground arguments, got %s \\= %s", aw, bw)
+		}
+		return nil, !aw.Equal(bw), nil
+	case BuiltinIs:
+		v, err := EvalArith(b, s)
+		if err != nil {
+			return nil, false, err
+		}
+		trail, ok = s.Unify(a, v)
+		return trail, ok, nil
+	case BuiltinLess, BuiltinLessEq, BuiltinGrtr, BuiltinGrtrEq:
+		c, err := compareArgs(a, b, s)
+		if err != nil {
+			return nil, false, err
+		}
+		switch l.Pred {
+		case BuiltinLess:
+			ok = c < 0
+		case BuiltinLessEq:
+			ok = c <= 0
+		case BuiltinGrtr:
+			ok = c > 0
+		case BuiltinGrtrEq:
+			ok = c >= 0
+		}
+		return nil, ok, nil
+	}
+	return nil, false, fmt.Errorf("datalog: unknown builtin %s/2", l.Pred)
+}
+
+// compareArgs compares two builtin arguments: numerically when both sides
+// are arithmetic expressions, otherwise by the standard term order on the
+// ground terms.
+func compareArgs(a, b term.Term, s *term.Subst) (int, error) {
+	if isArithExpr(a, s) && isArithExpr(b, s) {
+		av, err := EvalArith(a, s)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := EvalArith(b, s)
+		if err != nil {
+			return 0, err
+		}
+		af, _ := av.Numeric()
+		bf, _ := bv.Numeric()
+		switch {
+		case af < bf:
+			return -1, nil
+		case af > bf:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	aw, bw := s.Apply(a), s.Apply(b)
+	if !aw.IsGround() || !bw.IsGround() {
+		return 0, fmt.Errorf("datalog: comparison requires ground arguments, got %s vs %s", aw, bw)
+	}
+	return aw.Compare(bw), nil
+}

@@ -1,0 +1,93 @@
+package datalog
+
+import (
+	"sort"
+)
+
+// RelevantRules returns the subset of rules in the dependency cone of
+// the given goal predicate keys ("name/arity"): exactly the rules whose
+// head some goal (transitively) depends on. Evaluating only the cone is
+// sound for the goals — every predicate a cone rule reads is itself in
+// the cone — and can skip expensive unrelated computations.
+func RelevantRules(rules []Rule, goals []string) []Rule {
+	// headIndex: predicate key -> rule indices defining it.
+	headIndex := map[string][]int{}
+	for i, r := range rules {
+		k := r.Head.Key()
+		headIndex[k] = append(headIndex[k], i)
+	}
+	needed := map[string]bool{}
+	var queue []string
+	push := func(k string) {
+		if !needed[k] {
+			needed[k] = true
+			queue = append(queue, k)
+		}
+	}
+	for _, g := range goals {
+		push(g)
+	}
+	ruleIn := map[int]bool{}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		for _, ri := range headIndex[k] {
+			if ruleIn[ri] {
+				continue
+			}
+			ruleIn[ri] = true
+			for _, e := range rules[ri].Body {
+				switch b := e.(type) {
+				case Literal:
+					if !IsBuiltin(b.Pred, len(b.Args)) {
+						push(b.Key())
+					}
+				case Aggregate:
+					for _, l := range b.Body {
+						if !IsBuiltin(l.Pred, len(l.Args)) {
+							push(l.Key())
+						}
+					}
+				}
+			}
+		}
+	}
+	idxs := make([]int, 0, len(ruleIn))
+	for i := range ruleIn {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	out := make([]Rule, 0, len(idxs))
+	for _, i := range idxs {
+		out = append(out, rules[i])
+	}
+	return out
+}
+
+// GoalKeys extracts the stored-predicate keys a query body reads.
+func GoalKeys(body []BodyElem) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(l Literal) {
+		if IsBuiltin(l.Pred, len(l.Args)) {
+			return
+		}
+		k := l.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, e := range body {
+		switch b := e.(type) {
+		case Literal:
+			add(b)
+		case Aggregate:
+			for _, l := range b.Body {
+				add(l)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

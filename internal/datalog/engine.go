@@ -1,0 +1,282 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"modelmed/internal/term"
+)
+
+// Options configure engine evaluation.
+type Options struct {
+	// MaxIterations caps semi-naive rounds per fixpoint and alternating
+	// fixpoint steps, guarding against non-termination introduced by
+	// function symbols. 0 means the default (100000).
+	MaxIterations int
+	// MaxTermDepth drops derived facts whose terms nest deeper than this,
+	// bounding Skolem-term growth. 0 means the default (24).
+	MaxTermDepth int
+	// Naive disables semi-naive evaluation (every rule re-evaluated in
+	// full each round). Used by the ablation benchmarks.
+	Naive bool
+	// RequireStratified makes Run fail on non-stratified programs instead
+	// of falling back to the well-founded semantics.
+	RequireStratified bool
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{}
+	if o != nil {
+		out = *o
+	}
+	if out.MaxIterations == 0 {
+		out.MaxIterations = 100000
+	}
+	if out.MaxTermDepth == 0 {
+		out.MaxTermDepth = 24
+	}
+	return out
+}
+
+// Engine accepts a program (rules and facts) and evaluates it bottom-up:
+// stratum by stratum with semi-naive evaluation when the program is
+// stratified, and by the alternating-fixpoint construction of the
+// well-founded semantics otherwise.
+type Engine struct {
+	opts  Options
+	rules []Rule
+	edb   *Store
+}
+
+// NewEngine returns an engine with the given options (nil for defaults).
+func NewEngine(opts *Options) *Engine {
+	return &Engine{opts: opts.withDefaults(), edb: NewStore()}
+}
+
+// AddRule adds a rule after checking its safety.
+func (e *Engine) AddRule(r Rule) error {
+	if err := CheckRule(r); err != nil {
+		return err
+	}
+	e.rules = append(e.rules, r)
+	return nil
+}
+
+// AddRules adds several rules, stopping at the first unsafe one.
+func (e *Engine) AddRules(rs ...Rule) error {
+	for _, r := range rs {
+		if err := e.AddRule(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddProgram adds all rules of p.
+func (e *Engine) AddProgram(p *Program) error { return e.AddRules(p.Rules...) }
+
+// AddFact inserts a ground extensional fact.
+func (e *Engine) AddFact(pred string, args ...term.Term) error {
+	for _, a := range args {
+		if !a.IsGround() {
+			return fmt.Errorf("datalog: non-ground fact %s%s", pred, term.FormatTuple(args))
+		}
+	}
+	e.edb.Insert(pred, args)
+	return nil
+}
+
+// FactCount returns the number of extensional facts loaded.
+func (e *Engine) FactCount() int { return e.edb.Size() }
+
+// Result is the outcome of evaluating a program.
+type Result struct {
+	// Store holds all true facts (extensional and derived).
+	Store *Store
+	// Undefined holds atoms that are undefined under the well-founded
+	// semantics; nil for stratified programs.
+	Undefined *Store
+	// Stratified reports which evaluation path ran.
+	Stratified bool
+	// Rounds is the total number of semi-naive rounds across strata (or
+	// across all Γ computations for the well-founded path).
+	Rounds int
+	// Firings is the total number of rule-body solutions found; an
+	// ablation metric comparing naive and semi-naive evaluation.
+	Firings int
+}
+
+// Run evaluates the program.
+func (e *Engine) Run() (*Result, error) {
+	g := buildDepGraph(e.rules)
+	scc := tarjanSCC(g)
+	stratified, aggCycle := scc.stratify(e.rules)
+	if aggCycle {
+		return nil, fmt.Errorf("datalog: aggregation through recursion is not supported")
+	}
+	if stratified {
+		return e.runStratified(scc)
+	}
+	if e.opts.RequireStratified {
+		return nil, fmt.Errorf("%w and RequireStratified is set", ErrNotStratified)
+	}
+	if hasAggregates(e.rules) {
+		return nil, fmt.Errorf("%w: well-founded fallback does not support aggregation", ErrNotStratified)
+	}
+	return e.runWellFounded()
+}
+
+func hasAggregates(rules []Rule) bool {
+	for _, r := range rules {
+		for _, b := range r.Body {
+			if _, ok := b.(Aggregate); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (e *Engine) runStratified(scc *sccResult) (*Result, error) {
+	store := e.edb.Clone()
+	res := &Result{Store: store, Stratified: true}
+	for _, stratum := range scc.strata(e.rules) {
+		if len(stratum) == 0 {
+			continue
+		}
+		prepared, err := prepareRules(stratum)
+		if err != nil {
+			return nil, err
+		}
+		// Within a stratum, negated and aggregated predicates are fully
+		// computed (they live in strictly lower strata), so negation is
+		// answered from the same store.
+		rounds, firings, err := fixpoint(prepared, store, store, &e.opts)
+		res.Rounds += rounds
+		res.Firings += firings
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// runWellFounded computes the well-founded model by the alternating
+// fixpoint: Γ(I) is the least model of the program with negative literals
+// answered from I; the sequence T0=Γ(U∞ start), U0=Γ(T0), ... alternates
+// between underestimates (true facts) and overestimates (possible facts)
+// and converges because Γ is antimonotone. True = lfp(Γ²); Undefined =
+// Γ(True) − True.
+func (e *Engine) runWellFounded() (*Result, error) {
+	prepared, err := prepareRules(e.rules)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Stratified: false}
+	gamma := func(negCtx *Store) (*Store, error) {
+		store := e.edb.Clone()
+		rounds, firings, err := fixpoint(prepared, store, negCtx, &e.opts)
+		res.Rounds += rounds
+		res.Firings += firings
+		return store, err
+	}
+	// U := Γ(∅): everything derivable when all negations succeed.
+	over, err := gamma(NewStore())
+	if err != nil {
+		return res, err
+	}
+	under := NewStore()
+	for i := 0; ; i++ {
+		if i > e.opts.MaxIterations {
+			return res, fmt.Errorf("datalog: alternating fixpoint exceeded %d steps", e.opts.MaxIterations)
+		}
+		newUnder, err := gamma(over)
+		if err != nil {
+			return res, err
+		}
+		newOver, err := gamma(newUnder)
+		if err != nil {
+			return res, err
+		}
+		doneUnder := newUnder.Size() == under.Size()
+		doneOver := newOver.Size() == over.Size()
+		under, over = newUnder, newOver
+		if doneUnder && doneOver {
+			break
+		}
+	}
+	res.Store = under
+	res.Undefined = diffStore(over, under)
+	return res, nil
+}
+
+// diffStore returns the facts in a that are not in b.
+func diffStore(a, b *Store) *Store {
+	out := NewStore()
+	for _, k := range a.Keys() {
+		ra := a.Rel(k)
+		rb := b.Rel(k)
+		for _, row := range ra.Rows() {
+			if rb == nil || !rb.Contains(row) {
+				out.Ensure(k, ra.Arity()).Insert(row)
+			}
+		}
+	}
+	return out
+}
+
+// Query evaluates a conjunctive query body against the result store and
+// returns the distinct bindings of vars, sorted. The body may contain
+// negation, builtins and aggregates; it must be safe.
+func (r *Result) Query(body []BodyElem, vars []string) ([][]term.Term, error) {
+	headArgs := make([]term.Term, len(vars))
+	for i, v := range vars {
+		headArgs[i] = term.Var(v)
+	}
+	q := Rule{Head: Lit("query?", headArgs...), Body: body}
+	ordered, err := OrderBody(q)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evalCtx{store: r.Store, negCtx: r.Store, opts: &Options{MaxTermDepth: 64, MaxIterations: 1}}
+	seen := make(map[string]struct{})
+	var out [][]term.Term
+	s := term.NewSubst()
+	err = ev.match(ordered, 0, -1, s, func(s *term.Subst) error {
+		row := make([]term.Term, len(vars))
+		var key string
+		for i, v := range vars {
+			row[i] = s.Apply(term.Var(v))
+			key += row[i].Key()
+		}
+		if _, dup := seen[key]; !dup {
+			seen[key] = struct{}{}
+			out = append(out, row)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if c := out[i][k].Compare(out[j][k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// Holds reports whether the ground fact pred(args...) is true in the
+// result.
+func (r *Result) Holds(pred string, args ...term.Term) bool {
+	return r.Store.Contains(pred, args)
+}
+
+// IsUndefined reports whether the ground fact is undefined under the
+// well-founded semantics (always false for stratified programs).
+func (r *Result) IsUndefined(pred string, args ...term.Term) bool {
+	return r.Undefined != nil && r.Undefined.Contains(pred, args)
+}

@@ -1,0 +1,718 @@
+package datalog
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"modelmed/internal/term"
+)
+
+func atom(s string) term.Term { return term.Atom(s) }
+func v(s string) term.Term    { return term.Var(s) }
+
+func mustRun(t *testing.T, e *Engine) *Result {
+	t.Helper()
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestFactsOnly(t *testing.T) {
+	e := NewEngine(nil)
+	if err := e.AddFact("edge", atom("a"), atom("b")); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Holds("edge", atom("a"), atom("b")) {
+		t.Error("fact should hold")
+	}
+	if res.Holds("edge", atom("b"), atom("a")) {
+		t.Error("reversed fact should not hold")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	e := NewEngine(nil)
+	// Chain a -> b -> c -> d plus an unrelated x -> y.
+	for _, p := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"x", "y"}} {
+		if err := e.AddFact("edge", atom(p[0]), atom(p[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := e.AddRules(
+		NewRule(Lit("tc", v("X"), v("Y")), Lit("edge", v("X"), v("Y"))),
+		NewRule(Lit("tc", v("X"), v("Y")), Lit("tc", v("X"), v("Z")), Lit("tc", v("Z"), v("Y"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	want := [][2]string{{"a", "b"}, {"a", "c"}, {"a", "d"}, {"b", "c"}, {"b", "d"}, {"c", "d"}, {"x", "y"}}
+	if got := res.Store.Count("tc/2"); got != len(want) {
+		t.Errorf("tc size = %d, want %d", got, len(want))
+	}
+	for _, p := range want {
+		if !res.Holds("tc", atom(p[0]), atom(p[1])) {
+			t.Errorf("tc(%s,%s) missing", p[0], p[1])
+		}
+	}
+	if res.Holds("tc", atom("a"), atom("y")) {
+		t.Error("tc(a,y) should not hold")
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	// unreachable(X) :- node(X), not reach(X).
+	e := NewEngine(nil)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if err := e.AddFact("node", atom(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddFact("edge", atom("a"), atom("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("start", atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	err := e.AddRules(
+		NewRule(Lit("reach", v("X")), Lit("start", v("X"))),
+		NewRule(Lit("reach", v("Y")), Lit("reach", v("X")), Lit("edge", v("X"), v("Y"))),
+		NewRule(Lit("unreachable", v("X")), Lit("node", v("X")), Not("reach", v("X"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Stratified {
+		t.Error("program should be stratified")
+	}
+	for _, n := range []string{"c", "d"} {
+		if !res.Holds("unreachable", atom(n)) {
+			t.Errorf("unreachable(%s) should hold", n)
+		}
+	}
+	for _, n := range []string{"a", "b"} {
+		if res.Holds("unreachable", atom(n)) {
+			t.Errorf("unreachable(%s) should not hold", n)
+		}
+	}
+}
+
+func TestWellFoundedWinMove(t *testing.T) {
+	// The classic win/move program: win(X) :- move(X,Y), not win(Y).
+	// Positions: a->b, b->a (draw cycle: both undefined), c->d (c wins,
+	// d loses, having no move).
+	e := NewEngine(nil)
+	for _, p := range [][2]string{{"a", "b"}, {"b", "a"}, {"c", "d"}} {
+		if err := e.AddFact("move", atom(p[0]), atom(p[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddRule(NewRule(Lit("win", v("X")), Lit("move", v("X"), v("Y")), Not("win", v("Y")))); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if res.Stratified {
+		t.Fatal("win/move must not be stratified")
+	}
+	if !res.Holds("win", atom("c")) {
+		t.Error("win(c) should be true")
+	}
+	if res.Holds("win", atom("d")) {
+		t.Error("win(d) should be false")
+	}
+	if !res.IsUndefined("win", atom("a")) || !res.IsUndefined("win", atom("b")) {
+		t.Error("win(a), win(b) should be undefined (draw cycle)")
+	}
+	if res.Holds("win", atom("a")) {
+		t.Error("undefined atom must not be reported true")
+	}
+}
+
+func TestRequireStratified(t *testing.T) {
+	e := NewEngine(&Options{RequireStratified: true})
+	if err := e.AddFact("move", atom("a"), atom("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(NewRule(Lit("win", v("X")), Lit("move", v("X"), v("Y")), Not("win", v("Y")))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); !errors.Is(err, ErrNotStratified) {
+		t.Errorf("want ErrNotStratified, got %v", err)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	e := NewEngine(nil)
+	for i := 1; i <= 5; i++ {
+		if err := e.AddFact("num", term.Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := e.AddRules(
+		NewRule(Lit("big", v("X")), Lit("num", v("X")), Lit(BuiltinGrtr, v("X"), term.Int(3))),
+		NewRule(Lit("double", v("X"), v("Y")), Lit("num", v("X")),
+			Lit(BuiltinIs, v("Y"), term.Comp("*", v("X"), term.Int(2)))),
+		NewRule(Lit("notthree", v("X")), Lit("num", v("X")), Lit(BuiltinNotEq, v("X"), term.Int(3))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if got := res.Store.Count("big/1"); got != 2 {
+		t.Errorf("big count = %d, want 2", got)
+	}
+	if !res.Holds("double", term.Int(3), term.Int(6)) {
+		t.Error("double(3,6) should hold")
+	}
+	if got := res.Store.Count("notthree/1"); got != 4 {
+		t.Errorf("notthree count = %d, want 4", got)
+	}
+}
+
+func TestArithmeticMixed(t *testing.T) {
+	s := term.NewSubst()
+	got, err := EvalArith(term.Comp("+", term.Int(1), term.Float(0.5)), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind() != term.KindFloat || got.FloatVal() != 1.5 {
+		t.Errorf("1 + 0.5 = %v", got)
+	}
+	if _, err := EvalArith(term.Comp("/", term.Int(1), term.Int(0)), s); err == nil {
+		t.Error("division by zero should error")
+	}
+	if _, err := EvalArith(term.Comp("+", term.Atom("a"), term.Int(1)), s); err == nil {
+		t.Error("non-numeric leaf should error")
+	}
+	got, err = EvalArith(term.Comp("mod", term.Int(7), term.Int(3)), s)
+	if err != nil || got.IntVal() != 1 {
+		t.Errorf("7 mod 3 = %v, err %v", got, err)
+	}
+	got, err = EvalArith(term.Comp("neg", term.Int(4)), s)
+	if err != nil || got.IntVal() != -4 {
+		t.Errorf("neg(4) = %v, err %v", got, err)
+	}
+}
+
+// TestAggregateCount mirrors the paper's Example 3: count the number of
+// VA values per VB group.
+func TestAggregateCount(t *testing.T) {
+	e := NewEngine(nil)
+	// has(neuron, axon): n1 has one axon, n2 has three.
+	facts := [][2]string{{"n1", "a1"}, {"n2", "a2"}, {"n2", "a3"}, {"n2", "a4"}}
+	for _, f := range facts {
+		if err := e.AddFact("has", atom(f[0]), atom(f[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// axoncount(N, VA) :- N = count{VB[VA]; has(VA,VB)}.
+	agg := Aggregate{
+		Result:  v("N"),
+		Op:      AggCount,
+		Value:   v("VB"),
+		GroupBy: []term.Term{v("VA")},
+		Body:    []Literal{Lit("has", v("VA"), v("VB"))},
+	}
+	if err := e.AddRule(NewRule(Lit("axoncount", v("VA"), v("N")), agg)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Holds("axoncount", atom("n1"), term.Int(1)) {
+		t.Error("axoncount(n1,1) should hold")
+	}
+	if !res.Holds("axoncount", atom("n2"), term.Int(3)) {
+		t.Error("axoncount(n2,3) should hold")
+	}
+	if got := res.Store.Count("axoncount/2"); got != 2 {
+		t.Errorf("axoncount size = %d, want 2", got)
+	}
+}
+
+func TestAggregateDistinctness(t *testing.T) {
+	// Duplicate derivations of the same value must count once (set
+	// semantics).
+	e := NewEngine(nil)
+	if err := e.AddFact("p", atom("g"), atom("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("q", atom("g"), atom("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRules(
+		NewRule(Lit("u", v("G"), v("X")), Lit("p", v("G"), v("X"))),
+		NewRule(Lit("u", v("G"), v("X")), Lit("q", v("G"), v("X"))),
+	); err != nil {
+		t.Fatal(err)
+	}
+	agg := Aggregate{Result: v("N"), Op: AggCount, Value: v("X"),
+		GroupBy: []term.Term{v("G")}, Body: []Literal{Lit("u", v("G"), v("X"))}}
+	if err := e.AddRule(NewRule(Lit("cnt", v("G"), v("N")), agg)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Holds("cnt", atom("g"), term.Int(1)) {
+		t.Error("duplicate derivations must count once")
+	}
+}
+
+func TestAggregateSumMinMaxAvg(t *testing.T) {
+	e := NewEngine(nil)
+	vals := map[string][]int64{"g1": {1, 2, 3}, "g2": {10}}
+	for g, vs := range vals {
+		for _, x := range vs {
+			if err := e.AddFact("m", atom(g), term.Int(x)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, op := range []AggOp{AggSum, AggMin, AggMax, AggAvg} {
+		agg := Aggregate{Result: v("N"), Op: op, Value: v("X"),
+			GroupBy: []term.Term{v("G")}, Body: []Literal{Lit("m", v("G"), v("X"))}}
+		if err := e.AddRule(NewRule(Lit(string(op)+"_r", v("G"), v("N")), agg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, e)
+	checks := []struct {
+		pred string
+		g    string
+		want term.Term
+	}{
+		{"sum_r", "g1", term.Int(6)},
+		{"min_r", "g1", term.Int(1)},
+		{"max_r", "g1", term.Int(3)},
+		{"avg_r", "g1", term.Float(2)},
+		{"sum_r", "g2", term.Int(10)},
+		{"avg_r", "g2", term.Float(10)},
+	}
+	for _, c := range checks {
+		if !res.Holds(c.pred, atom(c.g), c.want) {
+			t.Errorf("%s(%s, %v) should hold", c.pred, c.g, c.want)
+		}
+	}
+}
+
+func TestAggregateNoGroups(t *testing.T) {
+	e := NewEngine(nil)
+	for i := 0; i < 4; i++ {
+		if err := e.AddFact("item", atom(fmt.Sprintf("i%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	agg := Aggregate{Result: v("N"), Op: AggCount, Value: v("X"),
+		Body: []Literal{Lit("item", v("X"))}}
+	if err := e.AddRule(NewRule(Lit("total", v("N")), agg)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Holds("total", term.Int(4)) {
+		t.Error("total(4) should hold")
+	}
+}
+
+func TestAggregateEmptyBodyYieldsNoGroups(t *testing.T) {
+	// With no derivations there are no groups, so no head facts: this is
+	// the standard grouped-aggregation semantics.
+	e := NewEngine(nil)
+	if err := e.AddFact("seed", atom("s")); err != nil {
+		t.Fatal(err)
+	}
+	agg := Aggregate{Result: v("N"), Op: AggCount, Value: v("X"),
+		GroupBy: []term.Term{v("G")}, Body: []Literal{Lit("missing", v("G"), v("X"))}}
+	if err := e.AddRule(NewRule(Lit("out", v("G"), v("N")), agg)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if res.Store.Count("out/2") != 0 {
+		t.Error("no groups expected for empty relation")
+	}
+}
+
+func TestAggregationThroughRecursionRejected(t *testing.T) {
+	e := NewEngine(nil)
+	agg := Aggregate{Result: v("N"), Op: AggCount, Value: v("X"),
+		Body: []Literal{Lit("p", v("X"))}}
+	if err := e.AddFact("p", atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(NewRule(Lit("p", v("N")), agg)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil || !strings.Contains(err.Error(), "aggregation through recursion") {
+		t.Errorf("want aggregation-through-recursion error, got %v", err)
+	}
+}
+
+func TestUnsafeRules(t *testing.T) {
+	cases := []Rule{
+		// Head var not bound.
+		NewRule(Lit("p", v("X"), v("Y")), Lit("q", v("X"))),
+		// Negation with unbound var.
+		NewRule(Lit("p", v("X")), Lit("q", v("X")), Not("r", v("Y"))),
+		// Comparison with unbound var.
+		NewRule(Lit("p", v("X")), Lit("q", v("X")), Lit(BuiltinLess, v("Z"), term.Int(1))),
+		// Non-ground fact.
+		Fact("p", v("X")),
+		// Builtin in head.
+		NewRule(Lit(BuiltinUnify, v("X"), v("X")), Lit("q", v("X"))),
+	}
+	for _, r := range cases {
+		if err := CheckRule(r); err == nil {
+			t.Errorf("rule %s should be rejected as unsafe", r)
+		}
+	}
+}
+
+func TestSafeReordering(t *testing.T) {
+	// Negation written before its generator must still evaluate.
+	e := NewEngine(nil)
+	if err := e.AddFact("q", atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("q", atom("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("r", atom("a")); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRule(Lit("p", v("X")), Not("r", v("X")), Lit("q", v("X")))
+	if err := e.AddRule(r); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Holds("p", atom("b")) || res.Holds("p", atom("a")) {
+		t.Error("reordered negation produced wrong answers")
+	}
+}
+
+func TestFunctionSymbolsSkolemLiteralPaperRule(t *testing.T) {
+	// The paper's assertion-mode rule written literally —
+	//   r(X, f(X)) :- X:C, not (exists Z: r(X,Z))
+	// — has the head predicate negated in its own body, so it is not
+	// stratified, and the placeholder atoms come out *undefined* under
+	// the well-founded semantics. This test pins down that subtlety; the
+	// dl package uses the stratified reformulation below instead.
+	e := NewEngine(nil)
+	if err := e.AddFact("inst", atom("c1"), atom("cell")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("inst", atom("c2"), atom("cell")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("r", atom("c1"), atom("d1")); err != nil {
+		t.Fatal(err)
+	}
+	err := e.AddRules(
+		NewRule(Lit("hasR", v("X")), Lit("r", v("X"), v("Y"))),
+		NewRule(Lit("r", v("X"), term.Comp("sk", v("X"))),
+			Lit("inst", v("X"), atom("cell")), Not("hasR", v("X"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if res.Stratified {
+		t.Fatal("literal paper rule should be non-stratified")
+	}
+	if !res.Holds("r", atom("c1"), atom("d1")) {
+		t.Error("base fact must stay true")
+	}
+	if !res.IsUndefined("r", atom("c2"), term.Comp("sk", atom("c2"))) {
+		t.Error("placeholder for c2 should be undefined under WFS")
+	}
+	if res.Holds("r", atom("c1"), term.Comp("sk", atom("c1"))) {
+		t.Error("c1 already has an r-successor; no placeholder expected")
+	}
+}
+
+func TestFunctionSymbolsSkolemStratified(t *testing.T) {
+	// Stratified reformulation: guard the placeholder creation on the
+	// *base* relation exported by the source, not on the derived one.
+	e := NewEngine(nil)
+	if err := e.AddFact("inst", atom("c1"), atom("cell")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("inst", atom("c2"), atom("cell")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("r_base", atom("c1"), atom("d1")); err != nil {
+		t.Fatal(err)
+	}
+	err := e.AddRules(
+		NewRule(Lit("hasR", v("X")), Lit("r_base", v("X"), v("Y"))),
+		NewRule(Lit("r", v("X"), v("Y")), Lit("r_base", v("X"), v("Y"))),
+		NewRule(Lit("r", v("X"), term.Comp("sk", v("X"))),
+			Lit("inst", v("X"), atom("cell")), Not("hasR", v("X"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Stratified {
+		t.Fatal("reformulated program should be stratified")
+	}
+	if !res.Holds("r", atom("c2"), term.Comp("sk", atom("c2"))) {
+		t.Error("placeholder sk(c2) should be created")
+	}
+	if res.Holds("r", atom("c1"), term.Comp("sk", atom("c1"))) {
+		t.Error("c1 already has an r-successor; no placeholder expected")
+	}
+}
+
+func TestTermDepthGuard(t *testing.T) {
+	// grow(s(X)) :- grow(X) diverges; the depth guard must stop it.
+	e := NewEngine(&Options{MaxTermDepth: 6})
+	if err := e.AddFact("grow", atom("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(NewRule(Lit("grow", term.Comp("s", v("X"))), Lit("grow", v("X")))); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if got := res.Store.Count("grow/1"); got != 6 {
+		t.Errorf("grow count = %d, want 6 (depth-bounded)", got)
+	}
+}
+
+func TestIterationGuard(t *testing.T) {
+	e := NewEngine(&Options{MaxIterations: 5, MaxTermDepth: 1000000})
+	if err := e.AddFact("grow", atom("z")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(NewRule(Lit("grow", term.Comp("s", v("X"))), Lit("grow", v("X")))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Error("expected iteration-guard error")
+	}
+}
+
+func TestQuery(t *testing.T) {
+	e := NewEngine(nil)
+	for _, p := range [][2]string{{"a", "b"}, {"b", "c"}} {
+		if err := e.AddFact("edge", atom(p[0]), atom(p[1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := e.AddRules(
+		NewRule(Lit("tc", v("X"), v("Y")), Lit("edge", v("X"), v("Y"))),
+		NewRule(Lit("tc", v("X"), v("Y")), Lit("tc", v("X"), v("Z")), Lit("edge", v("Z"), v("Y"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	rows, err := res.Query([]BodyElem{Lit("tc", atom("a"), v("Y"))}, []string{"Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || !rows[0][0].Equal(atom("b")) || !rows[1][0].Equal(atom("c")) {
+		t.Errorf("query rows = %v", rows)
+	}
+	// Query with negation.
+	rows, err = res.Query([]BodyElem{Lit("edge", v("X"), v("Y")), Not("tc", v("Y"), v("X"))}, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Errorf("negation query rows = %v", rows)
+	}
+}
+
+func TestNaiveSemiNaiveEquivalence(t *testing.T) {
+	// Property: naive and semi-naive evaluation derive identical models
+	// on random edge sets, and semi-naive never fires more rule bodies.
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		nodes := 8
+		edges := make([][2]string, 0)
+		for i := 0; i < 16; i++ {
+			a := fmt.Sprintf("n%d", r.Intn(nodes))
+			b := fmt.Sprintf("n%d", r.Intn(nodes))
+			edges = append(edges, [2]string{a, b})
+		}
+		run := func(naive bool) *Result {
+			e := NewEngine(&Options{Naive: naive})
+			for _, p := range edges {
+				if err := e.AddFact("edge", atom(p[0]), atom(p[1])); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := e.AddRules(
+				NewRule(Lit("tc", v("X"), v("Y")), Lit("edge", v("X"), v("Y"))),
+				NewRule(Lit("tc", v("X"), v("Y")), Lit("tc", v("X"), v("Z")), Lit("edge", v("Z"), v("Y"))),
+			); err != nil {
+				t.Fatal(err)
+			}
+			return mustRun(t, e)
+		}
+		rn, rs := run(true), run(false)
+		if rn.Store.Count("tc/2") != rs.Store.Count("tc/2") {
+			t.Fatalf("trial %d: naive %d facts, semi-naive %d", trial,
+				rn.Store.Count("tc/2"), rs.Store.Count("tc/2"))
+		}
+		for _, row := range rn.Store.Rel("tc/2").Rows() {
+			if !rs.Store.Rel("tc/2").Contains(row) {
+				t.Fatalf("trial %d: semi-naive missing %v", trial, row)
+			}
+		}
+		if rs.Firings > rn.Firings {
+			t.Errorf("trial %d: semi-naive fired more (%d) than naive (%d)", trial, rs.Firings, rn.Firings)
+		}
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore()
+	if !s.Insert("p", []term.Term{atom("a")}) {
+		t.Error("first insert should be new")
+	}
+	if s.Insert("p", []term.Term{atom("a")}) {
+		t.Error("duplicate insert should report false")
+	}
+	if s.Size() != 1 || s.Count("p/1") != 1 {
+		t.Error("size bookkeeping wrong")
+	}
+	c := s.Clone()
+	c.Insert("p", []term.Term{atom("b")})
+	if s.Count("p/1") != 1 || c.Count("p/1") != 2 {
+		t.Error("clone not independent")
+	}
+	added := c.MergeInto(s)
+	if added != 1 || s.Count("p/1") != 2 {
+		t.Errorf("MergeInto added %d", added)
+	}
+}
+
+func TestRelationSelect(t *testing.T) {
+	r := NewRelation(2)
+	r.Insert([]term.Term{atom("a"), atom("x")})
+	r.Insert([]term.Term{atom("a"), atom("y")})
+	r.Insert([]term.Term{atom("b"), atom("x")})
+	if got := len(r.Select(0, atom("a"))); got != 2 {
+		t.Errorf("Select(0,a) = %d rows, want 2", got)
+	}
+	if got := len(r.Select(1, atom("x"))); got != 2 {
+		t.Errorf("Select(1,x) = %d rows, want 2", got)
+	}
+	if got := len(r.Select(0, atom("zz"))); got != 0 {
+		t.Errorf("Select(0,zz) = %d rows, want 0", got)
+	}
+}
+
+func TestSortedRowsDeterministic(t *testing.T) {
+	r := NewRelation(1)
+	r.Insert([]term.Term{atom("c")})
+	r.Insert([]term.Term{atom("a")})
+	r.Insert([]term.Term{atom("b")})
+	rows := r.SortedRows()
+	if !rows[0][0].Equal(atom("a")) || !rows[2][0].Equal(atom("c")) {
+		t.Errorf("SortedRows = %v", rows)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := NewRule(Lit("p", v("X")), Lit("q", v("X")), Not("r", v("X")))
+	want := "p(X) :- q(X), not r(X)."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	f := Fact("p", atom("a"))
+	if got := f.String(); got != "p(a)." {
+		t.Errorf("fact String = %q", got)
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	r := NewRule(Lit("p", v("X")), Lit("q", v("X"), v("Y")))
+	r2 := r.RenameApart(3)
+	vars := r2.Vars(nil)
+	for _, name := range vars {
+		if !strings.HasSuffix(name, "#3") {
+			t.Errorf("variable %s not renamed", name)
+		}
+	}
+	if len(vars) != 2 {
+		t.Errorf("vars = %v", vars)
+	}
+}
+
+func TestNonGroundFactRejected(t *testing.T) {
+	e := NewEngine(nil)
+	if err := e.AddFact("p", v("X")); err == nil {
+		t.Error("non-ground fact must be rejected")
+	}
+}
+
+func TestDeterministicQueryOrder(t *testing.T) {
+	e := NewEngine(nil)
+	for _, x := range []string{"c", "a", "b"} {
+		if err := e.AddFact("p", atom(x)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, e)
+	rows, err := res.Query([]BodyElem{Lit("p", v("X"))}, []string{"X"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || !rows[0][0].Equal(atom("a")) || !rows[2][0].Equal(atom("c")) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestAggregateKeyedSum(t *testing.T) {
+	// Two objects with the same amount must both contribute when keyed
+	// by object identity (the paper's Example 4 per-object sums).
+	e := NewEngine(nil)
+	for _, f := range [][2]interface{}{{"o1", int64(10)}, {"o2", int64(10)}, {"o3", int64(5)}} {
+		if err := e.AddFact("amount", atom(f[0].(string)), term.Int(f[1].(int64))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keyed := Aggregate{Result: v("S"), Op: AggSum, Value: v("A"),
+		Key:  []term.Term{v("O")},
+		Body: []Literal{Lit("amount", v("O"), v("A"))}}
+	unkeyed := Aggregate{Result: v("S"), Op: AggSum, Value: v("A"),
+		Body: []Literal{Lit("amount", v("O"), v("A"))}}
+	if err := e.AddRules(
+		NewRule(Lit("total_keyed", v("S")), keyed),
+		NewRule(Lit("total_set", v("S")), unkeyed),
+	); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Holds("total_keyed", term.Int(25)) {
+		t.Error("keyed sum should be 25 (10+10+5)")
+	}
+	if !res.Holds("total_set", term.Int(15)) {
+		t.Error("set-semantics sum should be 15 (10+5)")
+	}
+}
+
+func TestAggregateKeyedCount(t *testing.T) {
+	e := NewEngine(nil)
+	if err := e.AddFact("amount", atom("o1"), term.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddFact("amount", atom("o2"), term.Int(10)); err != nil {
+		t.Fatal(err)
+	}
+	agg := Aggregate{Result: v("N"), Op: AggCount, Value: v("A"),
+		Key:  []term.Term{v("O")},
+		Body: []Literal{Lit("amount", v("O"), v("A"))}}
+	if err := e.AddRule(NewRule(Lit("n_keyed", v("N")), agg)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if !res.Holds("n_keyed", term.Int(2)) {
+		t.Error("keyed count should count distinct keys")
+	}
+}

@@ -1,0 +1,429 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"modelmed/internal/term"
+)
+
+// deltaVariant is one semi-naive rewriting of a rule: the body reordered
+// to start from the designated delta literal, so each incremental round
+// enumerates the (small) delta first and joins outward from it.
+type deltaVariant struct {
+	ordered []BodyElem
+	// deltaIdx is the position within ordered that reads from the delta
+	// store (always 0 in variants produced by prepareRules).
+	deltaIdx int
+}
+
+// preparedRule caches the safe evaluation order of a rule body together
+// with its semi-naive delta variants, one per positive stored literal.
+type preparedRule struct {
+	rule     Rule
+	ordered  []BodyElem
+	variants []deltaVariant
+}
+
+func prepareRules(rules []Rule) ([]preparedRule, error) {
+	out := make([]preparedRule, 0, len(rules))
+	for _, r := range rules {
+		if err := CheckRule(r); err != nil {
+			return nil, err
+		}
+		pr := preparedRule{rule: r}
+		if len(r.Body) > 0 {
+			ordered, err := OrderBody(r)
+			if err != nil {
+				return nil, err
+			}
+			pr.ordered = ordered
+			for i, e := range ordered {
+				l, ok := e.(Literal)
+				if !ok || l.Neg || IsBuiltin(l.Pred, len(l.Args)) {
+					continue
+				}
+				variant, err := orderWithFirst(ordered, i)
+				if err != nil {
+					// Fall back to the static order with the delta in
+					// place; correct, just slower.
+					variant = deltaVariant{ordered: ordered, deltaIdx: i}
+				}
+				pr.variants = append(pr.variants, variant)
+			}
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}
+
+// orderWithFirst reorders body so that the positive literal at position
+// first comes first, with the remaining elements re-ordered greedily
+// under the bindings it provides.
+func orderWithFirst(body []BodyElem, first int) (deltaVariant, error) {
+	lead := body[first].(Literal)
+	rest := make([]BodyElem, 0, len(body)-1)
+	for i, e := range body {
+		if i != first {
+			rest = append(rest, e)
+		}
+	}
+	bound := make(varSet)
+	bound.add(lead.Vars(nil))
+	orderedRest, _, err := orderElems(rest, bound)
+	if err != nil {
+		return deltaVariant{}, err
+	}
+	ordered := make([]BodyElem, 0, len(body))
+	ordered = append(ordered, lead)
+	ordered = append(ordered, orderedRest...)
+	return deltaVariant{ordered: ordered, deltaIdx: 0}, nil
+}
+
+// evalCtx carries the state of one fixpoint computation.
+type evalCtx struct {
+	store  *Store // facts derived so far (read by positive literals)
+	negCtx *Store // facts consulted by negative literals
+	delta  *Store // restriction for the designated delta literal (nil = none)
+	opts   *Options
+
+	newFacts   []derivedFact
+	rounds     int
+	firings    int // rule body solutions found (for benchmarks)
+	depthDrops int
+}
+
+type derivedFact struct {
+	pred string
+	args []term.Term
+}
+
+// termDepth returns the nesting depth of t (constants and variables have
+// depth 1).
+func termDepth(t term.Term) int {
+	if t.Kind() != term.KindCompound {
+		return 1
+	}
+	max := 0
+	for _, a := range t.Args() {
+		if d := termDepth(a); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// deriveHead instantiates the rule head under s and queues the fact.
+func (ev *evalCtx) deriveHead(head Literal, s *term.Subst) error {
+	args := make([]term.Term, len(head.Args))
+	for i, a := range head.Args {
+		args[i] = s.Apply(a)
+		if !args[i].IsGround() {
+			return fmt.Errorf("datalog: internal: derived non-ground fact %s(%s)", head.Pred, args[i])
+		}
+		if ev.opts.MaxTermDepth > 0 && termDepth(args[i]) > ev.opts.MaxTermDepth {
+			ev.depthDrops++
+			return nil
+		}
+	}
+	ev.firings++
+	ev.newFacts = append(ev.newFacts, derivedFact{pred: head.Pred, args: args})
+	return nil
+}
+
+// match enumerates all solutions of items[idx:] under s, invoking emit
+// for each complete solution. deltaIdx designates the ordered-body
+// position that must read from ev.delta instead of ev.store (-1 = none).
+func (ev *evalCtx) match(items []BodyElem, idx, deltaIdx int, s *term.Subst, emit func(*term.Subst) error) error {
+	if idx == len(items) {
+		return emit(s)
+	}
+	switch e := items[idx].(type) {
+	case Literal:
+		if IsBuiltin(e.Pred, len(e.Args)) {
+			trail, ok, err := evalBuiltin(e, s)
+			if err != nil {
+				s.Undo(trail)
+				return err
+			}
+			if ok {
+				err = ev.match(items, idx+1, deltaIdx, s, emit)
+			}
+			s.Undo(trail)
+			return err
+		}
+		if e.Neg {
+			args := s.ApplyAll(e.Args)
+			for _, a := range args {
+				if !a.IsGround() {
+					return fmt.Errorf("datalog: internal: non-ground negative literal %s", e)
+				}
+			}
+			if !ev.negCtx.Contains(e.Pred, args) {
+				return ev.match(items, idx+1, deltaIdx, s, emit)
+			}
+			return nil
+		}
+		src := ev.store
+		if idx == deltaIdx {
+			src = ev.delta
+		}
+		rel := src.Rel(e.Key())
+		if rel == nil || rel.Len() == 0 {
+			return nil
+		}
+		// Use the most selective positional index among the ground
+		// arguments under s.
+		bestPos := -1
+		bestCount := -1
+		var bestTerm term.Term
+		for pos, a := range e.Args {
+			w := s.Apply(a)
+			if !w.IsGround() {
+				continue
+			}
+			n := len(rel.Select(pos, w))
+			if bestCount < 0 || n < bestCount {
+				bestPos, bestCount, bestTerm = pos, n, w
+				if n == 0 {
+					break
+				}
+			}
+		}
+		iterate := func(row []term.Term) error {
+			trail, ok := s.MatchTuple(e.Args, row)
+			var err error
+			if ok {
+				err = ev.match(items, idx+1, deltaIdx, s, emit)
+			}
+			s.Undo(trail)
+			return err
+		}
+		if bestPos >= 0 {
+			rows := rel.Rows()
+			for _, ri := range rel.Select(bestPos, bestTerm) {
+				if err := iterate(rows[ri]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for _, row := range rel.Rows() {
+			if err := iterate(row); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Aggregate:
+		return ev.evalAggregate(e, s, func(s2 *term.Subst) error {
+			return ev.match(items, idx+1, deltaIdx, s2, emit)
+		})
+	}
+	return fmt.Errorf("datalog: internal: unknown body element %T", items[idx])
+}
+
+// aggGroup accumulates the distinct (value, key) contributions of one
+// aggregation group.
+type aggGroup struct {
+	groupTerms []term.Term
+	seen       map[string]struct{}
+	values     []term.Term
+}
+
+// evalAggregate enumerates the solutions of the aggregate's inner body
+// under s, groups them, and invokes cont once per group with the group
+// terms and result bound. Aggregated predicates are always in strictly
+// lower strata (aggregation counts as a negative dependency), so reading
+// from ev.store is sound.
+func (ev *evalCtx) evalAggregate(a Aggregate, s *term.Subst, cont func(*term.Subst) error) error {
+	inner := make([]BodyElem, len(a.Body))
+	for i, l := range a.Body {
+		inner[i] = l
+	}
+	groups := make(map[string]*aggGroup)
+	err := ev.match(inner, 0, -1, s, func(s2 *term.Subst) error {
+		gt := make([]term.Term, len(a.GroupBy))
+		var gk string
+		for i, g := range a.GroupBy {
+			gt[i] = s2.Apply(g)
+			if !gt[i].IsGround() {
+				return fmt.Errorf("datalog: non-ground group term in aggregate %s", a)
+			}
+			gk += gt[i].Key()
+		}
+		v := s2.Apply(a.Value)
+		if !v.IsGround() {
+			return fmt.Errorf("datalog: non-ground aggregated value in %s", a)
+		}
+		dedup := v.Key()
+		for _, k := range a.Key {
+			kt := s2.Apply(k)
+			if !kt.IsGround() {
+				return fmt.Errorf("datalog: non-ground aggregation key in %s", a)
+			}
+			dedup += kt.Key()
+		}
+		grp := groups[gk]
+		if grp == nil {
+			grp = &aggGroup{groupTerms: gt, seen: make(map[string]struct{})}
+			groups[gk] = grp
+		}
+		if _, dup := grp.seen[dedup]; !dup {
+			grp.seen[dedup] = struct{}{}
+			grp.values = append(grp.values, v)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Deterministic group order.
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		grp := groups[k]
+		result, err := computeAggregate(a.Op, grp.values)
+		if err != nil {
+			return fmt.Errorf("datalog: aggregate %s: %w", a, err)
+		}
+		var trail []string
+		ok := true
+		for i, g := range a.GroupBy {
+			t, tok := s.Unify(g, grp.groupTerms[i])
+			trail = append(trail, t...)
+			if !tok {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			t, tok := s.Unify(a.Result, result)
+			trail = append(trail, t...)
+			if tok {
+				if err := cont(s); err != nil {
+					s.Undo(trail)
+					return err
+				}
+			}
+		}
+		s.Undo(trail)
+	}
+	return nil
+}
+
+// computeAggregate folds the distinct contributions of one group.
+func computeAggregate(op AggOp, values []term.Term) (term.Term, error) {
+	if op == AggCount {
+		return term.Int(int64(len(values))), nil
+	}
+	vs := make([]term.Term, len(values))
+	copy(vs, values)
+	term.SortTerms(vs)
+	switch op {
+	case AggMin:
+		return vs[0], nil
+	case AggMax:
+		return vs[len(vs)-1], nil
+	case AggSum, AggAvg:
+		var sum float64
+		var isum int64
+		allInt := true
+		for _, v := range vs {
+			f, ok := v.Numeric()
+			if !ok {
+				return term.Term{}, fmt.Errorf("non-numeric value %s under %s", v, op)
+			}
+			sum += f
+			if v.Kind() == term.KindInt {
+				isum += v.IntVal()
+			} else {
+				allInt = false
+			}
+		}
+		if op == AggAvg {
+			return term.Float(sum / float64(len(vs))), nil
+		}
+		if allInt {
+			return term.Int(isum), nil
+		}
+		return term.Float(sum), nil
+	}
+	return term.Term{}, fmt.Errorf("unknown aggregate operator %s", op)
+}
+
+// fixpoint evaluates the prepared rules to a fixpoint over store, with
+// negative literals answered from negCtx. It uses semi-naive evaluation
+// unless opts.Naive is set. Returns the number of evaluation rounds.
+func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options) (rounds int, firings int, err error) {
+	ev := &evalCtx{store: store, negCtx: negCtx, opts: opts}
+
+	// Round 0: insert facts, then evaluate every rule once against the
+	// full store (no delta restriction).
+	for _, pr := range rules {
+		if len(pr.rule.Body) == 0 {
+			store.Insert(pr.rule.Head.Pred, pr.rule.Head.Args)
+		}
+	}
+	for _, pr := range rules {
+		if len(pr.rule.Body) == 0 {
+			continue
+		}
+		s := term.NewSubst()
+		if err := ev.match(pr.ordered, 0, -1, s, func(s *term.Subst) error {
+			return ev.deriveHead(pr.rule.Head, s)
+		}); err != nil {
+			return ev.rounds, ev.firings, err
+		}
+	}
+	delta := NewStore()
+	for _, f := range ev.newFacts {
+		if store.Insert(f.pred, f.args) {
+			delta.Insert(f.pred, f.args)
+		}
+	}
+	ev.newFacts = ev.newFacts[:0]
+	ev.rounds = 1
+
+	for delta.Size() > 0 {
+		if opts.MaxIterations > 0 && ev.rounds > opts.MaxIterations {
+			return ev.rounds, ev.firings, fmt.Errorf("datalog: fixpoint exceeded %d rounds (possible non-termination via function symbols)", opts.MaxIterations)
+		}
+		ev.delta = delta
+		for _, pr := range rules {
+			if len(pr.rule.Body) == 0 {
+				continue
+			}
+			if opts.Naive {
+				// Ablation mode: re-evaluate the whole rule each round.
+				s := term.NewSubst()
+				if err := ev.match(pr.ordered, 0, -1, s, func(s *term.Subst) error {
+					return ev.deriveHead(pr.rule.Head, s)
+				}); err != nil {
+					return ev.rounds, ev.firings, err
+				}
+				continue
+			}
+			for _, va := range pr.variants {
+				s := term.NewSubst()
+				if err := ev.match(va.ordered, 0, va.deltaIdx, s, func(s *term.Subst) error {
+					return ev.deriveHead(pr.rule.Head, s)
+				}); err != nil {
+					return ev.rounds, ev.firings, err
+				}
+			}
+		}
+		next := NewStore()
+		for _, f := range ev.newFacts {
+			if store.Insert(f.pred, f.args) {
+				next.Insert(f.pred, f.args)
+			}
+		}
+		ev.newFacts = ev.newFacts[:0]
+		delta = next
+		ev.rounds++
+	}
+	return ev.rounds, ev.firings, nil
+}

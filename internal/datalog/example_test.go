@@ -1,0 +1,85 @@
+package datalog_test
+
+import (
+	"fmt"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+// ExampleEngine shows the basic engine workflow: facts, rules,
+// evaluation, queries.
+func ExampleEngine() {
+	e := datalog.NewEngine(nil)
+	e.AddFact("edge", term.Atom("a"), term.Atom("b"))
+	e.AddFact("edge", term.Atom("b"), term.Atom("c"))
+	e.AddRules(parser.MustParseRules(`
+		tc(X, Y) :- edge(X, Y).
+		tc(X, Y) :- tc(X, Z), edge(Z, Y).
+	`)...)
+	res, _ := e.Run()
+	rows, _ := res.Query([]datalog.BodyElem{
+		datalog.Lit("tc", term.Atom("a"), term.Var("Y")),
+	}, []string{"Y"})
+	for _, r := range rows {
+		fmt.Println(r[0])
+	}
+	// Output:
+	// b
+	// c
+}
+
+// ExampleEngine_wellFounded shows the well-founded semantics on the
+// classic win/move game: a two-cycle is a draw (undefined).
+func ExampleEngine_wellFounded() {
+	e := datalog.NewEngine(nil)
+	e.AddFact("move", term.Atom("a"), term.Atom("b"))
+	e.AddFact("move", term.Atom("b"), term.Atom("a"))
+	e.AddFact("move", term.Atom("c"), term.Atom("d"))
+	e.AddRules(parser.MustParseRules(`win(X) :- move(X, Y), not win(Y).`)...)
+	res, _ := e.Run()
+	fmt.Println("win(c):", res.Holds("win", term.Atom("c")))
+	fmt.Println("win(d):", res.Holds("win", term.Atom("d")))
+	fmt.Println("win(a) undefined:", res.IsUndefined("win", term.Atom("a")))
+	// Output:
+	// win(c): true
+	// win(d): false
+	// win(a) undefined: true
+}
+
+// ExampleEngine_aggregation shows the paper's Example 3 aggregation
+// syntax.
+func ExampleEngine_aggregation() {
+	e := datalog.NewEngine(nil)
+	e.AddFact("has", term.Atom("n1"), term.Atom("x1"))
+	e.AddFact("has", term.Atom("n2"), term.Atom("x2"))
+	e.AddFact("has", term.Atom("n2"), term.Atom("x3"))
+	e.AddRules(parser.MustParseRules(`
+		axon_count(VA, N) :- N = count{VB[VA]; has(VA, VB)}.
+	`)...)
+	res, _ := e.Run()
+	rows, _ := res.Query([]datalog.BodyElem{
+		datalog.Lit("axon_count", term.Var("N"), term.Var("C")),
+	}, []string{"N", "C"})
+	for _, r := range rows {
+		fmt.Println(r[0], r[1])
+	}
+	// Output:
+	// n1 1
+	// n2 2
+}
+
+// ExampleEngine_explain shows provenance: a derivation tree for a
+// derived fact.
+func ExampleEngine_explain() {
+	e := datalog.NewEngine(nil)
+	e.AddFact("edge", term.Atom("a"), term.Atom("b"))
+	e.AddRules(parser.MustParseRules(`reach(X, Y) :- edge(X, Y).`)...)
+	res, _ := e.Run()
+	d, _ := e.Explain(res, "reach", term.Atom("a"), term.Atom("b"))
+	fmt.Print(d)
+	// Output:
+	// reach(a,b)   [by reach(a,b) :- edge(a,b).]
+	//   edge(a,b)   [fact]
+}

@@ -1,0 +1,261 @@
+package datalog
+
+import (
+	"fmt"
+
+	"modelmed/internal/term"
+)
+
+// varSet is a set of variable names.
+type varSet map[string]struct{}
+
+func (v varSet) add(names []string) {
+	for _, n := range names {
+		v[n] = struct{}{}
+	}
+}
+
+func (v varSet) hasAll(names []string) bool {
+	for _, n := range names {
+		if _, ok := v[n]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (v varSet) clone() varSet {
+	c := make(varSet, len(v))
+	for k := range v {
+		c[k] = struct{}{}
+	}
+	return c
+}
+
+// OrderBody computes a sideways-information-passing evaluation order for
+// the rule body: negations, comparisons and aggregates are moved after
+// the positive literals that bind their variables; among positive
+// literals, the one sharing the most already-bound variables is joined
+// next. It returns an error if no safe order exists (unsafe rule).
+//
+// The returned order also certifies safety: every head variable is bound
+// by the ordered body.
+func OrderBody(r Rule) ([]BodyElem, error) {
+	ordered, bound, err := orderElems(r.Body, make(varSet))
+	if err != nil {
+		return nil, fmt.Errorf("rule %s: %w", r, err)
+	}
+	if !bound.hasAll(r.Head.Vars(nil)) {
+		return nil, fmt.Errorf("rule %s: unsafe: head variable not bound by body", r)
+	}
+	return ordered, nil
+}
+
+// orderElems orders the body elements given an initial bound-variable
+// set, returning the order and the final bound set.
+func orderElems(body []BodyElem, bound varSet) ([]BodyElem, varSet, error) {
+	bound = bound.clone()
+	remaining := make([]BodyElem, len(body))
+	copy(remaining, body)
+	ordered := make([]BodyElem, 0, len(body))
+
+	take := func(i int) BodyElem {
+		e := remaining[i]
+		remaining = append(remaining[:i], remaining[i+1:]...)
+		return e
+	}
+
+	for len(remaining) > 0 {
+		// 1. Cheap ground filters first: negation, comparisons, \=.
+		if i := findFilter(remaining, bound); i >= 0 {
+			ordered = append(ordered, take(i))
+			continue
+		}
+		// 2. Binding builtins (= and is) whose inputs are ready.
+		if i := findBinder(remaining, bound); i >= 0 {
+			e := take(i)
+			bindBuiltinVars(e.(Literal), bound)
+			ordered = append(ordered, e)
+			continue
+		}
+		// 3. Positive stored literals: join the one with most bound vars.
+		if i := findBestPositive(remaining, bound); i >= 0 {
+			e := take(i).(Literal)
+			bound.add(e.Vars(nil))
+			ordered = append(ordered, e)
+			continue
+		}
+		// 4. Aggregates whose inner body is orderable under bound. The
+		// aggregate is rewritten with its inner body in evaluation order
+		// so the evaluator can run it directly.
+		if i, inner := findAggregate(remaining, bound); i >= 0 {
+			e := take(i).(Aggregate)
+			e.Body = inner
+			bound.add(e.Result.Vars(nil))
+			for _, g := range e.GroupBy {
+				bound.add(g.Vars(nil))
+			}
+			ordered = append(ordered, e)
+			continue
+		}
+		return nil, nil, fmt.Errorf("unsafe: no evaluable order for remaining subgoals %v", remaining)
+	}
+	return ordered, bound, nil
+}
+
+// findFilter returns the index of a negation/comparison/disunification
+// whose variables are all bound, or -1.
+func findFilter(body []BodyElem, bound varSet) int {
+	for i, e := range body {
+		l, ok := e.(Literal)
+		if !ok {
+			continue
+		}
+		isFilter := l.Neg
+		if !isFilter && IsBuiltin(l.Pred, len(l.Args)) {
+			switch l.Pred {
+			case BuiltinNotEq, BuiltinLess, BuiltinLessEq, BuiltinGrtr, BuiltinGrtrEq:
+				isFilter = true
+			}
+		}
+		if isFilter && bound.hasAll(l.Vars(nil)) {
+			return i
+		}
+	}
+	return -1
+}
+
+// findBinder returns the index of an evaluable = or is builtin, or -1.
+func findBinder(body []BodyElem, bound varSet) int {
+	for i, e := range body {
+		l, ok := e.(Literal)
+		if !ok || l.Neg || !IsBuiltin(l.Pred, len(l.Args)) {
+			continue
+		}
+		switch l.Pred {
+		case BuiltinUnify:
+			// Evaluable when either side is fully bound; then the other
+			// side's variables become bound by unification.
+			if bound.hasAll(l.Args[0].Vars(nil)) || bound.hasAll(l.Args[1].Vars(nil)) {
+				return i
+			}
+		case BuiltinIs:
+			if bound.hasAll(l.Args[1].Vars(nil)) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+func bindBuiltinVars(l Literal, bound varSet) {
+	bound.add(l.Args[0].Vars(nil))
+	bound.add(l.Args[1].Vars(nil))
+}
+
+// findBestPositive returns the index of the positive stored-predicate
+// literal to join next, or -1 if none remain. Literals that share a
+// bound variable are strongly preferred over unconnected ones — joining
+// a disconnected literal forms a cross product — with bound-variable
+// count and constant count as tiebreakers.
+func findBestPositive(body []BodyElem, bound varSet) int {
+	best, bestScore := -1, -1
+	for i, e := range body {
+		l, ok := e.(Literal)
+		if !ok || l.Neg || IsBuiltin(l.Pred, len(l.Args)) {
+			continue
+		}
+		score := 0
+		for _, v := range l.Vars(nil) {
+			if _, b := bound[v]; b {
+				if score < 1000 {
+					score += 1000 // connectivity dominates
+				}
+				score += 10
+			}
+		}
+		// Constants make a literal more selective.
+		for _, a := range l.Args {
+			if a.IsGround() {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// findAggregate returns the index of an aggregate whose inner body can be
+// safely ordered given the outer bound set, along with that ordered inner
+// body, or (-1, nil).
+func findAggregate(body []BodyElem, bound varSet) (int, []Literal) {
+	for i, e := range body {
+		a, ok := e.(Aggregate)
+		if !ok {
+			continue
+		}
+		inner := make([]BodyElem, len(a.Body))
+		for j, l := range a.Body {
+			inner[j] = l
+		}
+		orderedInner, innerBound, err := orderElems(inner, bound)
+		if err != nil {
+			continue
+		}
+		if !innerBound.hasAll(a.Value.Vars(nil)) {
+			continue
+		}
+		groupsOK := true
+		for _, g := range a.GroupBy {
+			if !innerBound.hasAll(g.Vars(nil)) {
+				groupsOK = false
+				break
+			}
+		}
+		for _, k := range a.Key {
+			if !innerBound.hasAll(k.Vars(nil)) {
+				groupsOK = false
+				break
+			}
+		}
+		if !groupsOK {
+			continue
+		}
+		lits := make([]Literal, len(orderedInner))
+		for j, oe := range orderedInner {
+			lits[j] = oe.(Literal)
+		}
+		return i, lits
+	}
+	return -1, nil
+}
+
+// CheckRule validates a rule: the head must be a positive stored
+// predicate, and the body must admit a safe evaluation order.
+func CheckRule(r Rule) error {
+	if r.Head.Neg {
+		return fmt.Errorf("rule %s: negated head", r)
+	}
+	if IsBuiltin(r.Head.Pred, len(r.Head.Args)) {
+		return fmt.Errorf("rule %s: builtin predicate %s in head", r, r.Head.Pred)
+	}
+	if len(r.Body) == 0 {
+		if !groundArgs(r.Head.Args) {
+			return fmt.Errorf("fact %s: non-ground fact", r)
+		}
+		return nil
+	}
+	_, err := OrderBody(r)
+	return err
+}
+
+func groundArgs(args []term.Term) bool {
+	for _, a := range args {
+		if !a.IsGround() {
+			return false
+		}
+	}
+	return true
+}

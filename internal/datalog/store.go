@@ -1,0 +1,183 @@
+package datalog
+
+import (
+	"sort"
+
+	"modelmed/internal/term"
+)
+
+// Relation stores the ground tuples of one predicate, with a uniqueness
+// index over whole tuples and a per-position value index for joins.
+type Relation struct {
+	arity  int
+	rows   [][]term.Term
+	keys   map[string]struct{}
+	posIdx []map[string][]int // position -> value key -> row indices
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	r := &Relation{
+		arity:  arity,
+		keys:   make(map[string]struct{}),
+		posIdx: make([]map[string][]int, arity),
+	}
+	for i := range r.posIdx {
+		r.posIdx[i] = make(map[string][]int)
+	}
+	return r
+}
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of stored tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+func tupleKey(ts []term.Term) string {
+	var b []byte
+	for _, t := range ts {
+		b = append(b, t.Key()...)
+	}
+	return string(b)
+}
+
+// Insert adds the ground tuple ts, returning true if it was new. The
+// tuple is stored by reference; callers must not mutate it afterwards.
+func (r *Relation) Insert(ts []term.Term) bool {
+	k := tupleKey(ts)
+	if _, dup := r.keys[k]; dup {
+		return false
+	}
+	r.keys[k] = struct{}{}
+	idx := len(r.rows)
+	r.rows = append(r.rows, ts)
+	for pos, t := range ts {
+		vk := t.Key()
+		r.posIdx[pos][vk] = append(r.posIdx[pos][vk], idx)
+	}
+	return true
+}
+
+// Contains reports whether the ground tuple ts is stored.
+func (r *Relation) Contains(ts []term.Term) bool {
+	_, ok := r.keys[tupleKey(ts)]
+	return ok
+}
+
+// Rows returns the stored tuples. The returned slice and its elements
+// must not be modified.
+func (r *Relation) Rows() [][]term.Term { return r.rows }
+
+// Select returns the indices of rows whose value at position pos equals
+// t. The returned slice must not be modified.
+func (r *Relation) Select(pos int, t term.Term) []int {
+	return r.posIdx[pos][t.Key()]
+}
+
+// SortedRows returns a copy of the tuples in deterministic order, for
+// stable output in tests and tools.
+func (r *Relation) SortedRows() [][]term.Term {
+	out := make([][]term.Term, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := range a {
+			if c := a[k].Compare(b[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Store maps predicate keys ("name/arity") to relations.
+type Store struct {
+	rels map[string]*Relation
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{rels: make(map[string]*Relation)} }
+
+// Rel returns the relation for the predicate key, or nil if absent.
+func (s *Store) Rel(key string) *Relation { return s.rels[key] }
+
+// Ensure returns the relation for the key, creating it with the given
+// arity if absent.
+func (s *Store) Ensure(key string, arity int) *Relation {
+	r := s.rels[key]
+	if r == nil {
+		r = NewRelation(arity)
+		s.rels[key] = r
+	}
+	return r
+}
+
+// Insert adds a ground fact, returning true if new.
+func (s *Store) Insert(pred string, args []term.Term) bool {
+	return s.Ensure(PredKey(pred, len(args)), len(args)).Insert(args)
+}
+
+// Contains reports whether the ground fact is present.
+func (s *Store) Contains(pred string, args []term.Term) bool {
+	r := s.rels[PredKey(pred, len(args))]
+	return r != nil && r.Contains(args)
+}
+
+// Count returns the number of facts for the predicate key (0 if absent).
+func (s *Store) Count(key string) int {
+	if r := s.rels[key]; r != nil {
+		return r.Len()
+	}
+	return 0
+}
+
+// Size returns the total number of stored facts across all predicates.
+func (s *Store) Size() int {
+	n := 0
+	for _, r := range s.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Keys returns the predicate keys present, sorted.
+func (s *Store) Keys() []string {
+	out := make([]string, 0, len(s.rels))
+	for k := range s.rels {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone returns a deep-enough copy: relations are rebuilt so inserts into
+// the clone do not affect s (tuples themselves are shared, which is safe
+// because tuples are immutable by convention).
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for k, r := range s.rels {
+		nr := NewRelation(r.arity)
+		for _, row := range r.rows {
+			nr.Insert(row)
+		}
+		c.rels[k] = nr
+	}
+	return c
+}
+
+// MergeInto inserts every fact of s into dst, returning the number of
+// facts that were new to dst.
+func (s *Store) MergeInto(dst *Store) int {
+	added := 0
+	for k, r := range s.rels {
+		d := dst.Ensure(k, r.arity)
+		for _, row := range r.rows {
+			if d.Insert(row) {
+				added++
+			}
+		}
+	}
+	return added
+}

@@ -1,0 +1,133 @@
+package datalog
+
+import (
+	"fmt"
+	"testing"
+
+	"modelmed/internal/term"
+)
+
+// TestLargeTransitiveClosure checks correctness at a size where
+// quadratic bugs would be visible: a 200-node chain has exactly
+// n(n+1)/2 = 20100 tc facts.
+func TestLargeTransitiveClosure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const n = 200
+	e := NewEngine(nil)
+	for i := 0; i < n; i++ {
+		if err := e.AddFact("edge",
+			atom(fmt.Sprintf("n%03d", i)), atom(fmt.Sprintf("n%03d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddRules(
+		NewRule(Lit("tc", v("X"), v("Y")), Lit("edge", v("X"), v("Y"))),
+		NewRule(Lit("tc", v("X"), v("Y")), Lit("tc", v("X"), v("Z")), Lit("edge", v("Z"), v("Y"))),
+	); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	want := n * (n + 1) / 2
+	if got := res.Store.Count("tc/2"); got != want {
+		t.Errorf("tc count = %d, want %d", got, want)
+	}
+	if !res.Holds("tc", atom("n000"), atom(fmt.Sprintf("n%03d", n))) {
+		t.Error("end-to-end closure missing")
+	}
+}
+
+// TestDeepWellFoundedChain: win/move on a long path alternates
+// won/lost and must converge without hitting iteration guards.
+func TestDeepWellFoundedChain(t *testing.T) {
+	const n = 60
+	e := NewEngine(nil)
+	for i := 0; i < n; i++ {
+		if err := e.AddFact("move",
+			atom(fmt.Sprintf("p%02d", i)), atom(fmt.Sprintf("p%02d", i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddRule(NewRule(Lit("win", v("X")),
+		Lit("move", v("X"), v("Y")), Not("win", v("Y")))); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	// p60 has no moves: lost. So p59 won, p58 lost, ... alternating.
+	for i := 0; i <= n; i++ {
+		name := atom(fmt.Sprintf("p%02d", i))
+		wantWin := (n-i)%2 == 1
+		if res.Holds("win", name) != wantWin {
+			t.Fatalf("win(p%02d) = %v, want %v", i, !wantWin, wantWin)
+		}
+		if res.IsUndefined("win", name) {
+			t.Fatalf("p%02d should be determined", i)
+		}
+	}
+}
+
+// TestManyStrata: a deep negation ladder exercises stratification.
+func TestManyStrata(t *testing.T) {
+	const depth = 30
+	e := NewEngine(nil)
+	if err := e.AddFact("base", atom("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRule(NewRule(Lit("p0", v("X")), Lit("base", v("X")))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= depth; i++ {
+		// p_i(x) :- base(x), not p_{i-1}(x): alternates truth.
+		if err := e.AddRule(NewRule(
+			Lit(fmt.Sprintf("p%d", i), v("X")),
+			Lit("base", v("X")),
+			Not(fmt.Sprintf("p%d", i-1), v("X")))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := mustRun(t, e)
+	if !res.Stratified {
+		t.Fatal("ladder should be stratified")
+	}
+	for i := 0; i <= depth; i++ {
+		want := i%2 == 0
+		if res.Holds(fmt.Sprintf("p%d", i), atom("x")) != want {
+			t.Fatalf("p%d = %v, want %v", i, !want, want)
+		}
+	}
+}
+
+// TestWideRelationJoin: a three-way join over a few thousand facts must
+// stay well under a second thanks to index selection.
+func TestWideRelationJoin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	e := NewEngine(nil)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		k := term.Int(int64(i))
+		if err := e.AddFact("r1", k, term.Int(int64(i%50))); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddFact("r2", k, term.Int(int64(i%7))); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddFact("r3", k, term.Int(int64(i%3))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddRule(NewRule(
+		Lit("joined", v("K"), v("A"), v("B"), v("C")),
+		Lit("r1", v("K"), v("A")),
+		Lit("r2", v("K"), v("B")),
+		Lit("r3", v("K"), v("C")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	res := mustRun(t, e)
+	if got := res.Store.Count("joined/4"); got != n {
+		t.Errorf("joined = %d, want %d", got, n)
+	}
+}

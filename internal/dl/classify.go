@@ -1,0 +1,154 @@
+package dl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Taxonomy is the classified concept hierarchy of a TBox: for every
+// concept name, its direct subsumers and subsumees, with equivalent
+// concepts grouped.
+type Taxonomy struct {
+	// Concepts are all classified names, sorted.
+	Concepts []string
+	// Parents maps a concept to its direct (non-transitive) subsumers.
+	Parents map[string][]string
+	// Children maps a concept to its direct subsumees.
+	Children map[string][]string
+	// Equivalents maps a concept to the other names it is mutually
+	// subsumed with.
+	Equivalents map[string][]string
+}
+
+// Classify computes the full subsumption hierarchy over every concept
+// name of the TBox — the classic description-logic classification
+// service, here over the restricted EL fragment. It errors on cyclic
+// definitions (per Proposition 1's discussion, unrestricted maps are
+// out of scope).
+func (t *TBox) Classify() (*Taxonomy, error) {
+	nameSet := map[string]bool{}
+	for _, a := range t.axioms {
+		nameSet[a.Left] = true
+		for _, n := range ConceptNames(a.Right) {
+			nameSet[n] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// subsumes[i][j]: names[i] subsumes names[j].
+	subs := make(map[string]map[string]bool, len(names))
+	for _, sup := range names {
+		subs[sup] = map[string]bool{}
+		for _, sub := range names {
+			if sup == sub {
+				subs[sup][sub] = true
+				continue
+			}
+			ok, err := t.SubsumesNamed(sup, sub)
+			if err != nil {
+				return nil, err
+			}
+			subs[sup][sub] = ok
+		}
+	}
+	tax := &Taxonomy{
+		Concepts:    names,
+		Parents:     map[string][]string{},
+		Children:    map[string][]string{},
+		Equivalents: map[string][]string{},
+	}
+	for _, c := range names {
+		for _, d := range names {
+			if c == d {
+				continue
+			}
+			if subs[c][d] && subs[d][c] {
+				tax.Equivalents[c] = append(tax.Equivalents[c], d)
+			}
+		}
+	}
+	isEquiv := func(a, b string) bool {
+		for _, e := range tax.Equivalents[a] {
+			if e == b {
+				return true
+			}
+		}
+		return false
+	}
+	// Direct parents: strict subsumers with no strict subsumer in
+	// between.
+	for _, c := range names {
+		var strictSups []string
+		for _, d := range names {
+			if d != c && subs[d][c] && !isEquiv(c, d) {
+				strictSups = append(strictSups, d)
+			}
+		}
+		for _, d := range strictSups {
+			direct := true
+			for _, e := range strictSups {
+				if e == d || isEquiv(d, e) {
+					continue
+				}
+				// d subsumes e strictly: d is not direct.
+				if subs[d][e] && !subs[e][d] {
+					direct = false
+					break
+				}
+			}
+			if direct {
+				tax.Parents[c] = append(tax.Parents[c], d)
+				tax.Children[d] = append(tax.Children[d], c)
+			}
+		}
+	}
+	for _, m := range []map[string][]string{tax.Parents, tax.Children, tax.Equivalents} {
+		for k := range m {
+			sort.Strings(m[k])
+		}
+	}
+	return tax, nil
+}
+
+// Roots returns the concepts with no parents, sorted.
+func (tax *Taxonomy) Roots() []string {
+	var out []string
+	for _, c := range tax.Concepts {
+		if len(tax.Parents[c]) == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the taxonomy as an indented forest (equivalents in
+// brackets; shared subtrees expanded once).
+func (tax *Taxonomy) String() string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var walk func(c string, depth int)
+	walk = func(c string, depth int) {
+		fmt.Fprintf(&b, "%s%s", strings.Repeat("  ", depth), c)
+		if eq := tax.Equivalents[c]; len(eq) > 0 {
+			fmt.Fprintf(&b, " [= %s]", strings.Join(eq, ", "))
+		}
+		if seen[c] {
+			b.WriteString(" ...\n")
+			return
+		}
+		b.WriteString("\n")
+		seen[c] = true
+		for _, k := range tax.Children[c] {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range tax.Roots() {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package dl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassifyFig1(t *testing.T) {
+	tax, err := NewTBox(fig1Axioms()).Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct parent relationships from the paper's hierarchy.
+	checks := []struct {
+		child, parent string
+	}{
+		{"purkinje_cell", "spiny_neuron"},
+		{"pyramidal_cell", "spiny_neuron"},
+		{"spiny_neuron", "neuron"},
+		{"axon", "compartment"},
+		{"dendrite", "compartment"},
+		{"soma", "compartment"},
+		{"shaft", "branch"},
+		{"ion_binding_protein", "protein"},
+	}
+	for _, c := range checks {
+		if !containsS(tax.Parents[c.child], c.parent) {
+			t.Errorf("%s should have direct parent %s, got %v", c.child, c.parent, tax.Parents[c.child])
+		}
+	}
+	// Directness: purkinje_cell's parents must not include neuron (it
+	// is a transitive subsumer via spiny_neuron).
+	if containsS(tax.Parents["purkinje_cell"], "neuron") {
+		t.Errorf("neuron is not a direct parent: %v", tax.Parents["purkinje_cell"])
+	}
+	// spine ⊑ ion_regulating_component is entailed.
+	if !containsS(tax.Parents["spine"], "ion_regulating_component") {
+		t.Errorf("spine parents = %v", tax.Parents["spine"])
+	}
+	// Roots include the top-level concepts.
+	roots := tax.Roots()
+	for _, want := range []string{"neuron", "compartment", "protein"} {
+		if !containsS(roots, want) {
+			t.Errorf("roots = %v, missing %s", roots, want)
+		}
+	}
+	// Children are the inverse of parents.
+	for c, ps := range tax.Parents {
+		for _, p := range ps {
+			if !containsS(tax.Children[p], c) {
+				t.Errorf("children(%s) missing %s", p, c)
+			}
+		}
+	}
+	// Rendering mentions the hierarchy.
+	s := tax.String()
+	if !strings.Contains(s, "spiny_neuron") || !strings.Contains(s, "purkinje_cell") {
+		t.Errorf("rendering:\n%s", s)
+	}
+}
+
+func TestClassifyEquivalents(t *testing.T) {
+	tb := NewTBox([]Axiom{
+		Equiv("a", AndOf(C("b"), ExistsR("r", C("c")))),
+		Equiv("a2", AndOf(C("b"), ExistsR("r", C("c")))),
+		Sub("d", C("a")),
+	})
+	tax, err := tb.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsS(tax.Equivalents["a"], "a2") || !containsS(tax.Equivalents["a2"], "a") {
+		t.Errorf("a and a2 should be equivalent: %v", tax.Equivalents)
+	}
+	if !containsS(tax.Parents["d"], "a") && !containsS(tax.Parents["d"], "a2") {
+		t.Errorf("d parents = %v", tax.Parents["d"])
+	}
+}
+
+func TestClassifyCycleError(t *testing.T) {
+	tb := NewTBox([]Axiom{Sub("a", C("b")), Sub("b", C("a"))})
+	if _, err := tb.Classify(); err == nil {
+		t.Error("cyclic TBox should fail classification")
+	}
+}
+
+func containsS(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

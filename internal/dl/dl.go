@@ -1,0 +1,266 @@
+// Package dl implements the description-logic statements of Definition 1
+// in "Model-Based Mediation with Domain Maps": concept inclusions and
+// equivalences built from named concepts, conjunction, disjunction, and
+// existential/universal role restrictions.
+//
+// Each axiom can be rendered in DL and first-order syntax, and can be
+// "executed" at the mediator in two ways (Section 4): as an integrity
+// constraint (a denial inserting a witness into the ic class when the
+// object base is not data-complete for the edge) or as an assertion
+// (creating Skolem placeholder objects for role successors that exist in
+// the real world but not in the object base).
+//
+// The paper's Proposition 1 notes that subsumption is undecidable for
+// unrestricted GCM domain maps; this package therefore implements a
+// structural subsumption checker for the decidable EL-style fragment
+// (named concepts, conjunction, existentials) over acyclic TBoxes, which
+// suffices for domain maps like ANATOM.
+package dl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Concept is a concept expression.
+type Concept interface {
+	fmt.Stringer
+	// FO renders the concept as the body of a first-order formula with
+	// free variable x.
+	FO(x string) string
+	isConcept()
+}
+
+// Named is a concept name.
+type Named struct{ Name string }
+
+func (c Named) isConcept()         {}
+func (c Named) String() string     { return c.Name }
+func (c Named) FO(x string) string { return fmt.Sprintf("%s(%s)", c.Name, x) }
+
+// Exists is the existential restriction ∃Role.C.
+type Exists struct {
+	Role string
+	C    Concept
+}
+
+func (c Exists) isConcept()     {}
+func (c Exists) String() string { return "exists " + c.Role + "." + c.C.String() }
+func (c Exists) FO(x string) string {
+	y := x + "'"
+	return fmt.Sprintf("exists %s (%s(%s,%s) and %s)", y, c.Role, x, y, c.C.FO(y))
+}
+
+// Forall is the universal (value) restriction ∀Role.C.
+type Forall struct {
+	Role string
+	C    Concept
+}
+
+func (c Forall) isConcept()     {}
+func (c Forall) String() string { return "forall " + c.Role + "." + c.C.String() }
+func (c Forall) FO(x string) string {
+	y := x + "'"
+	return fmt.Sprintf("forall %s (%s(%s,%s) implies %s)", y, c.Role, x, y, c.C.FO(y))
+}
+
+// And is the conjunction C1 ⊓ ... ⊓ Cn.
+type And struct{ Cs []Concept }
+
+func (c And) isConcept() {}
+func (c And) String() string {
+	parts := make([]string, len(c.Cs))
+	for i, x := range c.Cs {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, " and ") + ")"
+}
+func (c And) FO(x string) string {
+	parts := make([]string, len(c.Cs))
+	for i, cc := range c.Cs {
+		parts[i] = cc.FO(x)
+	}
+	return "(" + strings.Join(parts, " and ") + ")"
+}
+
+// Or is the disjunction C1 ⊔ ... ⊔ Cn.
+type Or struct{ Cs []Concept }
+
+func (c Or) isConcept() {}
+func (c Or) String() string {
+	parts := make([]string, len(c.Cs))
+	for i, x := range c.Cs {
+		parts[i] = x.String()
+	}
+	return "(" + strings.Join(parts, " or ") + ")"
+}
+func (c Or) FO(x string) string {
+	parts := make([]string, len(c.Cs))
+	for i, cc := range c.Cs {
+		parts[i] = cc.FO(x)
+	}
+	return "(" + strings.Join(parts, " or ") + ")"
+}
+
+// Axiom is a DL statement: Left ⊑ Right, or Left ≡ Right when Eqv is
+// set. Left is always a concept name, as in the paper's domain maps.
+type Axiom struct {
+	Left  string
+	Right Concept
+	Eqv   bool
+}
+
+// Sub builds the inclusion left ⊑ right.
+func Sub(left string, right Concept) Axiom { return Axiom{Left: left, Right: right} }
+
+// Equiv builds the equivalence left ≡ right.
+func Equiv(left string, right Concept) Axiom { return Axiom{Left: left, Right: right, Eqv: true} }
+
+// C is shorthand for a named concept.
+func C(name string) Concept { return Named{Name: name} }
+
+// ExistsR is shorthand for ∃role.c.
+func ExistsR(role string, c Concept) Concept { return Exists{Role: role, C: c} }
+
+// ForallR is shorthand for ∀role.c.
+func ForallR(role string, c Concept) Concept { return Forall{Role: role, C: c} }
+
+// AndOf builds a conjunction.
+func AndOf(cs ...Concept) Concept { return And{Cs: cs} }
+
+// OrOf builds a disjunction.
+func OrOf(cs ...Concept) Concept { return Or{Cs: cs} }
+
+func (a Axiom) String() string {
+	op := " sub "
+	if a.Eqv {
+		op = " eqv "
+	}
+	return a.Left + op + a.Right.String()
+}
+
+// FO renders the axiom as a first-order sentence, e.g. the paper's
+// FO(ex): ∀x (C(x) → ∃y (D(y) ∧ r(x,y))).
+func (a Axiom) FO() string {
+	if a.Eqv {
+		return fmt.Sprintf("forall x (%s(x) iff %s)", a.Left, a.Right.FO("x"))
+	}
+	return fmt.Sprintf("forall x (%s(x) implies %s)", a.Left, a.Right.FO("x"))
+}
+
+// ConceptNames returns all concept names occurring in c, sorted.
+func ConceptNames(c Concept) []string {
+	set := map[string]struct{}{}
+	collectNames(c, set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectNames(c Concept, set map[string]struct{}) {
+	switch x := c.(type) {
+	case Named:
+		set[x.Name] = struct{}{}
+	case Exists:
+		collectNames(x.C, set)
+	case Forall:
+		collectNames(x.C, set)
+	case And:
+		for _, cc := range x.Cs {
+			collectNames(cc, set)
+		}
+	case Or:
+		for _, cc := range x.Cs {
+			collectNames(cc, set)
+		}
+	}
+}
+
+// RoleNames returns all role names occurring in c, sorted.
+func RoleNames(c Concept) []string {
+	set := map[string]struct{}{}
+	collectRoles(c, set)
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectRoles(c Concept, set map[string]struct{}) {
+	switch x := c.(type) {
+	case Exists:
+		set[x.Role] = struct{}{}
+		collectRoles(x.C, set)
+	case Forall:
+		set[x.Role] = struct{}{}
+		collectRoles(x.C, set)
+	case And:
+		for _, cc := range x.Cs {
+			collectRoles(cc, set)
+		}
+	case Or:
+		for _, cc := range x.Cs {
+			collectRoles(cc, set)
+		}
+	}
+}
+
+// HasForall reports whether c contains a universal restriction.
+func HasForall(c Concept) bool {
+	switch x := c.(type) {
+	case Forall:
+		return true
+	case Exists:
+		return HasForall(x.C)
+	case And:
+		for _, cc := range x.Cs {
+			if HasForall(cc) {
+				return true
+			}
+		}
+	case Or:
+		for _, cc := range x.Cs {
+			if HasForall(cc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasOr reports whether c contains a disjunction.
+func HasOr(c Concept) bool {
+	switch x := c.(type) {
+	case Or:
+		return true
+	case Exists:
+		return HasOr(x.C)
+	case Forall:
+		return HasOr(x.C)
+	case And:
+		for _, cc := range x.Cs {
+			if HasOr(cc) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Conjuncts flattens nested conjunctions into a list.
+func Conjuncts(c Concept) []Concept {
+	if a, ok := c.(And); ok {
+		var out []Concept
+		for _, cc := range a.Cs {
+			out = append(out, Conjuncts(cc)...)
+		}
+		return out
+	}
+	return []Concept{c}
+}

@@ -1,0 +1,380 @@
+package dl
+
+import (
+	"strings"
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/flogic"
+	"modelmed/internal/term"
+)
+
+// fig1Axioms is the full DL axiom set from the paper's Section 1 /
+// Figure 1 domain map.
+func fig1Axioms() []Axiom {
+	return []Axiom{
+		Sub("neuron", ExistsR("has", C("compartment"))),
+		Sub("axon", C("compartment")),
+		Sub("dendrite", C("compartment")),
+		Sub("soma", C("compartment")),
+		Equiv("spiny_neuron", AndOf(C("neuron"), ExistsR("has", C("spine")))),
+		Sub("purkinje_cell", C("spiny_neuron")),
+		Sub("pyramidal_cell", C("spiny_neuron")),
+		Sub("dendrite", ExistsR("has", C("branch"))),
+		Sub("shaft", AndOf(C("branch"), ExistsR("has", C("spine")))),
+		Sub("spine", ExistsR("contains", C("ion_binding_protein"))),
+		Sub("spine", C("ion_regulating_component")),
+		Sub("ion_activity", ExistsR("subprocess_of", C("neurotransmission"))),
+		Sub("ion_binding_protein", AndOf(C("protein"), ExistsR("controls", C("ion_activity")))),
+		Equiv("ion_regulating_component", ExistsR("regulates", C("ion_activity"))),
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := Sub("neuron", ExistsR("has", C("compartment")))
+	if got := a.String(); got != "neuron sub exists has.compartment" {
+		t.Errorf("String = %q", got)
+	}
+	e := Equiv("spiny_neuron", AndOf(C("neuron"), ExistsR("has", C("spine"))))
+	if got := e.String(); got != "spiny_neuron eqv (neuron and exists has.spine)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFORendering(t *testing.T) {
+	// The paper's FO(ex): ∀x (C(x) → ∃y (D(y) ∧ r(x,y))).
+	a := Sub("c", ExistsR("r", C("d")))
+	want := "forall x (c(x) implies exists x' (r(x,x') and d(x')))"
+	if got := a.FO(); got != want {
+		t.Errorf("FO = %q, want %q", got, want)
+	}
+	f := Sub("c", ForallR("r", C("d")))
+	if !strings.Contains(f.FO(), "implies d(x')") {
+		t.Errorf("forall FO = %q", f.FO())
+	}
+}
+
+func TestConceptAndRoleNames(t *testing.T) {
+	c := AndOf(C("a"), ExistsR("r", AndOf(C("b"), ForallR("s", C("c")))))
+	if got := ConceptNames(c); strings.Join(got, ",") != "a,b,c" {
+		t.Errorf("ConceptNames = %v", got)
+	}
+	if got := RoleNames(c); strings.Join(got, ",") != "r,s" {
+		t.Errorf("RoleNames = %v", got)
+	}
+}
+
+func TestHasForallHasOr(t *testing.T) {
+	if !HasForall(AndOf(C("a"), ForallR("r", C("b")))) {
+		t.Error("HasForall missed")
+	}
+	if HasForall(ExistsR("r", C("b"))) {
+		t.Error("HasForall false positive")
+	}
+	if !HasOr(ExistsR("r", OrOf(C("a"), C("b")))) {
+		t.Error("HasOr missed nested or")
+	}
+}
+
+func runProgram(t *testing.T, rules []datalog.Rule, facts []datalog.Rule) *datalog.Result {
+	t.Helper()
+	e := datalog.NewEngine(nil)
+	if err := e.AddRules(flogic.Axioms()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRules(SupportRules()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRules(rules...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRules(facts...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func a(s string) term.Term { return term.Atom(s) }
+
+func TestTranslateIsaChain(t *testing.T) {
+	tr := Translate(fig1Axioms(), ModeAssertion)
+	facts := []datalog.Rule{flogic.Instance(a("p1"), a("purkinje_cell"))}
+	res := runProgram(t, tr.Rules, facts)
+	// Classification chain: purkinje_cell ⊑ spiny_neuron ⊑ neuron.
+	for _, c := range []string{"spiny_neuron", "neuron"} {
+		if !res.Holds("instance", a("p1"), a(c)) {
+			t.Errorf("p1 : %s should be derived", c)
+		}
+	}
+}
+
+func TestTranslateAssertionCreatesPlaceholders(t *testing.T) {
+	tr := Translate(fig1Axioms(), ModeAssertion)
+	facts := []datalog.Rule{flogic.Instance(a("n1"), a("neuron"))}
+	res := runProgram(t, tr.Rules, facts)
+	// neuron ⊑ ∃has.compartment: a placeholder compartment must exist.
+	sk := term.Comp("f", a("neuron"), a("has"), a("compartment"), a("n1"))
+	if !res.Holds(PredRole, a("has"), a("n1"), sk) {
+		t.Error("placeholder has-successor missing")
+	}
+	if !res.Holds("instance", sk, a("compartment")) {
+		t.Error("placeholder should be a compartment instance")
+	}
+}
+
+func TestTranslateAssertionRespectsBaseData(t *testing.T) {
+	tr := Translate([]Axiom{Sub("neuron", ExistsR("has", C("compartment")))}, ModeAssertion)
+	facts := []datalog.Rule{
+		flogic.Instance(a("n1"), a("neuron")),
+		datalog.Fact(PredRoleBase, a("has"), a("n1"), a("c1")),
+	}
+	res := runProgram(t, tr.Rules, facts)
+	sk := term.Comp("f", a("neuron"), a("has"), a("compartment"), a("n1"))
+	if res.Holds(PredRole, a("has"), a("n1"), sk) {
+		t.Error("no placeholder should be created when base data has a successor")
+	}
+	if !res.Holds(PredRole, a("has"), a("n1"), a("c1")) {
+		t.Error("base role assertion should be lifted into role/3")
+	}
+}
+
+func TestTranslateConstraintMode(t *testing.T) {
+	tr := Translate([]Axiom{Sub("neuron", ExistsR("has", C("compartment")))}, ModeConstraint)
+	facts := []datalog.Rule{
+		flogic.Instance(a("n1"), a("neuron")),
+		flogic.Instance(a("n2"), a("neuron")),
+		flogic.Instance(a("c1"), a("compartment")),
+		datalog.Fact(PredRoleBase, a("has"), a("n1"), a("c1")),
+	}
+	res := runProgram(t, tr.Rules, facts)
+	w1 := term.Comp("w_ex", a("neuron"), a("has"), a("compartment"), a("n1"))
+	w2 := term.Comp("w_ex", a("neuron"), a("has"), a("compartment"), a("n2"))
+	if res.Holds(PredDMWitness, w1) {
+		t.Error("n1 is data-complete; no witness expected")
+	}
+	if !res.Holds(PredDMWitness, w2) {
+		t.Error("n2 lacks a has-successor; witness expected")
+	}
+	if !res.Stratified {
+		t.Error("constraint-mode program should be stratified")
+	}
+}
+
+func TestTranslateForallExecutableReading(t *testing.T) {
+	// Fig 3: MyNeuron ⊑ ∀has.MyDendrite — every has-successor of a
+	// MyNeuron instance is classified as MyDendrite.
+	tr := Translate([]Axiom{Sub("my_neuron", ForallR("has", C("my_dendrite")))}, ModeAssertion)
+	facts := []datalog.Rule{
+		flogic.Instance(a("n1"), a("my_neuron")),
+		datalog.Fact(PredRoleBase, a("has"), a("n1"), a("d1")),
+	}
+	res := runProgram(t, tr.Rules, facts)
+	if !res.Holds("instance", a("d1"), a("my_dendrite")) {
+		t.Error("d1 should be classified as my_dendrite via the forall edge")
+	}
+}
+
+func TestTranslateSufficientDirection(t *testing.T) {
+	// spiny_neuron ≡ neuron ⊓ ∃has.spine: an object that is a neuron
+	// and has a spine is derived to be a spiny neuron.
+	tr := Translate(fig1Axioms(), ModeAssertion)
+	facts := []datalog.Rule{
+		flogic.Instance(a("n1"), a("neuron")),
+		flogic.Instance(a("s1"), a("spine")),
+		datalog.Fact(PredRoleBase, a("has"), a("n1"), a("s1")),
+	}
+	res := runProgram(t, tr.Rules, facts)
+	if !res.Holds("instance", a("n1"), a("spiny_neuron")) {
+		t.Error("n1 should be classified as spiny_neuron (sufficient direction of ≡)")
+	}
+}
+
+func TestTranslateSkipsDisjunction(t *testing.T) {
+	tr := Translate([]Axiom{
+		Sub("medium_spiny_neuron", ExistsR("proj",
+			OrOf(C("gpe"), C("gpi"), C("snpr"), C("snpc")))),
+	}, ModeAssertion)
+	if len(tr.Skipped) == 0 {
+		t.Error("disjunctive successor should be reported as skipped")
+	}
+}
+
+func TestSubsumptionFig1(t *testing.T) {
+	tb := NewTBox(fig1Axioms())
+	cases := []struct {
+		sup, sub string
+		want     bool
+	}{
+		{"spiny_neuron", "purkinje_cell", true},
+		{"neuron", "purkinje_cell", true},
+		{"compartment", "dendrite", true},
+		{"compartment", "shaft", false}, // shaft ⊑ branch, not compartment
+		{"branch", "shaft", true},
+		{"purkinje_cell", "spiny_neuron", false},
+		{"protein", "ion_binding_protein", true},
+		{"ion_regulating_component", "spine", true},
+		{"neuron", "compartment", false},
+	}
+	for _, c := range cases {
+		got, err := tb.SubsumesNamed(c.sup, c.sub)
+		if err != nil {
+			t.Errorf("Subsumes(%s, %s): %v", c.sup, c.sub, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Subsumes(%s, %s) = %v, want %v", c.sup, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestSubsumptionViaDefinition(t *testing.T) {
+	tb := NewTBox(fig1Axioms())
+	// neuron ⊓ ∃has.spine ⊑ spiny_neuron via the ≡ definition.
+	got, err := tb.Subsumes(C("spiny_neuron"), AndOf(C("neuron"), ExistsR("has", C("spine"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("definition-based subsumption should hold")
+	}
+	// Existential monotonicity: ∃has.purkinje_cell ⊑ ∃has.neuron.
+	got, err = tb.Subsumes(ExistsR("has", C("neuron")), ExistsR("has", C("purkinje_cell")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("existential filler subsumption should hold")
+	}
+}
+
+func TestSubsumptionComplexRequirement(t *testing.T) {
+	tb := NewTBox(fig1Axioms())
+	// purkinje_cell ⊑ ∃has.spine (inherited through spiny_neuron's
+	// definition).
+	got, err := tb.Subsumes(ExistsR("has", C("spine")), C("purkinje_cell"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("purkinje_cell should be subsumed by exists has.spine")
+	}
+}
+
+func TestSubsumptionCycleDetected(t *testing.T) {
+	tb := NewTBox([]Axiom{
+		Sub("a", C("b")),
+		Sub("b", C("a")),
+	})
+	if _, err := tb.SubsumesNamed("a", "b"); err == nil {
+		t.Error("cyclic TBox should be rejected")
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	tb := NewTBox(fig1Axioms())
+	ok, err := tb.Satisfiable(AndOf(C("neuron"), ExistsR("has", C("spine"))))
+	if err != nil || !ok {
+		t.Errorf("EL concepts are always satisfiable; got %v, %v", ok, err)
+	}
+}
+
+func TestConjunctsFlattening(t *testing.T) {
+	c := AndOf(C("a"), AndOf(C("b"), C("c")))
+	if got := len(Conjuncts(c)); got != 3 {
+		t.Errorf("Conjuncts = %d, want 3", got)
+	}
+}
+
+func TestFOAllForms(t *testing.T) {
+	eq := Equiv("c", OrOf(C("a"), C("b")))
+	if !strings.Contains(eq.FO(), "iff") || !strings.Contains(eq.FO(), " or ") {
+		t.Errorf("FO = %q", eq.FO())
+	}
+	conj := Sub("c", AndOf(C("a"), ForallR("r", C("b"))))
+	if !strings.Contains(conj.FO(), " and ") || !strings.Contains(conj.FO(), "forall") {
+		t.Errorf("FO = %q", conj.FO())
+	}
+}
+
+func TestStringAllForms(t *testing.T) {
+	or := OrOf(C("a"), C("b"))
+	if or.String() != "(a or b)" {
+		t.Errorf("Or.String = %q", or.String())
+	}
+	fa := ForallR("r", C("b"))
+	if fa.String() != "forall r.b" {
+		t.Errorf("Forall.String = %q", fa.String())
+	}
+}
+
+func TestHasOrInsideForallAndExists(t *testing.T) {
+	if !HasOr(ForallR("r", OrOf(C("a"), C("b")))) {
+		t.Error("HasOr should see through forall")
+	}
+	if !HasOr(AndOf(C("x"), ExistsR("r", OrOf(C("a"), C("b"))))) {
+		t.Error("HasOr should see through and/exists")
+	}
+	if HasOr(AndOf(C("x"), ForallR("r", C("a")))) {
+		t.Error("HasOr false positive")
+	}
+}
+
+// TestSufficientDirectionWithForall: the ≡-with-∀ translation evaluates
+// under the well-founded semantics: an object all of whose role
+// successors are in D is classified into the defined concept.
+func TestSufficientDirectionWithForall(t *testing.T) {
+	axioms := []Axiom{
+		Equiv("pure_d_haver", AndOf(C("cell"), ForallR("has", C("d")))),
+	}
+	tr := Translate(axioms, ModeAssertion)
+	facts := []datalog.Rule{
+		flogic.Instance(a("ok"), a("cell")),
+		flogic.Instance(a("bad"), a("cell")),
+		flogic.Instance(a("d1"), a("d")),
+		flogic.Instance(a("d2"), a("d")),
+		flogic.Instance(a("x1"), a("other")),
+		datalog.Fact(PredRoleBase, a("has"), a("ok"), a("d1")),
+		datalog.Fact(PredRoleBase, a("has"), a("ok"), a("d2")),
+		datalog.Fact(PredRoleBase, a("has"), a("bad"), a("d1")),
+		datalog.Fact(PredRoleBase, a("has"), a("bad"), a("x1")),
+	}
+	res := runProgram(t, tr.Rules, facts)
+	if !res.Holds("instance", a("ok"), a("pure_d_haver")) {
+		t.Error("ok has only d successors and should classify")
+	}
+	if res.Holds("instance", a("bad"), a("pure_d_haver")) {
+		t.Error("bad has a non-d successor and must not classify")
+	}
+}
+
+func TestTranslateSkipsUnboundSufficient(t *testing.T) {
+	tr := Translate([]Axiom{Equiv("only_all", ForallR("r", C("d")))}, ModeAssertion)
+	found := false
+	for _, s := range tr.Skipped {
+		if strings.Contains(s, "no positive binder") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("skipped = %v", tr.Skipped)
+	}
+}
+
+func TestTBoxAxiomsAccessor(t *testing.T) {
+	axs := fig1Axioms()
+	tb := NewTBox(axs)
+	if len(tb.Axioms()) != len(axs) {
+		t.Error("Axioms accessor wrong")
+	}
+}
+
+func TestSatisfiableCycleError(t *testing.T) {
+	tb := NewTBox([]Axiom{Sub("a", C("b")), Sub("b", C("a"))})
+	if _, err := tb.Satisfiable(C("a")); err == nil {
+		t.Error("cyclic TBox should error")
+	}
+}

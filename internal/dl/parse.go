@@ -1,0 +1,232 @@
+package dl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseAxioms parses DL axioms in the textual syntax produced by
+// Axiom.String, one axiom per statement terminated by '.':
+//
+//	neuron sub exists has_a.compartment.
+//	spiny_neuron eqv (neuron and exists has_a.spine).
+//	medium_spiny_neuron sub exists proj.(gpe or gpi or snpr or snpc).
+//	my_neuron sub medium_spiny_neuron and forall has_a.my_dendrite.
+//
+// Grammar (lowest to highest precedence): `or`, `and`, then the unary
+// constructors `exists role.C` and `forall role.C`, parentheses, and
+// concept names. Lines starting with % or // are comments.
+func ParseAxioms(src string) ([]Axiom, error) {
+	toks, err := lexDL(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &dlParser{toks: toks}
+	var out []Axiom
+	for !p.eof() {
+		a, err := p.axiom()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// MustParseAxioms panics on error; for statically known axiom text.
+func MustParseAxioms(src string) []Axiom {
+	out, err := ParseAxioms(src)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+type dlTok struct {
+	kind string // "name", "(", ")", ".", "end"
+	text string
+	line int
+}
+
+func lexDL(src string) ([]dlTok, error) {
+	var out []dlTok
+	line := 1
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '%':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '(' || c == ')':
+			out = append(out, dlTok{kind: string(c), line: line})
+			i++
+		case c == '.':
+			out = append(out, dlTok{kind: ".", line: line})
+			i++
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) || unicode.IsDigit(rune(src[j])) || src[j] == '_') {
+				j++
+			}
+			out = append(out, dlTok{kind: "name", text: src[i:j], line: line})
+			i = j
+		default:
+			return nil, fmt.Errorf("dl: line %d: unexpected character %q", line, c)
+		}
+	}
+	out = append(out, dlTok{kind: "end", line: line})
+	return out, nil
+}
+
+type dlParser struct {
+	toks []dlTok
+	i    int
+}
+
+func (p *dlParser) peek() dlTok {
+	if p.i >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // the "end" sentinel
+	}
+	return p.toks[p.i]
+}
+
+func (p *dlParser) next() dlTok {
+	t := p.peek()
+	if p.i < len(p.toks) {
+		p.i++
+	}
+	return t
+}
+
+func (p *dlParser) eof() bool { return p.peek().kind == "end" }
+
+func (p *dlParser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("dl: line %d: %s", p.peek().line, fmt.Sprintf(format, args...))
+}
+
+// axiom := name ('sub'|'eqv') concept '.'
+func (p *dlParser) axiom() (Axiom, error) {
+	t := p.next()
+	if t.kind != "name" {
+		return Axiom{}, p.errf("expected concept name, got %q", t.kind)
+	}
+	left := t.text
+	op := p.next()
+	if op.kind != "name" || (op.text != "sub" && op.text != "eqv") {
+		return Axiom{}, p.errf("expected 'sub' or 'eqv' after %s", left)
+	}
+	right, err := p.concept()
+	if err != nil {
+		return Axiom{}, err
+	}
+	if dot := p.next(); dot.kind != "." {
+		return Axiom{}, p.errf("expected '.' to end axiom for %s", left)
+	}
+	return Axiom{Left: left, Right: right, Eqv: op.text == "eqv"}, nil
+}
+
+// concept := conj ('or' conj)*
+func (p *dlParser) concept() (Concept, error) {
+	first, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	alts := []Concept{first}
+	for p.peek().kind == "name" && p.peek().text == "or" {
+		p.next()
+		c, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		alts = append(alts, c)
+	}
+	if len(alts) == 1 {
+		return first, nil
+	}
+	return Or{Cs: alts}, nil
+}
+
+// conj := unary ('and' unary)*
+func (p *dlParser) conj() (Concept, error) {
+	first, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	parts := []Concept{first}
+	for p.peek().kind == "name" && p.peek().text == "and" {
+		p.next()
+		c, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, c)
+	}
+	if len(parts) == 1 {
+		return first, nil
+	}
+	return And{Cs: parts}, nil
+}
+
+// unary := ('exists'|'forall') role '.' unary | '(' concept ')' | name
+func (p *dlParser) unary() (Concept, error) {
+	t := p.peek()
+	switch {
+	case t.kind == "name" && (t.text == "exists" || t.text == "forall"):
+		p.next()
+		role := p.next()
+		if role.kind != "name" {
+			return nil, p.errf("expected role name after %s", t.text)
+		}
+		if dot := p.next(); dot.kind != "." {
+			return nil, p.errf("expected '.' after role %s", role.text)
+		}
+		filler, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		if t.text == "exists" {
+			return Exists{Role: role.text, C: filler}, nil
+		}
+		return Forall{Role: role.text, C: filler}, nil
+	case t.kind == "(":
+		p.next()
+		c, err := p.concept()
+		if err != nil {
+			return nil, err
+		}
+		if close := p.next(); close.kind != ")" {
+			return nil, p.errf("expected ')'")
+		}
+		return c, nil
+	case t.kind == "name":
+		switch t.text {
+		case "and", "or", "sub", "eqv", "exists", "forall":
+			return nil, p.errf("reserved word %q cannot name a concept", t.text)
+		}
+		p.next()
+		return Named{Name: t.text}, nil
+	}
+	return nil, p.errf("expected a concept, got %q", t.kind)
+}
+
+// FormatAxioms renders axioms one per line in the parseable syntax.
+func FormatAxioms(axioms []Axiom) string {
+	var b strings.Builder
+	for _, a := range axioms {
+		b.WriteString(a.String())
+		b.WriteString(".\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,223 @@
+package dl
+
+import (
+	"fmt"
+	"strconv"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/term"
+)
+
+// Predicates used by the executable translation. Concept membership is
+// instance/2 (shared with the flogic axioms); role assertions are
+// reified as role(R, X, Y), with role_base holding the assertions
+// exported by sources.
+const (
+	PredRole       = "role"
+	PredRoleBase   = "role_base"
+	PredRoleFilled = "role_base_filled"
+	// PredDMWitness holds data-completeness failure witnesses derived by
+	// constraint-mode translations (the domain-map counterpart of the
+	// gcm package's ic class).
+	PredDMWitness = "dm_ic"
+)
+
+// Mode selects how existential edges C —r→ D are executed (Section 4).
+type Mode int
+
+const (
+	// ModeConstraint translates ∃-edges into denials: a witness
+	// w_ex(C,r,D,X) is inserted into ic when the object base is not
+	// data-complete for the edge. Constraint-mode rules must run in a
+	// separate checking phase over the materialized object base (see
+	// gcm.CheckStore), since denials negate derived predicates.
+	ModeConstraint Mode = iota
+	// ModeAssertion translates ∃-edges into assertions creating Skolem
+	// placeholder objects f(C,r,D,X) for missing successors. To stay
+	// stratified, the guard tests the *base* role relation (role_base)
+	// rather than the derived one — the paper's literal rule negates the
+	// derived relation and its placeholders would be undefined under the
+	// well-founded semantics (see the datalog package tests).
+	ModeAssertion
+)
+
+// Translation is the executable form of a set of DL axioms.
+type Translation struct {
+	Rules []datalog.Rule
+	// Skipped lists axiom parts that have no executable Horn reading
+	// (e.g. disjunctive successors), with the reason.
+	Skipped []string
+}
+
+// SupportRules returns the base-role plumbing shared by all
+// translations: derived roles include base roles, and the filled-guard
+// projection used by assertion mode.
+func SupportRules() []datalog.Rule {
+	vR, vX, vY := term.Var("R"), term.Var("X"), term.Var("Y")
+	return []datalog.Rule{
+		datalog.NewRule(datalog.Lit(PredRole, vR, vX, vY), datalog.Lit(PredRoleBase, vR, vX, vY)),
+		datalog.NewRule(datalog.Lit(PredRoleFilled, vR, vX), datalog.Lit(PredRoleBase, vR, vX, vY)),
+	}
+}
+
+// translator carries the fresh-variable state of one translation.
+type translator struct {
+	mode  Mode
+	out   Translation
+	fresh int
+	aux   int
+}
+
+func (tr *translator) freshVar() term.Term {
+	tr.fresh++
+	return term.Var("Y" + strconv.Itoa(tr.fresh))
+}
+
+func (tr *translator) skip(format string, args ...interface{}) {
+	tr.out.Skipped = append(tr.out.Skipped, fmt.Sprintf(format, args...))
+}
+
+// Translate compiles DL axioms into datalog rules under the given mode.
+// The result assumes the flogic axioms (subclass closure, instance
+// propagation) and SupportRules are loaded alongside.
+func Translate(axioms []Axiom, mode Mode) Translation {
+	tr := &translator{mode: mode}
+	for _, a := range axioms {
+		tr.axiom(a)
+	}
+	return tr.out
+}
+
+func (tr *translator) axiom(a Axiom) {
+	left := term.Atom(a.Left)
+	x := term.Var("X")
+	// Necessary direction: membership in Left implies each conjunct of
+	// Right.
+	for _, conj := range Conjuncts(a.Right) {
+		tr.necessary(left, x, conj, a)
+	}
+	// Sufficient direction for equivalences: satisfying Right implies
+	// membership in Left.
+	if a.Eqv {
+		tr.sufficient(a)
+	}
+}
+
+// necessary emits the rules for "every X : left satisfies conj".
+func (tr *translator) necessary(left term.Term, x term.Term, conj Concept, a Axiom) {
+	switch c := conj.(type) {
+	case Named:
+		// left ⊑ D: a subclass fact; the FL axioms propagate instances.
+		tr.out.Rules = append(tr.out.Rules, datalog.Fact("subclass", left, term.Atom(c.Name)))
+	case Exists:
+		target, ok := c.C.(Named)
+		if !ok {
+			tr.skip("axiom %s: existential with complex filler %s has no executable reading", a, c.C)
+			return
+		}
+		r := term.Atom(c.Role)
+		d := term.Atom(target.Name)
+		if tr.mode == ModeConstraint {
+			// w_ex(C,r,D,X) in dm_ic :- X : C, not (Y : D, role(r,X,Y)).
+			// The witness head is the dedicated predicate dm_ic rather
+			// than instance(W, ic): a denial that both reads and asserts
+			// `instance` would put its own head under negation, making
+			// every program containing it non-stratified.
+			tr.aux++
+			auxPred := "$dlnot" + strconv.Itoa(tr.aux)
+			y := tr.freshVar()
+			witness := term.Comp("w_ex", left, r, d, x)
+			tr.out.Rules = append(tr.out.Rules,
+				datalog.NewRule(datalog.Lit(auxPred, x),
+					datalog.Lit("instance", y, d),
+					datalog.Lit(PredRole, r, x, y)),
+				datalog.NewRule(datalog.Lit(PredDMWitness, witness),
+					datalog.Lit("instance", x, left),
+					datalog.Not(auxPred, x)),
+			)
+			return
+		}
+		// Assertion mode: role(r, X, f(C,r,D,X)) and f(...) : D for
+		// X : C lacking a base r-successor.
+		sk := term.Comp("f", left, r, d, x)
+		guard := datalog.Not(PredRoleFilled, r, x)
+		memb := datalog.Lit("instance", x, left)
+		tr.out.Rules = append(tr.out.Rules,
+			datalog.NewRule(datalog.Lit(PredRole, r, x, sk), memb, guard),
+			datalog.NewRule(datalog.Lit("instance", sk, d), memb, guard),
+		)
+	case Forall:
+		target, ok := c.C.(Named)
+		if !ok {
+			tr.skip("axiom %s: universal with complex filler %s has no executable reading", a, c.C)
+			return
+		}
+		// Executable reading of left ⊑ ∀r.D: every r-successor of an
+		// instance of left is in D.
+		y := tr.freshVar()
+		tr.out.Rules = append(tr.out.Rules, datalog.NewRule(
+			datalog.Lit("instance", y, term.Atom(target.Name)),
+			datalog.Lit("instance", x, left),
+			datalog.Lit(PredRole, term.Atom(c.Role), x, y)))
+	case Or:
+		tr.skip("axiom %s: disjunctive consequence %s has no Horn reading (kept for the domain-map graph only)", a, c)
+	case And:
+		for _, cc := range Conjuncts(c) {
+			tr.necessary(left, x, cc, a)
+		}
+	}
+}
+
+// sufficient emits, for an equivalence left ≡ Right, the rule deriving
+// membership in left from the conjunct conditions.
+func (tr *translator) sufficient(a Axiom) {
+	x := term.Var("X")
+	var body []datalog.BodyElem
+	bound := false
+	for _, conj := range Conjuncts(a.Right) {
+		switch c := conj.(type) {
+		case Named:
+			body = append(body, datalog.Lit("instance", x, term.Atom(c.Name)))
+			bound = true
+		case Exists:
+			target, ok := c.C.(Named)
+			if !ok {
+				tr.skip("axiom %s: sufficient direction skipped (complex existential filler)", a)
+				return
+			}
+			y := tr.freshVar()
+			body = append(body,
+				datalog.Lit(PredRole, term.Atom(c.Role), x, y),
+				datalog.Lit("instance", y, term.Atom(target.Name)))
+			bound = true
+		case Forall:
+			target, ok := c.C.(Named)
+			if !ok {
+				tr.skip("axiom %s: sufficient direction skipped (complex universal filler)", a)
+				return
+			}
+			// "all r-successors are in D" needs negation: fold
+			// not (role(r,X,Y), not Y:D) through an auxiliary predicate.
+			// The resulting program is non-stratified (instance under
+			// double negation) and evaluates under the well-founded
+			// semantics.
+			tr.aux++
+			auxPred := "$dlall" + strconv.Itoa(tr.aux)
+			y := tr.freshVar()
+			tr.out.Rules = append(tr.out.Rules, datalog.NewRule(
+				datalog.Lit(auxPred, x),
+				datalog.Lit(PredRole, term.Atom(c.Role), x, y),
+				datalog.Not("instance", y, term.Atom(target.Name))))
+			body = append(body, datalog.Not(auxPred, x))
+		case Or:
+			tr.skip("axiom %s: sufficient direction skipped (disjunction)", a)
+			return
+		}
+	}
+	if !bound {
+		tr.skip("axiom %s: sufficient direction skipped (no positive binder for X)", a)
+		return
+	}
+	tr.out.Rules = append(tr.out.Rules,
+		datalog.Rule{Head: datalog.Lit("instance", x, term.Atom(a.Left)), Body: body})
+}

@@ -1,0 +1,189 @@
+package dl
+
+import (
+	"fmt"
+)
+
+// TBox is a set of DL axioms with named left-hand sides, supporting the
+// restricted (EL-style) subsumption check: named concepts, conjunction
+// and existential restrictions; universal restrictions and disjunctions
+// are ignored by the checker (they never *grant* EL subsumptions).
+//
+// Per Proposition 1 of the paper, subsumption over unrestricted GCM
+// domain maps is undecidable; this checker covers the decidable fragment
+// that domain maps like ANATOM live in, and reports an error on cyclic
+// concept definitions.
+type TBox struct {
+	axioms []Axiom
+	// byLeft indexes axioms by their left-hand concept name.
+	byLeft map[string][]Axiom
+}
+
+// NewTBox builds a TBox from axioms.
+func NewTBox(axioms []Axiom) *TBox {
+	t := &TBox{axioms: axioms, byLeft: make(map[string][]Axiom)}
+	for _, a := range axioms {
+		t.byLeft[a.Left] = append(t.byLeft[a.Left], a)
+	}
+	return t
+}
+
+// Axioms returns the TBox axioms.
+func (t *TBox) Axioms() []Axiom { return t.axioms }
+
+const maxSaturationDepth = 64
+
+// saturate expands a concept into the set of its implied EL conjuncts:
+// named concepts and existential restrictions (with saturated fillers),
+// following told axioms from named conjuncts. Universal restrictions and
+// disjunctions are dropped (they do not contribute EL conjuncts).
+func (t *TBox) saturate(c Concept, visiting map[string]bool, depth int) ([]Concept, error) {
+	if depth > maxSaturationDepth {
+		return nil, fmt.Errorf("dl: saturation depth exceeded (cyclic or too-deep TBox)")
+	}
+	switch x := c.(type) {
+	case Named:
+		out := []Concept{x}
+		if visiting[x.Name] {
+			return nil, fmt.Errorf("dl: cyclic concept definition through %s", x.Name)
+		}
+		visiting[x.Name] = true
+		defer delete(visiting, x.Name)
+		for _, a := range t.byLeft[x.Name] {
+			sub, err := t.saturate(a.Right, visiting, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case And:
+		var out []Concept
+		for _, cc := range x.Cs {
+			sub, err := t.saturate(cc, visiting, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sub...)
+		}
+		return out, nil
+	case Exists:
+		filler, err := t.saturate(x.C, visiting, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		return []Concept{Exists{Role: x.Role, C: And{Cs: filler}}}, nil
+	case Forall, Or:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("dl: unknown concept %T", c)
+}
+
+// Subsumes reports whether sup subsumes sub w.r.t. the TBox: every model
+// of the TBox satisfies sub ⊑ sup, within the EL fragment. It errors on
+// cyclic definitions.
+func (t *TBox) Subsumes(sup, sub Concept) (bool, error) {
+	subConjs, err := t.saturate(sub, map[string]bool{}, 0)
+	if err != nil {
+		return false, err
+	}
+	supConjs := Conjuncts(sup)
+	for _, sc := range supConjs {
+		ok, err := t.covered(sc, subConjs, map[string]bool{})
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// covered reports whether requirement req is implied by some conjunct in
+// have (a saturated conjunct set). A named requirement that is fully
+// defined by an equivalence axiom may also be established by satisfying
+// its definition (the sufficient direction of ≡).
+func (t *TBox) covered(req Concept, have []Concept, unfolding map[string]bool) (bool, error) {
+	switch r := req.(type) {
+	case Named:
+		for _, h := range have {
+			if n, ok := h.(Named); ok && n.Name == r.Name {
+				return true, nil
+			}
+		}
+		if unfolding[r.Name] {
+			return false, nil
+		}
+		unfolding[r.Name] = true
+		defer delete(unfolding, r.Name)
+		for _, a := range t.byLeft[r.Name] {
+			if !a.Eqv {
+				continue
+			}
+			ok, err := t.covered(a.Right, have, unfolding)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case And:
+		for _, rc := range Conjuncts(r) {
+			ok, err := t.covered(rc, have, unfolding)
+			if err != nil || !ok {
+				return ok, err
+			}
+		}
+		return true, nil
+	case Exists:
+		for _, h := range have {
+			e, ok := h.(Exists)
+			if !ok || e.Role != r.Role {
+				continue
+			}
+			// The saturated filler of h must satisfy every conjunct of
+			// r's filler; the have side is already saturated.
+			fillerHave := Conjuncts(e.C)
+			allOK := true
+			for _, rc := range Conjuncts(r.C) {
+				ok, err := t.covered(rc, fillerHave, unfolding)
+				if err != nil {
+					return false, err
+				}
+				if !ok {
+					allOK = false
+					break
+				}
+			}
+			if allOK {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Forall, Or:
+		// Universals and disjunctions on the requirement side are not
+		// decidable in this fragment; be conservative.
+		return false, nil
+	}
+	return false, fmt.Errorf("dl: unknown concept %T", req)
+}
+
+// SubsumesNamed is a convenience: does concept name sup subsume concept
+// name sub?
+func (t *TBox) SubsumesNamed(sup, sub string) (bool, error) {
+	return t.Subsumes(Named{Name: sup}, Named{Name: sub})
+}
+
+// Satisfiable reports whether a concept is satisfiable w.r.t. the TBox.
+// The EL fragment has no negation or disjointness, so every concept is
+// satisfiable; the method exists to mirror the paper's discussion of
+// Proposition 1 and errors only on cyclic definitions.
+func (t *TBox) Satisfiable(c Concept) (bool, error) {
+	if _, err := t.saturate(c, map[string]bool{}, 0); err != nil {
+		return false, err
+	}
+	return true, nil
+}

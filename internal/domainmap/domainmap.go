@@ -1,0 +1,413 @@
+// Package domainmap implements the paper's domain maps (Definition 1):
+// edge-labeled digraphs of concepts and roles with description-logic
+// semantics, extended with logic rules. A domain map acts as the
+// mediator's "semantic coordinate system": sources anchor their data at
+// concepts (building a semantic index), register new concepts at
+// runtime (Figure 3), and integrated views navigate the map through the
+// graph operations of Section 4 — transitive closure tc(R), deductive
+// closure dc(R) wrt isa, role-star relations such as has_a_star, least
+// upper bounds, and downward closures.
+package domainmap
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"modelmed/internal/dl"
+)
+
+// DomainMap is a concept/role graph built from DL axioms. It is safe for
+// concurrent use: sources may register new knowledge while queries run.
+type DomainMap struct {
+	mu     sync.RWMutex
+	name   string
+	axioms []dl.Axiom
+
+	concepts map[string]bool
+	roles    map[string]bool
+	// isaUp maps a concept to its direct superconcepts.
+	isaUp map[string][]string
+	// isaDown maps a concept to its direct subconcepts.
+	isaDown map[string][]string
+	// roleOut maps role -> concept -> direct targets (from ∃/∀ edges;
+	// disjunctive targets are expanded, see orEdges for rendering).
+	roleOut map[string]map[string][]string
+	// allEdges records which (role, source, target) triples came from a
+	// universal (ALL:) restriction, for rendering.
+	allEdges map[[3]string]bool
+	// orEdges groups disjunctive targets per (source, role) for
+	// rendering and for answering "projects to one of".
+	orEdges map[[2]string][]string
+	// orMembers marks (role, source, target) edges that came from a
+	// disjunction: such an edge does not entail a definite r-successor
+	// in the target concept, so the deductive closure skips it.
+	orMembers map[[3]string]bool
+	// eqvPairs records concept equivalences between named concepts.
+	eqvPairs [][2]string
+}
+
+// New returns an empty domain map.
+func New(name string) *DomainMap {
+	return &DomainMap{
+		name:      name,
+		concepts:  make(map[string]bool),
+		roles:     make(map[string]bool),
+		isaUp:     make(map[string][]string),
+		isaDown:   make(map[string][]string),
+		roleOut:   make(map[string]map[string][]string),
+		allEdges:  make(map[[3]string]bool),
+		orEdges:   make(map[[2]string][]string),
+		orMembers: make(map[[3]string]bool),
+	}
+}
+
+// Name returns the domain map's name.
+func (dm *DomainMap) Name() string { return dm.name }
+
+// FromText builds a domain map from DL axioms in textual syntax (see
+// dl.ParseAxioms), so maps can live in files and sources can register
+// knowledge as text.
+func FromText(name, src string) (*DomainMap, error) {
+	axioms, err := dl.ParseAxioms(src)
+	if err != nil {
+		return nil, err
+	}
+	dm := New(name)
+	if err := dm.AddAxioms(axioms...); err != nil {
+		return nil, err
+	}
+	return dm, nil
+}
+
+// AddAxioms registers DL axioms, extending the concept graph. This is
+// the operation behind both initial construction and runtime
+// registration of new source knowledge (Figure 3).
+func (dm *DomainMap) AddAxioms(axioms ...dl.Axiom) error {
+	dm.mu.Lock()
+	defer dm.mu.Unlock()
+	for _, a := range axioms {
+		if err := dm.addAxiom(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (dm *DomainMap) addAxiom(a dl.Axiom) error {
+	dm.addConcept(a.Left)
+	dm.axioms = append(dm.axioms, a)
+	for _, conj := range dl.Conjuncts(a.Right) {
+		if err := dm.addEdgeFor(a.Left, conj, a.Eqv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (dm *DomainMap) addConcept(name string) {
+	if !dm.concepts[name] {
+		dm.concepts[name] = true
+	}
+}
+
+func (dm *DomainMap) addEdgeFor(left string, conj dl.Concept, eqv bool) error {
+	switch c := conj.(type) {
+	case dl.Named:
+		dm.addConcept(c.Name)
+		if eqv {
+			dm.eqvPairs = append(dm.eqvPairs, [2]string{left, c.Name})
+		}
+		dm.addIsa(left, c.Name)
+	case dl.Exists:
+		return dm.addRoleEdge(left, c.Role, c.C, false)
+	case dl.Forall:
+		return dm.addRoleEdge(left, c.Role, c.C, true)
+	case dl.And:
+		for _, cc := range dl.Conjuncts(c) {
+			if err := dm.addEdgeFor(left, cc, eqv); err != nil {
+				return err
+			}
+		}
+	case dl.Or:
+		return fmt.Errorf("domainmap: bare disjunction on the right of %s is not a graph edge; wrap it in an existential", left)
+	}
+	return nil
+}
+
+func (dm *DomainMap) addIsa(sub, super string) {
+	for _, s := range dm.isaUp[sub] {
+		if s == super {
+			return
+		}
+	}
+	dm.isaUp[sub] = append(dm.isaUp[sub], super)
+	dm.isaDown[super] = append(dm.isaDown[super], sub)
+}
+
+func (dm *DomainMap) addRoleEdge(from, role string, target dl.Concept, universal bool) error {
+	dm.roles[role] = true
+	out := dm.roleOut[role]
+	if out == nil {
+		out = make(map[string][]string)
+		dm.roleOut[role] = out
+	}
+	add := func(to string) {
+		dm.addConcept(to)
+		for _, t := range out[from] {
+			if t == to {
+				return
+			}
+		}
+		out[from] = append(out[from], to)
+		if universal {
+			dm.allEdges[[3]string{role, from, to}] = true
+		}
+	}
+	switch tc := target.(type) {
+	case dl.Named:
+		add(tc.Name)
+	case dl.Or:
+		for _, alt := range tc.Cs {
+			n, ok := alt.(dl.Named)
+			if !ok {
+				return fmt.Errorf("domainmap: disjunct %s under role %s is not a concept name", alt, role)
+			}
+			add(n.Name)
+			dm.orEdges[[2]string{from, role}] = append(dm.orEdges[[2]string{from, role}], n.Name)
+			dm.orMembers[[3]string{role, from, n.Name}] = true
+		}
+	default:
+		return fmt.Errorf("domainmap: role %s of %s has complex filler %s; name the filler concept and axiomatize it separately", role, from, target)
+	}
+	return nil
+}
+
+// Axioms returns a copy of the registered axioms.
+func (dm *DomainMap) Axioms() []dl.Axiom {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	out := make([]dl.Axiom, len(dm.axioms))
+	copy(out, dm.axioms)
+	return out
+}
+
+// TBox returns a subsumption checker over the current axioms.
+func (dm *DomainMap) TBox() *dl.TBox {
+	return dl.NewTBox(dm.Axioms())
+}
+
+// Concepts returns all concept names, sorted.
+func (dm *DomainMap) Concepts() []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	out := make([]string, 0, len(dm.concepts))
+	for c := range dm.concepts {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Roles returns all role names, sorted.
+func (dm *DomainMap) Roles() []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	out := make([]string, 0, len(dm.roles))
+	for r := range dm.roles {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasConcept reports whether the concept is in the map.
+func (dm *DomainMap) HasConcept(name string) bool {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	return dm.concepts[name]
+}
+
+// DisjunctiveTargets returns the OR-grouped targets of (concept, role),
+// e.g. the structures a medium spiny neuron projects to one of (Fig 3).
+func (dm *DomainMap) DisjunctiveTargets(concept, role string) []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	out := append([]string(nil), dm.orEdges[[2]string{concept, role}]...)
+	sort.Strings(out)
+	return out
+}
+
+// bfs runs a breadth-first closure from start over the step function.
+func bfs(start []string, step func(string) []string) map[string]bool {
+	seen := make(map[string]bool, len(start))
+	queue := append([]string(nil), start...)
+	for _, s := range queue {
+		seen[s] = true
+	}
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, n := range step(c) {
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return seen
+}
+
+func setToSorted(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DirectSupers returns the direct isa-superconcepts of c, sorted.
+func (dm *DomainMap) DirectSupers(c string) []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	out := append([]string(nil), dm.isaUp[c]...)
+	sort.Strings(out)
+	return out
+}
+
+// Ancestors returns the reflexive-transitive isa-ancestors of c, sorted.
+func (dm *DomainMap) Ancestors(c string) []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	return setToSorted(bfs([]string{c}, func(x string) []string { return dm.isaUp[x] }))
+}
+
+// Descendants returns the reflexive-transitive isa-descendants of c,
+// sorted.
+func (dm *DomainMap) Descendants(c string) []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	return setToSorted(bfs([]string{c}, func(x string) []string { return dm.isaDown[x] }))
+}
+
+// dcOutLocked returns the deductive-closure direct successors of c under
+// role: the union of the role edges of c and all its isa-ancestors (the
+// paper's dc(R) rule 1: R links propagate down the isa chains).
+func (dm *DomainMap) dcOutLocked(role, c string) []string {
+	out := dm.roleOut[role]
+	if out == nil {
+		return nil
+	}
+	anc := bfs([]string{c}, func(x string) []string { return dm.isaUp[x] })
+	var targets []string
+	seen := map[string]bool{}
+	for a := range anc {
+		for _, t := range out[a] {
+			if dm.orMembers[[3]string{role, a, t}] {
+				// Disjunctive edges give no definite successor.
+				continue
+			}
+			if !seen[t] {
+				seen[t] = true
+				targets = append(targets, t)
+			}
+		}
+	}
+	sort.Strings(targets)
+	return targets
+}
+
+// DC returns the deductive-closure direct role successors of concept c:
+// the inferable direct links, e.g. "purkinje_cell has_a axon" because
+// purkinje_cell isa neuron and neuron has_a axon (Section 4).
+func (dm *DomainMap) DC(role, c string) []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	return dm.dcOutLocked(role, c)
+}
+
+// DownClosure returns the containment region under root: the concepts
+// reachable by repeatedly taking isa-descendants and deductive-closure
+// role successors. This is the "downward closure along has_a_star" used
+// by the protein-distribution view (Section 5, step 4). The root itself
+// is included.
+func (dm *DomainMap) DownClosure(role, root string) []string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	return setToSorted(bfs([]string{root}, func(x string) []string {
+		step := append([]string(nil), dm.isaDown[x]...)
+		return append(step, dm.dcOutLocked(role, x)...)
+	}))
+}
+
+// Reaches reports whether `to` lies in the containment region of `from`
+// under role.
+func (dm *DomainMap) Reaches(role, from, to string) bool {
+	for _, c := range dm.DownClosure(role, from) {
+		if c == to {
+			return true
+		}
+	}
+	return false
+}
+
+// LUB computes the least upper bounds of the target concepts in the
+// containment order induced by role: the minimal concepts whose downward
+// closure contains every target. This is the operation the KIND mediator
+// uses to pick a "reasonable root" for neuron/compartment pairs
+// (Section 5, step 4). Multiple incomparable minima are all returned,
+// sorted; the first is the deterministic choice.
+func (dm *DomainMap) LUB(role string, targets []string) []string {
+	if len(targets) == 0 {
+		return nil
+	}
+	dm.mu.RLock()
+	concepts := make([]string, 0, len(dm.concepts))
+	for c := range dm.concepts {
+		concepts = append(concepts, c)
+	}
+	dm.mu.RUnlock()
+	sort.Strings(concepts)
+
+	// Candidates: concepts whose downward closure covers all targets.
+	closures := make(map[string]map[string]bool)
+	var candidates []string
+	for _, c := range concepts {
+		cl := make(map[string]bool)
+		for _, x := range dm.DownClosure(role, c) {
+			cl[x] = true
+		}
+		covers := true
+		for _, t := range targets {
+			if !cl[t] {
+				covers = false
+				break
+			}
+		}
+		if covers {
+			candidates = append(candidates, c)
+			closures[c] = cl
+		}
+	}
+	// Minimal candidates: no other candidate strictly inside their
+	// closure.
+	var minima []string
+	for _, c := range candidates {
+		minimal := true
+		for _, other := range candidates {
+			if other == c {
+				continue
+			}
+			if closures[c][other] && !closures[other][c] {
+				minimal = false
+				break
+			}
+		}
+		if minimal {
+			minima = append(minima, c)
+		}
+	}
+	sort.Strings(minima)
+	return minima
+}

@@ -1,0 +1,441 @@
+package domainmap
+
+import (
+	"strings"
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/dl"
+	"modelmed/internal/term"
+)
+
+// fig1 builds the Figure 1 domain map of the paper.
+func fig1(t *testing.T) *DomainMap {
+	t.Helper()
+	dm := New("fig1")
+	err := dm.AddAxioms(
+		dl.Sub("neuron", dl.ExistsR("has", dl.C("compartment"))),
+		dl.Sub("axon", dl.C("compartment")),
+		dl.Sub("dendrite", dl.C("compartment")),
+		dl.Sub("soma", dl.C("compartment")),
+		dl.Equiv("spiny_neuron", dl.AndOf(dl.C("neuron"), dl.ExistsR("has", dl.C("spine")))),
+		dl.Sub("purkinje_cell", dl.C("spiny_neuron")),
+		dl.Sub("pyramidal_cell", dl.C("spiny_neuron")),
+		dl.Sub("dendrite", dl.ExistsR("has", dl.C("branch"))),
+		dl.Sub("shaft", dl.AndOf(dl.C("branch"), dl.ExistsR("has", dl.C("spine")))),
+		dl.Sub("spine", dl.ExistsR("contains", dl.C("ion_binding_protein"))),
+		dl.Sub("spine", dl.C("ion_regulating_component")),
+		dl.Sub("ion_activity", dl.ExistsR("subprocess_of", dl.C("neurotransmission"))),
+		dl.Sub("ion_binding_protein", dl.AndOf(dl.C("protein"), dl.ExistsR("controls", dl.C("ion_activity")))),
+		dl.Equiv("ion_regulating_component", dl.ExistsR("regulates", dl.C("ion_activity"))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dm
+}
+
+// fig3 builds the Figure 3 Neostriatum fragment with its OR node.
+func fig3(t *testing.T) *DomainMap {
+	t.Helper()
+	dm := New("fig3")
+	err := dm.AddAxioms(
+		dl.Sub("spiny_neuron", dl.C("neuron")),
+		dl.Sub("neuron", dl.ExistsR("has", dl.C("compartment"))),
+		dl.Sub("soma", dl.C("compartment")),
+		dl.Sub("axon", dl.C("compartment")),
+		dl.Sub("dendrite", dl.C("compartment")),
+		dl.Sub("medium_spiny_neuron", dl.C("spiny_neuron")),
+		dl.Sub("neostriatum", dl.ExistsR("has", dl.C("medium_spiny_neuron"))),
+		dl.Sub("medium_spiny_neuron", dl.ExistsR("exp", dl.C("gaba"))),
+		dl.Sub("medium_spiny_neuron", dl.ExistsR("exp", dl.C("substance_p"))),
+		dl.Sub("gaba", dl.C("neurotransmitter")),
+		dl.Sub("substance_p", dl.C("neurotransmitter")),
+		dl.Sub("dopamine_r", dl.C("neurotransmitter")),
+		dl.Sub("medium_spiny_neuron", dl.ExistsR("proj", dl.OrOf(
+			dl.C("substantia_nigra_pr"), dl.C("substantia_nigra_pc"),
+			dl.C("globus_pallidus_external"), dl.C("globus_pallidus_internal")))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dm
+}
+
+func TestConceptsAndRoles(t *testing.T) {
+	dm := fig1(t)
+	cs := dm.Concepts()
+	for _, want := range []string{"neuron", "spine", "compartment", "protein", "neurotransmission"} {
+		found := false
+		for _, c := range cs {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("concept %s missing from %v", want, cs)
+		}
+	}
+	roles := dm.Roles()
+	if strings.Join(roles, ",") != "contains,controls,has,regulates,subprocess_of" {
+		t.Errorf("roles = %v", roles)
+	}
+	if !dm.HasConcept("spine") || dm.HasConcept("ghost") {
+		t.Error("HasConcept wrong")
+	}
+}
+
+func TestAncestorsDescendants(t *testing.T) {
+	dm := fig1(t)
+	anc := dm.Ancestors("purkinje_cell")
+	want := map[string]bool{"purkinje_cell": true, "spiny_neuron": true, "neuron": true}
+	if len(anc) != len(want) {
+		t.Errorf("Ancestors = %v", anc)
+	}
+	for _, a := range anc {
+		if !want[a] {
+			t.Errorf("unexpected ancestor %s", a)
+		}
+	}
+	desc := dm.Descendants("compartment")
+	wantD := map[string]bool{"compartment": true, "axon": true, "dendrite": true, "soma": true}
+	if len(desc) != len(wantD) {
+		t.Errorf("Descendants = %v", desc)
+	}
+}
+
+func TestDeductiveClosure(t *testing.T) {
+	dm := fig1(t)
+	// purkinje_cell inherits has-edges from spiny_neuron (spine) and
+	// neuron (compartment): the paper's "Purkinje cell has_a axon"
+	// inference is via compartment.
+	dc := dm.DC("has", "purkinje_cell")
+	if strings.Join(dc, ",") != "compartment,spine" {
+		t.Errorf("DC(has, purkinje_cell) = %v", dc)
+	}
+	if got := dm.DC("nothing", "neuron"); got != nil {
+		t.Errorf("DC over unknown role = %v", got)
+	}
+}
+
+func TestDownClosureAndReaches(t *testing.T) {
+	dm := fig1(t)
+	down := dm.DownClosure("has", "purkinje_cell")
+	// Must include dendrite (compartment descendant), branch (dendrite
+	// has branch), spine (shaft/spiny chain).
+	for _, want := range []string{"purkinje_cell", "compartment", "dendrite", "branch", "spine"} {
+		if !dm.Reaches("has", "purkinje_cell", want) {
+			t.Errorf("purkinje_cell should reach %s; down closure = %v", want, down)
+		}
+	}
+	// The paper's key cross-world chain: Purkinje cells have dendrites
+	// that have higher-order branches that contain spines.
+	if !dm.Reaches("has", "purkinje_cell", "spine") {
+		t.Error("purkinje_cell must reach spine")
+	}
+	// Unrelated process concepts are not contained.
+	if dm.Reaches("has", "purkinje_cell", "neurotransmission") {
+		t.Error("neurotransmission must not be in the has-containment of purkinje_cell")
+	}
+}
+
+func TestLUB(t *testing.T) {
+	dm := fig1(t)
+	// The least container of dendrite and spine under has: dendrite
+	// (dendrite has branch, shaft ⊑ branch has spine... but shaft is a
+	// branch subclass: down closure of dendrite: branch -> shaft?
+	// branch's descendants include shaft, and shaft has spine).
+	lub := dm.LUB("has", []string{"dendrite", "spine"})
+	if len(lub) == 0 {
+		t.Fatal("no lub found")
+	}
+	if lub[0] != "dendrite" {
+		t.Errorf("LUB = %v, want dendrite first", lub)
+	}
+	// LUB of a single concept is itself.
+	lub = dm.LUB("has", []string{"spine"})
+	if len(lub) == 0 || lub[0] != "spine" {
+		t.Errorf("LUB(spine) = %v", lub)
+	}
+	// Disconnected targets have no bound.
+	lub = dm.LUB("has", []string{"spine", "neurotransmission"})
+	if len(lub) != 0 {
+		t.Errorf("LUB of disconnected = %v", lub)
+	}
+	if got := dm.LUB("has", nil); got != nil {
+		t.Errorf("LUB(nil) = %v", got)
+	}
+}
+
+func TestFig3RegistrationInference(t *testing.T) {
+	// Register MyNeuron/MyDendrite knowledge (Figure 3, dark nodes) and
+	// check the inferred projection: MyNeuron, like any medium spiny
+	// neuron, definitely projects to Globus Pallidus External.
+	dm := fig3(t)
+	err := dm.AddAxioms(
+		dl.Equiv("my_dendrite", dl.AndOf(dl.C("dendrite"), dl.ExistsR("exp", dl.C("dopamine_r")))),
+		dl.Sub("my_neuron", dl.AndOf(
+			dl.C("medium_spiny_neuron"),
+			dl.ExistsR("proj", dl.C("globus_pallidus_external")),
+			dl.ForallR("has", dl.C("my_dendrite")))),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Graph-level: my_neuron has a definite proj edge to GPE.
+	if got := dm.DC("proj", "my_neuron"); !contains(got, "globus_pallidus_external") {
+		t.Errorf("DC(proj, my_neuron) = %v", got)
+	}
+	// The OR group on medium_spiny_neuron is preserved.
+	or := dm.DisjunctiveTargets("medium_spiny_neuron", "proj")
+	if len(or) != 4 {
+		t.Errorf("disjunctive targets = %v", or)
+	}
+	// TBox subsumption: my_dendrite ⊑ dendrite; my_neuron ⊑ neuron.
+	tb := dm.TBox()
+	if ok, err := tb.SubsumesNamed("dendrite", "my_dendrite"); err != nil || !ok {
+		t.Errorf("dendrite should subsume my_dendrite: %v %v", ok, err)
+	}
+	if ok, err := tb.SubsumesNamed("neuron", "my_neuron"); err != nil || !ok {
+		t.Errorf("neuron should subsume my_neuron: %v %v", ok, err)
+	}
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestClosureRulesMatchGoOps(t *testing.T) {
+	// The datalog closure rules and the native graph ops agree on
+	// role_star membership.
+	dm := fig1(t)
+	e := datalog.NewEngine(nil)
+	if err := e.AddRules(dm.Facts()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRules(dm.RoleFacts()...); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.AddRules(ClosureRules()...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dm_dc(has, purkinje_cell, compartment) should hold.
+	if !res.Holds("dm_dc", term.Atom("has"), term.Atom("purkinje_cell"), term.Atom("compartment")) {
+		t.Error("dm_dc(has, purkinje_cell, compartment) missing")
+	}
+	// Compare dm_down with DownClosure for every concept.
+	for _, c := range dm.Concepts() {
+		down := dm.DownClosure("has", c)
+		rows, err := res.Query([]datalog.BodyElem{
+			datalog.Lit("dm_down", term.Atom("has"), term.Atom(c), term.Var("Y")),
+		}, []string{"Y"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]string, len(rows))
+		for i, r := range rows {
+			got[i] = r[0].Name()
+		}
+		if strings.Join(got, ",") != strings.Join(down, ",") {
+			t.Errorf("concept %s: datalog down = %v, native = %v", c, got, down)
+		}
+	}
+}
+
+func TestSemanticIndex(t *testing.T) {
+	ix := NewIndex()
+	ix.Register("synapse", "pyramidal_cell", term.Atom("o1"), term.Atom("o2"))
+	ix.Register("ncmir", "purkinje_cell", term.Atom("p1"))
+	ix.Register("ncmir", "pyramidal_cell", term.Atom("p2"))
+	if got := ix.SourcesAt("pyramidal_cell"); strings.Join(got, ",") != "ncmir,synapse" {
+		t.Errorf("SourcesAt = %v", got)
+	}
+	if got := ix.Objects("synapse", "pyramidal_cell"); len(got) != 2 {
+		t.Errorf("Objects = %v", got)
+	}
+	if got := ix.AnchorCount(); got != 4 {
+		t.Errorf("AnchorCount = %d", got)
+	}
+	if got := ix.Concepts(); strings.Join(got, ",") != "purkinje_cell,pyramidal_cell" {
+		t.Errorf("Concepts = %v", got)
+	}
+	ix.Unregister("synapse")
+	if got := ix.SourcesAt("pyramidal_cell"); strings.Join(got, ",") != "ncmir" {
+		t.Errorf("after Unregister, SourcesAt = %v", got)
+	}
+}
+
+func TestSelectSourcesWithDescendants(t *testing.T) {
+	dm := fig1(t)
+	ix := NewIndex()
+	// NCMIR anchors at purkinje_cell; a query about spiny_neuron should
+	// find it through isa-descendant expansion.
+	ix.Register("ncmir", "purkinje_cell", term.Atom("p1"))
+	ix.Register("synapse", "pyramidal_cell", term.Atom("s1"))
+	got := ix.SelectSources(dm, "spiny_neuron")
+	if strings.Join(got, ",") != "ncmir,synapse" {
+		t.Errorf("SelectSources(spiny_neuron) = %v", got)
+	}
+	// Exact-concept selection misses both.
+	if got := ix.SelectSources(nil, "spiny_neuron"); len(got) != 0 {
+		t.Errorf("exact SelectSources = %v", got)
+	}
+	// Conjunctive selection: only ncmir has anchors at both concepts.
+	ix.Register("ncmir", "spine", term.Atom("p2"))
+	got = ix.SelectSourcesAll(dm, []string{"spiny_neuron", "spine"})
+	if strings.Join(got, ",") != "ncmir" {
+		t.Errorf("SelectSourcesAll = %v", got)
+	}
+}
+
+func TestDOTRendering(t *testing.T) {
+	dm := fig3(t)
+	dot := dm.DOT()
+	for _, want := range []string{
+		"digraph \"fig3\"",
+		`"medium_spiny_neuron" -> "spiny_neuron" [color=gray`,
+		"OR_0",
+		`label="proj"`,
+		`"neostriatum"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// Every disjunct hangs off the OR node, not directly.
+	if strings.Contains(dot, `"medium_spiny_neuron" -> "globus_pallidus_external"`) {
+		t.Error("disjunctive edge should route through the OR node")
+	}
+}
+
+func TestDOTForallLabel(t *testing.T) {
+	dm := New("t")
+	if err := dm.AddAxioms(dl.Sub("my_neuron", dl.ForallR("has", dl.C("my_dendrite")))); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dm.DOT(), "ALL: has") {
+		t.Error("universal edge should carry ALL: prefix")
+	}
+}
+
+func TestAddAxiomErrors(t *testing.T) {
+	dm := New("t")
+	if err := dm.AddAxioms(dl.Sub("a", dl.OrOf(dl.C("b"), dl.C("c")))); err == nil {
+		t.Error("bare disjunction should be rejected")
+	}
+	if err := dm.AddAxioms(dl.Sub("a", dl.ExistsR("r", dl.ExistsR("s", dl.C("b"))))); err == nil {
+		t.Error("complex filler should be rejected at the graph level")
+	}
+}
+
+func TestInstanceRulesRun(t *testing.T) {
+	dm := fig1(t)
+	e := datalog.NewEngine(nil)
+	if err := e.AddRules(dm.Rules(dl.ModeAssertion)...); err != nil {
+		t.Fatal(err)
+	}
+	// flogic axioms needed for subclass propagation.
+	for _, r := range flogicAxioms(t) {
+		if err := e.AddRule(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.AddFact("instance", term.Atom("p1"), term.Atom("purkinje_cell")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds("instance", term.Atom("p1"), term.Atom("neuron")) {
+		t.Error("p1 should be classified as neuron")
+	}
+}
+
+func flogicAxioms(t *testing.T) []datalog.Rule {
+	t.Helper()
+	// Local minimal subset to avoid an import cycle in tests: subclass
+	// transitivity and instance propagation.
+	return []datalog.Rule{
+		datalog.NewRule(datalog.Lit("subclass", term.Var("A"), term.Var("C")),
+			datalog.Lit("subclass", term.Var("A"), term.Var("B")),
+			datalog.Lit("subclass", term.Var("B"), term.Var("C"))),
+		datalog.NewRule(datalog.Lit("instance", term.Var("X"), term.Var("C")),
+			datalog.Lit("instance", term.Var("X"), term.Var("B")),
+			datalog.Lit("subclass", term.Var("B"), term.Var("C"))),
+	}
+}
+
+func TestNameAndDirectSupers(t *testing.T) {
+	dm := fig1(t)
+	if dm.Name() != "fig1" {
+		t.Errorf("Name = %q", dm.Name())
+	}
+	if got := dm.DirectSupers("purkinje_cell"); len(got) != 1 || got[0] != "spiny_neuron" {
+		t.Errorf("DirectSupers = %v", got)
+	}
+	if got := dm.DirectSupers("neuron"); len(got) != 0 {
+		t.Errorf("DirectSupers(neuron) = %v", got)
+	}
+}
+
+func TestContextIndex(t *testing.T) {
+	ix := NewIndex()
+	ix.Register("ncmir", "purkinje_cell", term.Atom("o1"))
+	ix.Register("mouselab", "purkinje_cell", term.Atom("m1"))
+	ix.RegisterContext("ncmir", "organism", term.Str("rat"))
+	ix.RegisterContext("ncmir", "organism", term.Str("mouse"))
+	ix.RegisterContext("mouselab", "organism", term.Str("mouse"))
+	// Sources without any registered context pass the filter.
+	ix.Register("unknownlab", "purkinje_cell", term.Atom("u1"))
+
+	all := []string{"mouselab", "ncmir", "unknownlab"}
+	rat := ix.FilterByContext(all, "organism", term.Str("rat"))
+	if strings.Join(rat, ",") != "ncmir,unknownlab" {
+		t.Errorf("rat filter = %v", rat)
+	}
+	mouse := ix.FilterByContext(all, "organism", term.Str("mouse"))
+	if strings.Join(mouse, ",") != "mouselab,ncmir,unknownlab" {
+		t.Errorf("mouse filter = %v", mouse)
+	}
+	// Unknown context key filters nothing.
+	cond := ix.FilterByContext(all, "condition", term.Str("control"))
+	if len(cond) != 3 {
+		t.Errorf("unknown key filter = %v", cond)
+	}
+	// Unregister clears context entries.
+	ix.Unregister("ncmir")
+	rat = ix.FilterByContext([]string{"mouselab", "ncmir"}, "organism", term.Str("rat"))
+	// ncmir now has no registered context at all, so it passes again.
+	if strings.Join(rat, ",") != "ncmir" {
+		t.Errorf("after unregister = %v", rat)
+	}
+}
+
+func TestFromText(t *testing.T) {
+	dm, err := FromText("txt", `
+		a sub exists r.b.
+		c sub a.
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dm.HasConcept("b") || dm.Name() != "txt" {
+		t.Error("FromText lost content")
+	}
+	if got := dm.DC("r", "c"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("DC = %v", got)
+	}
+	if _, err := FromText("bad", "a sub"); err == nil {
+		t.Error("bad text should fail")
+	}
+}

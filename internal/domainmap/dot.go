@@ -1,0 +1,87 @@
+package domainmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the domain map as a GraphViz digraph in the style of the
+// paper's Figures 1 and 3: unlabeled gray edges for isa, labeled solid
+// edges for roles, diamond OR nodes grouping disjunctive targets, and
+// "ALL:" prefixes on universal edges.
+func (dm *DomainMap) DOT() string {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", dm.name)
+	b.WriteString("  rankdir=BT;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+
+	concepts := make([]string, 0, len(dm.concepts))
+	for c := range dm.concepts {
+		concepts = append(concepts, c)
+	}
+	sort.Strings(concepts)
+	for _, c := range concepts {
+		fmt.Fprintf(&b, "  %q;\n", c)
+	}
+
+	for _, c := range concepts {
+		sups := append([]string(nil), dm.isaUp[c]...)
+		sort.Strings(sups)
+		for _, sup := range sups {
+			fmt.Fprintf(&b, "  %q -> %q [color=gray, arrowhead=empty];\n", c, sup)
+		}
+	}
+
+	// Disjunctive groups get a synthetic OR node.
+	orKeys := make([][2]string, 0, len(dm.orEdges))
+	for k := range dm.orEdges {
+		orKeys = append(orKeys, k)
+	}
+	sort.Slice(orKeys, func(i, j int) bool {
+		if orKeys[i][0] != orKeys[j][0] {
+			return orKeys[i][0] < orKeys[j][0]
+		}
+		return orKeys[i][1] < orKeys[j][1]
+	})
+	inOr := map[[3]string]bool{}
+	for i, k := range orKeys {
+		orNode := fmt.Sprintf("OR_%d", i)
+		fmt.Fprintf(&b, "  %q [shape=diamond, label=\"OR\"];\n", orNode)
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", k[0], orNode, k[1])
+		targets := append([]string(nil), dm.orEdges[k]...)
+		sort.Strings(targets)
+		for _, t := range targets {
+			fmt.Fprintf(&b, "  %q -> %q;\n", orNode, t)
+			inOr[[3]string{k[1], k[0], t}] = true
+		}
+	}
+
+	roles := make([]string, 0, len(dm.roles))
+	for r := range dm.roles {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	for _, r := range roles {
+		froms := make([]string, 0, len(dm.roleOut[r]))
+		for f := range dm.roleOut[r] {
+			froms = append(froms, f)
+		}
+		sort.Strings(froms)
+		for _, f := range froms {
+			for _, t := range dm.roleOut[r][f] {
+				if inOr[[3]string{r, f, t}] {
+					continue
+				}
+				label := r
+				if dm.allEdges[[3]string{r, f, t}] {
+					label = "ALL: " + r
+				}
+				fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", f, t, label)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package domainmap
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"modelmed/internal/dl"
+)
+
+// randomDM builds a random acyclic concept graph: forward-only isa and
+// has_a edges over n concepts (edges go from lower to higher index, so
+// the graph is a DAG).
+func randomDM(t *testing.T, r *rand.Rand, n int) *DomainMap {
+	t.Helper()
+	dm := New("random")
+	var axioms []dl.Axiom
+	for i := 0; i < n; i++ {
+		from := fmt.Sprintf("c%d", i)
+		for j := i + 1; j < n; j++ {
+			to := fmt.Sprintf("c%d", j)
+			switch r.Intn(6) {
+			case 0:
+				axioms = append(axioms, dl.Sub(to, dl.C(from))) // to isa from
+			case 1:
+				axioms = append(axioms, dl.Sub(from, dl.ExistsR("has_a", dl.C(to))))
+			}
+		}
+	}
+	if len(axioms) == 0 {
+		axioms = append(axioms, dl.Sub("c1", dl.C("c0")))
+	}
+	if err := dm.AddAxioms(axioms...); err != nil {
+		t.Fatal(err)
+	}
+	return dm
+}
+
+// TestLUBProperty: every returned least upper bound (i) contains all
+// targets in its downward closure, and (ii) is minimal — no other
+// candidate lies strictly inside its region.
+func TestLUBProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		dm := randomDM(t, r, 8+r.Intn(6))
+		concepts := dm.Concepts()
+		targets := []string{
+			concepts[r.Intn(len(concepts))],
+			concepts[r.Intn(len(concepts))],
+		}
+		lubs := dm.LUB("has_a", targets)
+		for _, l := range lubs {
+			region := map[string]bool{}
+			for _, c := range dm.DownClosure("has_a", l) {
+				region[c] = true
+			}
+			for _, tg := range targets {
+				if !region[tg] {
+					t.Fatalf("trial %d: lub %s does not contain target %s", trial, l, tg)
+				}
+			}
+			// Minimality: no other lub strictly inside l's region.
+			for _, other := range lubs {
+				if other == l {
+					continue
+				}
+				otherRegion := map[string]bool{}
+				for _, c := range dm.DownClosure("has_a", other) {
+					otherRegion[c] = true
+				}
+				if region[other] && !otherRegion[l] {
+					t.Fatalf("trial %d: lub %s is not minimal (%s is a smaller container)", trial, l, other)
+				}
+			}
+		}
+		// Completeness: if any concept contains both targets, a lub must
+		// exist.
+		anyContainer := false
+		for _, c := range concepts {
+			region := map[string]bool{}
+			for _, x := range dm.DownClosure("has_a", c) {
+				region[x] = true
+			}
+			if region[targets[0]] && region[targets[1]] {
+				anyContainer = true
+				break
+			}
+		}
+		if anyContainer && len(lubs) == 0 {
+			t.Fatalf("trial %d: container exists but LUB returned none", trial)
+		}
+		if !anyContainer && len(lubs) != 0 {
+			t.Fatalf("trial %d: no container exists but LUB returned %v", trial, lubs)
+		}
+	}
+}
+
+// TestClosureMonotoneUnderRegistration: adding axioms never removes
+// concepts from a containment region (registration is monotone at the
+// graph level).
+func TestClosureMonotoneUnderRegistration(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		dm := randomDM(t, r, 8)
+		before := dm.DownClosure("has_a", "c0")
+		if err := dm.AddAxioms(
+			dl.Sub("extra", dl.C("c0")),
+			dl.Sub("c0", dl.ExistsR("has_a", dl.C("extra2"))),
+		); err != nil {
+			t.Fatal(err)
+		}
+		after := map[string]bool{}
+		for _, c := range dm.DownClosure("has_a", "c0") {
+			after[c] = true
+		}
+		for _, c := range before {
+			if !after[c] {
+				t.Fatalf("trial %d: registration removed %s from the region", trial, c)
+			}
+		}
+	}
+}
+
+// TestAncestorsDescendantsDual: x in Descendants(y) iff y in
+// Ancestors(x).
+func TestAncestorsDescendantsDual(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	dm := randomDM(t, r, 12)
+	for _, x := range dm.Concepts() {
+		anc := map[string]bool{}
+		for _, a := range dm.Ancestors(x) {
+			anc[a] = true
+		}
+		for _, y := range dm.Concepts() {
+			inDesc := false
+			for _, d := range dm.Descendants(y) {
+				if d == x {
+					inDesc = true
+					break
+				}
+			}
+			if inDesc != anc[y] {
+				t.Fatalf("duality violated for %s, %s", x, y)
+			}
+		}
+	}
+}
+
+// TestIdempotentAxiomAddition: re-adding the same axioms leaves the
+// graph unchanged.
+func TestIdempotentAxiomAddition(t *testing.T) {
+	dm := New("idem")
+	ax := []dl.Axiom{
+		dl.Sub("b", dl.C("a")),
+		dl.Sub("a", dl.ExistsR("has_a", dl.C("c"))),
+	}
+	if err := dm.AddAxioms(ax...); err != nil {
+		t.Fatal(err)
+	}
+	before := dm.DOT()
+	if err := dm.AddAxioms(ax...); err != nil {
+		t.Fatal(err)
+	}
+	if dm.DOT() != before {
+		t.Error("re-adding axioms changed the graph")
+	}
+}

@@ -1,0 +1,128 @@
+package domainmap
+
+import (
+	"sort"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/dl"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+// Concept-graph predicates emitted by Facts: the domain map as data for
+// the rule engine.
+const (
+	PredConcept = "dm_concept" // dm_concept(C)
+	PredIsa     = "dm_isa"     // dm_isa(C, D): direct isa edge
+	PredEdge    = "dm_edge"    // dm_edge(R, C, D): direct role edge
+)
+
+// Facts renders the current concept graph as ground facts.
+func (dm *DomainMap) Facts() []datalog.Rule {
+	dm.mu.RLock()
+	defer dm.mu.RUnlock()
+	var out []datalog.Rule
+	concepts := make([]string, 0, len(dm.concepts))
+	for c := range dm.concepts {
+		concepts = append(concepts, c)
+	}
+	sort.Strings(concepts)
+	for _, c := range concepts {
+		out = append(out, datalog.Fact(PredConcept, term.Atom(c)))
+		for _, sup := range dm.isaUp[c] {
+			out = append(out, datalog.Fact(PredIsa, term.Atom(c), term.Atom(sup)))
+		}
+	}
+	roles := make([]string, 0, len(dm.roles))
+	for r := range dm.roles {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	for _, r := range roles {
+		froms := make([]string, 0, len(dm.roleOut[r]))
+		for f := range dm.roleOut[r] {
+			froms = append(froms, f)
+		}
+		sort.Strings(froms)
+		for _, f := range froms {
+			for _, t := range dm.roleOut[r][f] {
+				out = append(out, datalog.Fact(PredEdge, term.Atom(r), term.Atom(f), term.Atom(t)))
+			}
+		}
+	}
+	return out
+}
+
+// closureSrc is the paper's Section 4 rule set, generalized over the
+// reified concept graph:
+//
+//	tc(R)(X,Y) :- R(X,Y).
+//	tc(R)(X,Y) :- tc(R)(X,Z), tc(R)(Z,Y).
+//	dc(R)(X,Y) :- tc(isa)(X,Z), R(Z,Y).
+//	dc(R)(X,Y) :- R(X,Z), tc(isa)(Z,Y).
+//
+// dm_isa_star is the reflexive-transitive isa closure (so dc includes
+// every direct edge), and role_star(R,X,Y) is the generalized
+// has_a_star: all inferable direct R-links.
+const closureSrc = `
+	dm_isa_star(X, X) :- dm_concept(X).
+	dm_isa_star(X, Y) :- dm_isa(X, Y).
+	dm_isa_star(X, Y) :- dm_isa_star(X, Z), dm_isa_star(Z, Y).
+
+	dm_tc(R, X, Y) :- dm_edge(R, X, Y).
+	dm_tc(R, X, Y) :- dm_tc(R, X, Z), dm_tc(R, Z, Y).
+
+	dm_dc(R, X, Y) :- dm_isa_star(X, Z), dm_edge(R, Z, Y).
+	dm_dc(R, X, Y) :- dm_edge(R, X, Z), dm_isa_star(Z, Y).
+
+	role_star(R, X, Y) :- dm_dc(R, X, Y).
+
+	% Source-side-only deductive closure (dc rule 1): a concept inherits
+	% the outgoing R-edges of its superconcepts. This is the relation
+	% used for containment regions — including dc rule 2 (edges
+	% propagated up the *target's* ancestors) would pull every sibling
+	% subclass of a target's superclass into the region.
+	dm_dc_down(R, X, Y) :- dm_isa_star(X, Z), dm_edge(R, Z, Y).
+
+	% Downward containment region: Y is inside X via isa-descent or
+	% inherited role links, transitively.
+	dm_down(R, X, X) :- dm_concept(X), dm_role(R).
+	dm_down(R, X, Y) :- dm_down(R, X, Z), dm_isa_star(Y, Z).
+	dm_down(R, X, Y) :- dm_down(R, X, Z), dm_dc_down(R, Z, Y).
+`
+
+// ClosureRules returns the Section 4 graph-operation rules (tc, dc,
+// role_star, downward containment) over the reified concept graph.
+func ClosureRules() []datalog.Rule {
+	return parser.MustParseRules(closureSrc)
+}
+
+// RoleFacts emits dm_role(R) declarations needed by the containment
+// rules.
+func (dm *DomainMap) RoleFacts() []datalog.Rule {
+	var out []datalog.Rule
+	for _, r := range dm.Roles() {
+		out = append(out, datalog.Fact("dm_role", term.Atom(r)))
+	}
+	return out
+}
+
+// InstanceRules translates the registered axioms into instance-level
+// rules under the given execution mode (integrity constraint vs
+// assertion, Section 4). The flogic axioms and dl.SupportRules must be
+// loaded alongside.
+func (dm *DomainMap) InstanceRules(mode dl.Mode) dl.Translation {
+	return dl.Translate(dm.Axioms(), mode)
+}
+
+// Rules bundles everything needed to use the domain map inside a rule
+// program: graph facts, role declarations, closure rules, and the
+// instance-level translation.
+func (dm *DomainMap) Rules(mode dl.Mode) []datalog.Rule {
+	out := dm.Facts()
+	out = append(out, dm.RoleFacts()...)
+	out = append(out, ClosureRules()...)
+	out = append(out, dl.SupportRules()...)
+	out = append(out, dm.InstanceRules(mode).Rules...)
+	return out
+}

@@ -1,0 +1,200 @@
+// Package flogic provides the F-logic incarnation of the generic
+// conceptual model (GCM) from Table 1 of "Model-Based Mediation with
+// Domain Maps": the core predicates (instance, subclass, method,
+// methodinst, relation schemas and instances) plus the FL axioms that
+// close them — reflexive-transitive subclassing, upward instance
+// propagation, schema inheritance — and the overridable (nonmonotonic)
+// default-value inheritance discussed in Section 4.
+package flogic
+
+import (
+	"modelmed/internal/datalog"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+// Core GCM predicate names (Table 1).
+const (
+	PredInstance   = "instance"   // instance(X, C): X is an instance of class C
+	PredSubclass   = "subclass"   // subclass(C1, C2): C1 is a subclass of C2
+	PredMethod     = "method"     // method(C, M, CM): M applies to C yielding CM
+	PredMethodInst = "methodinst" // methodinst(X, M, Y): method value on an object
+	PredRelation   = "rel"        // rel(R): R is a declared relation name
+	PredRelAttr    = "relattr"    // relattr(R, A, C, Pos): attribute A of R ranges over C at position Pos
+	PredRelInst    = "relinst"    // relinst(R, X1..Xn): reified relation tuple
+	MetaClass      = "class"      // the metaclass holding all class names
+)
+
+// axiomSrc is the FL axiom block of Table 1 in concrete syntax:
+//
+//	C :: C          :- C : class.
+//	C1 :: C2        :- C1 :: C3, C3 :: C2.
+//	X : C2          :- X : C1, C1 :: C2.
+//
+// plus schema-level method inheritance and the bookkeeping that makes
+// every name mentioned at class position an instance of the metaclass.
+const axiomSrc = `
+	% Reflexivity of :: over declared classes (Table 1).
+	subclass(C, C) :- instance(C, class).
+	% Transitivity of :: (Table 1).
+	subclass(C1, C2) :- subclass(C1, C3), subclass(C3, C2).
+	% Upward propagation of : along :: (Table 1).
+	instance(X, C2) :- instance(X, C1), subclass(C1, C2), C2 \= class.
+	% Method signatures are inherited downward along ::.
+	method(C1, M, D) :- subclass(C1, C2), method(C2, M, D), C1 \= C2.
+	% Every name used at a class position is a class.
+	instance(C, class) :- subclass(C, D), C \= class.
+	instance(D, class) :- subclass(C, D), D \= class.
+	instance(C, class) :- method(C, M, D).
+	instance(D, class) :- method(C, M, D).
+`
+
+// Axioms returns the FL axiom rules of Table 1 (fresh copies each call).
+func Axioms() []datalog.Rule {
+	return parser.MustParseRules(axiomSrc)
+}
+
+// defaultInheritanceSrc implements overridable value inheritance: an
+// object inherits a class-level default value for method M from class C
+// unless it carries a local value for M or some more specific superclass
+// of the object also defines a default for M (the paper's nonmonotonic
+// inheritance, Section 4: "if we want to specify that it *only* projects
+// to the latter"). The program is stratified because local values and
+// defaults are extensional.
+const defaultInheritanceSrc = `
+	methodinst(X, M, V) :- methodinst_local(X, M, V).
+	has_local(X, M) :- methodinst_local(X, M, V).
+	% C1 is a proper subclass of C2.
+	proper_sub(C1, C2) :- subclass(C1, C2), C1 \= C2.
+	% The default on C is overridden for X at M if a strictly more
+	% specific class of X also defines a default for M.
+	overridden(X, C, M) :- instance(X, C1), proper_sub(C1, C), default(C1, M, V).
+	methodinst(X, M, V) :- instance(X, C), default(C, M, V),
+		not has_local(X, M), not overridden(X, C, M).
+`
+
+// DefaultInheritanceRules returns the overridable-inheritance rules.
+// Sources contribute ground facts methodinst_local/3 (locally stored
+// values) and default/3 (class-level defaults).
+func DefaultInheritanceRules() []datalog.Rule {
+	return parser.MustParseRules(defaultInheritanceSrc)
+}
+
+// Instance builds the fact instance(x, c).
+func Instance(x, c term.Term) datalog.Rule {
+	return datalog.Fact(PredInstance, x, c)
+}
+
+// Subclass builds the fact subclass(sub, super).
+func Subclass(sub, super term.Term) datalog.Rule {
+	return datalog.Fact(PredSubclass, sub, super)
+}
+
+// Method builds the schema fact method(c, m, cm): method m applies to
+// instances of c and yields instances of cm.
+func Method(c, m, cm term.Term) datalog.Rule {
+	return datalog.Fact(PredMethod, c, m, cm)
+}
+
+// MethodInst builds the fact methodinst(x, m, y).
+func MethodInst(x, m, y term.Term) datalog.Rule {
+	return datalog.Fact(PredMethodInst, x, m, y)
+}
+
+// RelationSchema declares an n-ary relation R with attribute names and
+// their classes, yielding rel(R) and one relattr(R, A, C, Pos) fact per
+// attribute (Table 1's relation(R, A1=>C1, ..., An=>Cn)).
+func RelationSchema(name string, attrs []string, classes []string) []datalog.Rule {
+	out := []datalog.Rule{datalog.Fact(PredRelation, term.Atom(name))}
+	for i, a := range attrs {
+		out = append(out, datalog.Fact(PredRelAttr,
+			term.Atom(name), term.Atom(a), term.Atom(classes[i]), term.Int(int64(i))))
+	}
+	return out
+}
+
+// RelationInst builds both representations of a relation tuple: the
+// direct predicate name(args...) and the reified relinst(name, args...)
+// used by schema-level rules such as Example 2's R(X,X).
+func RelationInst(name string, args ...term.Term) []datalog.Rule {
+	reified := append([]term.Term{term.Atom(name)}, args...)
+	return []datalog.Rule{
+		datalog.Fact(name, args...),
+		datalog.Fact(PredRelInst, reified...),
+	}
+}
+
+// MirrorRules returns rules that keep the reified relinst view in sync
+// with a directly-named relation predicate of the given arity, so
+// derived tuples (not only base facts) are visible to schema-level
+// rules.
+func MirrorRules(name string, arity int) []datalog.Rule {
+	directArgs := make([]term.Term, arity)
+	for i := range directArgs {
+		directArgs[i] = term.Var("X" + string(rune('0'+i)))
+	}
+	reified := append([]term.Term{term.Atom(name)}, directArgs...)
+	return []datalog.Rule{
+		datalog.NewRule(datalog.Lit(PredRelInst, reified...), datalog.Lit(name, directArgs...)),
+	}
+}
+
+// GCMExpr is one of the six core GCM expression forms of Table 1,
+// round-trippable between its GCM reading and its F-logic concrete
+// syntax.
+type GCMExpr struct {
+	Form string // "instance", "subclass", "method", "methodinst", "relation", "relationinst"
+	Args []term.Term
+}
+
+// ToFL renders the expression in F-logic concrete syntax (Table 1, middle
+// column).
+func (g GCMExpr) ToFL() string {
+	switch g.Form {
+	case "instance":
+		return g.Args[0].String() + " : " + g.Args[1].String()
+	case "subclass":
+		return g.Args[0].String() + " :: " + g.Args[1].String()
+	case "method":
+		return g.Args[0].String() + "[" + g.Args[1].String() + " => " + g.Args[2].String() + "]"
+	case "methodinst":
+		return g.Args[0].String() + "[" + g.Args[1].String() + " -> " + g.Args[2].String() + "]"
+	case "relation":
+		// rel name followed by attribute=>class pairs.
+		s := g.Args[0].String() + "["
+		for i := 1; i+1 < len(g.Args); i += 2 {
+			if i > 1 {
+				s += "; "
+			}
+			s += g.Args[i].String() + " => " + g.Args[i+1].String()
+		}
+		return s + "]"
+	case "relationinst":
+		s := g.Args[0].String() + "["
+		for i := 1; i+1 < len(g.Args); i += 2 {
+			if i > 1 {
+				s += "; "
+			}
+			s += g.Args[i].String() + " -> " + g.Args[i+1].String()
+		}
+		return s + "]"
+	}
+	return ""
+}
+
+// ParseFL parses a single F-logic expression (as produced by ToFL for
+// the instance/subclass/method/methodinst forms) back into the GCM
+// literals it denotes.
+func ParseFL(src string) ([]datalog.Literal, error) {
+	body, _, err := parser.ParseQuery(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]datalog.Literal, 0, len(body))
+	for _, e := range body {
+		if l, ok := e.(datalog.Literal); ok {
+			out = append(out, l)
+		}
+	}
+	return out, nil
+}

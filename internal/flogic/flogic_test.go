@@ -1,0 +1,217 @@
+package flogic
+
+import (
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/term"
+)
+
+func a(s string) term.Term { return term.Atom(s) }
+
+func runWith(t *testing.T, rules ...[]datalog.Rule) *datalog.Result {
+	t.Helper()
+	e := datalog.NewEngine(nil)
+	for _, rs := range rules {
+		if err := e.AddRules(rs...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Figure 1 class fragment: neuron hierarchy of the paper.
+func fig1Hierarchy() []datalog.Rule {
+	var rs []datalog.Rule
+	pairs := [][2]string{
+		{"spiny_neuron", "neuron"},
+		{"purkinje_cell", "spiny_neuron"},
+		{"pyramidal_cell", "spiny_neuron"},
+		{"axon", "compartment"},
+		{"dendrite", "compartment"},
+		{"soma", "compartment"},
+	}
+	for _, p := range pairs {
+		rs = append(rs, Subclass(a(p[0]), a(p[1])))
+	}
+	return rs
+}
+
+func TestSubclassReflexiveTransitive(t *testing.T) {
+	res := runWith(t, Axioms(), fig1Hierarchy())
+	// Transitive: purkinje_cell :: neuron.
+	if !res.Holds(PredSubclass, a("purkinje_cell"), a("neuron")) {
+		t.Error("purkinje_cell :: neuron should be derived")
+	}
+	// Reflexive over declared classes.
+	if !res.Holds(PredSubclass, a("neuron"), a("neuron")) {
+		t.Error("neuron :: neuron should be derived (reflexivity)")
+	}
+	// No cross-hierarchy leakage.
+	if res.Holds(PredSubclass, a("purkinje_cell"), a("compartment")) {
+		t.Error("purkinje_cell :: compartment must not hold")
+	}
+}
+
+func TestInstancePropagation(t *testing.T) {
+	rules := append(fig1Hierarchy(), Instance(a("p1"), a("purkinje_cell")))
+	res := runWith(t, Axioms(), rules)
+	for _, c := range []string{"purkinje_cell", "spiny_neuron", "neuron"} {
+		if !res.Holds(PredInstance, a("p1"), a(c)) {
+			t.Errorf("p1 : %s should be derived", c)
+		}
+	}
+	if res.Holds(PredInstance, a("p1"), a("compartment")) {
+		t.Error("p1 : compartment must not hold")
+	}
+}
+
+func TestMetaclassMembership(t *testing.T) {
+	res := runWith(t, Axioms(), fig1Hierarchy())
+	for _, c := range []string{"neuron", "purkinje_cell", "compartment"} {
+		if !res.Holds(PredInstance, a(c), a(MetaClass)) {
+			t.Errorf("%s : class should be derived", c)
+		}
+	}
+}
+
+func TestMethodSignatureInheritance(t *testing.T) {
+	rules := append(fig1Hierarchy(), Method(a("neuron"), a("has"), a("compartment")))
+	res := runWith(t, Axioms(), rules)
+	if !res.Holds(PredMethod, a("purkinje_cell"), a("has"), a("compartment")) {
+		t.Error("method has should be inherited by purkinje_cell")
+	}
+}
+
+func TestDefaultInheritanceOverride(t *testing.T) {
+	// medium_spiny_neuron projects (by default) to several targets; the
+	// more specific my_neuron class overrides the default; an object
+	// with a local value overrides everything.
+	rules := []datalog.Rule{
+		Subclass(a("my_neuron"), a("medium_spiny_neuron")),
+		Instance(a("n1"), a("my_neuron")),
+		Instance(a("n2"), a("medium_spiny_neuron")),
+		Instance(a("n3"), a("my_neuron")),
+		datalog.Fact("default", a("medium_spiny_neuron"), a("proj"), a("globus_pallidus_external")),
+		datalog.Fact("default", a("medium_spiny_neuron"), a("proj"), a("substantia_nigra_pr")),
+		datalog.Fact("default", a("my_neuron"), a("proj"), a("globus_pallidus_external")),
+		datalog.Fact("methodinst_local", a("n3"), a("proj"), a("substantia_nigra_pc")),
+	}
+	res := runWith(t, Axioms(), DefaultInheritanceRules(), rules)
+	// n1 gets only the more specific default.
+	if !res.Holds(PredMethodInst, a("n1"), a("proj"), a("globus_pallidus_external")) {
+		t.Error("n1 should inherit my_neuron default")
+	}
+	if res.Holds(PredMethodInst, a("n1"), a("proj"), a("substantia_nigra_pr")) {
+		t.Error("n1 must not inherit the overridden medium_spiny_neuron default")
+	}
+	// n2, a plain medium spiny neuron, gets both defaults.
+	if !res.Holds(PredMethodInst, a("n2"), a("proj"), a("substantia_nigra_pr")) ||
+		!res.Holds(PredMethodInst, a("n2"), a("proj"), a("globus_pallidus_external")) {
+		t.Error("n2 should inherit both class defaults")
+	}
+	// n3 has a local value, which suppresses all defaults.
+	if !res.Holds(PredMethodInst, a("n3"), a("proj"), a("substantia_nigra_pc")) {
+		t.Error("n3 should keep its local value")
+	}
+	if res.Holds(PredMethodInst, a("n3"), a("proj"), a("globus_pallidus_external")) {
+		t.Error("n3 local value must suppress defaults")
+	}
+}
+
+func TestRelationSchemaAndInstance(t *testing.T) {
+	var rules []datalog.Rule
+	rules = append(rules, RelationSchema("has", []string{"whole", "part"}, []string{"neuron", "compartment"})...)
+	rules = append(rules, RelationInst("has", a("n1"), a("a1"))...)
+	res := runWith(t, Axioms(), rules)
+	if !res.Holds(PredRelation, a("has")) {
+		t.Error("rel(has) missing")
+	}
+	if !res.Holds(PredRelAttr, a("has"), a("whole"), a("neuron"), term.Int(0)) {
+		t.Error("relattr for whole missing")
+	}
+	if !res.Holds("has", a("n1"), a("a1")) {
+		t.Error("direct has tuple missing")
+	}
+	if !res.Holds(PredRelInst, a("has"), a("n1"), a("a1")) {
+		t.Error("reified relinst tuple missing")
+	}
+}
+
+func TestMirrorRules(t *testing.T) {
+	rules := []datalog.Rule{
+		datalog.Fact("edge", a("x"), a("y")),
+		datalog.NewRule(datalog.Lit("has", term.Var("A"), term.Var("B")),
+			datalog.Lit("edge", term.Var("A"), term.Var("B"))),
+	}
+	rules = append(rules, MirrorRules("has", 2)...)
+	res := runWith(t, rules)
+	if !res.Holds(PredRelInst, a("has"), a("x"), a("y")) {
+		t.Error("derived tuple should be mirrored into relinst")
+	}
+}
+
+func TestTable1RoundTrip(t *testing.T) {
+	// Each GCM core expression renders to FL syntax and parses back to
+	// the same core literals (Table 1 correspondence, both directions).
+	cases := []struct {
+		expr GCMExpr
+		pred string
+	}{
+		{GCMExpr{Form: "instance", Args: []term.Term{a("x"), a("c")}}, PredInstance},
+		{GCMExpr{Form: "subclass", Args: []term.Term{a("c1"), a("c2")}}, PredSubclass},
+		{GCMExpr{Form: "method", Args: []term.Term{a("c"), a("m"), a("d")}}, PredMethod},
+		{GCMExpr{Form: "methodinst", Args: []term.Term{a("x"), a("m"), a("y")}}, PredMethodInst},
+	}
+	for _, c := range cases {
+		fl := c.expr.ToFL()
+		lits, err := ParseFL(fl)
+		if err != nil {
+			t.Errorf("ParseFL(%q): %v", fl, err)
+			continue
+		}
+		if len(lits) != 1 {
+			t.Errorf("ParseFL(%q) = %v, want 1 literal", fl, lits)
+			continue
+		}
+		if lits[0].Pred != c.pred {
+			t.Errorf("ParseFL(%q) pred = %s, want %s", fl, lits[0].Pred, c.pred)
+		}
+		for i, arg := range c.expr.Args {
+			if !lits[0].Args[i].Equal(arg) {
+				t.Errorf("ParseFL(%q) arg %d = %v, want %v", fl, i, lits[0].Args[i], arg)
+			}
+		}
+	}
+}
+
+func TestTable1RelationForms(t *testing.T) {
+	rel := GCMExpr{Form: "relation", Args: []term.Term{a("has"), a("whole"), a("neuron"), a("part"), a("compartment")}}
+	fl := rel.ToFL()
+	lits, err := ParseFL(fl)
+	if err != nil {
+		t.Fatalf("ParseFL(%q): %v", fl, err)
+	}
+	if len(lits) != 2 || lits[0].Pred != PredMethod {
+		t.Errorf("relation form lits = %v", lits)
+	}
+	ri := GCMExpr{Form: "relationinst", Args: []term.Term{a("t1"), a("whole"), a("n1"), a("part"), a("a1")}}
+	lits, err = ParseFL(ri.ToFL())
+	if err != nil {
+		t.Fatalf("ParseFL relationinst: %v", err)
+	}
+	if len(lits) != 2 || lits[0].Pred != PredMethodInst {
+		t.Errorf("relationinst form lits = %v", lits)
+	}
+}
+
+func TestMethodInstConstructor(t *testing.T) {
+	r := MethodInst(a("o"), a("m"), term.Int(3))
+	if r.String() != "methodinst(o,m,3)." {
+		t.Errorf("MethodInst = %s", r)
+	}
+}

@@ -1,0 +1,509 @@
+package gcm
+
+import (
+	"strings"
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/flogic"
+	"modelmed/internal/term"
+)
+
+func a(s string) term.Term { return term.Atom(s) }
+
+// neuronModel builds a small valid model used across tests.
+func neuronModel() *Model {
+	m := NewModel("test")
+	m.AddClass(&Class{Name: "compartment"})
+	m.AddClass(&Class{Name: "neuron", Methods: []MethodSig{
+		{Name: "name", Result: "string", Scalar: true},
+		{Name: "location", Result: "string", Anchor: true},
+	}})
+	m.AddClass(&Class{Name: "spiny_neuron", Super: []string{"neuron"}})
+	m.AddRelation(&Relation{Name: "has", Attrs: []RelAttr{
+		{Name: "whole", Class: "neuron", Card: Exactly(1)},
+		{Name: "part", Class: "compartment", Card: AtMost(2)},
+	}})
+	return m
+}
+
+func TestValidateOK(t *testing.T) {
+	m := neuronModel()
+	m.AddObject(Object{ID: a("n1"), Class: "spiny_neuron",
+		Values: map[string][]term.Term{"name": {term.Str("cell 1")}}})
+	m.AddTuple("has", a("n1"), a("c1"))
+	if err := m.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *Model
+		want  string
+	}{
+		{"unknown super", func() *Model {
+			m := NewModel("t")
+			m.AddClass(&Class{Name: "c", Super: []string{"ghost"}})
+			return m
+		}, "unknown superclass"},
+		{"unknown result class", func() *Model {
+			m := NewModel("t")
+			m.AddClass(&Class{Name: "c", Methods: []MethodSig{{Name: "m", Result: "ghost"}}})
+			return m
+		}, "unknown result class"},
+		{"duplicate method", func() *Model {
+			m := NewModel("t")
+			m.AddClass(&Class{Name: "c", Methods: []MethodSig{
+				{Name: "m", Result: "string"}, {Name: "m", Result: "string"}}})
+			return m
+		}, "duplicate method"},
+		{"object of unknown class", func() *Model {
+			m := NewModel("t")
+			m.AddObject(Object{ID: a("o"), Class: "ghost"})
+			return m
+		}, "unknown class"},
+		{"undeclared object method", func() *Model {
+			m := NewModel("t")
+			m.AddClass(&Class{Name: "c"})
+			m.AddObject(Object{ID: a("o"), Class: "c",
+				Values: map[string][]term.Term{"m": {a("v")}}})
+			return m
+		}, "not declared"},
+		{"tuple arity", func() *Model {
+			m := NewModel("t")
+			m.AddClass(&Class{Name: "c"})
+			m.AddRelation(&Relation{Name: "r", Attrs: []RelAttr{
+				{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+			m.AddTuple("r", a("x"))
+			return m
+		}, "arity"},
+		{"tuple for undeclared relation", func() *Model {
+			m := NewModel("t")
+			m.AddTuple("ghost", a("x"))
+			return m
+		}, "undeclared relation"},
+		{"relation without attrs", func() *Model {
+			m := NewModel("t")
+			m.AddRelation(&Relation{Name: "r"})
+			return m
+		}, "no attributes"},
+	}
+	for _, c := range cases {
+		err := c.build().Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestMethodResolutionThroughSupers(t *testing.T) {
+	m := neuronModel()
+	m.AddObject(Object{ID: a("n1"), Class: "spiny_neuron",
+		Values: map[string][]term.Term{"name": {term.Str("x")}}})
+	if err := m.Validate(); err != nil {
+		t.Fatalf("method inherited from neuron should validate: %v", err)
+	}
+}
+
+func TestFactsCompileAndClose(t *testing.T) {
+	m := neuronModel()
+	m.AddObject(Object{ID: a("n1"), Class: "spiny_neuron",
+		Values: map[string][]term.Term{"name": {term.Str("cell 1")}}})
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds("instance", a("n1"), a("neuron")) {
+		t.Error("n1 : neuron should be derived via upward propagation")
+	}
+	if !res.Holds("method", a("spiny_neuron"), a("name"), a("string")) {
+		t.Error("method signature should be inherited")
+	}
+}
+
+// TestExample2Witnesses reproduces the paper's Example 2: the partial-
+// order integrity constraints on a relation, with seeded violations of
+// reflexivity, transitivity and antisymmetry.
+func TestExample2Witnesses(t *testing.T) {
+	m := NewModel("ex2")
+	m.AddClass(&Class{Name: "c"})
+	m.AddRelation(&Relation{Name: "po", Attrs: []RelAttr{
+		{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+	m.Constraints = append(m.Constraints, PartialOrder{Class: "c", Rel: "po"})
+	for _, x := range []string{"x", "y", "z"} {
+		m.AddObject(Object{ID: a(x), Class: "c"})
+	}
+	// Seed: reflexive only on x; po(x,y), po(y,z) but no po(x,z)
+	// (transitivity violation); po(y,x) as well (antisymmetry violation
+	// with po(x,y)).
+	m.AddTuple("po", a("x"), a("x"))
+	m.AddTuple("po", a("x"), a("y"))
+	m.AddTuple("po", a("y"), a("z"))
+	m.AddTuple("po", a("y"), a("x"))
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrc := WitnessesOfKind(res, "wrc")
+	if len(wrc) != 2 { // y and z lack reflexive edges
+		t.Errorf("wrc witnesses = %v, want 2", wrc)
+	}
+	wtc := WitnessesOfKind(res, "wtc")
+	if len(wtc) == 0 {
+		t.Error("expected transitivity witnesses")
+	}
+	was := WitnessesOfKind(res, "was")
+	if len(was) != 2 { // (x,y) and (y,x)
+		t.Errorf("was witnesses = %v, want 2", was)
+	}
+}
+
+// TestExample2CleanPartialOrder verifies a true partial order yields no
+// witnesses ("R is a partial order on C iff (1-3) do not insert a
+// failure witness into ic").
+func TestExample2CleanPartialOrder(t *testing.T) {
+	m := NewModel("ex2clean")
+	m.AddClass(&Class{Name: "c"})
+	m.AddRelation(&Relation{Name: "po", Attrs: []RelAttr{
+		{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+	m.Constraints = append(m.Constraints, PartialOrder{Class: "c", Rel: "po"})
+	for _, x := range []string{"x", "y", "z"} {
+		m.AddObject(Object{ID: a(x), Class: "c"})
+	}
+	// x <= y <= z with full reflexive-transitive closure.
+	pairs := [][2]string{{"x", "x"}, {"y", "y"}, {"z", "z"}, {"x", "y"}, {"y", "z"}, {"x", "z"}}
+	for _, p := range pairs {
+		m.AddTuple("po", a(p[0]), a(p[1]))
+	}
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := Witnesses(res); len(ws) != 0 {
+		t.Errorf("clean partial order produced witnesses: %v", ws)
+	}
+}
+
+// TestExample2OnSubclass applies the partial-order check to the class
+// hierarchy itself (the paper: assign "::" to R and "class" to C),
+// using mirror rules to expose subclass as a reified relation.
+func TestExample2OnSubclass(t *testing.T) {
+	m := NewModel("meta")
+	m.AddClass(&Class{Name: "a"})
+	m.AddClass(&Class{Name: "b", Super: []string{"a"}})
+	m.Constraints = append(m.Constraints, PartialOrder{Class: flogic.MetaClass, Rel: "subclass"})
+	extra := flogic.MirrorRules("subclass", 2)
+	res, err := Check(m, extra...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The FL axioms close :: reflexively and transitively, and the
+	// hierarchy is acyclic, so the check passes... except that the
+	// metaclass `class` itself has no reflexive edge unless declared.
+	for _, w := range Witnesses(res) {
+		if w.Kind == "was" {
+			t.Errorf("antisymmetry witness on acyclic hierarchy: %v", w)
+		}
+	}
+}
+
+func TestSubclassCycleDetectedByAntisymmetry(t *testing.T) {
+	m := NewModel("cyc")
+	m.AddClass(&Class{Name: "a", Super: []string{"b"}})
+	m.AddClass(&Class{Name: "b", Super: []string{"a"}})
+	m.Constraints = append(m.Constraints, PartialOrder{Class: flogic.MetaClass, Rel: "subclass"})
+	res, err := Check(m, flogic.MirrorRules("subclass", 2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	was := WitnessesOfKind(res, "was")
+	if len(was) == 0 {
+		t.Error("cycle a::b::a should produce antisymmetry witnesses")
+	}
+}
+
+// TestExample3Cardinality reproduces the paper's Example 3: for
+// has(neuron, axon), a neuron has at most 2 axons and an axon is
+// contained in exactly one neuron.
+func TestExample3Cardinality(t *testing.T) {
+	m := NewModel("ex3")
+	m.AddClass(&Class{Name: "neuron"})
+	m.AddClass(&Class{Name: "axon"})
+	m.AddRelation(&Relation{Name: "has", Attrs: []RelAttr{
+		{Name: "a", Class: "neuron", Card: Exactly(1)}, // per axon: exactly one neuron
+		{Name: "b", Class: "axon", Card: AtMost(2)},    // per neuron: at most two axons
+	}})
+	for _, n := range []string{"n1", "n2"} {
+		m.AddObject(Object{ID: a(n), Class: "neuron"})
+	}
+	for _, x := range []string{"x1", "x2", "x3", "x4", "x5"} {
+		m.AddObject(Object{ID: a(x), Class: "axon"})
+	}
+	// n1 has 3 axons (violates <=2); x1 is shared by n1 and n2 (violates
+	// exactly-1); x5 belongs to no neuron (violates exactly-1 at zero).
+	m.AddTuple("has", a("n1"), a("x1"))
+	m.AddTuple("has", a("n1"), a("x2"))
+	m.AddTuple("has", a("n1"), a("x3"))
+	m.AddTuple("has", a("n2"), a("x1"))
+	m.AddTuple("has", a("n2"), a("x4"))
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxW := WitnessesOfKind(res, "w_card2_max")
+	if len(maxW) != 1 || !maxW[0].Args[1].Equal(a("n1")) {
+		t.Errorf("w_card2_max = %v, want one witness for n1", maxW)
+	}
+	firstMax := WitnessesOfKind(res, "w_card_max")
+	if len(firstMax) != 1 || !firstMax[0].Args[1].Equal(a("x1")) {
+		t.Errorf("w_card_max = %v, want one witness for x1 (two neurons)", firstMax)
+	}
+	zero := WitnessesOfKind(res, "w_card_zero")
+	if len(zero) != 1 || !zero[0].Args[1].Equal(a("x5")) {
+		t.Errorf("w_card_zero = %v, want one witness for x5", zero)
+	}
+}
+
+func TestExample3CleanCardinality(t *testing.T) {
+	m := NewModel("ex3clean")
+	m.AddClass(&Class{Name: "neuron"})
+	m.AddClass(&Class{Name: "axon"})
+	m.AddRelation(&Relation{Name: "has", Attrs: []RelAttr{
+		{Name: "a", Class: "neuron", Card: Exactly(1)},
+		{Name: "b", Class: "axon", Card: AtMost(2)},
+	}})
+	m.AddObject(Object{ID: a("n1"), Class: "neuron"})
+	for _, x := range []string{"x1", "x2"} {
+		m.AddObject(Object{ID: a(x), Class: "axon"})
+	}
+	m.AddTuple("has", a("n1"), a("x1"))
+	m.AddTuple("has", a("n1"), a("x2"))
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws := Witnesses(res); len(ws) != 0 {
+		t.Errorf("conforming instance produced witnesses: %v", ws)
+	}
+}
+
+func TestScalarMethodConstraint(t *testing.T) {
+	m := neuronModel()
+	m.AddObject(Object{ID: a("n1"), Class: "neuron",
+		Values: map[string][]term.Term{"name": {term.Str("a"), term.Str("b")}}})
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(WitnessesOfKind(res, "w_scalar")) == 0 {
+		t.Error("two values on a scalar method should produce a witness")
+	}
+}
+
+func TestKeyMethodConstraint(t *testing.T) {
+	m := neuronModel()
+	m.Constraints = append(m.Constraints, KeyMethod{Class: "neuron", Method: "name"})
+	m.AddObject(Object{ID: a("n1"), Class: "neuron",
+		Values: map[string][]term.Term{"name": {term.Str("same")}}})
+	m.AddObject(Object{ID: a("n2"), Class: "neuron",
+		Values: map[string][]term.Term{"name": {term.Str("same")}}})
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(WitnessesOfKind(res, "w_key")) == 0 {
+		t.Error("key violation should produce a witness")
+	}
+}
+
+func TestInclusionConstraint(t *testing.T) {
+	m := NewModel("incl")
+	m.AddClass(&Class{Name: "c"})
+	m.AddRelation(&Relation{Name: "r1", Attrs: []RelAttr{
+		{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+	m.AddRelation(&Relation{Name: "r2", Attrs: []RelAttr{
+		{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+	m.Constraints = append(m.Constraints, Inclusion{Sub: "r1", Super: "r2"})
+	m.AddTuple("r1", a("x"), a("y"))
+	m.AddTuple("r1", a("u"), a("v"))
+	m.AddTuple("r2", a("x"), a("y"))
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := WitnessesOfKind(res, "w_incl")
+	if len(ws) != 1 || !ws[0].Args[2].Equal(a("u")) {
+		t.Errorf("w_incl = %v, want one witness for (u,v)", ws)
+	}
+}
+
+func TestAnchorValues(t *testing.T) {
+	m := neuronModel()
+	m.AddObject(Object{ID: a("n1"), Class: "neuron",
+		Values: map[string][]term.Term{"location": {a("purkinje_cell")}}})
+	m.AddObject(Object{ID: a("n2"), Class: "neuron",
+		Values: map[string][]term.Term{"location": {a("purkinje_cell")}, "name": {term.Str("z")}}})
+	anchors := m.AnchorValues()
+	if len(anchors["purkinje_cell"]) != 2 {
+		t.Errorf("anchors = %v", anchors)
+	}
+	if len(anchors) != 1 {
+		t.Errorf("non-anchor method leaked into anchors: %v", anchors)
+	}
+}
+
+func TestCardinalityHelpers(t *testing.T) {
+	if Exactly(3) != (Cardinality{3, 3}) || AtMost(2) != (Cardinality{0, 2}) {
+		t.Error("cardinality constructors wrong")
+	}
+	if Any.Max >= 0 {
+		t.Error("Any must be unbounded")
+	}
+}
+
+func TestWitnessString(t *testing.T) {
+	w := Witness{Kind: "wrc", Args: []term.Term{a("c"), a("r"), a("x")}}
+	if got := w.String(); got != "wrc(c,r,x)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestCheckRunsSemanticRules(t *testing.T) {
+	m := neuronModel()
+	m.AddObject(Object{ID: a("n1"), Class: "neuron",
+		Values: map[string][]term.Term{"name": {term.Str("cell")}}})
+	m.Rules = append(m.Rules, datalog.NewRule(
+		datalog.Lit("named", term.Var("X")),
+		datalog.Lit("methodinst", term.Var("X"), a("name"), term.Var("V"))))
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds("named", a("n1")) {
+		t.Error("semantic rule should derive named(n1)")
+	}
+}
+
+func TestValueTypeChecking(t *testing.T) {
+	build := func(result string, v term.Term) *Model {
+		m := NewModel("typed")
+		m.AddClass(&Class{Name: "c", Methods: []MethodSig{{Name: "m", Result: result}}})
+		m.AddObject(Object{ID: a("o"), Class: "c", Values: map[string][]term.Term{"m": {v}}})
+		return m
+	}
+	good := []struct {
+		result string
+		v      term.Term
+	}{
+		{"string", term.Str("x")},
+		{"string", a("x")}, // atoms are admissible string values
+		{"integer", term.Int(3)},
+		{"float", term.Float(1.5)},
+		{"float", term.Int(2)}, // ints are numeric
+		{"number", term.Int(2)},
+		{"any", term.Comp("f", a("x"))},
+	}
+	for _, c := range good {
+		if err := build(c.result, c.v).Validate(); err != nil {
+			t.Errorf("%s value %v should validate: %v", c.result, c.v, err)
+		}
+	}
+	bad := []struct {
+		result string
+		v      term.Term
+	}{
+		{"string", term.Int(3)},
+		{"integer", term.Str("3")},
+		{"integer", term.Float(3)},
+		{"float", a("x")},
+	}
+	for _, c := range bad {
+		if err := build(c.result, c.v).Validate(); err == nil {
+			t.Errorf("%s value %v should be rejected", c.result, c.v)
+		}
+	}
+}
+
+func TestIsBuiltinClass(t *testing.T) {
+	for _, c := range []string{"string", "integer", "float", "number", "any"} {
+		if !IsBuiltinClass(c) {
+			t.Errorf("%s should be builtin", c)
+		}
+	}
+	if IsBuiltinClass("neuron") {
+		t.Error("neuron is not builtin")
+	}
+}
+
+func TestCheckStoreDirect(t *testing.T) {
+	m := neuronModel()
+	m.AddObject(Object{ID: a("n1"), Class: "neuron",
+		Values: map[string][]term.Term{"name": {term.Str("x"), term.Str("y")}}})
+	res1, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-checking the materialized store reproduces the witnesses.
+	res2, err := CheckStore(res1.Store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(WitnessesOfKind(res2, "w_scalar")) == 0 {
+		t.Error("CheckStore should rediscover the scalar violation")
+	}
+}
+
+func TestDerivedAttribute(t *testing.T) {
+	m := NewModel("derived")
+	m.AddClass(&Class{Name: "measurement", Methods: []MethodSig{
+		{Name: "density", Result: "float", Scalar: true},
+		{Name: "density_class", Result: "string",
+			Derivation: `
+				methodinst(O, density_class, high) :- methodinst(O, density, D), D >= 2.0.
+				methodinst(O, density_class, low) :- methodinst(O, density, D), D < 2.0.
+			`},
+	}})
+	m.AddObject(Object{ID: a("m1"), Class: "measurement",
+		Values: map[string][]term.Term{"density": {term.Float(3.1)}}})
+	m.AddObject(Object{ID: a("m2"), Class: "measurement",
+		Values: map[string][]term.Term{"density": {term.Float(0.4)}}})
+	res, err := Check(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds("methodinst", a("m1"), a("density_class"), a("high")) {
+		t.Error("m1 should derive high")
+	}
+	if !res.Holds("methodinst", a("m2"), a("density_class"), a("low")) {
+		t.Error("m2 should derive low")
+	}
+}
+
+func TestDerivedAttributeValidation(t *testing.T) {
+	// Bad rule text.
+	m := NewModel("bad1")
+	m.AddClass(&Class{Name: "c", Methods: []MethodSig{
+		{Name: "d", Result: "string", Derivation: "methodinst(O, d"}}})
+	if err := m.Validate(); err == nil {
+		t.Error("unparseable derivation should fail validation")
+	}
+	// Wrong head.
+	m2 := NewModel("bad2")
+	m2.AddClass(&Class{Name: "c", Methods: []MethodSig{
+		{Name: "d", Result: "string", Derivation: "other(O, V) :- src(O, V)."}}})
+	if err := m2.Validate(); err == nil {
+		t.Error("derivation without the right methodinst head should fail")
+	}
+	// Stored values on a derived method.
+	m3 := NewModel("bad3")
+	m3.AddClass(&Class{Name: "c", Methods: []MethodSig{
+		{Name: "d", Result: "string",
+			Derivation: "methodinst(O, d, x) :- instance(O, c)."}}})
+	m3.AddObject(Object{ID: a("o"), Class: "c",
+		Values: map[string][]term.Term{"d": {a("x")}}})
+	if err := m3.Validate(); err == nil {
+		t.Error("stored values on a derived method should fail")
+	}
+}

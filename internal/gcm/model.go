@@ -1,0 +1,448 @@
+// Package gcm implements the Generic Conceptual Model of Section 3:
+// classes with method signatures, n-ary relations with attribute roles,
+// object instances, and the logic-rule extension mechanism — including
+// the integrity-constraint library of Examples 2 (partial orders) and 3
+// (cardinality constraints), whose violations insert failure witnesses
+// into the distinguished inconsistency class `ic`.
+package gcm
+
+import (
+	"fmt"
+	"sort"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/flogic"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+// Builtin value classes every model may reference without declaring.
+var builtinClasses = map[string]bool{
+	"string": true, "integer": true, "float": true, "number": true, "any": true,
+}
+
+// IsBuiltinClass reports whether name is a builtin value class.
+func IsBuiltinClass(name string) bool { return builtinClasses[name] }
+
+// MethodSig describes one method (attribute/slot) of a class.
+type MethodSig struct {
+	// Name of the method.
+	Name string
+	// Result is the class of the method's values.
+	Result string
+	// Scalar marks single-valued methods (at most one value per object).
+	Scalar bool
+	// Anchor marks the method as a semantic-anchor attribute: its values
+	// are concepts of the mediator's domain map (Section 2, "anchor and
+	// context attributes").
+	Anchor bool
+	// Context marks the method as a context attribute: its values
+	// situate the data (organism, experimental condition, ...) and are
+	// summarized into the mediator's semantic index to refine source
+	// selection.
+	Context bool
+	// Derivation, when non-empty, makes this a derived attribute
+	// "computed on demand at the mediator" (Section 2, footnote 4): rule
+	// text whose head is methodinst(O, <name>, V). Derived methods carry
+	// no stored values.
+	Derivation string
+}
+
+// Class is a class (entity type) of a conceptual model.
+type Class struct {
+	Name    string
+	Super   []string // direct superclasses
+	Methods []MethodSig
+}
+
+// Method returns the signature of the named method, if declared directly
+// on the class.
+func (c *Class) Method(name string) (MethodSig, bool) {
+	for _, m := range c.Methods {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MethodSig{}, false
+}
+
+// Cardinality bounds the number of role fillers; Max < 0 means
+// unbounded.
+type Cardinality struct {
+	Min, Max int
+}
+
+// Any is the unconstrained cardinality. The zero value Cardinality{} is
+// also treated as unconstrained.
+var Any = Cardinality{Min: 0, Max: -1}
+
+// Constrained reports whether the cardinality actually restricts the
+// number of fillers.
+func (c Cardinality) Constrained() bool {
+	return !(c == Cardinality{}) && !(c.Min <= 0 && c.Max < 0)
+}
+
+// Exactly returns the cardinality [n,n].
+func Exactly(n int) Cardinality { return Cardinality{Min: n, Max: n} }
+
+// AtMost returns the cardinality [0,n].
+func AtMost(n int) Cardinality { return Cardinality{Min: 0, Max: n} }
+
+// RelAttr is one attribute (association role) of a relation.
+type RelAttr struct {
+	Name  string
+	Class string
+	// Card bounds, for binary relations, how many fillers of this role
+	// may pair with one filler of the other role (the paper's Example 3:
+	// card_A(N):=(N=1), card_B(N):=(N<=2)).
+	Card Cardinality
+}
+
+// Relation is an n-ary relation schema (Table 1's REL form).
+type Relation struct {
+	Name  string
+	Attrs []RelAttr
+}
+
+// Object is an instance of a class with its method values.
+type Object struct {
+	ID     term.Term
+	Class  string
+	Values map[string][]term.Term
+}
+
+// Model is a conceptual model CM(S): the schema, semantic rules, and
+// instance data a wrapped source exports to the mediator.
+type Model struct {
+	Name      string
+	Classes   map[string]*Class
+	Relations map[string]*Relation
+	// Rules are the source's semantic rules, already in GCM form.
+	Rules []datalog.Rule
+	// Constraints declare integrity checks to compile in (see
+	// constraints.go).
+	Constraints []Constraint
+	Objects     []Object
+	// Tuples holds relation instances, keyed by relation name.
+	Tuples map[string][][]term.Term
+}
+
+// NewModel returns an empty model.
+func NewModel(name string) *Model {
+	return &Model{
+		Name:      name,
+		Classes:   make(map[string]*Class),
+		Relations: make(map[string]*Relation),
+		Tuples:    make(map[string][][]term.Term),
+	}
+}
+
+// AddClass declares a class; it replaces any previous declaration of the
+// same name.
+func (m *Model) AddClass(c *Class) { m.Classes[c.Name] = c }
+
+// AddRelation declares a relation schema.
+func (m *Model) AddRelation(r *Relation) { m.Relations[r.Name] = r }
+
+// AddObject adds an object instance.
+func (m *Model) AddObject(o Object) { m.Objects = append(m.Objects, o) }
+
+// AddTuple adds a relation instance.
+func (m *Model) AddTuple(rel string, args ...term.Term) {
+	m.Tuples[rel] = append(m.Tuples[rel], args)
+}
+
+// checkValueType validates a method value against a builtin result
+// class. Values of declared (non-builtin) classes and of "any" are not
+// checked here: object-class membership is derived by the rule engine.
+func checkValueType(result string, v term.Term) error {
+	switch result {
+	case "string":
+		if v.Kind() != term.KindString && v.Kind() != term.KindAtom {
+			return fmt.Errorf("value %s is not a string", v)
+		}
+	case "integer":
+		if v.Kind() != term.KindInt {
+			return fmt.Errorf("value %s is not an integer", v)
+		}
+	case "float", "number":
+		if _, ok := v.Numeric(); !ok {
+			return fmt.Errorf("value %s is not numeric", v)
+		}
+	}
+	return nil
+}
+
+// classKnown reports whether name is declared or builtin.
+func (m *Model) classKnown(name string) bool {
+	if builtinClasses[name] {
+		return true
+	}
+	_, ok := m.Classes[name]
+	return ok
+}
+
+// methodOf resolves a method signature on class name, walking direct and
+// transitive superclasses.
+func (m *Model) methodOf(class, method string) (MethodSig, bool) {
+	seen := map[string]bool{}
+	var walk func(string) (MethodSig, bool)
+	walk = func(cn string) (MethodSig, bool) {
+		if seen[cn] {
+			return MethodSig{}, false
+		}
+		seen[cn] = true
+		c, ok := m.Classes[cn]
+		if !ok {
+			return MethodSig{}, false
+		}
+		if sig, ok := c.Method(method); ok {
+			return sig, true
+		}
+		for _, s := range c.Super {
+			if sig, ok := walk(s); ok {
+				return sig, true
+			}
+		}
+		return MethodSig{}, false
+	}
+	return walk(class)
+}
+
+// Validate checks referential integrity of the model: superclasses and
+// result classes resolve, objects belong to declared classes and use
+// declared methods, tuples match their relation's arity.
+func (m *Model) Validate() error {
+	for _, c := range m.Classes {
+		for _, s := range c.Super {
+			if !m.classKnown(s) {
+				return fmt.Errorf("gcm: model %s: class %s: unknown superclass %s", m.Name, c.Name, s)
+			}
+		}
+		seen := map[string]bool{}
+		for _, sig := range c.Methods {
+			if seen[sig.Name] {
+				return fmt.Errorf("gcm: model %s: class %s: duplicate method %s", m.Name, c.Name, sig.Name)
+			}
+			seen[sig.Name] = true
+			if !m.classKnown(sig.Result) {
+				return fmt.Errorf("gcm: model %s: class %s: method %s: unknown result class %s", m.Name, c.Name, sig.Name, sig.Result)
+			}
+			if sig.Derivation != "" {
+				rules, err := parser.ParseRules(sig.Derivation)
+				if err != nil {
+					return fmt.Errorf("gcm: model %s: class %s: derived method %s: %w", m.Name, c.Name, sig.Name, err)
+				}
+				okHead := false
+				for _, r := range rules {
+					if r.Head.Pred == flogic.PredMethodInst && len(r.Head.Args) == 3 &&
+						r.Head.Args[1].Equal(term.Atom(sig.Name)) {
+						okHead = true
+					}
+				}
+				if !okHead {
+					return fmt.Errorf("gcm: model %s: class %s: derived method %s: derivation must define methodinst(O, %s, V)",
+						m.Name, c.Name, sig.Name, sig.Name)
+				}
+			}
+		}
+	}
+	for _, r := range m.Relations {
+		if len(r.Attrs) == 0 {
+			return fmt.Errorf("gcm: model %s: relation %s has no attributes", m.Name, r.Name)
+		}
+		for _, a := range r.Attrs {
+			if !m.classKnown(a.Class) {
+				return fmt.Errorf("gcm: model %s: relation %s: attribute %s: unknown class %s", m.Name, r.Name, a.Name, a.Class)
+			}
+		}
+	}
+	for _, o := range m.Objects {
+		if _, ok := m.Classes[o.Class]; !ok {
+			return fmt.Errorf("gcm: model %s: object %s: unknown class %s", m.Name, o.ID, o.Class)
+		}
+		for method, vals := range o.Values {
+			sig, ok := m.methodOf(o.Class, method)
+			if !ok {
+				return fmt.Errorf("gcm: model %s: object %s: method %s not declared on class %s or its superclasses", m.Name, o.ID, method, o.Class)
+			}
+			if sig.Derivation != "" {
+				return fmt.Errorf("gcm: model %s: object %s: derived method %s must not carry stored values", m.Name, o.ID, method)
+			}
+			for _, v := range vals {
+				if err := checkValueType(sig.Result, v); err != nil {
+					return fmt.Errorf("gcm: model %s: object %s: method %s: %w", m.Name, o.ID, method, err)
+				}
+			}
+		}
+	}
+	for rel, tuples := range m.Tuples {
+		r, ok := m.Relations[rel]
+		if !ok {
+			return fmt.Errorf("gcm: model %s: tuples for undeclared relation %s", m.Name, rel)
+		}
+		for _, tp := range tuples {
+			if len(tp) != len(r.Attrs) {
+				return fmt.Errorf("gcm: model %s: relation %s: tuple %s has arity %d, want %d", m.Name, rel, term.FormatTuple(tp), len(tp), len(r.Attrs))
+			}
+		}
+	}
+	return nil
+}
+
+// SchemaFacts compiles only the schema level of the model: class
+// hierarchy, method signatures, relation schemas, cardinality and
+// constraint declarations — no objects or tuples.
+func (m *Model) SchemaFacts() []datalog.Rule {
+	var out []datalog.Rule
+	classNames := make([]string, 0, len(m.Classes))
+	for n := range m.Classes {
+		classNames = append(classNames, n)
+	}
+	sort.Strings(classNames)
+	for _, cn := range classNames {
+		c := m.Classes[cn]
+		out = append(out, flogic.Instance(term.Atom(c.Name), term.Atom(flogic.MetaClass)))
+		for _, s := range c.Super {
+			out = append(out, flogic.Subclass(term.Atom(c.Name), term.Atom(s)))
+		}
+		for _, sig := range c.Methods {
+			out = append(out, flogic.Method(term.Atom(c.Name), term.Atom(sig.Name), term.Atom(sig.Result)))
+			if sig.Scalar {
+				out = append(out, datalog.Fact("scalar_method", term.Atom(c.Name), term.Atom(sig.Name)))
+			}
+			if sig.Anchor {
+				out = append(out, datalog.Fact("anchor_method", term.Atom(c.Name), term.Atom(sig.Name)))
+			}
+			if sig.Context {
+				out = append(out, datalog.Fact("context_method", term.Atom(c.Name), term.Atom(sig.Name)))
+			}
+			if sig.Derivation != "" {
+				// Validated in Validate; MustParse here would panic on
+				// bad text that slipped through, which is a bug.
+				rules, err := parser.ParseRules(sig.Derivation)
+				if err == nil {
+					out = append(out, rules...)
+				}
+			}
+		}
+	}
+	relNames := make([]string, 0, len(m.Relations))
+	for n := range m.Relations {
+		relNames = append(relNames, n)
+	}
+	sort.Strings(relNames)
+	for _, rn := range relNames {
+		r := m.Relations[rn]
+		attrs := make([]string, len(r.Attrs))
+		classes := make([]string, len(r.Attrs))
+		for i, a := range r.Attrs {
+			attrs[i] = a.Name
+			classes[i] = a.Class
+		}
+		out = append(out, flogic.RelationSchema(r.Name, attrs, classes)...)
+		if len(r.Attrs) == 2 {
+			for i, a := range r.Attrs {
+				if !a.Card.Constrained() {
+					continue
+				}
+				max := int64(a.Card.Max)
+				pred := "card_first"
+				if i == 1 {
+					pred = "card_second"
+				}
+				out = append(out, datalog.Fact(pred, term.Atom(r.Name),
+					term.Int(int64(a.Card.Min)), term.Int(max)))
+			}
+		}
+	}
+	for _, c := range m.Constraints {
+		out = append(out, c.declarations()...)
+	}
+	return out
+}
+
+// Facts compiles the model into GCM facts: the schema facts plus
+// objects, tuples and the model's semantic rules. Together with
+// flogic.Axioms() and ConstraintRules() this is a runnable program.
+func (m *Model) Facts() []datalog.Rule {
+	out := m.SchemaFacts()
+	for _, o := range m.Objects {
+		out = append(out, flogic.Instance(o.ID, term.Atom(o.Class)))
+		methods := make([]string, 0, len(o.Values))
+		for mn := range o.Values {
+			methods = append(methods, mn)
+		}
+		sort.Strings(methods)
+		for _, mn := range methods {
+			for _, val := range o.Values[mn] {
+				out = append(out, flogic.MethodInst(o.ID, term.Atom(mn), val))
+			}
+		}
+	}
+	relNames2 := make([]string, 0, len(m.Tuples))
+	for rn := range m.Tuples {
+		relNames2 = append(relNames2, rn)
+	}
+	sort.Strings(relNames2)
+	for _, rn := range relNames2 {
+		for _, tp := range m.Tuples[rn] {
+			out = append(out, flogic.RelationInst(rn, tp...)...)
+		}
+	}
+	out = append(out, m.Rules...)
+	return out
+}
+
+// ContextValues returns, per context-marked method, the distinct values
+// occurring in the model's objects — the source-level context summary a
+// wrapper reports at registration.
+func (m *Model) ContextValues() map[string][]term.Term {
+	seen := map[string]map[string]bool{}
+	out := map[string][]term.Term{}
+	for _, o := range m.Objects {
+		for method, vals := range o.Values {
+			sig, ok := m.methodOf(o.Class, method)
+			if !ok || !sig.Context {
+				continue
+			}
+			if seen[method] == nil {
+				seen[method] = map[string]bool{}
+			}
+			for _, v := range vals {
+				k := v.Key()
+				if !seen[method][k] {
+					seen[method][k] = true
+					out[method] = append(out[method], v)
+				}
+			}
+		}
+	}
+	for method := range out {
+		vs := out[method]
+		term.SortTerms(vs)
+		out[method] = vs
+	}
+	return out
+}
+
+// AnchorValues returns, per domain-map concept, the object IDs anchored
+// at it: every value of an Anchor-marked method. This is the data the
+// wrapper contributes to the mediator's semantic index (Section 4,
+// "Registering Source Data").
+func (m *Model) AnchorValues() map[string][]term.Term {
+	anchors := map[string][]term.Term{}
+	for _, o := range m.Objects {
+		for method, vals := range o.Values {
+			sig, ok := m.methodOf(o.Class, method)
+			if !ok || !sig.Anchor {
+				continue
+			}
+			for _, v := range vals {
+				concept := v.Name()
+				anchors[concept] = append(anchors[concept], o.ID)
+			}
+		}
+	}
+	return anchors
+}

@@ -1,0 +1,153 @@
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modelmed/internal/domainmap"
+)
+
+// Contribution is the measured data anchored directly at one concept.
+type Contribution struct {
+	Sum   float64
+	Count int
+}
+
+// DistNode is one concept of a distribution tree.
+type DistNode struct {
+	Concept string
+	// Direct aggregates the values anchored exactly at this concept.
+	Direct Contribution
+	// Subtree aggregates the values anchored anywhere in this concept's
+	// containment region (each anchored object counted once, even if the
+	// region is a DAG).
+	Subtree Contribution
+	// Children are the concept's direct children within the region
+	// (isa-children and inherited role successors), sorted.
+	Children []string
+}
+
+// Distribution is the result of the paper's recursive `aggregate`
+// function (Example 4): per-level aggregates of an attribute over the
+// containment region of a root concept in the domain map.
+type Distribution struct {
+	Role  string
+	Root  string
+	Nodes map[string]*DistNode
+}
+
+// BuildDistribution computes the distribution of the direct
+// contributions over the containment region of root under role.
+func BuildDistribution(dm *domainmap.DomainMap, role, root string, direct map[string]Contribution) *Distribution {
+	region := map[string]bool{}
+	for _, c := range dm.DownClosure(role, root) {
+		region[c] = true
+	}
+	d := &Distribution{Role: role, Root: root, Nodes: map[string]*DistNode{}}
+	for c := range region {
+		node := &DistNode{Concept: c, Direct: direct[c]}
+		// Children: direct isa-children and inherited role successors,
+		// restricted to the region.
+		kids := map[string]bool{}
+		for _, k := range dm.Descendants(c) {
+			if k == c || !region[k] {
+				continue
+			}
+			for _, sup := range dm.DirectSupers(k) {
+				if sup == c {
+					kids[k] = true
+					break
+				}
+			}
+		}
+		for _, k := range dm.DC(role, c) {
+			if region[k] {
+				kids[k] = true
+			}
+		}
+		for k := range kids {
+			node.Children = append(node.Children, k)
+		}
+		sort.Strings(node.Children)
+		// Subtree: every region concept reachable from c, counted once.
+		for _, k := range dm.DownClosure(role, c) {
+			if region[k] {
+				node.Subtree.Sum += direct[k].Sum
+				node.Subtree.Count += direct[k].Count
+			}
+		}
+		d.Nodes[c] = node
+	}
+	return d
+}
+
+// Total returns the root's subtree aggregate.
+func (d *Distribution) Total() Contribution {
+	if n := d.Nodes[d.Root]; n != nil {
+		return n.Subtree
+	}
+	return Contribution{}
+}
+
+// Concepts returns the region's concepts, sorted.
+func (d *Distribution) Concepts() []string {
+	out := make([]string, 0, len(d.Nodes))
+	for c := range d.Nodes {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String renders the distribution as an indented tree (cycle-safe:
+// each concept is expanded once).
+func (d *Distribution) String() string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var walk func(c string, depth int)
+	walk = func(c string, depth int) {
+		n := d.Nodes[c]
+		if n == nil {
+			return
+		}
+		fmt.Fprintf(&b, "%s%s  direct=%.2f (n=%d)  subtree=%.2f (n=%d)\n",
+			strings.Repeat("  ", depth), c,
+			n.Direct.Sum, n.Direct.Count, n.Subtree.Sum, n.Subtree.Count)
+		if seen[c] {
+			return
+		}
+		seen[c] = true
+		for _, k := range n.Children {
+			walk(k, depth+1)
+		}
+	}
+	walk(d.Root, 0)
+	return b.String()
+}
+
+// DOT renders the distribution as a GraphViz digraph: one node per
+// region concept labeled with its direct and subtree aggregates, edges
+// for the region's child links. Nodes with direct contributions are
+// filled.
+func (d *Distribution) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", "distribution_"+d.Root)
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, c := range d.Concepts() {
+		n := d.Nodes[c]
+		attrs := ""
+		if n.Direct.Count > 0 {
+			attrs = ", style=filled, fillcolor=lightgoldenrod"
+		}
+		fmt.Fprintf(&b, "  %q [label=\"%s\\ndirect %.2f (n=%d)\\nsubtree %.2f (n=%d)\"%s];\n",
+			c, c, n.Direct.Sum, n.Direct.Count, n.Subtree.Sum, n.Subtree.Count, attrs)
+	}
+	for _, c := range d.Concepts() {
+		for _, k := range d.Nodes[c].Children {
+			fmt.Fprintf(&b, "  %q -> %q;\n", c, k)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

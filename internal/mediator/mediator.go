@@ -1,0 +1,479 @@
+// Package mediator implements the paper's primary contribution: a
+// model-based mediator. Sources join at runtime by registering their
+// conceptual models (shipped as XML through the CM plug-in mechanism),
+// their query capabilities, and the anchors of their data in the
+// mediator's domain map, which builds the semantic index. Integrated
+// views are defined and executed at the conceptual level: view rules
+// range over source objects, the GCM axioms, and the domain-map graph
+// operations (tc, dc, role_star, downward closure, lub).
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/dl"
+	"modelmed/internal/domainmap"
+	"modelmed/internal/flogic"
+	"modelmed/internal/gcm"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+	"modelmed/internal/xmlio"
+)
+
+// Fact vocabulary of the materialized mediator object base. Source data
+// is namespaced by source name, so views can address a specific source
+// the way the paper writes 'NCMIR'.protein.name.
+const (
+	PredSrcObj   = "src_obj"   // src_obj(Source, Obj, Class)
+	PredSrcVal   = "src_val"   // src_val(Source, Obj, Method, Value)
+	PredSrcSub   = "src_sub"   // src_sub(Source, Sub, Super)
+	PredSrcTuple = "src_tuple" // src_tuple(Source, Rel, Args...)
+	PredAnchor   = "anchor"    // anchor(Source, Obj, Concept)
+)
+
+// Options configure a mediator.
+type Options struct {
+	// ExecuteDMInstances loads the instance-level translation of the
+	// domain-map axioms into the materialized program (assertion mode:
+	// Skolem placeholders for missing role successors). Off by default:
+	// the Section 5 query plan and the standard views only need the
+	// concept-level graph operations.
+	ExecuteDMInstances bool
+	// Engine passes evaluation options through to the datalog engine.
+	Engine datalog.Options
+	// StrictAnchors rejects registration when a source anchors data at
+	// a concept the domain map does not know. When false, unknown
+	// concepts are added to the map implicitly.
+	StrictAnchors bool
+}
+
+// Source is a registered source as the mediator sees it.
+type Source struct {
+	Name string
+	// W is the live wrapper (query interface).
+	W wrapper.Wrapper
+	// Model is the decoded conceptual model CM(S) received over the
+	// wire; nil for fact-level (foreign-format) sources.
+	Model *gcm.Model
+	// Facts are the GCM facts of a foreign-format source that arrived
+	// through a CM plug-in.
+	Facts []datalog.Rule
+	// Caps are the declared query capabilities.
+	Caps []wrapper.Capability
+}
+
+// Mediator is the model-based mediator.
+type Mediator struct {
+	mu       sync.Mutex
+	opts     Options
+	dm       *domainmap.DomainMap
+	index    *domainmap.SemanticIndex
+	registry *xmlio.Registry
+	srcs     map[string]*Source
+	views    []datalog.Rule
+	viewText []string
+
+	dirty       bool
+	cache       *datalog.Result
+	cacheEngine *datalog.Engine
+}
+
+// New returns a mediator over the given domain map.
+func New(dm *domainmap.DomainMap, opts *Options) *Mediator {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	return &Mediator{
+		opts:     o,
+		dm:       dm,
+		index:    domainmap.NewIndex(),
+		registry: xmlio.NewRegistry(),
+		srcs:     make(map[string]*Source),
+		dirty:    true,
+	}
+}
+
+// DomainMap returns the mediator's domain map.
+func (m *Mediator) DomainMap() *domainmap.DomainMap { return m.dm }
+
+// Index returns the semantic index.
+func (m *Mediator) Index() *domainmap.SemanticIndex { return m.index }
+
+// Registry returns the CM plug-in registry, so new formats can be
+// plugged in at runtime.
+func (m *Mediator) Registry() *xmlio.Registry { return m.registry }
+
+// Sources returns the registered source names, sorted.
+func (m *Mediator) Sources() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.srcs))
+	for n := range m.srcs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source returns a registered source by name.
+func (m *Mediator) Source(name string) (*Source, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.srcs[name]
+	return s, ok
+}
+
+// Register wires a source into the mediated system (the runtime flow of
+// Figure 2): the wrapper exports CM(S) over the XML wire, the mediator
+// decodes it through the plug-in registry, records the query
+// capabilities, and anchors the source's data in the domain map,
+// updating the semantic index.
+func (m *Mediator) Register(w wrapper.Wrapper) error {
+	name := w.Name()
+	format, doc, err := w.ExportCM()
+	if err != nil {
+		return fmt.Errorf("mediator: source %s: export: %w", name, err)
+	}
+	src := &Source{Name: name, W: w, Caps: w.Capabilities()}
+	if format == "gcmx" {
+		if err := xmlio.ValidateGCMX(doc); err != nil {
+			return fmt.Errorf("mediator: source %s: invalid GCMX document: %w", name, err)
+		}
+		model, err := xmlio.DecodeModel(doc)
+		if err != nil {
+			return fmt.Errorf("mediator: source %s: decode: %w", name, err)
+		}
+		if err := model.Validate(); err != nil {
+			return fmt.Errorf("mediator: source %s: %w", name, err)
+		}
+		src.Model = model
+	} else {
+		facts, err := m.registry.Translate(format, doc)
+		if err != nil {
+			return fmt.Errorf("mediator: source %s: %w", name, err)
+		}
+		src.Facts = facts
+	}
+	anchors, err := w.Anchors()
+	if err != nil {
+		return fmt.Errorf("mediator: source %s: anchors: %w", name, err)
+	}
+	contexts, err := w.Contexts()
+	if err != nil {
+		return fmt.Errorf("mediator: source %s: contexts: %w", name, err)
+	}
+	if err := m.checkAnchors(name, anchors); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.srcs[name]; dup {
+		return fmt.Errorf("mediator: source %s already registered", name)
+	}
+	m.srcs[name] = src
+	for concept, objs := range anchors {
+		m.index.Register(name, concept, objs...)
+	}
+	for key, vals := range contexts {
+		for _, v := range vals {
+			m.index.RegisterContext(name, key, v)
+		}
+	}
+	m.dirty = true
+	return nil
+}
+
+// checkAnchors validates anchor concepts against the domain map,
+// adding unknown ones when the mediator is not strict.
+func (m *Mediator) checkAnchors(source string, anchors map[string][]term.Term) error {
+	var unknown []string
+	for concept := range anchors {
+		if !m.dm.HasConcept(concept) {
+			unknown = append(unknown, concept)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	if m.opts.StrictAnchors {
+		return fmt.Errorf("mediator: source %s anchors at unknown concepts %s; register the knowledge first (RegisterKnowledge)",
+			source, strings.Join(unknown, ", "))
+	}
+	var axioms []dl.Axiom
+	for _, c := range unknown {
+		axioms = append(axioms, dl.Sub(c, dl.C("thing")))
+	}
+	return m.dm.AddAxioms(axioms...)
+}
+
+// Unregister removes a source and its anchors.
+func (m *Mediator) Unregister(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.srcs, name)
+	m.index.Unregister(name)
+	m.dirty = true
+}
+
+// RegisterKnowledge extends the domain map with DL axioms sent by a
+// source (Figure 3: registering MyNeuron and MyDendrite).
+func (m *Mediator) RegisterKnowledge(axioms ...dl.Axiom) error {
+	if err := m.dm.AddAxioms(axioms...); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.dirty = true
+	m.mu.Unlock()
+	return nil
+}
+
+// DefineView registers an integrated view definition written in the
+// rule language. View rules see the namespaced source facts, the GCM
+// predicates, and the domain-map graph predicates.
+func (m *Mediator) DefineView(src string) error {
+	rules, err := parser.ParseRules(src)
+	if err != nil {
+		return fmt.Errorf("mediator: view: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.views = append(m.views, rules...)
+	m.viewText = append(m.viewText, src)
+	m.dirty = true
+	return nil
+}
+
+// Views returns the registered view texts.
+func (m *Mediator) Views() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.viewText...)
+}
+
+// Answer is the result of a mediator query.
+type Answer struct {
+	Vars []string
+	Rows [][]term.Term
+}
+
+// Query parses and evaluates a conjunctive query (rule-language body)
+// against the materialized mediated object base. vars selects the
+// output columns; when empty, all query variables are returned in order
+// of first occurrence.
+func (m *Mediator) Query(q string, vars ...string) (*Answer, error) {
+	body, aux, err := parser.ParseQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: query: %w", err)
+	}
+	if len(aux) > 0 {
+		// Negated groups need their auxiliary rules evaluated with the
+		// program; register them transiently.
+		m.mu.Lock()
+		m.views = append(m.views, aux...)
+		m.dirty = true
+		m.mu.Unlock()
+		defer func() {
+			m.mu.Lock()
+			m.views = m.views[:len(m.views)-len(aux)]
+			m.dirty = true
+			m.mu.Unlock()
+		}()
+	}
+	if len(vars) == 0 {
+		vars = defaultVars(body)
+	}
+	res, err := m.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := res.Query(body, vars)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: query: %w", err)
+	}
+	return &Answer{Vars: vars, Rows: rows}, nil
+}
+
+// Holds reports whether a ground fact is true in the materialized base.
+func (m *Mediator) Holds(pred string, args ...term.Term) (bool, error) {
+	res, err := m.Materialize()
+	if err != nil {
+		return false, err
+	}
+	return res.Holds(pred, args...), nil
+}
+
+// sortedSources returns sources in name order (deterministic
+// materialization).
+func (m *Mediator) sortedSources() []*Source {
+	out := make([]*Source, 0, len(m.srcs))
+	for _, s := range m.srcs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// bridgeSrc are the rules lifting namespaced source facts into the
+// global GCM predicates, so the FL axioms and schema-level reasoning
+// apply across the federation.
+const bridgeSrc = `
+	instance(O, C) :- src_obj(S, O, C).
+	subclass(C1, C2) :- src_sub(S, C1, C2).
+	methodinst(O, M, V) :- src_val(S, O, M, V).
+	% The domain map's isa edges are subclass knowledge: instances of a
+	% concept classify upward along them.
+	subclass(C1, C2) :- dm_isa(C1, C2).
+`
+
+// bridgeRules returns fresh copies of the bridge rules.
+func bridgeRules() []datalog.Rule { return parser.MustParseRules(bridgeSrc) }
+
+// Materialize pulls all registered source data to the mediator, loads
+// the GCM axioms, the domain-map graph and its closure rules, and the
+// registered views, and evaluates the program. The result is cached
+// until a registration or view definition invalidates it.
+func (m *Mediator) Materialize() (*datalog.Result, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirty && m.cache != nil {
+		return m.cache, nil
+	}
+	e := datalog.NewEngine(&m.opts.Engine)
+	var ruleSets [][]datalog.Rule
+	ruleSets = append(ruleSets,
+		flogic.Axioms(),
+		bridgeRules(),
+		m.dm.Facts(),
+		m.dm.RoleFacts(),
+		domainmap.ClosureRules(),
+		m.views,
+	)
+	if m.opts.ExecuteDMInstances {
+		ruleSets = append(ruleSets, dl.SupportRules(), m.dm.InstanceRules(dl.ModeAssertion).Rules)
+	}
+	for _, rs := range ruleSets {
+		if err := e.AddRules(rs...); err != nil {
+			return nil, fmt.Errorf("mediator: materialize: %w", err)
+		}
+	}
+	for _, s := range m.sortedSources() {
+		facts, err := sourceFacts(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.AddRules(facts...); err != nil {
+			return nil, fmt.Errorf("mediator: materialize %s: %w", s.Name, err)
+		}
+	}
+	for _, concept := range m.index.Concepts() {
+		for _, src := range m.index.SourcesAt(concept) {
+			for _, obj := range m.index.Objects(src, concept) {
+				if err := e.AddFact(PredAnchor, term.Atom(src), obj, term.Atom(concept)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	res, err := e.Run()
+	if err != nil {
+		return nil, fmt.Errorf("mediator: materialize: %w", err)
+	}
+	m.cache = res
+	m.cacheEngine = e
+	m.dirty = false
+	return res, nil
+}
+
+// Explain returns a derivation tree for a ground fact of the
+// materialized mediated object base — the provenance of a view tuple:
+// which rules fired over which source facts.
+func (m *Mediator) Explain(pred string, args ...term.Term) (*datalog.Derivation, error) {
+	res, err := m.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	e := m.cacheEngine
+	m.mu.Unlock()
+	return e.Explain(res, pred, args...)
+}
+
+// sourceFacts renders one source's data in the namespaced vocabulary.
+func sourceFacts(s *Source) ([]datalog.Rule, error) {
+	sn := term.Atom(s.Name)
+	var out []datalog.Rule
+	if s.Model != nil {
+		model := s.Model
+		// Schema facts (method signatures, scalar/anchor declarations,
+		// relation schemas, constraint declarations) are global: the
+		// constraint library and schema-level reasoning need them.
+		out = append(out, model.SchemaFacts()...)
+		names := make([]string, 0, len(model.Classes))
+		for n := range model.Classes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, cn := range names {
+			for _, sup := range model.Classes[cn].Super {
+				out = append(out, datalog.Fact(PredSrcSub, sn, term.Atom(cn), term.Atom(sup)))
+			}
+		}
+		for _, o := range model.Objects {
+			out = append(out, datalog.Fact(PredSrcObj, sn, o.ID, term.Atom(o.Class)))
+			methods := make([]string, 0, len(o.Values))
+			for mn := range o.Values {
+				methods = append(methods, mn)
+			}
+			sort.Strings(methods)
+			for _, mn := range methods {
+				for _, v := range o.Values[mn] {
+					out = append(out, datalog.Fact(PredSrcVal, sn, o.ID, term.Atom(mn), v))
+				}
+			}
+		}
+		rels := make([]string, 0, len(model.Tuples))
+		for rn := range model.Tuples {
+			rels = append(rels, rn)
+		}
+		sort.Strings(rels)
+		for _, rn := range rels {
+			for _, tp := range model.Tuples[rn] {
+				args := append([]term.Term{sn, term.Atom(rn)}, tp...)
+				out = append(out, datalog.Fact(PredSrcTuple, args...))
+			}
+		}
+		// Source semantic rules run as-is at the mediator ("semantic
+		// rules that are evaluable at the mediator").
+		out = append(out, model.Rules...)
+		return out, nil
+	}
+	// Fact-level source: namespace the plug-in output.
+	for _, f := range s.Facts {
+		l := f.Head
+		switch {
+		case l.Pred == "instance" && len(l.Args) == 2:
+			if l.Args[1].Equal(term.Atom(flogic.MetaClass)) {
+				continue
+			}
+			out = append(out, datalog.Fact(PredSrcObj, sn, l.Args[0], l.Args[1]))
+		case l.Pred == "subclass" && len(l.Args) == 2:
+			out = append(out, datalog.Fact(PredSrcSub, sn, l.Args[0], l.Args[1]))
+		case l.Pred == "methodinst" && len(l.Args) == 3:
+			out = append(out, datalog.Fact(PredSrcVal, sn, l.Args[0], l.Args[1], l.Args[2]))
+		case l.Pred == "relinst":
+			args := append([]term.Term{sn}, l.Args...)
+			out = append(out, datalog.Fact(PredSrcTuple, args...))
+		default:
+			// Schema-level facts (method, rel, relattr) stay global.
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

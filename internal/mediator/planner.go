@@ -1,0 +1,630 @@
+package mediator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/domainmap"
+	"modelmed/internal/flogic"
+	"modelmed/internal/gcm"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+)
+
+// The planner generalizes the Section 5 query plan to arbitrary
+// conjunctive queries over the mediated vocabulary: it derives, from the
+// query text alone, (i) which sources can contribute at all — via the
+// semantic index, when every source position is constrained by ground
+// anchor concepts — and (ii) which selections can be pushed down to the
+// wrappers, loading only the matching objects instead of materializing
+// the whole federation.
+
+// PushdownStep records one source access of a plan.
+type PushdownStep struct {
+	Source     string
+	Class      string
+	Selections []wrapper.Selection
+	// Pushed reports whether the wrapper executed the selections (true)
+	// or the mediator had to scan and filter (false).
+	Pushed bool
+	// Returned is the number of objects loaded.
+	Returned int
+}
+
+// QueryPlan is the analyzed form of a mediated query.
+type QueryPlan struct {
+	Body []datalog.BodyElem
+	Aux  []datalog.Rule
+	// Concepts are the ground anchor concepts the query mentions.
+	Concepts []string
+	// Sources are the candidate sources; nil means "all sources" (the
+	// query has an unconstrained source position).
+	Sources []string
+	// Restricted reports whether source pruning applies.
+	Restricted bool
+	// Pushdowns are the planned per-source accesses (filled during
+	// execution with Pushed/Returned).
+	Pushdowns []PushdownStep
+	// Trace is the human-readable plan log.
+	Trace []string
+}
+
+func (p *QueryPlan) tracef(format string, args ...interface{}) {
+	p.Trace = append(p.Trace, fmt.Sprintf(format, args...))
+}
+
+// sourceConstraint describes what the planner knows about one source
+// variable: per anchor literal, the set of sources allowed by that
+// literal's concept (nil set = the literal gives no constraint).
+type sourceConstraint struct {
+	allowed []map[string]bool
+	open    bool // some anchor literal on this variable is unconstrained
+	hasAny  bool // the variable occurs at a source position at all
+}
+
+// conceptDomains pre-computes, for concept variables bound by
+// dm_down/dm_isa_star literals with ground roots, the set of concepts
+// the variable can range over. This lets the planner prune through the
+// Example 1 idiom `anchor(S, O, C), dm_down(has_a, Root, C)`.
+func (m *Mediator) conceptDomains(body []datalog.BodyElem) map[string][]string {
+	out := map[string][]string{}
+	add := func(v string, concepts []string) {
+		if cur, ok := out[v]; ok {
+			// Intersect with any previous domain.
+			set := map[string]bool{}
+			for _, c := range concepts {
+				set[c] = true
+			}
+			var inter []string
+			for _, c := range cur {
+				if set[c] {
+					inter = append(inter, c)
+				}
+			}
+			out[v] = inter
+			return
+		}
+		out[v] = concepts
+	}
+	for _, e := range body {
+		l, ok := e.(datalog.Literal)
+		if !ok || l.Neg {
+			continue
+		}
+		switch l.Pred {
+		case "dm_down":
+			if len(l.Args) == 3 && l.Args[0].Kind() == term.KindAtom &&
+				l.Args[1].Kind() == term.KindAtom && l.Args[2].Kind() == term.KindVar {
+				add(l.Args[2].Name(), m.dm.DownClosure(l.Args[0].Name(), l.Args[1].Name()))
+			}
+		case "dm_isa_star":
+			if len(l.Args) == 2 && l.Args[1].Kind() == term.KindAtom && l.Args[0].Kind() == term.KindVar {
+				add(l.Args[0].Name(), m.dm.Descendants(l.Args[1].Name()))
+			}
+		}
+	}
+	return out
+}
+
+// Plan analyzes a query without executing it.
+func (m *Mediator) Plan(q string) (*QueryPlan, error) {
+	body, aux, err := parser.ParseQuery(q)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: plan: %w", err)
+	}
+	p := &QueryPlan{Body: body, Aux: aux}
+
+	// Pruning is only sound when the query touches source data solely
+	// through the source vocabulary: a view predicate may read any
+	// source.
+	if pred := m.firstViewPred(body); pred != "" {
+		p.tracef("query uses view/derived predicate %s; no source pruning", pred)
+		p.Restricted = false
+		p.Sources = m.Sources()
+		p.Pushdowns = m.extractPushdowns(body, p)
+		return p, nil
+	}
+
+	domains := m.conceptDomains(body)
+	bySrcVar := map[string]*sourceConstraint{}
+	var groundSources []string
+	conceptSet := map[string]bool{}
+
+	srcLit := func(l datalog.Literal) bool {
+		switch l.Pred {
+		case PredSrcObj, PredSrcVal, PredSrcTuple, PredAnchor:
+			return len(l.Args) >= 1
+		}
+		return false
+	}
+	// allowedFor computes the source set an anchor literal admits.
+	allowedFor := func(conceptArg term.Term) (map[string]bool, bool) {
+		switch conceptArg.Kind() {
+		case term.KindAtom:
+			conceptSet[conceptArg.Name()] = true
+			set := map[string]bool{}
+			for _, s := range m.index.SelectSources(m.dm, conceptArg.Name()) {
+				set[s] = true
+			}
+			return set, true
+		case term.KindVar:
+			dom, ok := domains[conceptArg.Name()]
+			if !ok {
+				return nil, false
+			}
+			set := map[string]bool{}
+			for _, c := range dom {
+				for _, s := range m.index.SelectSources(m.dm, c) {
+					set[s] = true
+				}
+			}
+			return set, true
+		}
+		return nil, false
+	}
+	for _, e := range body {
+		l, ok := e.(datalog.Literal)
+		if !ok || l.Neg || !srcLit(l) {
+			continue
+		}
+		srcArg := l.Args[0]
+		switch srcArg.Kind() {
+		case term.KindAtom:
+			groundSources = append(groundSources, srcArg.Name())
+			if l.Pred == PredAnchor && len(l.Args) == 3 && l.Args[2].Kind() == term.KindAtom {
+				conceptSet[l.Args[2].Name()] = true
+			}
+		case term.KindVar:
+			sc := bySrcVar[srcArg.Name()]
+			if sc == nil {
+				sc = &sourceConstraint{}
+				bySrcVar[srcArg.Name()] = sc
+			}
+			sc.hasAny = true
+			if l.Pred == PredAnchor && len(l.Args) == 3 {
+				if set, ok := allowedFor(l.Args[2]); ok {
+					sc.allowed = append(sc.allowed, set)
+					continue
+				}
+			}
+			// Non-anchor access or unconstrained concept: this literal
+			// alone does not restrict the variable.
+			if l.Pred != PredAnchor {
+				continue
+			}
+			sc.open = true
+		}
+	}
+	for c := range conceptSet {
+		p.Concepts = append(p.Concepts, c)
+	}
+	sort.Strings(p.Concepts)
+
+	// A source variable is constrained iff at least one of its anchor
+	// literals yields an allowed set; its candidates are the
+	// intersection of those sets. Variables with no constraining anchor
+	// force "all sources".
+	unconstrained := false
+	candSet := map[string]bool{}
+	for _, s := range groundSources {
+		candSet[s] = true
+	}
+	varNames := make([]string, 0, len(bySrcVar))
+	for v := range bySrcVar {
+		varNames = append(varNames, v)
+	}
+	sort.Strings(varNames)
+	for _, v := range varNames {
+		sc := bySrcVar[v]
+		if len(sc.allowed) == 0 {
+			unconstrained = true
+			p.tracef("source variable %s is unconstrained; no source pruning", v)
+			continue
+		}
+		inter := sc.allowed[0]
+		for _, set := range sc.allowed[1:] {
+			next := map[string]bool{}
+			for s := range inter {
+				if set[s] {
+					next[s] = true
+				}
+			}
+			inter = next
+		}
+		var names []string
+		for s := range inter {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		p.tracef("source variable %s: semantic index allows %v", v, names)
+		for _, s := range names {
+			candSet[s] = true
+		}
+	}
+	if unconstrained {
+		p.Restricted = false
+		p.Sources = m.Sources()
+	} else {
+		p.Restricted = true
+		for s := range candSet {
+			p.Sources = append(p.Sources, s)
+		}
+		sort.Strings(p.Sources)
+		p.tracef("restricted to sources %v", p.Sources)
+	}
+
+	// Pushdown extraction per ground source: object variables with a
+	// ground class and ground-valued selections.
+	p.Pushdowns = m.extractPushdowns(body, p)
+	return p, nil
+}
+
+// firstViewPred returns the first body predicate that is a registered
+// view head (or any derived predicate outside the known mediated
+// vocabulary), or "" if the query stays within the source/DM/GCM
+// vocabulary.
+func (m *Mediator) firstViewPred(body []datalog.BodyElem) string {
+	known := map[string]bool{
+		PredSrcObj: true, PredSrcVal: true, PredSrcTuple: true, PredAnchor: true,
+		PredSrcSub: true,
+		"instance": true, "subclass": true, "method": true, "methodinst": true,
+		"rel": true, "relattr": true, "relinst": true,
+		domainmap.PredConcept: true, domainmap.PredIsa: true, domainmap.PredEdge: true,
+		"dm_isa_star": true, "dm_tc": true, "dm_dc": true, "dm_dc_down": true,
+		"dm_down": true, "role_star": true, "dm_role": true,
+		"role": true, "role_base": true,
+	}
+	var check func(es []datalog.BodyElem) string
+	check = func(es []datalog.BodyElem) string {
+		for _, e := range es {
+			switch x := e.(type) {
+			case datalog.Literal:
+				if datalog.IsBuiltin(x.Pred, len(x.Args)) || known[x.Pred] {
+					continue
+				}
+				return x.Pred
+			case datalog.Aggregate:
+				inner := make([]datalog.BodyElem, len(x.Body))
+				for i, l := range x.Body {
+					inner[i] = l
+				}
+				if pred := check(inner); pred != "" {
+					return pred
+				}
+			}
+		}
+		return ""
+	}
+	return check(body)
+}
+
+// extractPushdowns finds, for each (ground source, object variable) of
+// the query, the class and the ground selections that can be shipped to
+// the wrapper.
+func (m *Mediator) extractPushdowns(body []datalog.BodyElem, p *QueryPlan) []PushdownStep {
+	type objKey struct{ src, objVar string }
+	classes := map[objKey]string{}
+	sels := map[objKey][]wrapper.Selection{}
+	fullLoad := map[string]bool{} // sources that must load completely
+
+	for _, e := range body {
+		l, ok := e.(datalog.Literal)
+		if !ok || l.Neg {
+			continue
+		}
+		switch l.Pred {
+		case PredSrcObj:
+			if len(l.Args) != 3 || l.Args[0].Kind() != term.KindAtom {
+				continue
+			}
+			src := l.Args[0].Name()
+			if l.Args[1].Kind() != term.KindVar || l.Args[2].Kind() != term.KindAtom {
+				fullLoad[src] = true
+				continue
+			}
+			k := objKey{src, l.Args[1].Name()}
+			classes[k] = l.Args[2].Name()
+		case PredSrcVal:
+			if len(l.Args) != 4 || l.Args[0].Kind() != term.KindAtom {
+				continue
+			}
+			src := l.Args[0].Name()
+			if l.Args[1].Kind() != term.KindVar || l.Args[2].Kind() != term.KindAtom {
+				fullLoad[src] = true
+				continue
+			}
+			if !l.Args[3].IsGround() {
+				continue // open value: evaluated over loaded facts
+			}
+			k := objKey{src, l.Args[1].Name()}
+			sels[k] = append(sels[k], wrapper.Selection{Attr: l.Args[2].Name(), Value: l.Args[3]})
+		case PredSrcTuple:
+			if len(l.Args) >= 1 && l.Args[0].Kind() == term.KindAtom {
+				fullLoad[l.Args[0].Name()] = true
+			}
+		case PredAnchor:
+			// anchor constrains concepts, not object loading; an anchor
+			// on a ground source with an object var of unknown class
+			// still requires that source's objects: mark full load when
+			// the object var has no class elsewhere (resolved below).
+		}
+	}
+	// An object variable without a ground class cannot be pushed; its
+	// source must load fully. Same for anchor literals whose object
+	// variables have no classed access.
+	classedVars := map[objKey]bool{}
+	for k := range classes {
+		classedVars[k] = true
+	}
+	for _, e := range body {
+		l, ok := e.(datalog.Literal)
+		if !ok || l.Neg {
+			continue
+		}
+		if (l.Pred == PredSrcVal || l.Pred == PredAnchor) &&
+			len(l.Args) >= 2 && l.Args[0].Kind() == term.KindAtom && l.Args[1].Kind() == term.KindVar {
+			k := objKey{l.Args[0].Name(), l.Args[1].Name()}
+			if !classedVars[k] {
+				fullLoad[k.src] = true
+			}
+		}
+	}
+	var steps []PushdownStep
+	seen := map[string]bool{}
+	keys := make([]objKey, 0, len(classes))
+	for k := range classes {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].objVar < keys[j].objVar
+	})
+	for _, k := range keys {
+		if fullLoad[k.src] {
+			continue
+		}
+		step := PushdownStep{Source: k.src, Class: classes[k], Selections: sels[k]}
+		steps = append(steps, step)
+		seen[k.src] = true
+		p.tracef("pushdown to %s: class %s, %d selection(s)", k.src, classes[k], len(sels[k]))
+	}
+	for src := range fullLoad {
+		p.tracef("source %s loads fully (unclassed or tuple access)", src)
+	}
+	return steps
+}
+
+// ExecutePlan runs a plan: pushdown-loaded sources contribute only the
+// matching objects; other candidate sources load fully; non-candidates
+// are skipped. The residual query then evaluates over the restricted
+// base (with the domain-map graph and views available as usual).
+func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
+	e := datalog.NewEngine(&m.opts.Engine)
+	m.mu.Lock()
+	ruleSets := [][]datalog.Rule{
+		flogic.Axioms(),
+		bridgeRules(),
+		m.dm.Facts(),
+		m.dm.RoleFacts(),
+		domainmap.ClosureRules(),
+		m.views,
+		p.Aux,
+	}
+	m.mu.Unlock()
+	// Evaluate only the dependency cone of the query: a query that never
+	// touches dm_down skips the quadratic containment computation
+	// entirely.
+	var static []datalog.Rule
+	for _, rs := range ruleSets {
+		static = append(static, rs...)
+	}
+	cone := datalog.RelevantRules(static, datalog.GoalKeys(p.Body))
+	p.tracef("rule cone: %d of %d static rules relevant", len(cone), len(static))
+	if err := e.AddRules(cone...); err != nil {
+		return nil, fmt.Errorf("mediator: execute plan: %w", err)
+	}
+
+	pushedSources := map[string]bool{}
+	for i := range p.Pushdowns {
+		step := &p.Pushdowns[i]
+		pushedSources[step.Source] = true
+	}
+
+	candidate := map[string]bool{}
+	for _, s := range p.Sources {
+		candidate[s] = true
+	}
+
+	// Pushdown loads.
+	for i := range p.Pushdowns {
+		step := &p.Pushdowns[i]
+		if !candidate[step.Source] {
+			continue
+		}
+		res, err := m.PushSelect(step.Source, step.Class, step.Selections...)
+		if err != nil {
+			return nil, err
+		}
+		step.Pushed = res.Pushed
+		step.Returned = len(res.Objs)
+		src, _ := m.Source(step.Source)
+		if err := loadObjects(e, src, res.Objs); err != nil {
+			return nil, err
+		}
+		p.tracef("loaded %d objects from %s (pushdown=%v)", len(res.Objs), step.Source, res.Pushed)
+	}
+
+	// Full loads for candidate sources without (complete) pushdown
+	// coverage.
+	m.mu.Lock()
+	all := m.sortedSources()
+	m.mu.Unlock()
+	for _, s := range all {
+		if !candidate[s.Name] {
+			p.tracef("skipped source %s (not selected by the semantic index)", s.Name)
+			continue
+		}
+		if pushedSources[s.Name] {
+			continue
+		}
+		facts, err := sourceFacts(s)
+		if err != nil {
+			return nil, err
+		}
+		if err := e.AddRules(facts...); err != nil {
+			return nil, err
+		}
+		if err := m.loadAnchorFacts(e, s.Name); err != nil {
+			return nil, err
+		}
+		p.tracef("loaded source %s fully", s.Name)
+	}
+
+	res, err := e.Run()
+	if err != nil {
+		return nil, fmt.Errorf("mediator: execute plan: %w", err)
+	}
+	if len(vars) == 0 {
+		vars = defaultVars(p.Body)
+	}
+	rows, err := res.Query(p.Body, vars)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: execute plan: %w", err)
+	}
+	return &Answer{Vars: vars, Rows: rows}, nil
+}
+
+// PlannedQuery plans and executes a query, returning the answer and the
+// plan (with its trace).
+func (m *Mediator) PlannedQuery(q string, vars ...string) (*Answer, *QueryPlan, error) {
+	p, err := m.Plan(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	ans, err := m.ExecutePlan(p, vars)
+	if err != nil {
+		return nil, p, err
+	}
+	return ans, p, nil
+}
+
+// loadObjects emits the namespaced facts (and anchors) for a set of
+// objects of one source.
+func loadObjects(e *datalog.Engine, s *Source, objs []gcm.Object) error {
+	if s == nil {
+		return fmt.Errorf("mediator: pushdown into unknown source")
+	}
+	sn := term.Atom(s.Name)
+	if s.Model != nil {
+		if err := e.AddRules(s.Model.SchemaFacts()...); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(s.Model.Classes))
+		for n := range s.Model.Classes {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, cn := range names {
+			for _, sup := range s.Model.Classes[cn].Super {
+				if err := e.AddFact(PredSrcSub, sn, term.Atom(cn), term.Atom(sup)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, o := range objs {
+		if err := e.AddFact(PredSrcObj, sn, o.ID, term.Atom(o.Class)); err != nil {
+			return err
+		}
+		methods := make([]string, 0, len(o.Values))
+		for mn := range o.Values {
+			methods = append(methods, mn)
+		}
+		sort.Strings(methods)
+		for _, mn := range methods {
+			anchor := false
+			if s.Model != nil {
+				if sig, ok := modelMethod(s.Model, o.Class, mn); ok {
+					anchor = sig.Anchor
+				}
+			}
+			for _, v := range o.Values[mn] {
+				if err := e.AddFact(PredSrcVal, sn, o.ID, term.Atom(mn), v); err != nil {
+					return err
+				}
+				if anchor && v.Kind() == term.KindAtom {
+					if err := e.AddFact(PredAnchor, sn, o.ID, v); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// modelMethod resolves a method signature walking superclasses.
+func modelMethod(m *gcm.Model, class, method string) (gcm.MethodSig, bool) {
+	seen := map[string]bool{}
+	var walk func(string) (gcm.MethodSig, bool)
+	walk = func(cn string) (gcm.MethodSig, bool) {
+		if seen[cn] {
+			return gcm.MethodSig{}, false
+		}
+		seen[cn] = true
+		c := m.Classes[cn]
+		if c == nil {
+			return gcm.MethodSig{}, false
+		}
+		if sig, ok := c.Method(method); ok {
+			return sig, true
+		}
+		for _, s := range c.Super {
+			if sig, ok := walk(s); ok {
+				return sig, true
+			}
+		}
+		return gcm.MethodSig{}, false
+	}
+	return walk(class)
+}
+
+// loadAnchorFacts emits anchor facts for one fully loaded source.
+func (m *Mediator) loadAnchorFacts(e *datalog.Engine, source string) error {
+	for _, concept := range m.index.Concepts() {
+		for _, obj := range m.index.Objects(source, concept) {
+			if err := e.AddFact(PredAnchor, term.Atom(source), obj, term.Atom(concept)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// defaultVars extracts the output variables of a body in order of first
+// occurrence, skipping underscore-prefixed ones.
+func defaultVars(body []datalog.BodyElem) []string {
+	var vars []string
+	seen := map[string]bool{}
+	for _, e := range body {
+		var vs []string
+		switch x := e.(type) {
+		case datalog.Literal:
+			vs = x.Vars(nil)
+		case datalog.Aggregate:
+			vs = x.Vars(nil)
+		}
+		for _, v := range vs {
+			if !seen[v] && !strings.HasPrefix(v, "_") {
+				seen[v] = true
+				vars = append(vars, v)
+			}
+		}
+	}
+	return vars
+}

@@ -1,0 +1,65 @@
+package parser
+
+import (
+	"testing"
+)
+
+// FuzzParseRules asserts the rule parser never panics and that anything
+// it accepts re-parses from its canonical printing.
+func FuzzParseRules(f *testing.F) {
+	seeds := []string{
+		"p(a).",
+		"tc(X,Y) :- tc(X,Z), edge(Z,Y).",
+		"w(C,R,X) : ic :- po(C,R), X : C, not relinst(R,X,X).",
+		"t(G,S) :- S = sum{A[G] per O; m(G,O,A)}, S > 0.",
+		"q(X) :- o[size -> 3; color ->> {red, blue}], not (a(X), b(X)).",
+		"p(X) :- Y is X mod 3 + -2.5 * 1e3.",
+		"?- p(X).",
+		"% comment\np(a). /* block */ q(b).",
+		"'quoted atom'(\"string\", 1.5).",
+		"p(f(g(h(X)))) :- q(X).",
+		"p(X) :- R(X, X), rel(R).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		pp, err := Parse(src) // must not panic
+		if err != nil {
+			return
+		}
+		// Accepted input: printing and re-parsing must succeed and be a
+		// fixpoint.
+		printed := pp.Program.String()
+		pp2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse of accepted input failed: %v\noriginal: %q\nprinted: %q", err, src, printed)
+		}
+		if pp2.Program.String() != printed {
+			t.Fatalf("printing not canonical:\n1: %q\n2: %q", printed, pp2.Program.String())
+		}
+	})
+}
+
+// FuzzParseTerm asserts the term parser never panics, and accepted terms
+// round-trip.
+func FuzzParseTerm(f *testing.F) {
+	for _, s := range []string{
+		"f(a, X)", "-3", "2.5e-3", `"str"`, "'a b'(c)", "1 + 2 * (3 - X)",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		tm, err := ParseTerm(src)
+		if err != nil {
+			return
+		}
+		back, err := ParseTerm(tm.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (printed %q) failed: %v", src, tm.String(), err)
+		}
+		if !back.Equal(tm) {
+			t.Fatalf("round trip changed term: %v vs %v", tm, back)
+		}
+	})
+}

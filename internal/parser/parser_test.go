@@ -1,0 +1,423 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/term"
+)
+
+func parseOne(t *testing.T, src string) datalog.Rule {
+	t.Helper()
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatalf("ParseRules(%q): %v", src, err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("ParseRules(%q): got %d rules, want 1: %v", src, len(rules), rules)
+	}
+	return rules[0]
+}
+
+func TestParseFact(t *testing.T) {
+	r := parseOne(t, "edge(a, b).")
+	if r.Head.Pred != "edge" || len(r.Head.Args) != 2 || len(r.Body) != 0 {
+		t.Errorf("got %v", r)
+	}
+	if !r.Head.Args[0].Equal(term.Atom("a")) {
+		t.Errorf("arg0 = %v", r.Head.Args[0])
+	}
+}
+
+func TestParseRuleWithNegation(t *testing.T) {
+	r := parseOne(t, "p(X) :- q(X), not r(X).")
+	if len(r.Body) != 2 {
+		t.Fatalf("body = %v", r.Body)
+	}
+	neg := r.Body[1].(datalog.Literal)
+	if !neg.Neg || neg.Pred != "r" {
+		t.Errorf("negated literal = %v", neg)
+	}
+}
+
+func TestParseTermKinds(t *testing.T) {
+	cases := []struct {
+		src  string
+		want term.Term
+	}{
+		{"foo", term.Atom("foo")},
+		{"'Purkinje Cell'", term.Atom("Purkinje Cell")},
+		{"X", term.Var("X")},
+		{"42", term.Int(42)},
+		{"-7", term.Int(-7)},
+		{"2.5", term.Float(2.5)},
+		{"1e3", term.Float(1000)},
+		{`"rat"`, term.Str("rat")},
+		{"f(a, X)", term.Comp("f", term.Atom("a"), term.Var("X"))},
+		{"1 + 2 * 3", term.Comp("+", term.Int(1), term.Comp("*", term.Int(2), term.Int(3)))},
+		{"(1 + 2) * 3", term.Comp("*", term.Comp("+", term.Int(1), term.Int(2)), term.Int(3))},
+	}
+	for _, c := range cases {
+		got, err := ParseTerm(c.src)
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", c.src, err)
+			continue
+		}
+		if !got.Equal(c.want) {
+			t.Errorf("ParseTerm(%q) = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseInstanceSugar(t *testing.T) {
+	r := parseOne(t, "ok :- x : neuron.")
+	lit := r.Body[0].(datalog.Literal)
+	if lit.Pred != "instance" || !lit.Args[0].Equal(term.Atom("x")) || !lit.Args[1].Equal(term.Atom("neuron")) {
+		t.Errorf("instance sugar = %v", lit)
+	}
+}
+
+func TestParseSubclassSugar(t *testing.T) {
+	r := parseOne(t, "ok :- dendrite :: compartment.")
+	lit := r.Body[0].(datalog.Literal)
+	if lit.Pred != "subclass" {
+		t.Errorf("subclass sugar = %v", lit)
+	}
+}
+
+func TestParseInstanceHeadWithCompoundWitness(t *testing.T) {
+	// Paper Example 2: wrc(C,R,X) : ic :- ...
+	rules, err := ParseRules("wrc(C,R,X) : ic :- X : C, not relinst(R,X,X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 {
+		t.Fatalf("rules = %v", rules)
+	}
+	h := rules[0].Head
+	if h.Pred != "instance" || h.Args[0].Name() != "wrc" || !h.Args[1].Equal(term.Atom("ic")) {
+		t.Errorf("head = %v", h)
+	}
+}
+
+func TestParseVariableFunctorCall(t *testing.T) {
+	// R(X,X) with relation variable R desugars to relinst(R,X,X).
+	r := parseOne(t, "p(X) :- c(X), R(X, X), rel(R).")
+	lit := r.Body[1].(datalog.Literal)
+	if lit.Pred != "relinst" || len(lit.Args) != 3 || !lit.Args[0].Equal(term.Var("R")) {
+		t.Errorf("relation-variable call = %v", lit)
+	}
+}
+
+func TestParseFrameBody(t *testing.T) {
+	r := parseOne(t, "ok :- o[size -> 3; color ->> red].")
+	if len(r.Body) != 2 {
+		t.Fatalf("body = %v", r.Body)
+	}
+	m0 := r.Body[0].(datalog.Literal)
+	if m0.Pred != "methodinst" || !m0.Args[1].Equal(term.Atom("size")) || !m0.Args[2].Equal(term.Int(3)) {
+		t.Errorf("frame lit 0 = %v", m0)
+	}
+}
+
+func TestParseFrameValueSet(t *testing.T) {
+	// ion_bound ->> {calcium, magnesium} expands into two literals.
+	r := parseOne(t, "ok :- p[ion_bound ->> {calcium, magnesium}].")
+	if len(r.Body) != 2 {
+		t.Fatalf("body = %v", r.Body)
+	}
+}
+
+func TestParseFrameSignature(t *testing.T) {
+	r := parseOne(t, "ok :- neuron[has => compartment].")
+	lit := r.Body[0].(datalog.Literal)
+	if lit.Pred != "method" || !lit.Args[0].Equal(term.Atom("neuron")) {
+		t.Errorf("signature = %v", lit)
+	}
+}
+
+func TestParseHeadFrameMultipleRules(t *testing.T) {
+	// A head frame with several specs yields several rules sharing the
+	// body (conjunctive head).
+	rules, err := ParseRules("D : dist[name -> Y; organism -> Z] :- src(D, Y, Z).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("got %d rules: %v", len(rules), rules)
+	}
+	preds := map[string]int{}
+	for _, r := range rules {
+		preds[r.Head.Pred]++
+		if len(r.Body) != 1 {
+			t.Errorf("rule %v lost its body", r)
+		}
+	}
+	if preds["instance"] != 1 || preds["methodinst"] != 2 {
+		t.Errorf("head preds = %v", preds)
+	}
+}
+
+func TestParseBuiltins(t *testing.T) {
+	r := parseOne(t, "p(X,Y) :- q(X), Y is X + 1, X > 2, X \\= 5, X != 4, X =< 9, X <= 9, X >= 0, X < 100.")
+	kinds := []string{}
+	for _, b := range r.Body[1:] {
+		kinds = append(kinds, b.(datalog.Literal).Pred)
+	}
+	want := []string{"is", ">", "\\=", "\\=", "=<", "=<", ">=", "<"}
+	if strings.Join(kinds, " ") != strings.Join(want, " ") {
+		t.Errorf("builtins = %v, want %v", kinds, want)
+	}
+}
+
+func TestParseAggregate(t *testing.T) {
+	// Paper Example 3 syntax.
+	r := parseOne(t, "w(R,VB,N) :- N = count{VA[VB]; relinst(R,VA,VB), rel(R)}, N \\= 1.")
+	agg, ok := r.Body[0].(datalog.Aggregate)
+	if !ok {
+		t.Fatalf("body[0] = %T", r.Body[0])
+	}
+	if agg.Op != datalog.AggCount || !agg.Value.Equal(term.Var("VA")) {
+		t.Errorf("agg = %v", agg)
+	}
+	if len(agg.GroupBy) != 1 || !agg.GroupBy[0].Equal(term.Var("VB")) {
+		t.Errorf("groups = %v", agg.GroupBy)
+	}
+	if len(agg.Body) != 2 {
+		t.Errorf("agg body = %v", agg.Body)
+	}
+}
+
+func TestParseAggregateNoGroup(t *testing.T) {
+	r := parseOne(t, "total(N) :- N = count{X; item(X)}.")
+	agg := r.Body[0].(datalog.Aggregate)
+	if len(agg.GroupBy) != 0 || agg.Op != datalog.AggCount {
+		t.Errorf("agg = %v", agg)
+	}
+}
+
+func TestParseAggregateOps(t *testing.T) {
+	for _, op := range []string{"sum", "min", "max", "avg"} {
+		r := parseOne(t, "res(G,N) :- N = "+op+"{X[G]; m(G,X)}.")
+		agg := r.Body[0].(datalog.Aggregate)
+		if string(agg.Op) != op {
+			t.Errorf("op = %v, want %s", agg.Op, op)
+		}
+	}
+}
+
+func TestCountAsPlainAtom(t *testing.T) {
+	// `count` not followed by { is an ordinary atom/predicate.
+	r := parseOne(t, "p(X) :- count(X).")
+	lit := r.Body[0].(datalog.Literal)
+	if lit.Pred != "count" {
+		t.Errorf("lit = %v", lit)
+	}
+}
+
+func TestParseNegatedGroup(t *testing.T) {
+	// Paper Section 4: wX(X) : ic :- X : c, not (Y : d, r(X,Y)).
+	rules, err := ParseRules("w(X) : ic :- X : c, not (Y : d, r(X, Y)).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("want main + aux rule, got %v", rules)
+	}
+	main, aux := rules[0], rules[1]
+	nl := main.Body[1].(datalog.Literal)
+	if !nl.Neg || !strings.HasPrefix(nl.Pred, "$not") {
+		t.Errorf("negated aux literal = %v", nl)
+	}
+	// Shared variable is X only (Y is local/existential).
+	if len(nl.Args) != 1 || !nl.Args[0].Equal(term.Var("X")) {
+		t.Errorf("aux args = %v", nl.Args)
+	}
+	if aux.Head.Pred != nl.Pred || len(aux.Body) != 2 {
+		t.Errorf("aux rule = %v", aux)
+	}
+}
+
+func TestNegatedGroupEndToEnd(t *testing.T) {
+	// Execute the assertion-style constraint: find c-instances with no
+	// r-successor in class d.
+	pp, err := Parse(`
+		instance(x1, c). instance(x2, c).
+		instance(y1, d).
+		r(x1, y1).
+		missing(X) :- X : c, not (Y : d, r(X, Y)).
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := datalog.NewEngine(nil)
+	if err := e.AddProgram(pp.Program); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds("missing", term.Atom("x2")) {
+		t.Error("missing(x2) should hold")
+	}
+	if res.Holds("missing", term.Atom("x1")) {
+		t.Error("missing(x1) should not hold")
+	}
+}
+
+func TestParseQueryClause(t *testing.T) {
+	pp, err := Parse("p(a). ?- p(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pp.Queries) != 1 || len(pp.Program.Rules) != 1 {
+		t.Errorf("queries = %v rules = %v", pp.Queries, pp.Program.Rules)
+	}
+}
+
+func TestParseQueryHelper(t *testing.T) {
+	body, aux, err := ParseQuery("p(X), not q(X)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 2 || len(aux) != 0 {
+		t.Errorf("body = %v aux = %v", body, aux)
+	}
+}
+
+func TestAnonymousVariablesAreFresh(t *testing.T) {
+	r := parseOne(t, "p(X) :- q(X, _), r(X, _).")
+	v1 := r.Body[0].(datalog.Literal).Args[1]
+	v2 := r.Body[1].(datalog.Literal).Args[1]
+	if !v1.IsVar() || !v2.IsVar() || v1.Name() == v2.Name() {
+		t.Errorf("anonymous vars not fresh: %v vs %v", v1, v2)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+	% prolog comment
+	// line comment
+	/* block
+	   comment */
+	p(a). % trailing
+	`
+	rules, err := ParseRules(src)
+	if err != nil || len(rules) != 1 {
+		t.Errorf("rules = %v, err = %v", rules, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"p(a)",                            // missing dot
+		"p(a,).",                          // dangling comma
+		"p(X) :- .",                       // empty body
+		":- q(a).",                        // empty head
+		"p(X) :- Y.",                      // bare variable literal
+		"p(X) :- X + 1.",                  // arithmetic as literal
+		"p(X) :- not (q(X), not (r(X))).", // nested negated group
+		"N = count{X; p(X)}.",             // aggregate in head position
+		"'unterminated.",
+		`"unterminated.`,
+		"p(a)?",
+	}
+	for _, src := range bad {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("ParseRules(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseModOperator(t *testing.T) {
+	r := parseOne(t, "p(X,Y) :- q(X), Y is X mod 3.")
+	isLit := r.Body[1].(datalog.Literal)
+	expr := isLit.Args[1]
+	if expr.Name() != "mod" {
+		t.Errorf("expr = %v", expr)
+	}
+}
+
+func TestRoundTripThroughString(t *testing.T) {
+	// A rule printed and reparsed stays equal (modulo desugaring being
+	// stable).
+	srcs := []string{
+		"p(X) :- q(X), not r(X).",
+		"tc(X,Y) :- tc(X,Z), tc(Z,Y).",
+		"big(X) :- num(X), X > 3.",
+	}
+	for _, src := range srcs {
+		r1 := parseOne(t, src)
+		r2 := parseOne(t, r1.String())
+		if r1.String() != r2.String() {
+			t.Errorf("round trip: %q -> %q", r1.String(), r2.String())
+		}
+	}
+}
+
+func TestPaperExample4Parses(t *testing.T) {
+	// The protein_distribution IVD from Example 4 (adapted to our
+	// concrete syntax: source paths become predicates).
+	src := `
+	D : protein_distribution[protein_name -> Y; animal -> Z;
+	                         distribution_root -> P; distribution -> D2] :-
+		ncmir_protein_name(Y),
+		senselab_neuron_organism(Z),
+		anatom_contains(P),
+		aggregate_dist(Y, P, D2),
+		D = dist(Y, Z, P).
+	`
+	rules, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 instance + 4 methodinst heads.
+	if len(rules) != 5 {
+		t.Errorf("got %d rules", len(rules))
+	}
+}
+
+func TestParseAggregatePerKeys(t *testing.T) {
+	r := parseOne(t, "total(G,S) :- S = sum{A[G] per O; amount(G,O,A)}.")
+	agg := r.Body[0].(datalog.Aggregate)
+	if len(agg.Key) != 1 || !agg.Key[0].Equal(term.Var("O")) {
+		t.Errorf("keys = %v", agg.Key)
+	}
+	// Round trip through String.
+	r2 := parseOne(t, r.String())
+	if r.String() != r2.String() {
+		t.Errorf("round trip: %q vs %q", r.String(), r2.String())
+	}
+}
+
+func TestEscapeRoundTrips(t *testing.T) {
+	// Regressions from fuzzing: non-printable bytes in strings,
+	// backslashes and quotes in atoms.
+	terms := []term.Term{
+		term.Str("\x8b"),
+		term.Str("tab\tnewline\nunicode ☃"),
+		term.Str(`back\slash and "quote"`),
+		term.Atom(`a\b`),
+		term.Atom(`it's`),
+		term.Atom(`both \' here`),
+		term.Comp("f", term.Str("\x00\x01"), term.Atom(`q'\`)),
+	}
+	for _, tm := range terms {
+		got, err := ParseTerm(tm.String())
+		if err != nil {
+			t.Errorf("ParseTerm(%q): %v", tm.String(), err)
+			continue
+		}
+		if !got.Equal(tm) {
+			t.Errorf("round trip changed %q -> %q", tm.String(), got.String())
+		}
+	}
+}
+
+func TestRawNewlineInStringRejected(t *testing.T) {
+	if _, err := ParseTerm("\"a\nb\""); err == nil {
+		t.Error("raw newline in string literal should be rejected")
+	}
+}

@@ -1,0 +1,312 @@
+// Package sources provides the synthetic stand-ins for the data sources
+// of the paper's Neuroscience mediation scenario — SYNAPSE (dendritic
+// spine morphometry of hippocampal pyramidal cells), NCMIR (protein
+// localization in cerebellar Purkinje cells), SENSELAB (neurotransmission
+// records) and ANATOM (the anatomical domain map) — plus scalable
+// synthetic generators for the benchmarks.
+//
+// The real laboratory databases are proprietary; these generators are
+// deterministic by seed and reproduce the *schemas, anchor structure and
+// value shapes* that the paper's queries touch, which is all the
+// mediation machinery exercises (see DESIGN.md, substitution table).
+package sources
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelmed/internal/dl"
+	"modelmed/internal/domainmap"
+	"modelmed/internal/gcm"
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+)
+
+// NeuroDM builds the ANATOM domain map: the Figure 1 axioms, the
+// Figure 3 Neostriatum fragment, and an anatomical containment hierarchy
+// (nervous_system … cerebellum … purkinje_cell … spine) under the has_a
+// role, which the Section 5 query and the Example 4 view traverse.
+func NeuroDM() *domainmap.DomainMap {
+	dm := domainmap.New("ANATOM")
+	axioms := []dl.Axiom{
+		// --- Figure 1: cell-level knowledge ---
+		dl.Sub("neuron", dl.ExistsR("has_a", dl.C("compartment"))),
+		dl.Sub("axon", dl.C("compartment")),
+		dl.Sub("dendrite", dl.C("compartment")),
+		dl.Sub("soma", dl.C("compartment")),
+		dl.Equiv("spiny_neuron", dl.AndOf(dl.C("neuron"), dl.ExistsR("has_a", dl.C("spine")))),
+		dl.Sub("purkinje_cell", dl.C("spiny_neuron")),
+		dl.Sub("pyramidal_cell", dl.C("spiny_neuron")),
+		dl.Sub("dendrite", dl.ExistsR("has_a", dl.C("branch"))),
+		dl.Sub("shaft", dl.AndOf(dl.C("branch"), dl.ExistsR("has_a", dl.C("spine")))),
+		dl.Sub("spine", dl.ExistsR("contains", dl.C("ion_binding_protein"))),
+		dl.Sub("spine", dl.C("ion_regulating_component")),
+		dl.Sub("ion_activity", dl.ExistsR("subprocess_of", dl.C("neurotransmission_process"))),
+		dl.Sub("ion_binding_protein", dl.AndOf(dl.C("protein"), dl.ExistsR("controls", dl.C("ion_activity")))),
+		dl.Equiv("ion_regulating_component", dl.ExistsR("regulates", dl.C("ion_activity"))),
+
+		// --- Anatomical containment (ANATOM proper) ---
+		dl.Sub("nervous_system", dl.ExistsR("has_a", dl.C("brain"))),
+		dl.Sub("brain", dl.ExistsR("has_a", dl.C("cerebellum"))),
+		dl.Sub("brain", dl.ExistsR("has_a", dl.C("hippocampus"))),
+		dl.Sub("brain", dl.ExistsR("has_a", dl.C("neostriatum"))),
+		dl.Sub("cerebellum", dl.ExistsR("has_a", dl.C("cerebellar_cortex"))),
+		dl.Sub("cerebellar_cortex", dl.ExistsR("has_a", dl.C("purkinje_cell_layer"))),
+		dl.Sub("cerebellar_cortex", dl.ExistsR("has_a", dl.C("molecular_layer"))),
+		dl.Sub("cerebellar_cortex", dl.ExistsR("has_a", dl.C("granular_layer"))),
+		dl.Sub("purkinje_cell_layer", dl.ExistsR("has_a", dl.C("purkinje_cell"))),
+		dl.Sub("granular_layer", dl.ExistsR("has_a", dl.C("granule_cell"))),
+		dl.Sub("granule_cell", dl.C("neuron")),
+		dl.Sub("granule_cell", dl.ExistsR("has_a", dl.C("parallel_fiber"))),
+		dl.Sub("parallel_fiber", dl.C("axon")),
+		dl.Sub("molecular_layer", dl.ExistsR("has_a", dl.C("parallel_fiber"))),
+		dl.Sub("hippocampus", dl.ExistsR("has_a", dl.C("ca1"))),
+		dl.Sub("hippocampus", dl.ExistsR("has_a", dl.C("ca3"))),
+		dl.Sub("hippocampus", dl.ExistsR("has_a", dl.C("dentate_gyrus"))),
+		dl.Sub("ca1", dl.ExistsR("has_a", dl.C("pyramidal_cell"))),
+
+		// --- Figure 3: Neostriatum fragment ---
+		dl.Sub("medium_spiny_neuron", dl.C("spiny_neuron")),
+		dl.Sub("neostriatum", dl.ExistsR("has_a", dl.C("medium_spiny_neuron"))),
+		dl.Sub("medium_spiny_neuron", dl.ExistsR("exp", dl.C("gaba"))),
+		dl.Sub("medium_spiny_neuron", dl.ExistsR("exp", dl.C("substance_p"))),
+		dl.Sub("gaba", dl.C("neurotransmitter")),
+		dl.Sub("substance_p", dl.C("neurotransmitter")),
+		dl.Sub("dopamine_r", dl.C("neurotransmitter")),
+		dl.Sub("medium_spiny_neuron", dl.ExistsR("proj", dl.OrOf(
+			dl.C("substantia_nigra_pr"), dl.C("substantia_nigra_pc"),
+			dl.C("globus_pallidus_external"), dl.C("globus_pallidus_internal")))),
+	}
+	if err := dm.AddAxioms(axioms...); err != nil {
+		// The axiom set is static; a failure is a programming error.
+		panic(err)
+	}
+	return dm
+}
+
+// Fig3Registration returns the DL axioms a source sends to register the
+// MyNeuron / MyDendrite knowledge of Figure 3.
+func Fig3Registration() []dl.Axiom {
+	return []dl.Axiom{
+		dl.Equiv("my_dendrite", dl.AndOf(dl.C("dendrite"), dl.ExistsR("exp", dl.C("dopamine_r")))),
+		dl.Sub("my_neuron", dl.AndOf(
+			dl.C("medium_spiny_neuron"),
+			dl.ExistsR("proj", dl.C("globus_pallidus_external")),
+			dl.ForallR("has_a", dl.C("my_dendrite")))),
+	}
+}
+
+// Proteins returns the synthetic protein catalogue: name -> bound ion
+// ("" = none). Calcium-binding proteins are the ones the Section 5
+// query asks about.
+func Proteins() map[string]string {
+	return map[string]string{
+		"ryanodine_receptor": "calcium",
+		"ip3_receptor":       "calcium",
+		"calbindin":          "calcium",
+		"parvalbumin":        "calcium",
+		"calmodulin":         "calcium",
+		"gfap":               "",
+		"tubulin":            "",
+	}
+}
+
+var organisms = []string{"rat", "mouse", "human"}
+
+// ncmirLocations are the compartments NCMIR localizes proteins in,
+// all concepts of the ANATOM domain map reachable under cerebellum.
+var ncmirLocations = []string{
+	"purkinje_cell", "dendrite", "branch", "spine", "soma", "axon",
+}
+
+// Synapse builds the SYNAPSE source model: spine morphometry of
+// hippocampal pyramidal cells, n measurement objects, deterministic in
+// seed.
+func Synapse(seed int64, n int) *gcm.Model {
+	r := rand.New(rand.NewSource(seed))
+	m := gcm.NewModel("SYNAPSE")
+	m.AddClass(&gcm.Class{Name: "anatomical_entity", Methods: []gcm.MethodSig{
+		{Name: "location", Result: "string", Anchor: true},
+		{Name: "organism", Result: "string", Scalar: true, Context: true},
+	}})
+	m.AddClass(&gcm.Class{Name: "spine_measurement", Super: []string{"anatomical_entity"}, Methods: []gcm.MethodSig{
+		{Name: "spine_density", Result: "float", Scalar: true},
+		{Name: "spine_volume", Result: "float", Scalar: true},
+		{Name: "age_days", Result: "integer", Scalar: true},
+		{Name: "condition", Result: "string", Scalar: true},
+	}})
+	locations := []string{"pyramidal_cell", "dendrite", "spine", "shaft"}
+	conditions := []string{"control", "enriched", "deprived"}
+	for i := 0; i < n; i++ {
+		m.AddObject(gcm.Object{
+			ID:    term.Atom(fmt.Sprintf("syn_m%d", i)),
+			Class: "spine_measurement",
+			Values: map[string][]term.Term{
+				"location":      {term.Atom(locations[r.Intn(len(locations))])},
+				"organism":      {term.Str(organisms[r.Intn(len(organisms))])},
+				"spine_density": {term.Float(float64(r.Intn(400))/100 + 0.5)},
+				"spine_volume":  {term.Float(float64(r.Intn(100))/1000 + 0.01)},
+				"age_days":      {term.Int(int64(10 + r.Intn(700)))},
+				"condition":     {term.Str(conditions[r.Intn(len(conditions))])},
+			},
+		})
+	}
+	return m
+}
+
+// NCMIR builds the NCMIR source model: protein amounts per neuron
+// compartment of cerebellar Purkinje cells, n amount records.
+func NCMIR(seed int64, n int) *gcm.Model {
+	r := rand.New(rand.NewSource(seed))
+	m := gcm.NewModel("NCMIR")
+	m.AddClass(&gcm.Class{Name: "protein", Methods: []gcm.MethodSig{
+		{Name: "name", Result: "string", Scalar: true},
+		{Name: "ion_bound", Result: "string"},
+	}})
+	m.AddClass(&gcm.Class{Name: "protein_amount", Methods: []gcm.MethodSig{
+		{Name: "protein_name", Result: "string", Scalar: true},
+		{Name: "location", Result: "string", Anchor: true},
+		{Name: "amount", Result: "float", Scalar: true},
+		{Name: "organism", Result: "string", Scalar: true, Context: true},
+	}})
+	proteinNames := sortedProteinNames()
+	for i, p := range proteinNames {
+		vals := map[string][]term.Term{"name": {term.Str(p)}}
+		if ion := Proteins()[p]; ion != "" {
+			vals["ion_bound"] = []term.Term{term.Atom(ion)}
+		}
+		m.AddObject(gcm.Object{ID: term.Atom(fmt.Sprintf("ncm_p%d", i)), Class: "protein", Values: vals})
+	}
+	for i := 0; i < n; i++ {
+		p := proteinNames[r.Intn(len(proteinNames))]
+		m.AddObject(gcm.Object{
+			ID:    term.Atom(fmt.Sprintf("ncm_a%d", i)),
+			Class: "protein_amount",
+			Values: map[string][]term.Term{
+				"protein_name": {term.Str(p)},
+				"location":     {term.Atom(ncmirLocations[r.Intn(len(ncmirLocations))])},
+				"amount":       {term.Float(float64(r.Intn(10000)) / 100)},
+				"organism":     {term.Str(organisms[r.Intn(len(organisms))])},
+			},
+		})
+	}
+	return m
+}
+
+func sortedProteinNames() []string {
+	ps := Proteins()
+	out := make([]string, 0, len(ps))
+	for p := range ps {
+		out = append(out, p)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// SenseLab builds the SENSELAB source model: neurotransmission records
+// (who signals whom, through which compartments, with which
+// transmitter). The canonical record for the Section 5 query — parallel
+// fibers transmitting onto Purkinje-cell dendrites in rat — is always
+// present; n-1 further records are sampled.
+func SenseLab(seed int64, n int) *gcm.Model {
+	r := rand.New(rand.NewSource(seed))
+	m := gcm.NewModel("SENSELAB")
+	m.AddClass(&gcm.Class{Name: "neurotransmission", Methods: []gcm.MethodSig{
+		{Name: "organism", Result: "string", Scalar: true, Context: true},
+		{Name: "transmitting_neuron", Result: "string", Anchor: true},
+		{Name: "transmitting_compartment", Result: "string", Anchor: true},
+		{Name: "receiving_neuron", Result: "string", Anchor: true},
+		{Name: "receiving_compartment", Result: "string", Anchor: true},
+		{Name: "neurotransmitter", Result: "string", Scalar: true},
+	}})
+	type nt struct {
+		tn, tcomp, rn, rcomp, trans string
+	}
+	catalog := []nt{
+		{"granule_cell", "parallel_fiber", "purkinje_cell", "dendrite", "glutamate"},
+		{"pyramidal_cell", "axon", "pyramidal_cell", "dendrite", "glutamate"},
+		{"medium_spiny_neuron", "axon", "purkinje_cell", "soma", "gaba"},
+		{"granule_cell", "parallel_fiber", "purkinje_cell", "spine", "glutamate"},
+	}
+	add := func(i int, organism string, c nt) {
+		m.AddObject(gcm.Object{
+			ID:    term.Atom(fmt.Sprintf("sl_n%d", i)),
+			Class: "neurotransmission",
+			Values: map[string][]term.Term{
+				"organism":                 {term.Str(organism)},
+				"transmitting_neuron":      {term.Atom(c.tn)},
+				"transmitting_compartment": {term.Atom(c.tcomp)},
+				"receiving_neuron":         {term.Atom(c.rn)},
+				"receiving_compartment":    {term.Atom(c.rcomp)},
+				"neurotransmitter":         {term.Str(c.trans)},
+			},
+		})
+	}
+	add(0, "rat", catalog[0])
+	for i := 1; i < n; i++ {
+		add(i, organisms[r.Intn(len(organisms))], catalog[r.Intn(len(catalog))])
+	}
+	return m
+}
+
+// Wrappers builds the standard wrapper set for the scenario with the
+// capabilities the Section 5 query plan relies on: SENSELAB accepts
+// pushed-down selections on organism and transmitting compartment
+// (step 1), NCMIR on location and protein name (step 3); SYNAPSE is
+// scan-only.
+func Wrappers(seed int64, nSynapse, nNCMIR, nSenseLab int) ([]*wrapper.InMemory, error) {
+	syn, err := wrapper.NewInMemory(Synapse(seed, nSynapse))
+	if err != nil {
+		return nil, err
+	}
+	ncm, err := wrapper.NewInMemory(NCMIR(seed+1, nNCMIR),
+		wrapper.Capability{Target: "protein_amount", Kind: wrapper.CapClassSelect,
+			Bindable: []string{"location", "protein_name", "organism"}},
+		wrapper.Capability{Target: "protein", Kind: wrapper.CapClassSelect,
+			Bindable: []string{"name", "ion_bound"}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	sl, err := wrapper.NewInMemory(SenseLab(seed+2, nSenseLab),
+		wrapper.Capability{Target: "neurotransmission", Kind: wrapper.CapClassSelect,
+			Bindable: []string{"organism", "transmitting_compartment", "transmitting_neuron",
+				"receiving_neuron", "receiving_compartment"}},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return []*wrapper.InMemory{syn, ncm, sl}, nil
+}
+
+// AnatomDB builds a relation-centric source: anatomical containment
+// observations exported as tuples of a binary relation rather than as
+// objects — exercising the REL form of Table 1 through the mediator.
+func AnatomDB() *gcm.Model {
+	m := gcm.NewModel("ANATOMDB")
+	m.AddClass(&gcm.Class{Name: "structure", Methods: []gcm.MethodSig{
+		{Name: "name", Result: "string", Scalar: true},
+		{Name: "region", Result: "string", Anchor: true},
+	}})
+	m.AddRelation(&gcm.Relation{Name: "located_in", Attrs: []gcm.RelAttr{
+		{Name: "part", Class: "structure"},
+		{Name: "whole", Class: "structure", Card: gcm.Exactly(1)},
+	}})
+	add := func(id, region string) {
+		m.AddObject(gcm.Object{ID: term.Atom(id), Class: "structure",
+			Values: map[string][]term.Term{
+				"name":   {term.Str(id)},
+				"region": {term.Atom(region)},
+			}})
+	}
+	add("st_pc1", "purkinje_cell")
+	add("st_pcl", "purkinje_cell_layer")
+	add("st_cbc", "cerebellar_cortex")
+	m.AddTuple("located_in", term.Atom("st_pc1"), term.Atom("st_pcl"))
+	m.AddTuple("located_in", term.Atom("st_pcl"), term.Atom("st_cbc"))
+	return m
+}

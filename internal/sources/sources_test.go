@@ -1,0 +1,182 @@
+package sources
+
+import (
+	"reflect"
+	"testing"
+
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+)
+
+func TestNeuroDMStructure(t *testing.T) {
+	dm := NeuroDM()
+	// The Section 5 chain: cerebellum contains purkinje cells, their
+	// dendrites, branches and spines.
+	for _, c := range []string{"cerebellar_cortex", "purkinje_cell", "dendrite", "branch", "spine", "parallel_fiber"} {
+		if !dm.Reaches("has_a", "cerebellum", c) {
+			t.Errorf("cerebellum should contain %s", c)
+		}
+	}
+	// Hippocampus contains pyramidal but not purkinje cells.
+	if !dm.Reaches("has_a", "hippocampus", "pyramidal_cell") {
+		t.Error("hippocampus should contain pyramidal_cell")
+	}
+	if dm.Reaches("has_a", "hippocampus", "purkinje_cell") {
+		t.Error("hippocampus must not contain purkinje_cell")
+	}
+	// Fig 3 OR group present.
+	if got := dm.DisjunctiveTargets("medium_spiny_neuron", "proj"); len(got) != 4 {
+		t.Errorf("proj OR group = %v", got)
+	}
+}
+
+func TestNeuroDMLub(t *testing.T) {
+	dm := NeuroDM()
+	// The natural root for purkinje_cell + dendrite observations is the
+	// purkinje cell itself (it contains its dendrites).
+	lub := dm.LUB("has_a", []string{"purkinje_cell", "dendrite"})
+	if len(lub) == 0 || lub[0] != "purkinje_cell" {
+		t.Errorf("LUB = %v, want purkinje_cell first", lub)
+	}
+	// purkinje_cell + pyramidal_cell meet only at brain level (via
+	// cerebellum/hippocampus); spiny_neuron is not a has_a container.
+	lub = dm.LUB("has_a", []string{"purkinje_cell", "pyramidal_cell"})
+	if len(lub) == 0 || lub[0] != "brain" {
+		t.Errorf("LUB(purkinje,pyramidal) = %v, want brain", lub)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a1, a2 := Synapse(7, 20), Synapse(7, 20)
+	if !reflect.DeepEqual(a1.Objects, a2.Objects) {
+		t.Error("Synapse not deterministic")
+	}
+	b1, b2 := NCMIR(7, 20), NCMIR(7, 20)
+	if !reflect.DeepEqual(b1.Objects, b2.Objects) {
+		t.Error("NCMIR not deterministic")
+	}
+	c1, c2 := SenseLab(7, 20), SenseLab(7, 20)
+	if !reflect.DeepEqual(c1.Objects, c2.Objects) {
+		t.Error("SenseLab not deterministic")
+	}
+	d1 := Synapse(8, 20)
+	if reflect.DeepEqual(a1.Objects, d1.Objects) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestModelsValidate(t *testing.T) {
+	for _, m := range []interface{ Validate() error }{
+		Synapse(1, 50), NCMIR(2, 50), SenseLab(3, 50),
+		SyntheticSource("s", 4, 50, []string{"a", "b"}),
+		Bookstore("amazon", 5, 50),
+	} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate: %v", err)
+		}
+	}
+}
+
+func TestSenseLabCanonicalRecord(t *testing.T) {
+	m := SenseLab(99, 1)
+	o := m.Objects[0]
+	if !o.Values["transmitting_compartment"][0].Equal(term.Atom("parallel_fiber")) ||
+		!o.Values["organism"][0].Equal(term.Str("rat")) {
+		t.Errorf("canonical record missing: %v", o.Values)
+	}
+}
+
+func TestNCMIRHasCalciumProteins(t *testing.T) {
+	m := NCMIR(1, 10)
+	calcium := 0
+	for _, o := range m.Objects {
+		if o.Class != "protein" {
+			continue
+		}
+		for _, v := range o.Values["ion_bound"] {
+			if v.Equal(term.Atom("calcium")) {
+				calcium++
+			}
+		}
+	}
+	if calcium < 3 {
+		t.Errorf("expected several calcium-binding proteins, got %d", calcium)
+	}
+}
+
+func TestAnchorsPresent(t *testing.T) {
+	for _, m := range []*struct {
+		name string
+		anc  map[string][]term.Term
+	}{
+		{"SYNAPSE", Synapse(1, 30).AnchorValues()},
+		{"NCMIR", NCMIR(1, 30).AnchorValues()},
+		{"SENSELAB", SenseLab(1, 30).AnchorValues()},
+	} {
+		if len(m.anc) == 0 {
+			t.Errorf("%s has no anchors", m.name)
+		}
+	}
+	// NCMIR anchors must all be ANATOM concepts.
+	dm := NeuroDM()
+	for concept := range NCMIR(1, 30).AnchorValues() {
+		if !dm.HasConcept(concept) {
+			t.Errorf("NCMIR anchor %s not a domain-map concept", concept)
+		}
+	}
+}
+
+func TestWrappersCapabilities(t *testing.T) {
+	ws, err := Wrappers(1, 10, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("wrappers = %d", len(ws))
+	}
+	// SENSELAB must accept the Section 5 step-1 pushdown.
+	var sl *wrapper.InMemory
+	for _, w := range ws {
+		if w.Name() == "SENSELAB" {
+			sl = w
+		}
+	}
+	objs, err := sl.QueryObjects(wrapper.Query{Target: "neurotransmission",
+		Selections: []wrapper.Selection{
+			{Attr: "organism", Value: term.Str("rat")},
+			{Attr: "transmitting_compartment", Value: term.Atom("parallel_fiber")},
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) == 0 {
+		t.Error("canonical rat/parallel_fiber record should match")
+	}
+}
+
+func TestSyntheticDMShape(t *testing.T) {
+	dm := SyntheticDM(2, 3, 2)
+	// 1 root + 3 + 9 tree nodes + 2 isa per 9 leaves = 13 + 18.
+	if got := len(dm.Concepts()); got != 31 {
+		t.Errorf("concepts = %d, want 31", got)
+	}
+	if !dm.Reaches("has_a", "root", "root_0_1") {
+		t.Error("root should contain root_0_1")
+	}
+	if !dm.Reaches("has_a", "root", "root_0_0_sub1") {
+		t.Error("containment should include isa descendants")
+	}
+}
+
+func TestFig3RegistrationAxioms(t *testing.T) {
+	dm := NeuroDM()
+	if err := dm.AddAxioms(Fig3Registration()...); err != nil {
+		t.Fatal(err)
+	}
+	if !dm.HasConcept("my_neuron") || !dm.HasConcept("my_dendrite") {
+		t.Error("registration should add concepts")
+	}
+	if got := dm.DC("proj", "my_neuron"); len(got) == 0 || got[0] != "globus_pallidus_external" {
+		t.Errorf("my_neuron proj = %v", got)
+	}
+}

@@ -1,0 +1,94 @@
+package sources
+
+import (
+	"fmt"
+	"math/rand"
+
+	"modelmed/internal/dl"
+	"modelmed/internal/domainmap"
+	"modelmed/internal/gcm"
+	"modelmed/internal/term"
+)
+
+// SyntheticDM builds a scalable domain map for the closure and
+// source-selection benchmarks: a containment tree of the given depth and
+// fanout under the has_a role, with an isa chain of the given length
+// hanging off every leaf. Concept names are deterministic.
+func SyntheticDM(depth, fanout, isaChain int) *domainmap.DomainMap {
+	dm := domainmap.New(fmt.Sprintf("synthetic_d%d_f%d", depth, fanout))
+	var axioms []dl.Axiom
+	var build func(name string, level int)
+	leaf := 0
+	build = func(name string, level int) {
+		if level == depth {
+			prev := name
+			for i := 0; i < isaChain; i++ {
+				sub := fmt.Sprintf("%s_sub%d", name, i)
+				axioms = append(axioms, dl.Sub(sub, dl.C(prev)))
+				prev = sub
+			}
+			leaf++
+			return
+		}
+		for i := 0; i < fanout; i++ {
+			child := fmt.Sprintf("%s_%d", name, i)
+			axioms = append(axioms, dl.Sub(name, dl.ExistsR("has_a", dl.C(child))))
+			build(child, level+1)
+		}
+	}
+	build("root", 0)
+	if err := dm.AddAxioms(axioms...); err != nil {
+		panic(err)
+	}
+	return dm
+}
+
+// SyntheticSource builds a source model whose objects anchor uniformly
+// at the given concepts; used for scaling the number of registered
+// sources in the source-selection benchmarks.
+func SyntheticSource(name string, seed int64, n int, concepts []string) *gcm.Model {
+	r := rand.New(rand.NewSource(seed))
+	m := gcm.NewModel(name)
+	m.AddClass(&gcm.Class{Name: "record", Methods: []gcm.MethodSig{
+		{Name: "location", Result: "string", Anchor: true},
+		{Name: "value", Result: "float", Scalar: true},
+	}})
+	for i := 0; i < n; i++ {
+		m.AddObject(gcm.Object{
+			ID:    term.Atom(fmt.Sprintf("%s_o%d", name, i)),
+			Class: "record",
+			Values: map[string][]term.Term{
+				"location": {term.Atom(concepts[r.Intn(len(concepts))])},
+				"value":    {term.Float(float64(r.Intn(1000)) / 10)},
+			},
+		})
+	}
+	return m
+}
+
+// Bookstore builds a one-world comparison-shopping source (the paper's
+// introduction: "comparison shopping with amazon.com and
+// barnesandnoble.com"), with n book records whose titles overlap across
+// stores sharing the same catalogue size.
+func Bookstore(name string, seed int64, n int) *gcm.Model {
+	r := rand.New(rand.NewSource(seed))
+	m := gcm.NewModel(name)
+	m.AddClass(&gcm.Class{Name: "book", Methods: []gcm.MethodSig{
+		{Name: "title", Result: "string", Scalar: true},
+		{Name: "author", Result: "string", Scalar: true},
+		{Name: "price_cents", Result: "integer", Scalar: true},
+	}})
+	for i := 0; i < n; i++ {
+		title := fmt.Sprintf("Book %03d", i)
+		m.AddObject(gcm.Object{
+			ID:    term.Atom(fmt.Sprintf("%s_b%d", name, i)),
+			Class: "book",
+			Values: map[string][]term.Term{
+				"title":       {term.Str(title)},
+				"author":      {term.Str(fmt.Sprintf("Author %d", i%37))},
+				"price_cents": {term.Int(int64(500 + r.Intn(4500)))},
+			},
+		})
+	}
+	return m
+}

@@ -1,0 +1,180 @@
+package term
+
+// Subst is a substitution mapping variable names to terms. Bindings may
+// chain (X -> Y, Y -> t); Walk resolves chains. The zero value is not
+// usable; use NewSubst.
+type Subst struct {
+	m map[string]Term
+}
+
+// NewSubst returns an empty substitution.
+func NewSubst() *Subst { return &Subst{m: make(map[string]Term)} }
+
+// Len returns the number of bound variables.
+func (s *Subst) Len() int { return len(s.m) }
+
+// Bind records the binding name -> t. It does not check for conflicts;
+// callers (unification) are responsible for consistency.
+func (s *Subst) Bind(name string, t Term) { s.m[name] = t }
+
+// Lookup returns the direct binding for name, if any.
+func (s *Subst) Lookup(name string) (Term, bool) {
+	t, ok := s.m[name]
+	return t, ok
+}
+
+// Walk resolves t through the substitution until it reaches a non-variable
+// term or an unbound variable. It does not descend into compound terms.
+func (s *Subst) Walk(t Term) Term {
+	for t.IsVar() {
+		u, ok := s.m[t.Name()]
+		if !ok {
+			return t
+		}
+		t = u
+	}
+	return t
+}
+
+// Apply returns t with all bound variables (recursively) replaced by their
+// bindings. Unbound variables remain as variables.
+func (s *Subst) Apply(t Term) Term {
+	t = s.Walk(t)
+	if t.Kind() != KindCompound {
+		return t
+	}
+	args := make([]Term, len(t.Args()))
+	changed := false
+	for i, a := range t.Args() {
+		args[i] = s.Apply(a)
+		if !args[i].Equal(a) {
+			changed = true
+		}
+	}
+	if !changed {
+		return t
+	}
+	return Term{kind: KindCompound, functor: t.Name(), args: args}
+}
+
+// ApplyAll applies the substitution to each term in ts, returning a new
+// slice.
+func (s *Subst) ApplyAll(ts []Term) []Term {
+	out := make([]Term, len(ts))
+	for i, t := range ts {
+		out[i] = s.Apply(t)
+	}
+	return out
+}
+
+// Clone returns an independent copy of s.
+func (s *Subst) Clone() *Subst {
+	c := &Subst{m: make(map[string]Term, len(s.m))}
+	for k, v := range s.m {
+		c.m[k] = v
+	}
+	return c
+}
+
+// Snapshot returns the current number of bindings; used with Rollback to
+// undo bindings made during a failed unification attempt.
+// Because Bind never overwrites and Rollback removes exactly the names
+// recorded after the snapshot, callers must pair Snapshot/Rollback with a
+// trail of bound names. For simplicity the engine uses Clone instead on
+// branching paths; Snapshot is retained for the iterative matcher.
+func (s *Subst) Snapshot() int { return len(s.m) }
+
+// Remove deletes the binding for name, if present.
+func (s *Subst) Remove(name string) { delete(s.m, name) }
+
+// occurs reports whether variable name occurs in t (after walking).
+func (s *Subst) occurs(name string, t Term) bool {
+	t = s.Walk(t)
+	switch t.Kind() {
+	case KindVar:
+		return t.Name() == name
+	case KindCompound:
+		for _, a := range t.Args() {
+			if s.occurs(name, a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Unify attempts to unify a and b under s, extending s with new bindings.
+// On failure it returns false and the names of any bindings added before
+// the failure in trail (so the caller can roll them back); on success the
+// added names are also returned. Performs the occurs check.
+func (s *Subst) Unify(a, b Term) (trail []string, ok bool) {
+	return s.unify(a, b, nil)
+}
+
+func (s *Subst) unify(a, b Term, trail []string) ([]string, bool) {
+	a, b = s.Walk(a), s.Walk(b)
+	if a.IsVar() {
+		if b.IsVar() && a.Name() == b.Name() {
+			return trail, true
+		}
+		if s.occurs(a.Name(), b) {
+			return trail, false
+		}
+		s.Bind(a.Name(), b)
+		return append(trail, a.Name()), true
+	}
+	if b.IsVar() {
+		if s.occurs(b.Name(), a) {
+			return trail, false
+		}
+		s.Bind(b.Name(), a)
+		return append(trail, b.Name()), true
+	}
+	if a.Kind() != b.Kind() {
+		return trail, false
+	}
+	switch a.Kind() {
+	case KindAtom, KindString:
+		return trail, a.Name() == b.Name()
+	case KindInt:
+		return trail, a.IntVal() == b.IntVal()
+	case KindFloat:
+		return trail, a.FloatVal() == b.FloatVal()
+	case KindCompound:
+		if a.Name() != b.Name() || a.Arity() != b.Arity() {
+			return trail, false
+		}
+		for i := range a.Args() {
+			var ok bool
+			trail, ok = s.unify(a.Args()[i], b.Args()[i], trail)
+			if !ok {
+				return trail, false
+			}
+		}
+		return trail, true
+	}
+	return trail, false
+}
+
+// Undo removes the bindings named in trail (as returned by Unify).
+func (s *Subst) Undo(trail []string) {
+	for _, name := range trail {
+		delete(s.m, name)
+	}
+}
+
+// MatchTuple unifies pattern against the ground tuple fact position-wise,
+// extending s. It returns the trail of added bindings and whether the
+// match succeeded; on failure the caller should Undo the trail.
+// len(pattern) must equal len(fact).
+func (s *Subst) MatchTuple(pattern, fact []Term) ([]string, bool) {
+	var trail []string
+	for i := range pattern {
+		var ok bool
+		trail, ok = s.unify(pattern[i], fact[i], trail)
+		if !ok {
+			return trail, false
+		}
+	}
+	return trail, true
+}

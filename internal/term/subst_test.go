@@ -1,0 +1,130 @@
+package term
+
+import "testing"
+
+func TestWalkChains(t *testing.T) {
+	s := NewSubst()
+	s.Bind("X", Var("Y"))
+	s.Bind("Y", Atom("a"))
+	if got := s.Walk(Var("X")); !got.Equal(Atom("a")) {
+		t.Errorf("Walk(X) = %v, want a", got)
+	}
+	if got := s.Walk(Var("Z")); !got.Equal(Var("Z")) {
+		t.Errorf("Walk(Z) = %v, want Z", got)
+	}
+}
+
+func TestApplyRecursive(t *testing.T) {
+	s := NewSubst()
+	s.Bind("X", Atom("a"))
+	s.Bind("Y", Comp("g", Var("X")))
+	got := s.Apply(Comp("f", Var("Y"), Var("Z")))
+	want := Comp("f", Comp("g", Atom("a")), Var("Z"))
+	if !got.Equal(want) {
+		t.Errorf("Apply = %v, want %v", got, want)
+	}
+}
+
+func TestUnifyBasic(t *testing.T) {
+	s := NewSubst()
+	if _, ok := s.Unify(Var("X"), Atom("a")); !ok {
+		t.Fatal("X ~ a should unify")
+	}
+	if got := s.Walk(Var("X")); !got.Equal(Atom("a")) {
+		t.Errorf("X bound to %v", got)
+	}
+	if _, ok := s.Unify(Var("X"), Atom("b")); ok {
+		t.Error("X ~ b should fail after X=a")
+	}
+}
+
+func TestUnifyCompound(t *testing.T) {
+	s := NewSubst()
+	a := Comp("f", Var("X"), Comp("g", Var("X")))
+	b := Comp("f", Atom("c"), Comp("g", Var("Y")))
+	if _, ok := s.Unify(a, b); !ok {
+		t.Fatal("should unify")
+	}
+	if !s.Walk(Var("Y")).Equal(Atom("c")) {
+		t.Errorf("Y = %v, want c", s.Walk(Var("Y")))
+	}
+}
+
+func TestUnifyOccursCheck(t *testing.T) {
+	s := NewSubst()
+	if _, ok := s.Unify(Var("X"), Comp("f", Var("X"))); ok {
+		t.Error("occurs check should reject X ~ f(X)")
+	}
+}
+
+func TestUnifyMismatches(t *testing.T) {
+	cases := [][2]Term{
+		{Atom("a"), Atom("b")},
+		{Int(1), Int(2)},
+		{Int(1), Float(1)},
+		{Atom("a"), Str("a")},
+		{Comp("f", Atom("a")), Comp("g", Atom("a"))},
+		{Comp("f", Atom("a")), Comp("f", Atom("a"), Atom("b"))},
+	}
+	for _, c := range cases {
+		s := NewSubst()
+		if _, ok := s.Unify(c[0], c[1]); ok {
+			t.Errorf("%v ~ %v should fail", c[0], c[1])
+		}
+	}
+}
+
+func TestUnifyTrailUndo(t *testing.T) {
+	s := NewSubst()
+	s.Bind("W", Atom("w"))
+	trail, ok := s.Unify(Comp("f", Var("X"), Var("Y")), Comp("f", Atom("a"), Atom("b")))
+	if !ok || len(trail) != 2 {
+		t.Fatalf("trail = %v, ok = %v", trail, ok)
+	}
+	s.Undo(trail)
+	if s.Len() != 1 {
+		t.Errorf("after undo, len = %d, want 1 (only W)", s.Len())
+	}
+	if _, bound := s.Lookup("X"); bound {
+		t.Error("X should be unbound after Undo")
+	}
+}
+
+func TestMatchTuple(t *testing.T) {
+	s := NewSubst()
+	pat := []Term{Var("X"), Atom("b"), Var("X")}
+	if _, ok := s.MatchTuple(pat, []Term{Atom("a"), Atom("b"), Atom("a")}); !ok {
+		t.Error("consistent repeated var should match")
+	}
+	s2 := NewSubst()
+	trail, ok := s2.MatchTuple(pat, []Term{Atom("a"), Atom("b"), Atom("c")})
+	if ok {
+		t.Error("inconsistent repeated var should fail")
+	}
+	s2.Undo(trail)
+	if s2.Len() != 0 {
+		t.Error("undo after failed match should empty subst")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := NewSubst()
+	s.Bind("X", Atom("a"))
+	c := s.Clone()
+	c.Bind("Y", Atom("b"))
+	if _, ok := s.Lookup("Y"); ok {
+		t.Error("Clone must be independent")
+	}
+	if v, ok := c.Lookup("X"); !ok || !v.Equal(Atom("a")) {
+		t.Error("Clone must copy existing bindings")
+	}
+}
+
+func TestApplyAll(t *testing.T) {
+	s := NewSubst()
+	s.Bind("X", Int(1))
+	got := s.ApplyAll([]Term{Var("X"), Atom("a")})
+	if !got[0].Equal(Int(1)) || !got[1].Equal(Atom("a")) {
+		t.Errorf("ApplyAll = %v", got)
+	}
+}

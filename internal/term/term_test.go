@@ -1,0 +1,292 @@
+package term
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructorsAndAccessors(t *testing.T) {
+	v := Var("X")
+	if !v.IsVar() || v.Name() != "X" || v.Kind() != KindVar {
+		t.Errorf("Var: got %v kind %v", v, v.Kind())
+	}
+	a := Atom("neuron")
+	if a.IsVar() || !a.IsConst() || a.Name() != "neuron" {
+		t.Errorf("Atom: got %v", a)
+	}
+	i := Int(42)
+	if i.IntVal() != 42 || !i.IsConst() {
+		t.Errorf("Int: got %v", i)
+	}
+	f := Float(2.5)
+	if f.FloatVal() != 2.5 {
+		t.Errorf("Float: got %v", f)
+	}
+	s := Str("rat")
+	if s.Name() != "rat" || s.Kind() != KindString {
+		t.Errorf("Str: got %v", s)
+	}
+	c := Comp("f", Atom("a"), Var("X"))
+	if c.Kind() != KindCompound || c.Arity() != 2 || c.Name() != "f" {
+		t.Errorf("Comp: got %v", c)
+	}
+	if c.IsConst() {
+		t.Error("compound should not be IsConst")
+	}
+}
+
+func TestCompPanicsOnZeroArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Comp with no args should panic")
+		}
+	}()
+	Comp("f")
+}
+
+func TestCompCopiesArgs(t *testing.T) {
+	args := []Term{Atom("a")}
+	c := Comp("f", args...)
+	args[0] = Atom("b")
+	if !c.Args()[0].Equal(Atom("a")) {
+		t.Error("Comp must copy its argument slice")
+	}
+}
+
+func TestNumeric(t *testing.T) {
+	if v, ok := Int(3).Numeric(); !ok || v != 3 {
+		t.Errorf("Int.Numeric = %v, %v", v, ok)
+	}
+	if v, ok := Float(1.5).Numeric(); !ok || v != 1.5 {
+		t.Errorf("Float.Numeric = %v, %v", v, ok)
+	}
+	if _, ok := Atom("x").Numeric(); ok {
+		t.Error("Atom should not be numeric")
+	}
+}
+
+func TestIsGround(t *testing.T) {
+	cases := []struct {
+		t      Term
+		ground bool
+	}{
+		{Atom("a"), true},
+		{Var("X"), false},
+		{Int(1), true},
+		{Comp("f", Atom("a"), Int(2)), true},
+		{Comp("f", Atom("a"), Var("Y")), false},
+		{Comp("f", Comp("g", Var("Z"))), false},
+	}
+	for _, c := range cases {
+		if got := c.t.IsGround(); got != c.ground {
+			t.Errorf("IsGround(%v) = %v, want %v", c.t, got, c.ground)
+		}
+	}
+}
+
+func TestVars(t *testing.T) {
+	tm := Comp("f", Var("X"), Comp("g", Var("Y"), Var("X")), Atom("a"))
+	got := tm.Vars(nil)
+	want := []string{"X", "Y"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Vars = %v, want %v", got, want)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Comp("f", Atom("a")).Equal(Comp("f", Atom("a"))) {
+		t.Error("identical compounds should be equal")
+	}
+	if Comp("f", Atom("a")).Equal(Comp("f", Atom("b"))) {
+		t.Error("different args should not be equal")
+	}
+	if Atom("1").Equal(Int(1)) {
+		t.Error("atom '1' should differ from int 1")
+	}
+	if Str("a").Equal(Atom("a")) {
+		t.Error("string and atom with same text should differ")
+	}
+}
+
+func TestCompareTotalOrder(t *testing.T) {
+	ordered := []Term{
+		Var("A"), Var("B"),
+		Int(-1), Int(1), Float(1.5), Int(2),
+		Atom("alpha"), Atom("beta"),
+		Str("alpha"),
+		Comp("f", Atom("a")), Comp("g", Atom("a")), Comp("f", Atom("a"), Atom("b")),
+	}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareIntFloatEqualValue(t *testing.T) {
+	if Int(2).Compare(Float(2)) != -1 || Float(2).Compare(Int(2)) != 1 {
+		t.Error("int sorts before float of equal value")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{Atom("neuron"), "neuron"},
+		{Atom("Purkinje Cell"), "'Purkinje Cell'"},
+		{Atom(""), "''"},
+		{Var("X"), "X"},
+		{Int(7), "7"},
+		{Str("rat"), `"rat"`},
+		{Comp("has", Atom("neuron"), Var("Y")), "has(neuron,Y)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.t, got, c.want)
+		}
+	}
+}
+
+func TestKeyDistinctness(t *testing.T) {
+	terms := []Term{
+		Atom("a"), Str("a"), Var("a"), Int(1), Float(1), Atom("1"),
+		Comp("f", Atom("a")), Comp("f", Atom("a"), Atom("b")),
+		Comp("f", Comp("f", Atom("a"))),
+		// Keys must not be confusable by concatenation.
+		Comp("f", Atom("ab"), Atom("c")), Comp("f", Atom("a"), Atom("bc")),
+	}
+	seen := map[string]Term{}
+	for _, tm := range terms {
+		k := tm.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("Key collision: %v and %v both map to %q", prev, tm, k)
+		}
+		seen[k] = tm
+	}
+}
+
+func TestRename(t *testing.T) {
+	tm := Comp("f", Var("X"), Atom("a"))
+	got := tm.Rename(func(s string) string { return s + "_1" })
+	want := Comp("f", Var("X_1"), Atom("a"))
+	if !got.Equal(want) {
+		t.Errorf("Rename = %v, want %v", got, want)
+	}
+}
+
+func TestSortTerms(t *testing.T) {
+	ts := []Term{Atom("b"), Int(3), Atom("a"), Var("X")}
+	SortTerms(ts)
+	want := []Term{Var("X"), Int(3), Atom("a"), Atom("b")}
+	for i := range want {
+		if !ts[i].Equal(want[i]) {
+			t.Fatalf("SortTerms = %v", ts)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and Equal iff Compare == 0.
+func TestCompareProperties(t *testing.T) {
+	gen := func(r *rand.Rand, depth int) Term {
+		switch k := r.Intn(6); {
+		case k == 0:
+			return Var(string(rune('A' + r.Intn(4))))
+		case k == 1:
+			return Int(int64(r.Intn(5)))
+		case k == 2:
+			return Float(float64(r.Intn(5)))
+		case k == 3:
+			return Str(string(rune('a' + r.Intn(3))))
+		case k == 4 && depth > 0:
+			n := 1 + r.Intn(2)
+			args := make([]Term, n)
+			for i := range args {
+				args[i] = genTerm(r, depth-1)
+			}
+			return Comp(string(rune('f'+r.Intn(2))), args...)
+		default:
+			return Atom(string(rune('a' + r.Intn(3))))
+		}
+	}
+	_ = gen
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := genTerm(r, 3), genTerm(r, 3)
+		if (a.Compare(b) == 0) != a.Equal(b) {
+			t.Fatalf("Compare/Equal disagree on %v vs %v", a, b)
+		}
+		if a.Compare(b) != -b.Compare(a) {
+			t.Fatalf("Compare not antisymmetric on %v vs %v", a, b)
+		}
+	}
+}
+
+func genTerm(r *rand.Rand, depth int) Term {
+	switch k := r.Intn(6); {
+	case k == 0:
+		return Var(string(rune('A' + r.Intn(4))))
+	case k == 1:
+		return Int(int64(r.Intn(5)))
+	case k == 2:
+		return Float(float64(r.Intn(5)))
+	case k == 3:
+		return Str(string(rune('a' + r.Intn(3))))
+	case k == 4 && depth > 0:
+		n := 1 + r.Intn(2)
+		args := make([]Term, n)
+		for i := range args {
+			args[i] = genTerm(r, depth-1)
+		}
+		return Comp(string(rune('f'+r.Intn(2))), args...)
+	default:
+		return Atom(string(rune('a' + r.Intn(3))))
+	}
+}
+
+// Property: Key is injective on random ground terms (checked pairwise via
+// quick: equal keys imply Equal).
+func TestKeyInjectiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genTerm(r, 3), genTerm(r, 3)
+		if a.Key() == b.Key() {
+			return a.Equal(b)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare induces a valid strict weak ordering usable by sort.
+func TestCompareTransitivity(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ts := make([]Term, 60)
+	for i := range ts {
+		ts[i] = genTerm(r, 3)
+	}
+	SortTerms(ts)
+	if !sort.SliceIsSorted(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 }) {
+		t.Error("sorted slice not sorted under Compare")
+	}
+	for i := 0; i+1 < len(ts); i++ {
+		if ts[i].Compare(ts[i+1]) > 0 {
+			t.Fatalf("order violated at %d: %v > %v", i, ts[i], ts[i+1])
+		}
+	}
+}

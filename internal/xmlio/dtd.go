@@ -1,0 +1,157 @@
+package xmlio
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GCMXDTD is the document type definition of the GCMX exchange format —
+// the paper frames structural mediation around "the names and possible
+// nesting structure of XML elements as defined by an XML DTD"; this is
+// GCMX's. Emitted for interoperability; ValidateGCMX enforces the same
+// structure programmatically.
+const GCMXDTD = `<!ELEMENT cm (class*, relation*, rule*, constraint*, object*, tuple*)>
+<!ATTLIST cm name CDATA #REQUIRED format CDATA #IMPLIED>
+<!ELEMENT class (super*, method*)>
+<!ATTLIST class name CDATA #REQUIRED>
+<!ELEMENT super EMPTY>
+<!ATTLIST super name CDATA #REQUIRED>
+<!ELEMENT method (derivation?)>
+<!ATTLIST method name CDATA #REQUIRED result CDATA #REQUIRED
+                 scalar (true|false) #IMPLIED anchor (true|false) #IMPLIED
+                 context (true|false) #IMPLIED>
+<!ELEMENT derivation (#PCDATA)>
+<!ELEMENT relation (attr+)>
+<!ATTLIST relation name CDATA #REQUIRED>
+<!ELEMENT attr EMPTY>
+<!ATTLIST attr name CDATA #REQUIRED class CDATA #REQUIRED
+               min CDATA #IMPLIED max CDATA #IMPLIED card (true|false) #IMPLIED>
+<!ELEMENT rule (#PCDATA)>
+<!ELEMENT constraint EMPTY>
+<!ATTLIST constraint kind (partialOrder|keyMethod|inclusion) #REQUIRED
+                     class CDATA #IMPLIED rel CDATA #IMPLIED
+                     method CDATA #IMPLIED sub CDATA #IMPLIED super CDATA #IMPLIED>
+<!ELEMENT object (value*)>
+<!ATTLIST object id CDATA #REQUIRED class CDATA #REQUIRED>
+<!ELEMENT value EMPTY>
+<!ATTLIST value method CDATA #REQUIRED type CDATA #REQUIRED v CDATA #REQUIRED>
+<!ELEMENT tuple (arg+)>
+<!ATTLIST tuple rel CDATA #REQUIRED>
+<!ELEMENT arg EMPTY>
+<!ATTLIST arg type CDATA #REQUIRED v CDATA #REQUIRED>
+`
+
+// gcmxSchema describes, per element, the allowed child elements and the
+// required/optional attributes.
+var gcmxSchema = map[string]struct {
+	children map[string]bool
+	required []string
+	optional []string
+}{
+	"cm":         {children: set("class", "relation", "rule", "constraint", "object", "tuple"), required: []string{"name"}, optional: []string{"format"}},
+	"class":      {children: set("super", "method"), required: []string{"name"}},
+	"super":      {children: set(), required: []string{"name"}},
+	"method":     {children: set("derivation"), required: []string{"name", "result"}, optional: []string{"scalar", "anchor", "context"}},
+	"derivation": {children: set()},
+	"relation":   {children: set("attr"), required: []string{"name"}},
+	"attr":       {children: set(), required: []string{"name", "class"}, optional: []string{"min", "max", "card"}},
+	"rule":       {children: set()},
+	"constraint": {children: set(), required: []string{"kind"}, optional: []string{"class", "rel", "method", "sub", "super"}},
+	"object":     {children: set("value"), required: []string{"id", "class"}},
+	"value":      {children: set(), required: []string{"method", "type", "v"}},
+	"tuple":      {children: set("arg"), required: []string{"rel"}},
+	"arg":        {children: set(), required: []string{"type", "v"}},
+}
+
+func set(ss ...string) map[string]bool {
+	m := make(map[string]bool, len(ss))
+	for _, s := range ss {
+		m[s] = true
+	}
+	return m
+}
+
+// ValidateGCMX checks that an XML document conforms to the GCMX
+// structure: the root is <cm>, only declared child elements appear
+// under each element, required attributes are present, and only
+// declared attributes are used. It returns the first violation.
+func ValidateGCMX(doc []byte) error {
+	facts, err := Reify(doc)
+	if err != nil {
+		return err
+	}
+	tag := map[int64]string{}
+	attrs := map[int64]map[string]bool{}
+	parentOf := map[int64]int64{}
+	var rootID int64 = -1
+	for _, f := range facts {
+		h := f.Head
+		switch h.Pred {
+		case PredElem:
+			tag[h.Args[0].IntVal()] = h.Args[1].Name()
+		case PredAttr:
+			id := h.Args[0].IntVal()
+			if attrs[id] == nil {
+				attrs[id] = map[string]bool{}
+			}
+			attrs[id][h.Args[1].Name()] = true
+		case PredChild:
+			parentOf[h.Args[1].IntVal()] = h.Args[0].IntVal()
+		case PredRoot:
+			rootID = h.Args[0].IntVal()
+		}
+	}
+	if rootID < 0 {
+		return fmt.Errorf("xmlio: empty document")
+	}
+	if tag[rootID] != "cm" {
+		return fmt.Errorf("xmlio: GCMX root must be <cm>, got <%s>", tag[rootID])
+	}
+	ids := make([]int64, 0, len(tag))
+	for id := range tag {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		name := tag[id]
+		spec, known := gcmxSchema[name]
+		if !known {
+			return fmt.Errorf("xmlio: element <%s> is not part of GCMX", name)
+		}
+		if p, hasParent := parentOf[id]; hasParent {
+			pSpec := gcmxSchema[tag[p]]
+			if !pSpec.children[name] {
+				return fmt.Errorf("xmlio: <%s> may not appear inside <%s>", name, tag[p])
+			}
+		}
+		have := attrs[id]
+		for _, req := range spec.required {
+			if !have[req] {
+				return fmt.Errorf("xmlio: <%s> is missing required attribute %q", name, req)
+			}
+		}
+		allowed := map[string]bool{}
+		for _, a := range spec.required {
+			allowed[a] = true
+		}
+		for _, a := range spec.optional {
+			allowed[a] = true
+		}
+		for a := range have {
+			if !allowed[a] {
+				return fmt.Errorf("xmlio: <%s> has undeclared attribute %q", name, a)
+			}
+		}
+	}
+	return nil
+}
+
+// GCMXDoctype returns the document prefixed with an inline DOCTYPE
+// declaration carrying the GCMX DTD.
+func GCMXDoctype(doc []byte) []byte {
+	var b strings.Builder
+	b.WriteString("<?xml version=\"1.0\"?>\n<!DOCTYPE cm [\n")
+	b.WriteString(GCMXDTD)
+	b.WriteString("]>\n")
+	b.Write(doc)
+	return []byte(b.String())
+}

@@ -1,0 +1,54 @@
+package xmlio
+
+import "testing"
+
+// FuzzReify asserts XML reification never panics and either errors or
+// produces only ground facts.
+func FuzzReify(f *testing.F) {
+	for _, s := range []string{
+		`<a/>`,
+		`<cm name="x"><class name="c"/></cm>`,
+		`<a x="1">text<b/><b y="2"/></a>`,
+		`<a><b></a>`,
+		``,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		facts, err := Reify(doc)
+		if err != nil {
+			return
+		}
+		for _, r := range facts {
+			if len(r.Body) != 0 {
+				t.Fatalf("reify produced a non-fact rule: %s", r)
+			}
+			for _, a := range r.Head.Args {
+				if !a.IsGround() {
+					t.Fatalf("reify produced a non-ground fact: %s", r)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeModel asserts the GCMX decoder never panics, and that every
+// accepted document yields a model that re-encodes.
+func FuzzDecodeModel(f *testing.F) {
+	seed, err := EncodeModel(buildModel())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`<cm name="m"><class name="c"><method name="m" result="string"/></class></cm>`))
+	f.Add([]byte(`<cm name="m"><object id="o" class="c"><value method="m" type="int" v="3"/></object></cm>`))
+	f.Fuzz(func(t *testing.T, doc []byte) {
+		m, err := DecodeModel(doc)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeModel(m); err != nil {
+			t.Fatalf("accepted model failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package xmlio
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"modelmed/internal/gcm"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+// GCMX is the native XML exchange format for conceptual models. The
+// structural codec below preserves full typing (term kinds, cardinality
+// bounds, scalar/anchor flags, semantic rules and constraints); the
+// gcmx *plug-in* ingests the same documents through the generic
+// reify-and-translate path.
+
+type xValue struct {
+	Method string `xml:"method,attr,omitempty"`
+	Type   string `xml:"type,attr"`
+	V      string `xml:"v,attr"`
+}
+
+type xMethod struct {
+	Name       string `xml:"name,attr"`
+	Result     string `xml:"result,attr"`
+	Scalar     bool   `xml:"scalar,attr,omitempty"`
+	Anchor     bool   `xml:"anchor,attr,omitempty"`
+	Context    bool   `xml:"context,attr,omitempty"`
+	Derivation string `xml:"derivation,omitempty"`
+}
+
+type xSuper struct {
+	Name string `xml:"name,attr"`
+}
+
+type xClass struct {
+	Name    string    `xml:"name,attr"`
+	Supers  []xSuper  `xml:"super"`
+	Methods []xMethod `xml:"method"`
+}
+
+type xAttr struct {
+	Name  string `xml:"name,attr"`
+	Class string `xml:"class,attr"`
+	Min   int    `xml:"min,attr,omitempty"`
+	Max   int    `xml:"max,attr,omitempty"`
+	Card  bool   `xml:"card,attr,omitempty"` // whether min/max are meaningful
+}
+
+type xRelation struct {
+	Name  string  `xml:"name,attr"`
+	Attrs []xAttr `xml:"attr"`
+}
+
+type xConstraint struct {
+	Kind   string `xml:"kind,attr"`
+	Class  string `xml:"class,attr,omitempty"`
+	Rel    string `xml:"rel,attr,omitempty"`
+	Method string `xml:"method,attr,omitempty"`
+	Sub    string `xml:"sub,attr,omitempty"`
+	Super  string `xml:"super,attr,omitempty"`
+}
+
+type xObject struct {
+	ID     string   `xml:"id,attr"`
+	Class  string   `xml:"class,attr"`
+	Values []xValue `xml:"value"`
+}
+
+type xArg struct {
+	Type string `xml:"type,attr"`
+	V    string `xml:"v,attr"`
+}
+
+type xTuple struct {
+	Rel  string `xml:"rel,attr"`
+	Args []xArg `xml:"arg"`
+}
+
+type xModel struct {
+	XMLName     xml.Name      `xml:"cm"`
+	Name        string        `xml:"name,attr"`
+	Format      string        `xml:"format,attr"`
+	Classes     []xClass      `xml:"class"`
+	Relations   []xRelation   `xml:"relation"`
+	Rules       []string      `xml:"rule"`
+	Constraints []xConstraint `xml:"constraint"`
+	Objects     []xObject     `xml:"object"`
+	Tuples      []xTuple      `xml:"tuple"`
+}
+
+// encodeTerm renders a term as (type, value) strings.
+func encodeTerm(t term.Term) (string, string, error) {
+	switch t.Kind() {
+	case term.KindAtom:
+		return "atom", t.Name(), nil
+	case term.KindString:
+		return "string", t.Name(), nil
+	case term.KindInt:
+		return "int", strconv.FormatInt(t.IntVal(), 10), nil
+	case term.KindFloat:
+		return "float", strconv.FormatFloat(t.FloatVal(), 'g', -1, 64), nil
+	case term.KindCompound:
+		// Compound terms (e.g. Skolem placeholders) are round-tripped in
+		// concrete syntax.
+		return "term", t.String(), nil
+	}
+	return "", "", fmt.Errorf("xmlio: cannot encode term %s", t)
+}
+
+func decodeTerm(typ, v string) (term.Term, error) {
+	switch typ {
+	case "atom":
+		return term.Atom(v), nil
+	case "string":
+		return term.Str(v), nil
+	case "int":
+		i, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return term.Term{}, fmt.Errorf("xmlio: bad int %q: %w", v, err)
+		}
+		return term.Int(i), nil
+	case "float":
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return term.Term{}, fmt.Errorf("xmlio: bad float %q: %w", v, err)
+		}
+		return term.Float(f), nil
+	case "term":
+		return parser.ParseTerm(v)
+	}
+	return term.Term{}, fmt.Errorf("xmlio: unknown term type %q", typ)
+}
+
+// EncodeModel renders a gcm.Model as a GCMX document.
+func EncodeModel(m *gcm.Model) ([]byte, error) {
+	x := xModel{Name: m.Name, Format: "gcmx"}
+	classNames := sortedKeys(m.Classes)
+	for _, cn := range classNames {
+		c := m.Classes[cn]
+		xc := xClass{Name: c.Name}
+		for _, s := range c.Super {
+			xc.Supers = append(xc.Supers, xSuper{Name: s})
+		}
+		for _, sig := range c.Methods {
+			xc.Methods = append(xc.Methods, xMethod{
+				Name: sig.Name, Result: sig.Result, Scalar: sig.Scalar,
+				Anchor: sig.Anchor, Context: sig.Context, Derivation: sig.Derivation})
+		}
+		x.Classes = append(x.Classes, xc)
+	}
+	for _, rn := range sortedKeys(m.Relations) {
+		r := m.Relations[rn]
+		xr := xRelation{Name: r.Name}
+		for _, a := range r.Attrs {
+			xa := xAttr{Name: a.Name, Class: a.Class}
+			if a.Card.Constrained() {
+				xa.Card = true
+				xa.Min, xa.Max = a.Card.Min, a.Card.Max
+			}
+			xr.Attrs = append(xr.Attrs, xa)
+		}
+		x.Relations = append(x.Relations, xr)
+	}
+	for _, r := range m.Rules {
+		x.Rules = append(x.Rules, r.String())
+	}
+	for _, c := range m.Constraints {
+		switch k := c.(type) {
+		case gcm.PartialOrder:
+			x.Constraints = append(x.Constraints, xConstraint{Kind: "partialOrder", Class: k.Class, Rel: k.Rel})
+		case gcm.KeyMethod:
+			x.Constraints = append(x.Constraints, xConstraint{Kind: "keyMethod", Class: k.Class, Method: k.Method})
+		case gcm.Inclusion:
+			x.Constraints = append(x.Constraints, xConstraint{Kind: "inclusion", Sub: k.Sub, Super: k.Super})
+		default:
+			return nil, fmt.Errorf("xmlio: cannot encode constraint %T", c)
+		}
+	}
+	for _, o := range m.Objects {
+		typ, v, err := encodeTerm(o.ID)
+		if err != nil {
+			return nil, err
+		}
+		if typ != "atom" {
+			return nil, fmt.Errorf("xmlio: object IDs must be atoms, got %s %s", typ, v)
+		}
+		xo := xObject{ID: v, Class: o.Class}
+		for _, mn := range sortedKeys(o.Values) {
+			for _, val := range o.Values[mn] {
+				typ, v, err := encodeTerm(val)
+				if err != nil {
+					return nil, err
+				}
+				xo.Values = append(xo.Values, xValue{Method: mn, Type: typ, V: v})
+			}
+		}
+		x.Objects = append(x.Objects, xo)
+	}
+	for _, rn := range sortedKeys(m.Tuples) {
+		for _, tp := range m.Tuples[rn] {
+			xt := xTuple{Rel: rn}
+			for _, a := range tp {
+				typ, v, err := encodeTerm(a)
+				if err != nil {
+					return nil, err
+				}
+				xt.Args = append(xt.Args, xArg{Type: typ, V: v})
+			}
+			x.Tuples = append(x.Tuples, xt)
+		}
+	}
+	return xml.MarshalIndent(x, "", "  ")
+}
+
+// DecodeModel parses a GCMX document into a gcm.Model.
+func DecodeModel(doc []byte) (*gcm.Model, error) {
+	var x xModel
+	if err := xml.Unmarshal(doc, &x); err != nil {
+		return nil, fmt.Errorf("xmlio: %w", err)
+	}
+	m := gcm.NewModel(x.Name)
+	for _, xc := range x.Classes {
+		c := &gcm.Class{Name: xc.Name}
+		for _, s := range xc.Supers {
+			c.Super = append(c.Super, s.Name)
+		}
+		for _, xm := range xc.Methods {
+			c.Methods = append(c.Methods, gcm.MethodSig{
+				Name: xm.Name, Result: xm.Result, Scalar: xm.Scalar,
+				Anchor: xm.Anchor, Context: xm.Context, Derivation: xm.Derivation})
+		}
+		m.AddClass(c)
+	}
+	for _, xr := range x.Relations {
+		r := &gcm.Relation{Name: xr.Name}
+		for _, xa := range xr.Attrs {
+			a := gcm.RelAttr{Name: xa.Name, Class: xa.Class}
+			if xa.Card {
+				a.Card = gcm.Cardinality{Min: xa.Min, Max: xa.Max}
+			}
+			r.Attrs = append(r.Attrs, a)
+		}
+		m.AddRelation(r)
+	}
+	for _, src := range x.Rules {
+		rules, err := parser.ParseRules(src)
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: rule %q: %w", src, err)
+		}
+		m.Rules = append(m.Rules, rules...)
+	}
+	for _, xc := range x.Constraints {
+		switch xc.Kind {
+		case "partialOrder":
+			m.Constraints = append(m.Constraints, gcm.PartialOrder{Class: xc.Class, Rel: xc.Rel})
+		case "keyMethod":
+			m.Constraints = append(m.Constraints, gcm.KeyMethod{Class: xc.Class, Method: xc.Method})
+		case "inclusion":
+			m.Constraints = append(m.Constraints, gcm.Inclusion{Sub: xc.Sub, Super: xc.Super})
+		default:
+			return nil, fmt.Errorf("xmlio: unknown constraint kind %q", xc.Kind)
+		}
+	}
+	for _, xo := range x.Objects {
+		o := gcm.Object{ID: term.Atom(xo.ID), Class: xo.Class, Values: map[string][]term.Term{}}
+		for _, xv := range xo.Values {
+			v, err := decodeTerm(xv.Type, xv.V)
+			if err != nil {
+				return nil, err
+			}
+			o.Values[xv.Method] = append(o.Values[xv.Method], v)
+		}
+		m.AddObject(o)
+	}
+	for _, xt := range x.Tuples {
+		args := make([]term.Term, len(xt.Args))
+		for i, xa := range xt.Args {
+			v, err := decodeTerm(xa.Type, xa.V)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		m.AddTuple(xt.Rel, args...)
+	}
+	return m, nil
+}
+
+// sortedKeys returns the sorted keys of a map with string keys.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,187 @@
+package xmlio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/parser"
+)
+
+// Plugin maps one foreign CM format, arriving as XML, to GCM core
+// predicates. Rules range over the reified XML predicates; Exports lists
+// the GCM predicate keys ("name/arity") the translation produces.
+type Plugin struct {
+	Format  string
+	Rules   []datalog.Rule
+	Exports []string
+}
+
+// gcmExports is the standard export set of a CM translation.
+var gcmExports = []string{
+	"instance/2", "subclass/2", "method/3", "methodinst/3",
+	"rel/1", "relattr/4", "relinst/3",
+}
+
+// uxfSrc translates a UXF-like UML class-diagram exchange document:
+//
+//	<uxf>
+//	  <class name="Neuron">
+//	    <generalization parent="Cell"/>
+//	    <attribute name="location" type="string"/>
+//	  </class>
+//	  <association name="has" from="Neuron" to="Compartment"/>
+//	  <object id="n1" class="Neuron"><slot name="location" value="soma"/></object>
+//	  <link association="has" from="n1" to="c1"/>
+//	</uxf>
+const uxfSrc = `
+	uxf_class(E, C) :- xml_elem(E, class), xml_attr(E, name, C).
+	instance(C, class) :- uxf_class(E, C).
+	subclass(C, P) :- uxf_class(E, C), xml_child(E, G),
+		xml_elem(G, generalization), xml_attr(G, parent, P).
+	method(C, M, T) :- uxf_class(E, C), xml_child(E, A),
+		xml_elem(A, attribute), xml_attr(A, name, M), xml_attr(A, type, T).
+	rel(R) :- xml_elem(E, association), xml_attr(E, name, R).
+	relattr(R, from, CF, 0) :- xml_elem(E, association), xml_attr(E, name, R),
+		xml_attr(E, from, CF).
+	relattr(R, to, CT, 1) :- xml_elem(E, association), xml_attr(E, name, R),
+		xml_attr(E, to, CT).
+	uxf_object(E, O) :- xml_elem(E, object), xml_attr(E, id, O).
+	instance(O, C) :- uxf_object(E, O), xml_attr(E, class, C).
+	methodinst(O, M, V) :- uxf_object(E, O), xml_child(E, S),
+		xml_elem(S, slot), xml_attr(S, name, M), xml_attr(S, value, V).
+	relinst(R, X, Y) :- xml_elem(E, link), xml_attr(E, association, R),
+		xml_attr(E, from, X), xml_attr(E, to, Y).
+`
+
+// UXFPlugin returns the UXF-to-GCM translator.
+func UXFPlugin() *Plugin {
+	return &Plugin{Format: "uxf", Rules: parser.MustParseRules(uxfSrc), Exports: gcmExports}
+}
+
+// rdfSrc translates an RDF-like triple document:
+//
+//	<rdf>
+//	  <triple s="Neuron" p="rdfs_subClassOf" o="Cell"/>
+//	  <triple s="n1" p="rdf_type" o="Neuron"/>
+//	  <triple s="location" p="rdfs_domain" o="Neuron"/>
+//	  <triple s="location" p="rdfs_range" o="string"/>
+//	  <triple s="n1" p="location" o="soma"/>
+//	</rdf>
+const rdfSrc = `
+	triple(S, P, O) :- xml_elem(E, triple), xml_attr(E, s, S),
+		xml_attr(E, p, P), xml_attr(E, o, O).
+	subclass(S, O) :- triple(S, rdfs_subClassOf, O).
+	instance(S, O) :- triple(S, rdf_type, O).
+	method(C, P, R) :- triple(P, rdfs_domain, C), triple(P, rdfs_range, R).
+	property(P) :- triple(P, rdfs_domain, C).
+	methodinst(S, P, O) :- triple(S, P, O), P \= rdfs_subClassOf,
+		P \= rdf_type, P \= rdfs_domain, P \= rdfs_range.
+`
+
+// RDFPlugin returns the RDF-to-GCM translator.
+func RDFPlugin() *Plugin {
+	return &Plugin{Format: "rdf", Rules: parser.MustParseRules(rdfSrc), Exports: gcmExports}
+}
+
+// gcmxPluginSrc translates the native GCMX format itself through the
+// same machinery, so the mediator has exactly one ingestion path.
+const gcmxPluginSrc = `
+	gx_class(E, C) :- xml_elem(E, class), xml_attr(E, name, C).
+	instance(C, class) :- gx_class(E, C).
+	subclass(C, P) :- gx_class(E, C), xml_child(E, S),
+		xml_elem(S, super), xml_attr(S, name, P).
+	method(C, M, T) :- gx_class(E, C), xml_child(E, A),
+		xml_elem(A, method), xml_attr(A, name, M), xml_attr(A, result, T).
+	rel(R) :- xml_elem(E, relation), xml_attr(E, name, R).
+	relattr(R, A, C, I) :- xml_elem(E, relation), xml_attr(E, name, R),
+		xml_child(E, AE), xml_elem(AE, attr), xml_attr(AE, name, A),
+		xml_attr(AE, class, C), xml_idx(AE, I).
+	gx_object(E, O) :- xml_elem(E, object), xml_attr(E, id, O).
+	instance(O, C) :- gx_object(E, O), xml_attr(E, class, C).
+	methodinst(O, M, V) :- gx_object(E, O), xml_child(E, VE),
+		xml_elem(VE, value), xml_attr(VE, method, M), xml_attr(VE, v, V).
+`
+
+// GCMXPlugin returns the native-format translator.
+func GCMXPlugin() *Plugin {
+	return &Plugin{Format: "gcmx", Rules: parser.MustParseRules(gcmxPluginSrc), Exports: gcmExports}
+}
+
+// Registry holds the installed CM plug-ins. It is safe for concurrent
+// use; new formats can be plugged in at runtime, which is the point of
+// the architecture.
+type Registry struct {
+	mu      sync.RWMutex
+	plugins map[string]*Plugin
+}
+
+// NewRegistry returns a registry preloaded with the gcmx, uxf and rdf
+// plug-ins.
+func NewRegistry() *Registry {
+	r := &Registry{plugins: make(map[string]*Plugin)}
+	r.Register(GCMXPlugin())
+	r.Register(UXFPlugin())
+	r.Register(RDFPlugin())
+	return r
+}
+
+// Register installs (or replaces) a plug-in.
+func (r *Registry) Register(p *Plugin) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.plugins[p.Format] = p
+}
+
+// Formats returns the installed format names, sorted.
+func (r *Registry) Formats() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.plugins))
+	for f := range r.plugins {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Translate reifies the XML document and runs the plug-in for the given
+// format over it, returning the exported GCM facts.
+func (r *Registry) Translate(format string, doc []byte) ([]datalog.Rule, error) {
+	r.mu.RLock()
+	p := r.plugins[format]
+	r.mu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("xmlio: no plug-in for CM format %q (installed: %s)",
+			format, strings.Join(r.Formats(), ", "))
+	}
+	facts, err := Reify(doc)
+	if err != nil {
+		return nil, err
+	}
+	e := datalog.NewEngine(nil)
+	if err := e.AddRules(facts...); err != nil {
+		return nil, err
+	}
+	if err := e.AddRules(p.Rules...); err != nil {
+		return nil, err
+	}
+	res, err := e.Run()
+	if err != nil {
+		return nil, err
+	}
+	var out []datalog.Rule
+	for _, key := range p.Exports {
+		rel := res.Store.Rel(key)
+		if rel == nil {
+			continue
+		}
+		name := key[:strings.LastIndexByte(key, '/')]
+		for _, row := range rel.SortedRows() {
+			out = append(out, datalog.Fact(name, row...))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package xmlio
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"modelmed/internal/gcm"
+	"modelmed/internal/term"
+)
+
+// randomModel builds a random valid conceptual model.
+func randomModel(r *rand.Rand) *gcm.Model {
+	m := gcm.NewModel(fmt.Sprintf("M%d", r.Intn(1000)))
+	nClasses := 1 + r.Intn(5)
+	var classNames []string
+	for i := 0; i < nClasses; i++ {
+		name := fmt.Sprintf("c%d", i)
+		c := &gcm.Class{Name: name}
+		// Supers reference earlier classes only (acyclic).
+		if i > 0 && r.Intn(2) == 0 {
+			c.Super = append(c.Super, classNames[r.Intn(i)])
+		}
+		nMethods := r.Intn(4)
+		for j := 0; j < nMethods; j++ {
+			c.Methods = append(c.Methods, gcm.MethodSig{
+				Name:   fmt.Sprintf("m%d", j),
+				Result: []string{"string", "integer", "float", "any"}[r.Intn(4)],
+				Scalar: r.Intn(2) == 0,
+				Anchor: r.Intn(4) == 0,
+			})
+		}
+		m.AddClass(c)
+		classNames = append(classNames, name)
+	}
+	if r.Intn(2) == 0 {
+		m.AddRelation(&gcm.Relation{Name: "rel0", Attrs: []gcm.RelAttr{
+			{Name: "a", Class: classNames[0], Card: gcm.Cardinality{Min: r.Intn(2), Max: r.Intn(3) - 1}},
+			{Name: "b", Class: "string"},
+		}})
+		for i := 0; i < r.Intn(4); i++ {
+			m.AddTuple("rel0", term.Atom(fmt.Sprintf("o%d", i)), term.Str(fmt.Sprintf("v%d", i)))
+		}
+	}
+	nObjects := r.Intn(6)
+	for i := 0; i < nObjects; i++ {
+		cn := classNames[r.Intn(len(classNames))]
+		o := gcm.Object{ID: term.Atom(fmt.Sprintf("o%d", i)), Class: cn,
+			Values: map[string][]term.Term{}}
+		c := m.Classes[cn]
+		for _, sig := range c.Methods {
+			if r.Intn(2) == 0 {
+				continue
+			}
+			var v term.Term
+			switch sig.Result {
+			case "string":
+				if r.Intn(2) == 0 {
+					v = term.Atom(fmt.Sprintf("a%d", r.Intn(10)))
+				} else {
+					v = term.Str(fmt.Sprintf("s %d", r.Intn(10)))
+				}
+			case "integer":
+				v = term.Int(int64(r.Intn(100) - 50))
+			case "float":
+				v = term.Float(float64(r.Intn(100)) / 4)
+			default: // any
+				v = term.Comp("f", term.Atom(fmt.Sprintf("a%d", r.Intn(5))), term.Int(int64(r.Intn(9))))
+			}
+			o.Values[sig.Name] = append(o.Values[sig.Name], v)
+		}
+		m.AddObject(o)
+	}
+	return m
+}
+
+// TestGCMXRoundTripProperty: encode/decode is the identity on random
+// valid models.
+func TestGCMXRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 40; trial++ {
+		m := randomModel(r)
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: generator produced invalid model: %v", trial, err)
+		}
+		doc, err := EncodeModel(m)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		m2, err := DecodeModel(doc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v\n%s", trial, err, doc)
+		}
+		if m2.Name != m.Name {
+			t.Fatalf("trial %d: name %q vs %q", trial, m2.Name, m.Name)
+		}
+		if !reflect.DeepEqual(normClasses(m), normClasses(m2)) {
+			t.Fatalf("trial %d: classes differ", trial)
+		}
+		if len(m2.Objects) != len(m.Objects) {
+			t.Fatalf("trial %d: object count %d vs %d", trial, len(m2.Objects), len(m.Objects))
+		}
+		for i := range m.Objects {
+			a, b := m.Objects[i], m2.Objects[i]
+			if !a.ID.Equal(b.ID) || a.Class != b.Class {
+				t.Fatalf("trial %d: object %d identity differs", trial, i)
+			}
+			if len(a.Values) != len(b.Values) {
+				t.Fatalf("trial %d: object %d value sets differ", trial, i)
+			}
+			for k, vs := range a.Values {
+				if len(b.Values[k]) != len(vs) {
+					t.Fatalf("trial %d: object %d method %s count differs", trial, i, k)
+				}
+				for j := range vs {
+					if !vs[j].Equal(b.Values[k][j]) {
+						t.Fatalf("trial %d: object %d method %s value %d: %v vs %v",
+							trial, i, k, j, vs[j], b.Values[k][j])
+					}
+				}
+			}
+		}
+		// Second encode must be byte-identical (canonical form).
+		doc2, err := EncodeModel(m2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(doc) != string(doc2) {
+			t.Fatalf("trial %d: encoding not canonical", trial)
+		}
+	}
+}
+
+func normClasses(m *gcm.Model) map[string]gcm.Class {
+	out := map[string]gcm.Class{}
+	for k, v := range m.Classes {
+		out[k] = *v
+	}
+	return out
+}
+
+// TestReifyRoundTripStructure: reified facts reconstruct parent/child
+// counts of the original document.
+func TestReifyStructureCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(88))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(r)
+		doc, err := EncodeModel(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts, err := Reify(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elems, roots := 0, 0
+		for _, f := range facts {
+			switch f.Head.Pred {
+			case PredElem:
+				elems++
+			case PredRoot:
+				roots++
+			}
+		}
+		if roots != 1 {
+			t.Fatalf("trial %d: %d roots", trial, roots)
+		}
+		if elems < 1 {
+			t.Fatalf("trial %d: no elements", trial)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+// Package xmlio implements the XML transport layer of the mediator
+// architecture (Section 2): every conceptual model crosses the wire in
+// XML. It provides (i) GCMX, the native XML codec for GCM models, and
+// (ii) the CM plug-in mechanism: an incoming XML document in a foreign
+// CM format (a UXF-like UML exchange format, an RDF-like triple format)
+// is reified into generic XML facts, and a *plug-in* — a rule program,
+// standing in for the paper's "complex XML query that a source sends
+// once to the mediator" — maps those facts to GCM core predicates. The
+// mediator thus needs only a single GCM engine for arbitrary CMs.
+package xmlio
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/term"
+)
+
+// Reified XML predicates. Attribute values and text are reified as atoms
+// so plug-in output joins directly with GCM facts.
+const (
+	PredElem  = "xml_elem"  // xml_elem(ID, Tag)
+	PredAttr  = "xml_attr"  // xml_attr(ID, Key, Value)
+	PredChild = "xml_child" // xml_child(Parent, Child)
+	PredIdx   = "xml_idx"   // xml_idx(Child, Position)  (0-based among siblings)
+	PredText  = "xml_text"  // xml_text(ID, Text)        (trimmed, non-empty only)
+	PredRoot  = "xml_root"  // xml_root(ID)
+)
+
+// Reify parses an XML document into ground facts over the reified XML
+// predicates. Element IDs are integers in document order.
+func Reify(doc []byte) ([]datalog.Rule, error) {
+	dec := xml.NewDecoder(bytes.NewReader(doc))
+	var out []datalog.Rule
+	type frame struct {
+		id   int64
+		kids int
+	}
+	var stack []frame
+	next := int64(0)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlio: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			next++
+			id := next
+			out = append(out, datalog.Fact(PredElem, term.Int(id), term.Atom(t.Name.Local)))
+			for _, a := range t.Attr {
+				out = append(out, datalog.Fact(PredAttr, term.Int(id),
+					term.Atom(a.Name.Local), term.Atom(a.Value)))
+			}
+			if len(stack) == 0 {
+				out = append(out, datalog.Fact(PredRoot, term.Int(id)))
+			} else {
+				parent := &stack[len(stack)-1]
+				out = append(out, datalog.Fact(PredChild, term.Int(parent.id), term.Int(id)))
+				out = append(out, datalog.Fact(PredIdx, term.Int(id), term.Int(int64(parent.kids))))
+				parent.kids++
+			}
+			stack = append(stack, frame{id: id})
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlio: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := strings.TrimSpace(string(t))
+			if text == "" {
+				continue
+			}
+			id := stack[len(stack)-1].id
+			out = append(out, datalog.Fact(PredText, term.Int(id), term.Atom(text)))
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlio: unterminated element")
+	}
+	return out, nil
+}

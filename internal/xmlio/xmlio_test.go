@@ -1,0 +1,390 @@
+package xmlio
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/gcm"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+func parserParse(src string) ([]datalog.Rule, error) { return parser.ParseRules(src) }
+
+func a(s string) term.Term { return term.Atom(s) }
+
+func TestReifyBasics(t *testing.T) {
+	doc := []byte(`<root x="1"><child>hello</child><child/></root>`)
+	facts, err := Reify(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := datalog.NewEngine(nil)
+	if err := e.AddRules(facts...); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds(PredElem, term.Int(1), a("root")) {
+		t.Error("root element missing")
+	}
+	if !res.Holds(PredRoot, term.Int(1)) {
+		t.Error("xml_root missing")
+	}
+	if !res.Holds(PredAttr, term.Int(1), a("x"), a("1")) {
+		t.Error("attribute missing")
+	}
+	if !res.Holds(PredChild, term.Int(1), term.Int(2)) {
+		t.Error("child edge missing")
+	}
+	if !res.Holds(PredIdx, term.Int(2), term.Int(0)) || !res.Holds(PredIdx, term.Int(3), term.Int(1)) {
+		t.Error("sibling positions wrong")
+	}
+	if !res.Holds(PredText, term.Int(2), a("hello")) {
+		t.Error("text missing")
+	}
+}
+
+func TestReifyErrors(t *testing.T) {
+	if _, err := Reify([]byte(`<a><b></a>`)); err == nil {
+		t.Error("mismatched tags should error")
+	}
+	if _, err := Reify([]byte(`<a>`)); err == nil {
+		t.Error("unterminated element should error")
+	}
+}
+
+func TestUXFPluginTranslation(t *testing.T) {
+	doc := []byte(`
+	<uxf>
+	  <class name="neuron">
+	    <attribute name="location" type="string"/>
+	  </class>
+	  <class name="purkinje_cell">
+	    <generalization parent="neuron"/>
+	  </class>
+	  <association name="has" from="neuron" to="compartment"/>
+	  <object id="n1" class="purkinje_cell">
+	    <slot name="location" value="cerebellum"/>
+	  </object>
+	  <link association="has" from="n1" to="c1"/>
+	</uxf>`)
+	reg := NewRegistry()
+	facts, err := reg.Translate("uxf", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"subclass(purkinje_cell,neuron).":     true,
+		"method(neuron,location,string).":     true,
+		"instance(n1,purkinje_cell).":         true,
+		"methodinst(n1,location,cerebellum).": true,
+		"rel(has).":                           true,
+		"relattr(has,from,neuron,0).":         true,
+		"relattr(has,to,compartment,1).":      true,
+		"relinst(has,n1,c1).":                 true,
+		"instance(neuron,class).":             true,
+		"instance(purkinje_cell,class).":      true,
+	}
+	got := map[string]bool{}
+	for _, f := range facts {
+		got[f.String()] = true
+	}
+	for w := range want {
+		if !got[w] {
+			t.Errorf("missing translated fact %s; got %v", w, got)
+		}
+	}
+}
+
+func TestRDFPluginTranslation(t *testing.T) {
+	doc := []byte(`
+	<rdf>
+	  <triple s="neuron" p="rdfs_subClassOf" o="cell"/>
+	  <triple s="n1" p="rdf_type" o="neuron"/>
+	  <triple s="location" p="rdfs_domain" o="neuron"/>
+	  <triple s="location" p="rdfs_range" o="string"/>
+	  <triple s="n1" p="location" o="soma"/>
+	</rdf>`)
+	reg := NewRegistry()
+	facts, err := reg.Translate("rdf", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, f := range facts {
+		got[f.String()] = true
+	}
+	for _, w := range []string{
+		"subclass(neuron,cell).",
+		"instance(n1,neuron).",
+		"method(neuron,location,string).",
+		"methodinst(n1,location,soma).",
+	} {
+		if !got[w] {
+			t.Errorf("missing %s in %v", w, got)
+		}
+	}
+	// Schema triples must not leak into methodinst.
+	if got["methodinst(neuron,rdfs_subClassOf,cell)."] {
+		t.Error("schema triple leaked into methodinst")
+	}
+}
+
+func TestUnknownFormat(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Translate("xmi", []byte("<x/>")); err == nil || !strings.Contains(err.Error(), "no plug-in") {
+		t.Errorf("err = %v", err)
+	}
+	if got := reg.Formats(); strings.Join(got, ",") != "gcmx,rdf,uxf" {
+		t.Errorf("Formats = %v", got)
+	}
+}
+
+func TestRuntimePluginRegistration(t *testing.T) {
+	// The architecture's point: a new CM formalism is added by plugging
+	// in a translator at runtime.
+	reg := NewRegistry()
+	custom := &Plugin{
+		Format: "pairs",
+		Rules: datalogRules(t, `
+			subclass(A, B) :- xml_elem(E, pair), xml_attr(E, sub, A), xml_attr(E, super, B).
+		`),
+		Exports: []string{"subclass/2"},
+	}
+	reg.Register(custom)
+	facts, err := reg.Translate("pairs", []byte(`<doc><pair sub="a" super="b"/></doc>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(facts) != 1 || facts[0].String() != "subclass(a,b)." {
+		t.Errorf("facts = %v", facts)
+	}
+}
+
+func datalogRules(t *testing.T, src string) []datalog.Rule {
+	t.Helper()
+	rules, err := parserParse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rules
+}
+
+func buildModel() *gcm.Model {
+	m := gcm.NewModel("SYNAPSE")
+	m.AddClass(&gcm.Class{Name: "compartment"})
+	m.AddClass(&gcm.Class{Name: "neuron", Methods: []gcm.MethodSig{
+		{Name: "name", Result: "string", Scalar: true},
+		{Name: "location", Result: "string", Anchor: true},
+	}})
+	m.AddClass(&gcm.Class{Name: "spiny_neuron", Super: []string{"neuron"}})
+	m.AddRelation(&gcm.Relation{Name: "has", Attrs: []gcm.RelAttr{
+		{Name: "whole", Class: "neuron", Card: gcm.Exactly(1)},
+		{Name: "part", Class: "compartment"},
+	}})
+	m.Constraints = append(m.Constraints,
+		gcm.PartialOrder{Class: "compartment", Rel: "po"},
+		gcm.KeyMethod{Class: "neuron", Method: "name"},
+		gcm.Inclusion{Sub: "r1", Super: "r2"},
+	)
+	m.AddObject(gcm.Object{ID: term.Atom("n1"), Class: "spiny_neuron",
+		Values: map[string][]term.Term{
+			"name":     {term.Str("cell one")},
+			"location": {term.Atom("purkinje_cell")},
+		}})
+	m.AddTuple("has", term.Atom("n1"), term.Atom("c1"))
+	return m
+}
+
+func TestGCMXRoundTrip(t *testing.T) {
+	m := buildModel()
+	m.Rules = datalogRules(t, "named(X) :- methodinst(X, name, V).")
+	doc, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeModel(doc)
+	if err != nil {
+		t.Fatalf("DecodeModel: %v\ndoc:\n%s", err, doc)
+	}
+	if m2.Name != m.Name {
+		t.Errorf("name = %s", m2.Name)
+	}
+	if !reflect.DeepEqual(m2.Classes, m.Classes) {
+		t.Errorf("classes differ:\n%#v\n%#v", m2.Classes, m.Classes)
+	}
+	if !reflect.DeepEqual(m2.Relations, m.Relations) {
+		t.Errorf("relations differ")
+	}
+	if !reflect.DeepEqual(m2.Constraints, m.Constraints) {
+		t.Errorf("constraints differ: %#v vs %#v", m2.Constraints, m.Constraints)
+	}
+	if len(m2.Objects) != 1 || !m2.Objects[0].ID.Equal(term.Atom("n1")) {
+		t.Errorf("objects differ: %#v", m2.Objects)
+	}
+	if !m2.Objects[0].Values["name"][0].Equal(term.Str("cell one")) {
+		t.Error("string value lost its type")
+	}
+	if len(m2.Rules) != 1 || m2.Rules[0].String() != m.Rules[0].String() {
+		t.Errorf("rules differ: %v", m2.Rules)
+	}
+	if len(m2.Tuples["has"]) != 1 {
+		t.Errorf("tuples differ: %v", m2.Tuples)
+	}
+	if err := m2.Validate(); err != nil {
+		t.Errorf("decoded model invalid: %v", err)
+	}
+}
+
+func TestGCMXTermTypes(t *testing.T) {
+	m := gcm.NewModel("typed")
+	m.AddClass(&gcm.Class{Name: "c", Methods: []gcm.MethodSig{
+		{Name: "i", Result: "integer"},
+		{Name: "f", Result: "float"},
+		{Name: "s", Result: "string"},
+		{Name: "t", Result: "any"},
+	}})
+	m.AddObject(gcm.Object{ID: term.Atom("o"), Class: "c",
+		Values: map[string][]term.Term{
+			"i": {term.Int(-42)},
+			"f": {term.Float(2.5)},
+			"s": {term.Str("hi there")},
+			"t": {term.Comp("f", term.Atom("a"), term.Int(1))},
+		}})
+	doc, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeModel(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m2.Objects[0].Values
+	if !v["i"][0].Equal(term.Int(-42)) || !v["f"][0].Equal(term.Float(2.5)) ||
+		!v["s"][0].Equal(term.Str("hi there")) ||
+		!v["t"][0].Equal(term.Comp("f", term.Atom("a"), term.Int(1))) {
+		t.Errorf("typed values lost: %#v", v)
+	}
+}
+
+func TestGCMXPluginIngestsEncodedModel(t *testing.T) {
+	// The same GCMX document also flows through the generic plug-in
+	// path, yielding GCM facts directly.
+	doc, err := EncodeModel(buildModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	facts, err := reg.Translate("gcmx", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, f := range facts {
+		got[f.String()] = true
+	}
+	for _, w := range []string{
+		"subclass(spiny_neuron,neuron).",
+		"method(neuron,location,string).",
+		"instance(n1,spiny_neuron).",
+	} {
+		if !got[w] {
+			t.Errorf("missing %s", w)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := DecodeModel([]byte("not xml")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := DecodeModel([]byte(`<cm name="x"><constraint kind="bogus"/></cm>`)); err == nil {
+		t.Error("unknown constraint kind should fail")
+	}
+	if _, err := DecodeModel([]byte(`<cm name="x"><rule>p(X :-</rule></cm>`)); err == nil {
+		t.Error("bad rule text should fail")
+	}
+	if _, err := DecodeModel([]byte(`<cm name="x"><object id="o" class="c"><value method="m" type="int" v="zz"/></object></cm>`)); err == nil {
+		t.Error("bad int should fail")
+	}
+}
+
+func TestGCMXDerivationRoundTrip(t *testing.T) {
+	m := gcm.NewModel("d")
+	m.AddClass(&gcm.Class{Name: "c", Methods: []gcm.MethodSig{
+		{Name: "density", Result: "float"},
+		{Name: "klass", Result: "string",
+			Derivation: "methodinst(O, klass, high) :- methodinst(O, density, D), D >= 2.0."},
+	}})
+	doc, err := EncodeModel(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := DecodeModel(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, ok := m2.Classes["c"].Method("klass")
+	if !ok || sig.Derivation == "" {
+		t.Fatalf("derivation lost: %#v", m2.Classes["c"].Methods)
+	}
+	if err := m2.Validate(); err != nil {
+		t.Errorf("decoded derived model invalid: %v", err)
+	}
+}
+
+func TestValidateGCMXAcceptsEncoded(t *testing.T) {
+	doc, err := EncodeModel(buildModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateGCMX(doc); err != nil {
+		t.Errorf("encoded model should validate: %v", err)
+	}
+	// With the DOCTYPE prefix it still parses and validates.
+	if err := ValidateGCMX(GCMXDoctype(doc)); err != nil {
+		t.Errorf("doctyped document should validate: %v", err)
+	}
+}
+
+func TestValidateGCMXRejections(t *testing.T) {
+	bad := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"wrong root", `<uxf/>`, "root must be <cm>"},
+		{"unknown element", `<cm name="x"><ghost/></cm>`, "not part of GCMX"},
+		{"bad nesting", `<cm name="x"><value method="m" type="atom" v="a"/></cm>`, "may not appear inside"},
+		{"missing attr", `<cm name="x"><class/></cm>`, "missing required attribute"},
+		{"undeclared attr", `<cm name="x" bogus="1"/>`, "undeclared attribute"},
+		{"empty", ``, "empty document"},
+	}
+	for _, c := range bad {
+		err := ValidateGCMX([]byte(c.doc))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+// Property: every randomly generated model encodes to a valid GCMX
+// document.
+func TestValidateGCMXProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		doc, err := EncodeModel(randomModel(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ValidateGCMX(doc); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, doc)
+		}
+	}
+}
