@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-parallel vet
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Tier-1 gate: everything must build and pass.
+test: build
+	$(GO) test ./...
+
+# Race-detector pass over the full suite; the parallel equivalence
+# tests (internal/datalog and internal/mediator parallel_test.go) run
+# with Workers=8, so the concurrent evaluation paths are exercised
+# even on a single-CPU machine.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Serial-vs-parallel speedup report (writes BENCH_parallel.json).
+bench-parallel:
+	$(GO) run ./cmd/benchrunner -exp parallel
+
+vet:
+	$(GO) vet ./...

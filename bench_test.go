@@ -211,8 +211,18 @@ func BenchmarkEx3Cardinality(b *testing.B) {
 // --- Example 4: the protein_distribution view ---
 
 func newScenario(b *testing.B, nSyn, nNcm, nSl int) *mediator.Mediator {
+	return newScenarioWorkers(b, 0, nSyn, nNcm, nSl)
+}
+
+// newScenarioWorkers builds the scenario with an explicit engine worker
+// count (0 = the GOMAXPROCS default).
+func newScenarioWorkers(b *testing.B, workers, nSyn, nNcm, nSl int) *mediator.Mediator {
 	b.Helper()
-	m := mediator.New(sources.NeuroDM(), nil)
+	var opts *mediator.Options
+	if workers != 0 {
+		opts = &mediator.Options{Engine: datalog.Options{Workers: workers}}
+	}
+	m := mediator.New(sources.NeuroDM(), opts)
 	ws, err := sources.Wrappers(11, nSyn, nNcm, nSl)
 	if err != nil {
 		b.Fatal(err)
@@ -229,11 +239,78 @@ func newScenario(b *testing.B, nSyn, nNcm, nSl int) *mediator.Mediator {
 }
 
 func BenchmarkEx4Materialize(b *testing.B) {
-	for _, n := range []int{100, 400} {
-		b.Run(fmt.Sprintf("records=%d", n), func(b *testing.B) {
+	for _, sz := range []struct {
+		name string
+		n    int
+	}{{"100", 100}, {"400", 400}, {"large", 1600}} {
+		n := sz.n
+		b.Run("records="+sz.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
 				m := newScenario(b, n/2, n, n/4)
+				b.StartTimer()
+				if _, err := m.Materialize(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Parallel evaluation: serial vs worker-pool speedups ---
+
+// parallelFixpointEngine builds a wide stratified program: width
+// independent transitive closures over disjoint chains, which exercises
+// both the per-round rule fan-out and the independent stratum groups.
+func parallelFixpointEngine(b *testing.B, workers, width, chain int) *datalog.Engine {
+	b.Helper()
+	e := datalog.NewEngine(&datalog.Options{Workers: workers})
+	for g := 0; g < width; g++ {
+		edge := fmt.Sprintf("e%d", g)
+		tc := fmt.Sprintf("t%d", g)
+		for i := 0; i < chain; i++ {
+			if err := e.AddFact(edge, term.Int(int64(i)), term.Int(int64(i+1))); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := e.AddRules(
+			datalog.NewRule(datalog.Lit(tc, term.Var("X"), term.Var("Y")),
+				datalog.Lit(edge, term.Var("X"), term.Var("Y"))),
+			datalog.NewRule(datalog.Lit(tc, term.Var("X"), term.Var("Y")),
+				datalog.Lit(tc, term.Var("X"), term.Var("Z")),
+				datalog.Lit(edge, term.Var("Z"), term.Var("Y"))),
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e
+}
+
+func BenchmarkParallelFixpoint(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				e := parallelFixpointEngine(b, workers, 8, 160)
+				b.StartTimer()
+				res, err := e.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Store.Count("t0/2") != 160*161/2 {
+					b.Fatal("closure incomplete")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParallelMaterialize(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				m := newScenarioWorkers(b, workers, 200, 400, 100)
 				b.StartTimer()
 				if _, err := m.Materialize(); err != nil {
 					b.Fatal(err)

@@ -3,13 +3,22 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|compare|scale]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel]
+//
+//	[-workers N]  worker count for the parallel experiment
+//	              (0 = GOMAXPROCS); the serial leg always runs with 1
+//
+// The parallel experiment also writes BENCH_parallel.json, a
+// serial-vs-parallel speedup report for the evaluation fixpoint and the
+// mediator materialization.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -22,6 +31,8 @@ import (
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
 )
+
+var workersFlag = flag.Int("workers", 0, "worker count for -exp parallel (0 = GOMAXPROCS)")
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id to run")
@@ -42,6 +53,7 @@ func main() {
 		{"plan", plannerExp, "Generic query planner — pruning and pushdown for arbitrary queries"},
 		{"compare", compare, "Comparison — model-based vs structural mediation"},
 		{"scale", scale, "Scaling — closure and source-selection sweeps"},
+		{"parallel", parallelExp, "Parallel evaluation — serial vs worker-pool speedups"},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -452,6 +464,132 @@ func scale() error {
 		fmt.Printf("  %5d sources: selected %d, %v/selection\n",
 			extra+3, n, (time.Since(start) / reps).Round(time.Nanosecond))
 	}
+	return nil
+}
+
+// parallelReport is the JSON shape of BENCH_parallel.json: one entry per
+// workload, serial (Workers=1) vs parallel (the -workers flag) timings.
+type parallelReport struct {
+	GOMAXPROCS int
+	Workers    int
+	Entries    []parallelEntry
+}
+
+type parallelEntry struct {
+	Name       string
+	SerialNs   int64
+	ParallelNs int64
+	Speedup    float64
+}
+
+func parallelExp() error {
+	workers := *workersFlag
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := parallelReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers}
+	fmt.Printf("GOMAXPROCS=%d, parallel leg runs with Workers=%d\n", rep.GOMAXPROCS, workers)
+
+	best := func(reps int, fn func() error) (time.Duration, error) {
+		var bestD time.Duration
+		for i := 0; i < reps; i++ {
+			start := time.Now()
+			if err := fn(); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); bestD == 0 || d < bestD {
+				bestD = d
+			}
+		}
+		return bestD, nil
+	}
+	add := func(name string, run func(workers int) error) error {
+		s, err := best(3, func() error { return run(1) })
+		if err != nil {
+			return err
+		}
+		p, err := best(3, func() error { return run(workers) })
+		if err != nil {
+			return err
+		}
+		speedup := float64(s) / float64(p)
+		rep.Entries = append(rep.Entries, parallelEntry{
+			Name: name, SerialNs: s.Nanoseconds(), ParallelNs: p.Nanoseconds(), Speedup: speedup})
+		fmt.Printf("  %-24s serial=%-12v parallel=%-12v speedup=%.2fx\n",
+			name, s.Round(time.Microsecond), p.Round(time.Microsecond), speedup)
+		return nil
+	}
+
+	// Workload 1: the Table 1 axiom-closure shape, widened to eight
+	// independent transitive closures so both the per-round fan-out and
+	// the stratum groups have work to distribute.
+	closure := func(w int) error {
+		e := datalog.NewEngine(&datalog.Options{Workers: w})
+		const width, chain = 8, 120
+		for g := 0; g < width; g++ {
+			edge := fmt.Sprintf("e%d", g)
+			tc := fmt.Sprintf("t%d", g)
+			for i := 0; i < chain; i++ {
+				if err := e.AddFact(edge, term.Int(int64(i)), term.Int(int64(i+1))); err != nil {
+					return err
+				}
+			}
+			if err := e.AddRules(
+				datalog.NewRule(datalog.Lit(tc, term.Var("X"), term.Var("Y")),
+					datalog.Lit(edge, term.Var("X"), term.Var("Y"))),
+				datalog.NewRule(datalog.Lit(tc, term.Var("X"), term.Var("Y")),
+					datalog.Lit(tc, term.Var("X"), term.Var("Z")),
+					datalog.Lit(edge, term.Var("Z"), term.Var("Y"))),
+			); err != nil {
+				return err
+			}
+		}
+		res, err := e.Run()
+		if err != nil {
+			return err
+		}
+		if res.Store.Count("t0/2") != chain*(chain+1)/2 {
+			return fmt.Errorf("closure incomplete")
+		}
+		return nil
+	}
+
+	// Workload 2: full mediator materialization (wrapper fan-out plus
+	// the view program fixpoint) over the Example 4 scenario.
+	materialize := func(w int) error {
+		m := mediator.New(sources.NeuroDM(),
+			&mediator.Options{Engine: datalog.Options{Workers: w}})
+		ws, err := sources.Wrappers(7, 120, 320, 80)
+		if err != nil {
+			return err
+		}
+		for _, src := range ws {
+			if err := m.Register(src); err != nil {
+				return err
+			}
+		}
+		if err := m.DefineStandardViews(); err != nil {
+			return err
+		}
+		_, err = m.Materialize()
+		return err
+	}
+
+	if err := add("fixpoint/axiom-closure", closure); err != nil {
+		return err
+	}
+	if err := add("mediator/materialize", materialize); err != nil {
+		return err
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_parallel.json")
 	return nil
 }
 

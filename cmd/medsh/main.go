@@ -6,7 +6,10 @@
 //
 // Usage:
 //
-//	medsh [-synapse N -ncmir N -senselab N] [-seed S] [-q QUERY]
+//	medsh [-synapse N -ncmir N -senselab N] [-seed S] [-workers W] [-q QUERY]
+//
+// -workers bounds the engine's evaluation goroutines (0 = GOMAXPROCS,
+// 1 = serial); answers are identical for any setting.
 //
 // Without -q, medsh reads one query per line from stdin. Special
 // commands: `.sources`, `.views`, `.concepts`, `.plan` (runs the
@@ -25,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"modelmed/internal/datalog"
 	"modelmed/internal/dl"
 	"modelmed/internal/mediator"
 	"modelmed/internal/parser"
@@ -37,10 +41,11 @@ func main() {
 	nNcm := flag.Int("ncmir", 100, "NCMIR protein amount records")
 	nSl := flag.Int("senselab", 30, "SENSELAB neurotransmission records")
 	seed := flag.Int64("seed", 11, "generator seed")
+	workers := flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
 	query := flag.String("q", "", "single query to evaluate (then exit)")
 	flag.Parse()
 
-	med, err := buildScenario(*seed, *nSyn, *nNcm, *nSl)
+	med, err := buildScenario(*seed, *nSyn, *nNcm, *nSl, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "medsh:", err)
 		os.Exit(1)
@@ -76,8 +81,9 @@ func main() {
 	}
 }
 
-func buildScenario(seed int64, nSyn, nNcm, nSl int) (*mediator.Mediator, error) {
-	med := mediator.New(sources.NeuroDM(), nil)
+func buildScenario(seed int64, nSyn, nNcm, nSl, workers int) (*mediator.Mediator, error) {
+	med := mediator.New(sources.NeuroDM(),
+		&mediator.Options{Engine: datalog.Options{Workers: workers}})
 	ws, err := sources.Wrappers(seed, nSyn, nNcm, nSl)
 	if err != nil {
 		return nil, err

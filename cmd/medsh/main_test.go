@@ -6,7 +6,7 @@ import (
 )
 
 func TestBuildScenario(t *testing.T) {
-	med, err := buildScenario(3, 10, 20, 10)
+	med, err := buildScenario(3, 10, 20, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +19,7 @@ func TestBuildScenario(t *testing.T) {
 }
 
 func TestRunLineCommands(t *testing.T) {
-	med, err := buildScenario(3, 10, 20, 10)
+	med, err := buildScenario(3, 10, 20, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,7 +31,7 @@ func TestRunLineCommands(t *testing.T) {
 }
 
 func TestRunLineQuery(t *testing.T) {
-	med, err := buildScenario(3, 10, 20, 10)
+	med, err := buildScenario(3, 10, 20, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestRunLineQuery(t *testing.T) {
 }
 
 func TestRunLinePlan(t *testing.T) {
-	med, err := buildScenario(3, 10, 40, 10)
+	med, err := buildScenario(3, 10, 40, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +54,7 @@ func TestRunLinePlan(t *testing.T) {
 }
 
 func TestRunLineCheckAndDot(t *testing.T) {
-	med, err := buildScenario(3, 5, 10, 5)
+	med, err := buildScenario(3, 5, 10, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestRunLineCheckAndDot(t *testing.T) {
 }
 
 func TestRunLinePlanq(t *testing.T) {
-	med, err := buildScenario(3, 5, 10, 5)
+	med, err := buildScenario(3, 5, 10, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +76,7 @@ func TestRunLinePlanq(t *testing.T) {
 }
 
 func TestLoadRuleFile(t *testing.T) {
-	med, err := buildScenario(3, 5, 10, 5)
+	med, err := buildScenario(3, 5, 10, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +90,7 @@ func TestLoadRuleFile(t *testing.T) {
 }
 
 func TestRunLineWhy(t *testing.T) {
-	med, err := buildScenario(3, 5, 10, 5)
+	med, err := buildScenario(3, 5, 10, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestRunLineWhy(t *testing.T) {
 }
 
 func TestLoadShippedRuleFile(t *testing.T) {
-	med, err := buildScenario(3, 10, 20, 10)
+	med, err := buildScenario(3, 10, 20, 10, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestLoadShippedRuleFile(t *testing.T) {
 }
 
 func TestRunLineRegisterAndTaxonomy(t *testing.T) {
-	med, err := buildScenario(3, 5, 10, 5)
+	med, err := buildScenario(3, 5, 10, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestRunLineRegisterAndTaxonomy(t *testing.T) {
 }
 
 func TestRunLineDist(t *testing.T) {
-	med, err := buildScenario(3, 5, 40, 5)
+	med, err := buildScenario(3, 5, 40, 5, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,20 +9,28 @@
 //     the structural mediator finds only exact matches and misses the
 //     semantically contained data the model-based mediator aggregates.
 //
-// Run with: go run ./examples/comparison
+// Run with: go run ./examples/comparison [-workers W]
+//
+// -workers bounds the model-based mediator's evaluation goroutines
+// (0 = GOMAXPROCS, 1 = serial); the output is identical either way.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"modelmed/internal/baseline"
+	"modelmed/internal/datalog"
 	"modelmed/internal/mediator"
 	"modelmed/internal/sources"
 	"modelmed/internal/wrapper"
 )
 
+var workersFlag = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+
 func main() {
+	flag.Parse()
 	oneWorld()
 	multipleWorlds()
 }
@@ -80,7 +88,8 @@ func multipleWorlds() {
 	}
 
 	b := baseline.New()
-	med := mediator.New(sources.NeuroDM(), nil)
+	med := mediator.New(sources.NeuroDM(),
+		&mediator.Options{Engine: datalog.Options{Workers: *workersFlag}})
 	for _, w := range ws {
 		if err := b.Register(w); err != nil {
 			log.Fatal(err)

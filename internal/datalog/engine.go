@@ -2,8 +2,10 @@ package datalog
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 
+	"modelmed/internal/par"
 	"modelmed/internal/term"
 )
 
@@ -22,6 +24,23 @@ type Options struct {
 	// RequireStratified makes Run fail on non-stratified programs instead
 	// of falling back to the well-founded semantics.
 	RequireStratified bool
+	// Workers bounds the goroutines used for parallel evaluation: the
+	// per-round rule/variant fan-out of each fixpoint and the evaluation
+	// of independent same-level stratum groups. 0 means
+	// runtime.GOMAXPROCS(0); values <= 1 select the serial path. The
+	// result is independent of Workers (see DESIGN.md, "Parallel
+	// evaluation").
+	Workers int
+}
+
+// ResolvedWorkers returns the effective worker count: Workers, or
+// runtime.GOMAXPROCS(0) when unset. A nil receiver resolves to the
+// default as well.
+func (o *Options) ResolvedWorkers() int {
+	if o == nil || o.Workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return o.Workers
 }
 
 func (o *Options) withDefaults() Options {
@@ -140,8 +159,16 @@ func hasAggregates(rules []Rule) bool {
 func (e *Engine) runStratified(scc *sccResult) (*Result, error) {
 	store := e.edb.Clone()
 	res := &Result{Store: store, Stratified: true}
-	for _, stratum := range scc.strata(e.rules) {
+	workers := e.opts.ResolvedWorkers()
+	groups := scc.strataGroups(e.rules)
+	for lvl, stratum := range scc.strata(e.rules) {
 		if len(stratum) == 0 {
+			continue
+		}
+		if workers > 1 && len(groups[lvl]) > 1 {
+			if err := e.runGroups(groups[lvl], store, res, workers); err != nil {
+				return res, err
+			}
 			continue
 		}
 		prepared, err := prepareRules(stratum)
@@ -159,6 +186,60 @@ func (e *Engine) runStratified(scc *sccResult) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// runGroups evaluates the independent rule groups of one stratum level
+// concurrently. Each group runs its fixpoint on a clone of the current
+// store; because no group reads another group's head predicates (that is
+// what makes them independent, see strataGroups), the groups derive
+// exactly the facts the combined fixpoint would. The clones' new rows —
+// everything past the shared base prefix that Clone preserves — are then
+// merged into the store in group order, keeping the result deterministic
+// for a fixed Workers setting and set-identical to the serial run.
+func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers int) error {
+	prepared := make([][]preparedRule, len(groups))
+	for i, g := range groups {
+		p, err := prepareRules(g)
+		if err != nil {
+			return err
+		}
+		prepared[i] = p
+	}
+	baseCounts := make(map[string]int, len(store.rels))
+	for k, r := range store.rels {
+		baseCounts[k] = r.Len()
+	}
+	type groupRun struct {
+		clone           *Store
+		rounds, firings int
+		err             error
+	}
+	runs := make([]groupRun, len(groups))
+	par.Do(len(groups), workers, func(i int) {
+		clone := store.Clone()
+		runs[i].clone = clone
+		runs[i].rounds, runs[i].firings, runs[i].err = fixpoint(prepared[i], clone, clone, &e.opts)
+	})
+	for i := range runs {
+		if runs[i].err != nil {
+			return runs[i].err
+		}
+		res.Rounds += runs[i].rounds
+		res.Firings += runs[i].firings
+		clone := runs[i].clone
+		for _, k := range clone.Keys() {
+			r := clone.Rel(k)
+			base := baseCounts[k]
+			if r.Len() <= base {
+				continue
+			}
+			dst := store.Ensure(k, r.Arity())
+			for _, row := range r.Rows()[base:] {
+				dst.Insert(row)
+			}
+		}
+	}
+	return nil
 }
 
 // runWellFounded computes the well-founded model by the alternating

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"modelmed/internal/par"
 	"modelmed/internal/term"
 )
 
@@ -173,19 +174,20 @@ func (ev *evalCtx) match(items []BodyElem, idx, deltaIdx int, s *term.Subst, emi
 			return nil
 		}
 		// Use the most selective positional index among the ground
-		// arguments under s.
+		// arguments under s, keeping the winning index slice so the
+		// chosen position is not probed a second time.
 		bestPos := -1
 		bestCount := -1
-		var bestTerm term.Term
+		var bestRows []int
 		for pos, a := range e.Args {
 			w := s.Apply(a)
 			if !w.IsGround() {
 				continue
 			}
-			n := len(rel.Select(pos, w))
-			if bestCount < 0 || n < bestCount {
-				bestPos, bestCount, bestTerm = pos, n, w
-				if n == 0 {
+			sel := rel.Select(pos, w)
+			if bestCount < 0 || len(sel) < bestCount {
+				bestPos, bestCount, bestRows = pos, len(sel), sel
+				if len(sel) == 0 {
 					break
 				}
 			}
@@ -201,7 +203,7 @@ func (ev *evalCtx) match(items []BodyElem, idx, deltaIdx int, s *term.Subst, emi
 		}
 		if bestPos >= 0 {
 			rows := rel.Rows()
-			for _, ri := range rel.Select(bestPos, bestTerm) {
+			for _, ri := range bestRows {
 				if err := iterate(rows[ri]); err != nil {
 					return err
 				}
@@ -354,74 +356,129 @@ func computeAggregate(op AggOp, values []term.Term) (term.Term, error) {
 	return term.Term{}, fmt.Errorf("unknown aggregate operator %s", op)
 }
 
+// evalJob is one independent unit of a fixpoint round: a rule body (or
+// semi-naive delta variant) to enumerate against the round snapshot.
+// Within a round the store, negCtx and delta are immutable — they are
+// only mutated at the round barrier — so jobs are pure reads and can run
+// on any goroutine.
+type evalJob struct {
+	head     Literal
+	ordered  []BodyElem
+	deltaIdx int
+}
+
+// run enumerates the job's body under a fresh substitution, queueing
+// derived facts on ev.
+func (j evalJob) run(ev *evalCtx) error {
+	s := term.NewSubst()
+	return ev.match(j.ordered, 0, j.deltaIdx, s, func(s *term.Subst) error {
+		return ev.deriveHead(j.head, s)
+	})
+}
+
 // fixpoint evaluates the prepared rules to a fixpoint over store, with
 // negative literals answered from negCtx. It uses semi-naive evaluation
 // unless opts.Naive is set. Returns the number of evaluation rounds.
+//
+// With opts.Workers > 1 the jobs of each round fan out across a bounded
+// worker pool. Each worker derives into its own buffer; at the round
+// barrier the buffers are concatenated in job order, which is exactly
+// the order the serial loop derives in, so the store's insertion
+// sequence — and therefore the result — is identical to Workers=1.
 func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options) (rounds int, firings int, err error) {
 	ev := &evalCtx{store: store, negCtx: negCtx, opts: opts}
+	workers := opts.ResolvedWorkers()
 
-	// Round 0: insert facts, then evaluate every rule once against the
-	// full store (no delta restriction).
+	// Round 0 facts.
 	for _, pr := range rules {
 		if len(pr.rule.Body) == 0 {
 			store.Insert(pr.rule.Head.Pred, pr.rule.Head.Args)
 		}
 	}
+	// Job lists are fixed across rounds: every bodied rule once for round
+	// 0 (and every naive round), every delta variant for semi-naive
+	// rounds.
+	var fullJobs, deltaJobs []evalJob
 	for _, pr := range rules {
 		if len(pr.rule.Body) == 0 {
 			continue
 		}
-		s := term.NewSubst()
-		if err := ev.match(pr.ordered, 0, -1, s, func(s *term.Subst) error {
-			return ev.deriveHead(pr.rule.Head, s)
-		}); err != nil {
-			return ev.rounds, ev.firings, err
+		fullJobs = append(fullJobs, evalJob{head: pr.rule.Head, ordered: pr.ordered, deltaIdx: -1})
+		if !opts.Naive {
+			for _, va := range pr.variants {
+				deltaJobs = append(deltaJobs, evalJob{head: pr.rule.Head, ordered: va.ordered, deltaIdx: va.deltaIdx})
+			}
 		}
 	}
+	if opts.Naive {
+		deltaJobs = fullJobs
+	}
+
+	// runRound evaluates jobs against the current snapshot and returns
+	// the derived facts in job order. The returned slice is only valid
+	// until the next call (the serial path reuses one buffer).
+	runRound := func(jobs []evalJob, delta *Store) ([]derivedFact, error) {
+		if workers <= 1 || len(jobs) <= 1 {
+			ev.delta = delta
+			ev.newFacts = ev.newFacts[:0]
+			for _, j := range jobs {
+				if err := j.run(ev); err != nil {
+					return nil, err
+				}
+			}
+			return ev.newFacts, nil
+		}
+		ctxs := make([]*evalCtx, len(jobs))
+		errs := make([]error, len(jobs))
+		par.Do(len(jobs), workers, func(i int) {
+			c := &evalCtx{store: store, negCtx: negCtx, delta: delta, opts: opts}
+			ctxs[i] = c
+			errs[i] = jobs[i].run(c)
+		})
+		n := 0
+		for i := range jobs {
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
+			n += len(ctxs[i].newFacts)
+		}
+		merged := make([]derivedFact, 0, n)
+		for i := range jobs {
+			merged = append(merged, ctxs[i].newFacts...)
+			ev.firings += ctxs[i].firings
+			ev.depthDrops += ctxs[i].depthDrops
+		}
+		return merged, nil
+	}
+
+	// Round 0: evaluate every rule once against the full store (no delta
+	// restriction).
+	newFacts, err := runRound(fullJobs, nil)
+	if err != nil {
+		return ev.rounds, ev.firings, err
+	}
 	delta := NewStore()
-	for _, f := range ev.newFacts {
+	for _, f := range newFacts {
 		if store.Insert(f.pred, f.args) {
 			delta.Insert(f.pred, f.args)
 		}
 	}
-	ev.newFacts = ev.newFacts[:0]
 	ev.rounds = 1
 
 	for delta.Size() > 0 {
 		if opts.MaxIterations > 0 && ev.rounds > opts.MaxIterations {
 			return ev.rounds, ev.firings, fmt.Errorf("datalog: fixpoint exceeded %d rounds (possible non-termination via function symbols)", opts.MaxIterations)
 		}
-		ev.delta = delta
-		for _, pr := range rules {
-			if len(pr.rule.Body) == 0 {
-				continue
-			}
-			if opts.Naive {
-				// Ablation mode: re-evaluate the whole rule each round.
-				s := term.NewSubst()
-				if err := ev.match(pr.ordered, 0, -1, s, func(s *term.Subst) error {
-					return ev.deriveHead(pr.rule.Head, s)
-				}); err != nil {
-					return ev.rounds, ev.firings, err
-				}
-				continue
-			}
-			for _, va := range pr.variants {
-				s := term.NewSubst()
-				if err := ev.match(va.ordered, 0, va.deltaIdx, s, func(s *term.Subst) error {
-					return ev.deriveHead(pr.rule.Head, s)
-				}); err != nil {
-					return ev.rounds, ev.firings, err
-				}
-			}
+		newFacts, err := runRound(deltaJobs, delta)
+		if err != nil {
+			return ev.rounds, ev.firings, err
 		}
 		next := NewStore()
-		for _, f := range ev.newFacts {
+		for _, f := range newFacts {
 			if store.Insert(f.pred, f.args) {
 				next.Insert(f.pred, f.args)
 			}
 		}
-		ev.newFacts = ev.newFacts[:0]
 		delta = next
 		ev.rounds++
 	}

@@ -1,0 +1,282 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"modelmed/internal/term"
+)
+
+// dumpSorted renders a store as a deterministic text dump: relation keys
+// in sorted order, tuples in SortedRows order. Two stores with equal
+// dumps contain exactly the same facts regardless of insertion order.
+func dumpSorted(s *Store) string {
+	if s == nil {
+		return "<nil>"
+	}
+	var b strings.Builder
+	for _, k := range s.Keys() {
+		r := s.Rel(k)
+		for _, row := range r.SortedRows() {
+			b.WriteString(k)
+			b.WriteByte('\t')
+			for _, t := range row {
+				b.WriteString(t.Key())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// runWithWorkers builds a fresh engine via build, forcing the given
+// worker count, and evaluates it.
+func runWithWorkers(t *testing.T, build func(o *Options) *Engine, workers int) *Result {
+	t.Helper()
+	e := build(&Options{Workers: workers})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatalf("Run (Workers=%d): %v", workers, err)
+	}
+	return res
+}
+
+// assertEquivalent runs the same program serially and with 8 workers and
+// checks that the derived facts, the undefined set and the stratification
+// verdict agree. Rounds/Firings may legitimately differ (independent
+// stratum groups each count their own rounds), so they are not compared.
+func assertEquivalent(t *testing.T, build func(o *Options) *Engine) (*Result, *Result) {
+	t.Helper()
+	serial := runWithWorkers(t, build, 1)
+	parallel := runWithWorkers(t, build, 8)
+	if serial.Stratified != parallel.Stratified {
+		t.Fatalf("Stratified: serial=%v parallel=%v", serial.Stratified, parallel.Stratified)
+	}
+	if got, want := dumpSorted(parallel.Store), dumpSorted(serial.Store); got != want {
+		t.Errorf("store mismatch\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	if got, want := dumpSorted(parallel.Undefined), dumpSorted(serial.Undefined); got != want {
+		t.Errorf("undefined mismatch\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+	return serial, parallel
+}
+
+func TestParallelEquivalenceTransitiveClosure(t *testing.T) {
+	build := func(o *Options) *Engine {
+		e := NewEngine(o)
+		// A chain, a cycle, and a branching fan: enough shape to need
+		// several semi-naive rounds with two delta variants per round.
+		edges := [][2]string{
+			{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "e"},
+			{"e", "a"}, {"c", "f"}, {"f", "g"}, {"g", "h"},
+			{"h", "f"}, {"b", "g"},
+		}
+		for _, p := range edges {
+			if err := e.AddFact("edge", atom(p[0]), atom(p[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.AddRules(
+			NewRule(Lit("tc", v("X"), v("Y")), Lit("edge", v("X"), v("Y"))),
+			NewRule(Lit("tc", v("X"), v("Y")), Lit("tc", v("X"), v("Z")), Lit("tc", v("Z"), v("Y"))),
+		); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	serial, parallel := assertEquivalent(t, build)
+	// The per-round fan-out merges new facts in job order, so even the
+	// raw (unsorted) row order must match for a single-group program.
+	if got, want := fmt.Sprint(parallel.Store.Rel("tc/2").Rows()), fmt.Sprint(serial.Store.Rel("tc/2").Rows()); got != want {
+		t.Errorf("row order mismatch:\nserial:   %s\nparallel: %s", want, got)
+	}
+}
+
+func TestParallelEquivalenceIndependentGroups(t *testing.T) {
+	// Four mutually independent recursive predicates in the same stratum:
+	// this is the shape that exercises strataGroups + runGroups.
+	build := func(o *Options) *Engine {
+		e := NewEngine(o)
+		rels := []string{"r0", "r1", "r2", "r3"}
+		for _, base := range rels {
+			for i := 0; i < 6; i++ {
+				f := e.AddFact(base+"edge", term.Int(int64(i)), term.Int(int64(i+1)))
+				if f != nil {
+					t.Fatal(f)
+				}
+			}
+			tc := base + "tc"
+			if err := e.AddRules(
+				NewRule(Lit(tc, v("X"), v("Y")), Lit(base+"edge", v("X"), v("Y"))),
+				NewRule(Lit(tc, v("X"), v("Y")), Lit(tc, v("X"), v("Z")), Lit(base+"edge", v("Z"), v("Y"))),
+			); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// A second stratum reading all four groups' results, to check the
+		// merged store is a correct base for later levels.
+		if err := e.AddRule(NewRule(Lit("reach", v("X"), v("Y")),
+			Lit("r0tc", v("X"), v("Y")), Lit("r1tc", v("X"), v("Y")),
+			Lit("r2tc", v("X"), v("Y")), Lit("r3tc", v("X"), v("Y")))); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	assertEquivalent(t, build)
+}
+
+func TestParallelEquivalenceStratifiedNegation(t *testing.T) {
+	build := func(o *Options) *Engine {
+		e := NewEngine(o)
+		for _, n := range []string{"a", "b", "c", "d", "e", "f"} {
+			if err := e.AddFact("node", atom(n)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, p := range [][2]string{{"a", "b"}, {"b", "c"}, {"d", "e"}} {
+			if err := e.AddFact("edge", atom(p[0]), atom(p[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.AddFact("start", atom("a")); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddRules(
+			NewRule(Lit("reach", v("X")), Lit("start", v("X"))),
+			NewRule(Lit("reach", v("Y")), Lit("reach", v("X")), Lit("edge", v("X"), v("Y"))),
+			NewRule(Lit("unreachable", v("X")), Lit("node", v("X")), Not("reach", v("X"))),
+			// An independent predicate in the negation stratum.
+			NewRule(Lit("dead", v("X")), Lit("edge", v("X"), v("Y")), Not("reach", v("Y"))),
+		); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	assertEquivalent(t, build)
+}
+
+func TestParallelEquivalenceAggregates(t *testing.T) {
+	build := func(o *Options) *Engine {
+		e := NewEngine(o)
+		for i := 0; i < 20; i++ {
+			if err := e.AddFact("has", atom(fmt.Sprintf("n%d", i%5)), term.Int(int64(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cnt := Aggregate{Result: v("N"), Op: AggCount, Value: v("B"),
+			GroupBy: []term.Term{v("A")}, Body: []Literal{Lit("has", v("A"), v("B"))}}
+		sum := Aggregate{Result: v("S"), Op: AggSum, Value: v("B"),
+			GroupBy: []term.Term{v("A")}, Body: []Literal{Lit("has", v("A"), v("B"))}}
+		if err := e.AddRules(
+			NewRule(Lit("cnt", v("A"), v("N")), cnt),
+			NewRule(Lit("sum", v("A"), v("S")), sum),
+		); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	assertEquivalent(t, build)
+}
+
+func TestParallelEquivalenceWellFounded(t *testing.T) {
+	build := func(o *Options) *Engine {
+		e := NewEngine(o)
+		// win/move over a graph with a draw cycle, a winning chain and a
+		// larger even cycle: exercises the alternating fixpoint with a
+		// non-empty undefined set.
+		moves := [][2]string{
+			{"a", "b"}, {"b", "a"},
+			{"c", "d"}, {"d", "e"},
+			{"p", "q"}, {"q", "r"}, {"r", "s"}, {"s", "p"},
+		}
+		for _, p := range moves {
+			if err := e.AddFact("move", atom(p[0]), atom(p[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.AddRule(NewRule(Lit("win", v("X")), Lit("move", v("X"), v("Y")), Not("win", v("Y")))); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	serial, parallel := assertEquivalent(t, build)
+	if serial.Stratified || parallel.Stratified {
+		t.Fatal("win/move should take the well-founded path")
+	}
+	if serial.Undefined == nil || serial.Undefined.Size() == 0 {
+		t.Fatal("expected a non-empty undefined set")
+	}
+}
+
+func TestParallelEquivalenceQueries(t *testing.T) {
+	build := func(o *Options) *Engine {
+		e := NewEngine(o)
+		for _, p := range [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"b", "e"}} {
+			if err := e.AddFact("edge", atom(p[0]), atom(p[1])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.AddRules(
+			NewRule(Lit("tc", v("X"), v("Y")), Lit("edge", v("X"), v("Y"))),
+			NewRule(Lit("tc", v("X"), v("Y")), Lit("tc", v("X"), v("Z")), Lit("edge", v("Z"), v("Y"))),
+		); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	serial, parallel := assertEquivalent(t, build)
+	body := []BodyElem{Lit("tc", v("X"), v("Y"))}
+	qs, err := serial.Query(body, []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := parallel.Query(body, []string{"X", "Y"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(qs) != fmt.Sprint(qp) {
+		t.Errorf("query answers differ:\nserial:   %v\nparallel: %v", qs, qp)
+	}
+}
+
+// TestParallelEquivalenceRandom generates random stratified programs
+// (several independent recursive closures plus a negation stratum over
+// random graphs) and checks serial/parallel agreement on each.
+func TestParallelEquivalenceRandom(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			build := func(o *Options) *Engine {
+				rng := rand.New(rand.NewSource(seed))
+				e := NewEngine(o)
+				nGraphs := 2 + rng.Intn(3)
+				for g := 0; g < nGraphs; g++ {
+					edge := fmt.Sprintf("e%d", g)
+					tc := fmt.Sprintf("t%d", g)
+					nNodes := 4 + rng.Intn(8)
+					nEdges := nNodes + rng.Intn(nNodes)
+					for i := 0; i < nEdges; i++ {
+						a := term.Int(int64(rng.Intn(nNodes)))
+						b := term.Int(int64(rng.Intn(nNodes)))
+						if err := e.AddFact(edge, a, b); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := e.AddRules(
+						NewRule(Lit(tc, v("X"), v("Y")), Lit(edge, v("X"), v("Y"))),
+						NewRule(Lit(tc, v("X"), v("Y")), Lit(tc, v("X"), v("Z")), Lit(edge, v("Z"), v("Y"))),
+						// Negation stratum per graph: nodes with no outgoing
+						// closure edge back to themselves.
+						NewRule(Lit("acyc"+tc, v("X"), v("Y")), Lit(tc, v("X"), v("Y")), Not(tc, v("Y"), v("X"))),
+					); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return e
+			}
+			assertEquivalent(t, build)
+		})
+	}
+}

@@ -35,7 +35,16 @@ func (r *Relation) Arity() int { return r.arity }
 func (r *Relation) Len() int { return len(r.rows) }
 
 func tupleKey(ts []term.Term) string {
-	var b []byte
+	// Term keys are precomputed at construction, so this is pure
+	// concatenation; single-column tuples reuse the term key outright.
+	if len(ts) == 1 {
+		return ts[0].Key()
+	}
+	n := 0
+	for _, t := range ts {
+		n += len(t.Key())
+	}
+	b := make([]byte, 0, n)
 	for _, t := range ts {
 		b = append(b, t.Key()...)
 	}
@@ -154,17 +163,45 @@ func (s *Store) Keys() []string {
 
 // Clone returns a deep-enough copy: relations are rebuilt so inserts into
 // the clone do not affect s (tuples themselves are shared, which is safe
-// because tuples are immutable by convention).
+// because tuples are immutable by convention). The uniqueness and
+// positional indexes are copied directly rather than re-hashed through
+// Insert — Clone runs once per Γ step of the well-founded path, per
+// stratum group, and per Materialize, so it is itself a hot path. Row
+// order is preserved, so rows[0:s.Len()] of each cloned relation is
+// exactly the shared base (parallel stratum merging relies on this).
 func (s *Store) Clone() *Store {
 	c := NewStore()
 	for k, r := range s.rels {
-		nr := NewRelation(r.arity)
-		for _, row := range r.rows {
-			nr.Insert(row)
-		}
-		c.rels[k] = nr
+		c.rels[k] = r.clone()
 	}
 	return c
+}
+
+// clone deep-copies the relation's indexes and row slice (tuples are
+// shared). Index slices are copied, not aliased: an aliased []int with
+// spare capacity would let an append on the clone scribble into the
+// original's backing array.
+func (r *Relation) clone() *Relation {
+	nr := &Relation{
+		arity:  r.arity,
+		rows:   make([][]term.Term, len(r.rows)),
+		keys:   make(map[string]struct{}, len(r.keys)),
+		posIdx: make([]map[string][]int, r.arity),
+	}
+	copy(nr.rows, r.rows)
+	for k := range r.keys {
+		nr.keys[k] = struct{}{}
+	}
+	for pos, idx := range r.posIdx {
+		ni := make(map[string][]int, len(idx))
+		for vk, rows := range idx {
+			cp := make([]int, len(rows))
+			copy(cp, rows)
+			ni[vk] = cp
+		}
+		nr.posIdx[pos] = ni
+	}
+	return nr
 }
 
 // MergeInto inserts every fact of s into dst, returning the number of

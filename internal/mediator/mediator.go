@@ -19,6 +19,7 @@ import (
 	"modelmed/internal/domainmap"
 	"modelmed/internal/flogic"
 	"modelmed/internal/gcm"
+	"modelmed/internal/par"
 	"modelmed/internal/parser"
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
@@ -363,12 +364,17 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 			return nil, fmt.Errorf("mediator: materialize: %w", err)
 		}
 	}
-	for _, s := range m.sortedSources() {
-		facts, err := sourceFacts(s)
-		if err != nil {
-			return nil, err
+	// Translate every source's data concurrently — sourceFacts only reads
+	// the registered model/fact snapshots — then collect into the engine
+	// in name order, so the materialized program is independent of the
+	// worker count.
+	srcs := m.sortedSources()
+	factSets, errs := translateSources(srcs, m.opts.Engine.ResolvedWorkers())
+	for i, s := range srcs {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		if err := e.AddRules(facts...); err != nil {
+		if err := e.AddRules(factSets[i]...); err != nil {
 			return nil, fmt.Errorf("mediator: materialize %s: %w", s.Name, err)
 		}
 	}
@@ -403,6 +409,19 @@ func (m *Mediator) Explain(pred string, args ...term.Term) (*datalog.Derivation,
 	e := m.cacheEngine
 	m.mu.Unlock()
 	return e.Explain(res, pred, args...)
+}
+
+// translateSources renders every source's data concurrently (one task
+// per source, bounded by workers), returning the per-source fact sets
+// and errors positionally so callers can merge them in deterministic
+// source order.
+func translateSources(srcs []*Source, workers int) ([][]datalog.Rule, []error) {
+	factSets := make([][]datalog.Rule, len(srcs))
+	errs := make([]error, len(srcs))
+	par.Do(len(srcs), workers, func(i int) {
+		factSets[i], errs[i] = sourceFacts(srcs[i])
+	})
+	return factSets, errs
 }
 
 // sourceFacts renders one source's data in the namespaced vocabulary.

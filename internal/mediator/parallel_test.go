@@ -1,0 +1,142 @@
+package mediator
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/sources"
+)
+
+// newWorkersMediator builds the standard neuro scenario with an explicit
+// engine worker count.
+func newWorkersMediator(t testing.TB, workers, nSyn, nNcm, nSl int) *Mediator {
+	t.Helper()
+	m := New(sources.NeuroDM(), &Options{Engine: datalog.Options{Workers: workers}})
+	ws, err := sources.Wrappers(11, nSyn, nNcm, nSl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if err := m.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.DefineStandardViews(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// dumpResult renders a materialization result as a sorted text dump.
+func dumpResult(res *datalog.Result) string {
+	var b strings.Builder
+	for _, k := range res.Store.Keys() {
+		for _, row := range res.Store.Rel(k).SortedRows() {
+			b.WriteString(k)
+			b.WriteByte('\t')
+			for _, t := range row {
+				b.WriteString(t.Key())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// TestParallelMaterializeEquivalence checks that the concurrent source
+// fan-out plus the parallel engine produce the same mediated object base
+// and the same query answers as a fully serial run.
+func TestParallelMaterializeEquivalence(t *testing.T) {
+	serial := newWorkersMediator(t, 1, 20, 60, 15)
+	parallel := newWorkersMediator(t, 8, 20, 60, 15)
+
+	rs, err := serial.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dumpResult(rp), dumpResult(rs); got != want {
+		t.Fatalf("materialized stores differ (parallel %d facts, serial %d facts)",
+			rp.Store.Size(), rs.Store.Size())
+	}
+
+	q := `src_obj('NCMIR', O, protein_amount),
+		src_val('NCMIR', O, location, spine),
+		src_val('NCMIR', O, amount, A)`
+	as, err := serial.Query(q, "O", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := parallel.Query(q, "O", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(as.Rows) != fmt.Sprint(ap.Rows) {
+		t.Errorf("query answers differ:\nserial:   %v\nparallel: %v", as.Rows, ap.Rows)
+	}
+}
+
+// TestParallelPlannedQueryEquivalence checks the ExecutePlan path: the
+// concurrent pushdown fan-out must return the same answer rows and the
+// same plan trace decisions as the serial path.
+func TestParallelPlannedQueryEquivalence(t *testing.T) {
+	serial := newWorkersMediator(t, 1, 20, 60, 15)
+	parallel := newWorkersMediator(t, 8, 20, 60, 15)
+
+	q := `src_obj('NCMIR', O, protein_amount),
+		src_val('NCMIR', O, location, spine),
+		src_val('NCMIR', O, amount, A)`
+	as, plans, err := serial.PlannedQuery(q, "O", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, planp, err := parallel.PlannedQuery(q, "O", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(as.Rows) != fmt.Sprint(ap.Rows) {
+		t.Errorf("planned answers differ:\nserial:   %v\nparallel: %v", as.Rows, ap.Rows)
+	}
+	if fmt.Sprint(plans.Sources) != fmt.Sprint(planp.Sources) {
+		t.Errorf("plan sources differ: serial=%v parallel=%v", plans.Sources, planp.Sources)
+	}
+	if len(plans.Pushdowns) != len(planp.Pushdowns) {
+		t.Fatalf("pushdown counts differ: serial=%d parallel=%d", len(plans.Pushdowns), len(planp.Pushdowns))
+	}
+	for i := range plans.Pushdowns {
+		s, p := plans.Pushdowns[i], planp.Pushdowns[i]
+		if s.Pushed != p.Pushed || s.Returned != p.Returned || s.Source != p.Source {
+			t.Errorf("pushdown %d differs: serial=%+v parallel=%+v", i, s, p)
+		}
+	}
+}
+
+// TestParallelSection5Equivalence runs the full Section 5 protein query
+// under both worker settings.
+func TestParallelSection5Equivalence(t *testing.T) {
+	serial := newWorkersMediator(t, 1, 40, 120, 30)
+	parallel := newWorkersMediator(t, 8, 40, 120, 30)
+
+	rs, err := serial.CalciumBindingProteinQuery("SENSELAB", "rat", "parallel_fiber", "calcium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := parallel.CalciumBindingProteinQuery("SENSELAB", "rat", "parallel_fiber", "calcium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(rs.Pairs) != fmt.Sprint(rp.Pairs) {
+		t.Errorf("pairs differ: serial=%v parallel=%v", rs.Pairs, rp.Pairs)
+	}
+	if fmt.Sprint(rs.SelectedSources) != fmt.Sprint(rp.SelectedSources) {
+		t.Errorf("selected sources differ: serial=%v parallel=%v", rs.SelectedSources, rp.SelectedSources)
+	}
+	if fmt.Sprint(rs.Proteins) != fmt.Sprint(rp.Proteins) {
+		t.Errorf("proteins differ: serial=%v parallel=%v", rs.Proteins, rp.Proteins)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"modelmed/internal/domainmap"
 	"modelmed/internal/flogic"
 	"modelmed/internal/gcm"
+	"modelmed/internal/par"
 	"modelmed/internal/parser"
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
@@ -439,17 +440,30 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 	for _, s := range p.Sources {
 		candidate[s] = true
 	}
+	workers := m.opts.Engine.ResolvedWorkers()
 
-	// Pushdown loads.
+	// Pushdown loads: issue the wrapper queries concurrently — one task
+	// per selected source access — then collect the results into the
+	// engine in step order, so the loaded program (and the plan trace) is
+	// independent of the worker count.
+	pushResults := make([]*PushResult, len(p.Pushdowns))
+	pushErrs := make([]error, len(p.Pushdowns))
+	par.Do(len(p.Pushdowns), workers, func(i int) {
+		step := &p.Pushdowns[i]
+		if !candidate[step.Source] {
+			return
+		}
+		pushResults[i], pushErrs[i] = m.PushSelect(step.Source, step.Class, step.Selections...)
+	})
 	for i := range p.Pushdowns {
 		step := &p.Pushdowns[i]
 		if !candidate[step.Source] {
 			continue
 		}
-		res, err := m.PushSelect(step.Source, step.Class, step.Selections...)
-		if err != nil {
-			return nil, err
+		if pushErrs[i] != nil {
+			return nil, pushErrs[i]
 		}
+		res := pushResults[i]
 		step.Pushed = res.Pushed
 		step.Returned = len(res.Objs)
 		src, _ := m.Source(step.Source)
@@ -460,10 +474,18 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 	}
 
 	// Full loads for candidate sources without (complete) pushdown
-	// coverage.
+	// coverage: translate concurrently, collect in source order.
 	m.mu.Lock()
 	all := m.sortedSources()
 	m.mu.Unlock()
+	var full []*Source
+	for _, s := range all {
+		if candidate[s.Name] && !pushedSources[s.Name] {
+			full = append(full, s)
+		}
+	}
+	factSets, errs := translateSources(full, workers)
+	fullIdx := 0
 	for _, s := range all {
 		if !candidate[s.Name] {
 			p.tracef("skipped source %s (not selected by the semantic index)", s.Name)
@@ -472,7 +494,8 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 		if pushedSources[s.Name] {
 			continue
 		}
-		facts, err := sourceFacts(s)
+		facts, err := factSets[fullIdx], errs[fullIdx]
+		fullIdx++
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,63 @@
+// Package par provides the bounded worker pool shared by the datalog
+// engine's parallel fixpoint rounds and the mediator's concurrent
+// source fan-out. Tasks are indexed so callers can collect results into
+// pre-sized slices and merge them deterministically afterwards.
+package par
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs task(0..n-1) across at most workers goroutines and waits for
+// all of them. With workers <= 1 (or n <= 1) the tasks run inline on the
+// calling goroutine, in index order, with no synchronization — the
+// serial path stays allocation- and scheduling-free. Tasks must
+// communicate results positionally (each task i writing only slot i of
+// shared slices); Do itself imposes no ordering between tasks.
+//
+// A panic inside a task is captured and re-raised on the calling
+// goroutine after all workers drain, so callers see the same crash
+// semantics as a serial loop.
+func Do(n, workers int, task func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var panicOnce sync.Once
+	var panicked any
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() { panicked = r })
+					// Drain the remaining indices so sibling workers
+					// are not left waiting on work this goroutine
+					// claimed but will never run.
+					next.Store(int64(n))
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("par: task panicked: %v", panicked))
+	}
+}

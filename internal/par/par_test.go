@@ -1,0 +1,55 @@
+package par
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		Do(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestDoZeroTasks(t *testing.T) {
+	Do(0, 4, func(i int) { t.Fatalf("task ran for n=0: %d", i) })
+}
+
+func TestDoSerialOrder(t *testing.T) {
+	var order []int
+	Do(5, 1, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial path out of order: %v", order)
+		}
+	}
+}
+
+func TestDoPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic not propagated", workers)
+				}
+				if s, ok := r.(string); workers > 1 && (!ok || !strings.Contains(s, "boom")) {
+					t.Fatalf("workers=%d: unexpected panic value %v", workers, r)
+				}
+			}()
+			Do(8, workers, func(i int) {
+				if i == 3 {
+					panic("boom")
+				}
+			})
+		}()
+	}
+}

@@ -54,7 +54,7 @@ func (s *Subst) Apply(t Term) Term {
 	if !changed {
 		return t
 	}
-	return Term{kind: KindCompound, functor: t.Name(), args: args}
+	return newCompound(t.Name(), args)
 }
 
 // ApplyAll applies the substitution to each term in ts, returning a new

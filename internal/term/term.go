@@ -53,28 +53,87 @@ func (k Kind) String() string {
 
 // Term is a first-order term. Terms are immutable values; the Args slice of
 // a compound term must not be mutated after construction.
+//
+// The canonical key (see Key) is precomputed at construction, so the
+// fact-store hot paths (Insert/Contains/Select) reduce to a field read
+// instead of rebuilding the encoding on every probe.
 type Term struct {
 	kind    Kind
 	functor string // variable name, atom name, string value, or compound functor
 	ival    int64
 	fval    float64
 	args    []Term
+	key     string // canonical encoding, precomputed at construction
+}
+
+// leafKey builds the key of a functor-carrying leaf: tag, name length,
+// ':', name.
+func leafKey(tag byte, name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 8)
+	b.WriteByte(tag)
+	b.WriteString(strconv.Itoa(len(name)))
+	b.WriteByte(':')
+	b.WriteString(name)
+	return b.String()
+}
+
+// smallIntKeys caches the keys of the most common integer constants.
+var smallIntKeys = func() [256]string {
+	var out [256]string
+	for i := range out {
+		out[i] = "i" + strconv.Itoa(i) + ";"
+	}
+	return out
+}()
+
+func intKey(v int64) string {
+	if v >= 0 && v < int64(len(smallIntKeys)) {
+		return smallIntKeys[v]
+	}
+	return "i" + strconv.FormatInt(v, 10) + ";"
+}
+
+// compKey builds a compound key from the (already cached) keys of the
+// arguments.
+func compKey(functor string, args []Term) string {
+	var b strings.Builder
+	n := len(functor) + 10
+	for _, a := range args {
+		n += len(a.key)
+	}
+	b.Grow(n)
+	b.WriteByte('c')
+	b.WriteString(strconv.Itoa(len(args)))
+	b.WriteString(strconv.Itoa(len(functor)))
+	b.WriteByte(':')
+	b.WriteString(functor)
+	for _, a := range args {
+		if a.key != "" {
+			b.WriteString(a.key)
+		} else {
+			a.writeKey(&b)
+		}
+	}
+	return b.String()
 }
 
 // Var returns a variable term with the given name.
-func Var(name string) Term { return Term{kind: KindVar, functor: name} }
+func Var(name string) Term { return Term{kind: KindVar, functor: name, key: leafKey('V', name)} }
 
 // Atom returns a symbolic constant with the given name.
-func Atom(name string) Term { return Term{kind: KindAtom, functor: name} }
+func Atom(name string) Term { return Term{kind: KindAtom, functor: name, key: leafKey('a', name)} }
 
 // Int returns an integer constant.
-func Int(v int64) Term { return Term{kind: KindInt, ival: v} }
+func Int(v int64) Term { return Term{kind: KindInt, ival: v, key: intKey(v)} }
 
 // Float returns a floating point constant.
-func Float(v float64) Term { return Term{kind: KindFloat, fval: v} }
+func Float(v float64) Term {
+	return Term{kind: KindFloat, fval: v, key: "f" + strconv.FormatFloat(v, 'b', -1, 64) + ";"}
+}
 
 // Str returns a string constant.
-func Str(v string) Term { return Term{kind: KindString, functor: v} }
+func Str(v string) Term { return Term{kind: KindString, functor: v, key: leafKey('s', v)} }
 
 // Comp returns the compound term functor(args...). It panics if no
 // arguments are given; use Atom for zero-ary symbols.
@@ -84,7 +143,12 @@ func Comp(functor string, args ...Term) Term {
 	}
 	cp := make([]Term, len(args))
 	copy(cp, args)
-	return Term{kind: KindCompound, functor: functor, args: cp}
+	return newCompound(functor, cp)
+}
+
+// newCompound builds a compound term taking ownership of args.
+func newCompound(functor string, args []Term) Term {
+	return Term{kind: KindCompound, functor: functor, args: args, key: compKey(functor, args)}
 }
 
 // Bool returns the atom true or false.
@@ -177,6 +241,10 @@ func (t Term) Vars(dst []string) []string {
 
 // Equal reports whether t and u are structurally identical.
 func (t Term) Equal(u Term) bool {
+	if t.key != "" && u.key != "" {
+		// Keys are canonical: distinct terms have distinct keys.
+		return t.key == u.key
+	}
 	if t.kind != u.kind {
 		return false
 	}
@@ -346,14 +414,23 @@ func (t Term) write(b *strings.Builder) {
 
 // Key returns a canonical encoding of t usable as a map key. Distinct
 // terms have distinct keys. Only ground terms should be used as keys in
-// fact stores, but Key is defined for all terms.
+// fact stores, but Key is defined for all terms. The key is precomputed
+// at construction, so calls on constructor-built terms are free; only
+// zero-value Terms fall back to encoding on demand.
 func (t Term) Key() string {
+	if t.key != "" {
+		return t.key
+	}
 	var b strings.Builder
 	t.writeKey(&b)
 	return b.String()
 }
 
 func (t Term) writeKey(b *strings.Builder) {
+	if t.key != "" {
+		b.WriteString(t.key)
+		return
+	}
 	switch t.kind {
 	case KindVar:
 		b.WriteByte('V')
@@ -393,7 +470,7 @@ func (t Term) Rename(f func(string) string) Term {
 		for i, a := range t.args {
 			args[i] = a.Rename(f)
 		}
-		return Term{kind: KindCompound, functor: t.functor, args: args}
+		return newCompound(t.functor, args)
 	default:
 		return t
 	}
