@@ -1,8 +1,11 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel vet
+.PHONY: all check build test race chaos bench bench-parallel bench-faults vet
 
 all: build test
+
+# Full local gate: tier-1 build+test plus the race-enabled chaos suite.
+check: build test chaos
 
 build:
 	$(GO) build ./...
@@ -18,12 +21,25 @@ test: build
 race:
 	$(GO) test -race ./...
 
+# Fault-injection chaos & property suite under the race detector: the
+# seed matrix is fixed inside the tests (chaos_test.go: 1, 7, 42,
+# 1001), so a pass is reproducible. Covers the wrapper fault injector,
+# retry/deadline/breaker unit tests, chaos equivalence, monotone
+# degradation, and the degraded medsh/comparison sessions.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Degrad|Breaker|Retry|Deadline|Down|InMemoryConcurrent|GuardDisabled|Reports' \
+		./internal/wrapper ./internal/mediator ./cmd/medsh ./examples/comparison
+
 bench:
 	$(GO) test -bench=. -benchmem .
 
 # Serial-vs-parallel speedup report (writes BENCH_parallel.json).
 bench-parallel:
 	$(GO) run ./cmd/benchrunner -exp parallel
+
+# Fault-rate x retry-budget degradation sweep (writes BENCH_faults.json).
+bench-faults:
+	$(GO) run ./cmd/benchrunner -exp faults
 
 vet:
 	$(GO) vet ./...

@@ -3,14 +3,18 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults]
 //
 //	[-workers N]  worker count for the parallel experiment
 //	              (0 = GOMAXPROCS); the serial leg always runs with 1
 //
 // The parallel experiment also writes BENCH_parallel.json, a
 // serial-vs-parallel speedup report for the evaluation fixpoint and the
-// mediator materialization.
+// mediator materialization. The faults experiment writes
+// BENCH_faults.json: a sweep of seeded wrapper fault rates against
+// retry budgets, recording per-source outcomes (ok / degraded /
+// failed), answer sizes and materialization latency under the
+// fault-tolerant fan-out.
 package main
 
 import (
@@ -54,6 +58,7 @@ func main() {
 		{"compare", compare, "Comparison — model-based vs structural mediation"},
 		{"scale", scale, "Scaling — closure and source-selection sweeps"},
 		{"parallel", parallelExp, "Parallel evaluation — serial vs worker-pool speedups"},
+		{"faults", faultsExp, "Fault tolerance — fault-rate x retry-budget sweep with graceful degradation"},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -590,6 +595,124 @@ func parallelExp() error {
 		return err
 	}
 	fmt.Println("wrote BENCH_parallel.json")
+	return nil
+}
+
+// faultsReport is the JSON shape of BENCH_faults.json: a sweep of
+// seeded wrapper fault rates against retry budgets over the Example 4
+// scenario, run under the mediator's fault-tolerant fan-out.
+type faultsReport struct {
+	Runs    int
+	Entries []faultsEntry
+}
+
+type faultsEntry struct {
+	Name      string
+	FaultRate float64
+	Retries   int
+	Down      []string
+	// Per-source outcomes accumulated over all runs (3 sources x Runs).
+	OK       int
+	Degraded int
+	Failed   int
+	// Total retries and deadline timeouts spent across all runs.
+	Retried  int
+	Timeouts int
+	// Anchor facts of the final run's answer; the fault-free entry is
+	// the reference, dead-source entries come in below it.
+	AnchorFacts int
+	MeanNs      int64
+}
+
+func faultsExp() error {
+	const runs = 4
+	rep := faultsReport{Runs: runs}
+	configs := []struct {
+		rate    float64
+		retries int
+		down    []string
+	}{
+		{0, 0, nil},
+		{0.2, 0, nil},
+		{0.2, 3, nil},
+		{0.5, 0, nil},
+		{0.5, 3, nil},
+		{0.2, 3, []string{"NCMIR"}},
+	}
+	fmt.Printf("%d materializations per config over the Example 4 scenario;\n", runs)
+	fmt.Println("outcomes count per-source reports (3 sources x runs):")
+	for _, cfg := range configs {
+		name := fmt.Sprintf("rate=%.2f retries=%d", cfg.rate, cfg.retries)
+		if len(cfg.down) > 0 {
+			name += fmt.Sprintf(" down=%s", strings.Join(cfg.down, ","))
+		}
+		entry := faultsEntry{
+			Name: name, FaultRate: cfg.rate, Retries: cfg.retries, Down: cfg.down,
+		}
+		down := map[string]bool{}
+		for _, s := range cfg.down {
+			down[s] = true
+		}
+		m := mediator.New(sources.NeuroDM(), &mediator.Options{
+			SourceTimeout: 2 * time.Second,
+			MaxRetries:    cfg.retries,
+			RetryBase:     200 * time.Microsecond,
+			RetryMax:      2 * time.Millisecond,
+		})
+		ws, err := sources.Wrappers(11, 60, 160, 40)
+		if err != nil {
+			return err
+		}
+		for i, w := range ws {
+			if err := m.Register(wrapper.NewFaulty(w, wrapper.FaultConfig{
+				Seed:           31 + int64(i)*7919,
+				ErrorProb:      cfg.rate,
+				MaxConsecutive: 2,
+				Down:           down[w.Name()],
+			})); err != nil {
+				return err
+			}
+		}
+		if err := m.DefineStandardViews(); err != nil {
+			return err
+		}
+		var total time.Duration
+		for r := 0; r < runs; r++ {
+			m.Invalidate()
+			start := time.Now()
+			res, err := m.Materialize()
+			if err != nil {
+				return fmt.Errorf("%s run %d: %w", name, r, err)
+			}
+			total += time.Since(start)
+			entry.AnchorFacts = res.Store.Count("anchor/3")
+			for _, sr := range m.SourceReports() {
+				switch sr.Status {
+				case mediator.StatusOK:
+					entry.OK++
+				case mediator.StatusDegraded:
+					entry.Degraded++
+				case mediator.StatusFailed:
+					entry.Failed++
+				}
+				entry.Retried += sr.Retries
+				entry.Timeouts += sr.Timeouts
+			}
+		}
+		entry.MeanNs = (total / runs).Nanoseconds()
+		rep.Entries = append(rep.Entries, entry)
+		fmt.Printf("  %-34s ok=%-2d degraded=%-2d failed=%-2d retries=%-3d anchors=%-4d mean=%v\n",
+			name, entry.OK, entry.Degraded, entry.Failed, entry.Retried,
+			entry.AnchorFacts, (total / runs).Round(time.Microsecond))
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_faults.json")
 	return nil
 }
 

@@ -6,19 +6,31 @@
 //
 // Usage:
 //
-//	medsh [-synapse N -ncmir N -senselab N] [-seed S] [-workers W] [-q QUERY]
+//	medsh [-synapse N -ncmir N -senselab N] [-seed S] [-workers W]
+//	      [-source-timeout D -retries N] [-fault-rate P -fault-seed S -down SRC,...]
+//	      [-q QUERY]
 //
 // -workers bounds the engine's evaluation goroutines (0 = GOMAXPROCS,
 // 1 = serial); answers are identical for any setting.
 //
+// -source-timeout and -retries enable the mediator's fault-tolerance
+// layer: every wrapper call runs under the deadline, transient
+// failures are retried with backoff, and a source that stays down is
+// dropped from the answer (graceful degradation; see `.reports`).
+// -fault-rate injects seeded transient wrapper faults (chaos demo) and
+// -down marks sources as permanently dead; both imply a default retry
+// budget when none is given, so the session degrades instead of
+// erroring.
+//
 // Without -q, medsh reads one query per line from stdin. Special
 // commands: `.sources`, `.views`, `.concepts`, `.plan` (runs the
 // Section 5 query with its plan trace), `.planq QUERY` (plans and runs
-// an arbitrary query, printing the plan trace), `.check` (integrity
-// constraints over the federation), `.checkdm` (also data-completeness
-// of domain-map edges), `.dot` (domain map as GraphViz), `.load FILE`
-// (rule file with views and `?-` queries), `.fig3` (registers the
-// Figure 3 knowledge), `.quit`.
+// an arbitrary query, printing the plan trace), `.reports` (per-source
+// fault-tolerance reports of the last materialization), `.check`
+// (integrity constraints over the federation), `.checkdm` (also
+// data-completeness of domain-map edges), `.dot` (domain map as
+// GraphViz), `.load FILE` (rule file with views and `?-` queries),
+// `.fig3` (registers the Figure 3 knowledge), `.quit`.
 package main
 
 import (
@@ -27,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"modelmed/internal/datalog"
 	"modelmed/internal/dl"
@@ -34,6 +47,7 @@ import (
 	"modelmed/internal/parser"
 	"modelmed/internal/sources"
 	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
 )
 
 func main() {
@@ -42,10 +56,19 @@ func main() {
 	nSl := flag.Int("senselab", 30, "SENSELAB neurotransmission records")
 	seed := flag.Int64("seed", 11, "generator seed")
 	workers := flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	srcTimeout := flag.Duration("source-timeout", 0, "per-source call deadline (0 = none; enables the fault-tolerance layer)")
+	retries := flag.Int("retries", 0, "retries per transiently failing source call (enables the fault-tolerance layer)")
+	faultRate := flag.Float64("fault-rate", 0, "inject seeded transient wrapper faults with this probability (chaos demo)")
+	faultSeed := flag.Int64("fault-seed", 1, "fault schedule seed")
+	down := flag.String("down", "", "comma-separated sources simulated as permanently down")
 	query := flag.String("q", "", "single query to evaluate (then exit)")
 	flag.Parse()
 
-	med, err := buildScenario(*seed, *nSyn, *nNcm, *nSl, *workers)
+	med, err := buildFaultScenario(scenarioConfig{
+		seed: *seed, nSyn: *nSyn, nNcm: *nNcm, nSl: *nSl, workers: *workers,
+		sourceTimeout: *srcTimeout, retries: *retries,
+		faultRate: *faultRate, faultSeed: *faultSeed, down: parseDown(*down),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "medsh:", err)
 		os.Exit(1)
@@ -61,7 +84,7 @@ func main() {
 
 	fmt.Printf("model-based mediator: %d sources registered over %s (%d concepts)\n",
 		len(med.Sources()), med.DomainMap().Name(), len(med.DomainMap().Concepts()))
-	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .check .checkdm .dot .load FILE .fig3 .quit`)
+	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .reports .check .checkdm .dot .load FILE .fig3 .quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("medsh> ")
@@ -81,15 +104,69 @@ func main() {
 	}
 }
 
+// scenarioConfig collects the scenario and fault-tolerance knobs.
+type scenarioConfig struct {
+	seed            int64
+	nSyn, nNcm, nSl int
+	workers         int
+
+	sourceTimeout time.Duration
+	retries       int
+	faultRate     float64
+	faultSeed     int64
+	down          map[string]bool
+}
+
+// parseDown splits the -down list into a source set.
+func parseDown(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out[name] = true
+		}
+	}
+	return out
+}
+
+// injectsFaults reports whether the config decorates any wrapper.
+func (c scenarioConfig) injectsFaults() bool {
+	return c.faultRate > 0 || len(c.down) > 0
+}
+
 func buildScenario(seed int64, nSyn, nNcm, nSl, workers int) (*mediator.Mediator, error) {
-	med := mediator.New(sources.NeuroDM(),
-		&mediator.Options{Engine: datalog.Options{Workers: workers}})
-	ws, err := sources.Wrappers(seed, nSyn, nNcm, nSl)
+	return buildFaultScenario(scenarioConfig{
+		seed: seed, nSyn: nSyn, nNcm: nNcm, nSl: nSl, workers: workers,
+	})
+}
+
+func buildFaultScenario(cfg scenarioConfig) (*mediator.Mediator, error) {
+	opts := mediator.Options{
+		Engine:        datalog.Options{Workers: cfg.workers},
+		SourceTimeout: cfg.sourceTimeout,
+		MaxRetries:    cfg.retries,
+	}
+	if cfg.injectsFaults() && opts.MaxRetries == 0 && opts.SourceTimeout == 0 {
+		// Injecting faults with the guard off would fail queries on the
+		// first blip; default to a small retry budget so the session
+		// retries and degrades instead.
+		opts.MaxRetries = 3
+	}
+	med := mediator.New(sources.NeuroDM(), &opts)
+	ws, err := sources.Wrappers(cfg.seed, cfg.nSyn, cfg.nNcm, cfg.nSl)
 	if err != nil {
 		return nil, err
 	}
 	for _, w := range ws {
-		if err := med.Register(w); err != nil {
+		var reg wrapper.Wrapper = w
+		if cfg.injectsFaults() {
+			reg = wrapper.NewFaulty(w, wrapper.FaultConfig{
+				Seed:           cfg.faultSeed,
+				ErrorProb:      cfg.faultRate,
+				MaxConsecutive: 2,
+				Down:           cfg.down[w.Name()],
+			})
+		}
+		if err := med.Register(reg); err != nil {
 			return nil, err
 		}
 	}
@@ -181,6 +258,16 @@ func runLine(med *mediator.Mediator, line string) error {
 		}
 		fmt.Print(mediator.FormatAnswer(ans))
 		fmt.Printf("(%d rows)\n", len(ans.Rows))
+		return nil
+	case line == ".reports":
+		reps := med.SourceReports()
+		if len(reps) == 0 {
+			fmt.Println("no fault-tolerance reports (layer disabled, or nothing materialized yet)")
+			return nil
+		}
+		for _, r := range reps {
+			fmt.Println(" ", r)
+		}
 		return nil
 	case line == ".check" || line == ".checkdm":
 		rep, err := med.CheckConsistency(line == ".checkdm")

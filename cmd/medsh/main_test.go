@@ -3,6 +3,9 @@ package main
 import (
 	"os"
 	"testing"
+	"time"
+
+	"modelmed/internal/mediator"
 )
 
 func TestBuildScenario(t *testing.T) {
@@ -130,6 +133,133 @@ func TestRunLineRegisterAndTaxonomy(t *testing.T) {
 	}
 	if err := runLine(med, ".taxonomy"); err != nil {
 		t.Fatalf(".taxonomy: %v", err)
+	}
+}
+
+func TestParseDown(t *testing.T) {
+	got := parseDown(" NCMIR, SENSELAB ,")
+	if len(got) != 2 || !got["NCMIR"] || !got["SENSELAB"] {
+		t.Errorf("parseDown = %v", got)
+	}
+	if len(parseDown("")) != 0 {
+		t.Error("empty -down list should parse to no sources")
+	}
+}
+
+// TestFaultScenarioFlagWiring checks that the fault flags reach the
+// mediator options and the wrapper decoration: injected faults without
+// an explicit budget imply default retries, and explicit knobs pass
+// through unchanged.
+func TestFaultScenarioFlagWiring(t *testing.T) {
+	// Chaos flags only: the retry budget defaults on, and the flaky
+	// session still answers the fault-free result.
+	med, err := buildFaultScenario(scenarioConfig{
+		seed: 3, nSyn: 10, nNcm: 20, nSl: 10, workers: 2,
+		faultRate: 0.4, faultSeed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := buildScenario(3, 10, 20, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `src_obj('NCMIR', O, protein_amount)`
+	af, err := med.Query(q, "O")
+	if err != nil {
+		t.Fatalf("flaky session query: %v", err)
+	}
+	ap, err := plain.Query(q, "O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(af.Rows) != len(ap.Rows) {
+		t.Errorf("flaky session returned %d rows, fault-free %d", len(af.Rows), len(ap.Rows))
+	}
+	reps := med.SourceReports()
+	if len(reps) != 3 {
+		t.Fatalf("got %d reports, want 3 (fault layer should be on): %v", len(reps), reps)
+	}
+	for _, r := range reps {
+		if r.Status == mediator.StatusFailed {
+			t.Errorf("recoverable chaos failed a source: %v", r)
+		}
+	}
+
+	// Explicit deadline/retry knobs, no injection: layer on, all OK.
+	med2, err := buildFaultScenario(scenarioConfig{
+		seed: 3, nSyn: 5, nNcm: 10, nSl: 5, workers: 1,
+		sourceTimeout: 500 * time.Millisecond, retries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := med2.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range med2.SourceReports() {
+		if r.Status != mediator.StatusOK {
+			t.Errorf("clean source not OK: %v", r)
+		}
+	}
+}
+
+// TestDegradedSessionTranscript drives a session with one source down:
+// queries answer from the survivors, and .reports shows the failure.
+func TestDegradedSessionTranscript(t *testing.T) {
+	med, err := buildFaultScenario(scenarioConfig{
+		seed: 3, nSyn: 10, nNcm: 20, nSl: 10, workers: 2,
+		retries: 1, down: parseDown("NCMIR"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cmd := range []string{
+		`anchor('SYNAPSE', O, C)`,
+		`src_obj('NCMIR', O, protein_amount)`, // degrades to 0 rows, no error
+		".reports",
+		".sources",
+	} {
+		if err := runLine(med, cmd); err != nil {
+			t.Errorf("%s: %v", cmd, err)
+		}
+	}
+	ans, err := med.Query(`src_obj('NCMIR', O, protein_amount)`, "O")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Errorf("down source still answered %d rows", len(ans.Rows))
+	}
+	r := reportByName(t, med.SourceReports(), "NCMIR")
+	if r.Status != mediator.StatusFailed {
+		t.Errorf("NCMIR report = %+v, want failed", r)
+	}
+	for _, name := range []string{"SYNAPSE", "SENSELAB"} {
+		if r := reportByName(t, med.SourceReports(), name); r.Status == mediator.StatusFailed {
+			t.Errorf("survivor %s reported failed: %+v", name, r)
+		}
+	}
+}
+
+func reportByName(t *testing.T, reps []mediator.SourceReport, name string) mediator.SourceReport {
+	t.Helper()
+	for _, r := range reps {
+		if r.Source == name {
+			return r
+		}
+	}
+	t.Fatalf("no report for %s in %v", name, reps)
+	return mediator.SourceReport{}
+}
+
+func TestRunLineReportsWithoutFaultLayer(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLine(med, ".reports"); err != nil {
+		t.Errorf(".reports: %v", err)
 	}
 }
 

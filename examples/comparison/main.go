@@ -9,10 +9,15 @@
 //     the structural mediator finds only exact matches and misses the
 //     semantically contained data the model-based mediator aggregates.
 //
-// Run with: go run ./examples/comparison [-workers W]
+// Run with: go run ./examples/comparison [-workers W] [-source-timeout D] [-retries N]
 //
 // -workers bounds the model-based mediator's evaluation goroutines
 // (0 = GOMAXPROCS, 1 = serial); the output is identical either way.
+// -source-timeout and -retries switch the mediator's source fan-out to
+// the guarded path (per-call deadline, retries with backoff, graceful
+// degradation) — with the in-process wrappers this changes nothing in
+// the output, which is exactly the point: the fault-tolerance layer is
+// output-transparent when the sources answer.
 package main
 
 import (
@@ -27,7 +32,20 @@ import (
 	"modelmed/internal/wrapper"
 )
 
-var workersFlag = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+var (
+	workersFlag    = flag.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS, 1 = serial)")
+	srcTimeoutFlag = flag.Duration("source-timeout", 0, "per-source call deadline (0 = none; enables the fault-tolerance layer)")
+	retriesFlag    = flag.Int("retries", 0, "retries per transiently failing source call (enables the fault-tolerance layer)")
+)
+
+// medOptions maps the flags into mediator options.
+func medOptions() *mediator.Options {
+	return &mediator.Options{
+		Engine:        datalog.Options{Workers: *workersFlag},
+		SourceTimeout: *srcTimeoutFlag,
+		MaxRetries:    *retriesFlag,
+	}
+}
 
 func main() {
 	flag.Parse()
@@ -88,8 +106,7 @@ func multipleWorlds() {
 	}
 
 	b := baseline.New()
-	med := mediator.New(sources.NeuroDM(),
-		&mediator.Options{Engine: datalog.Options{Workers: *workersFlag}})
+	med := mediator.New(sources.NeuroDM(), medOptions())
 	for _, w := range ws {
 		if err := b.Register(w); err != nil {
 			log.Fatal(err)

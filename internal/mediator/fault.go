@@ -1,0 +1,508 @@
+package mediator
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/gcm"
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+)
+
+// The fault-tolerance layer. A production mediator fans out to live
+// sources that time out, flake, hang, or die; the paper's runtime
+// federation (Figure 2) only works under heavy traffic if that fan-out
+// is guarded. Every wrapper call the mediator issues during
+// Materialize, ExecutePlan and PushSelect can be wrapped in a guard
+// that enforces a per-call deadline, retries transient failures with
+// exponential backoff + jitter, trips a per-source circuit breaker
+// after repeated failures, and — instead of failing the whole query —
+// degrades gracefully: the mediated answer is computed over the
+// surviving sources and a per-source SourceReport says what happened.
+//
+// The layer is off by default (no timeout, no retries, no breaker):
+// the legacy direct path is taken and behaviour is byte-identical to
+// previous releases. It switches on when any of Options.SourceTimeout,
+// Options.MaxRetries or Options.Breaker.Threshold is set.
+
+// BreakerOptions configure the per-source circuit breaker.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive transient failures that
+	// open the breaker (0 disables the breaker).
+	Threshold int
+	// Cooldown is how long an open breaker rejects calls before letting
+	// a single half-open probe through (default 1s).
+	Cooldown time.Duration
+}
+
+// SourceStatus classifies how a source fared during one fan-out.
+type SourceStatus int
+
+const (
+	// StatusOK: every call answered on the first attempt.
+	StatusOK SourceStatus = iota
+	// StatusDegraded: the source contributed, but only after retries
+	// (or a breaker probe).
+	StatusDegraded
+	// StatusFailed: the source exhausted its retry budget (or stayed
+	// behind an open breaker) and was excluded from the answer.
+	StatusFailed
+)
+
+func (s SourceStatus) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusDegraded:
+		return "degraded"
+	case StatusFailed:
+		return "failed"
+	}
+	return "invalid"
+}
+
+// SourceReport is the per-source outcome of one guarded fan-out
+// (a Materialize or ExecutePlan run).
+type SourceReport struct {
+	Source string
+	Status SourceStatus
+	// Attempts counts wrapper calls issued, including retries.
+	Attempts int
+	// Retries counts attempts beyond the first, summed over the calls.
+	Retries int
+	// Timeouts counts attempts cut off by SourceTimeout.
+	Timeouts int
+	// BreakerTrips counts calls rejected by an open breaker.
+	BreakerTrips int
+	// Elapsed is the wall time spent talking to (and backing off from)
+	// the source.
+	Elapsed time.Duration
+	// Err is the final error of a failed source ("" otherwise).
+	Err string
+}
+
+func (r SourceReport) String() string {
+	s := fmt.Sprintf("%s: %s (%d attempts, %d retries, %d timeouts, %v)",
+		r.Source, r.Status, r.Attempts, r.Retries, r.Timeouts, r.Elapsed.Round(time.Microsecond))
+	if r.Err != "" {
+		s += ": " + r.Err
+	}
+	return s
+}
+
+// SourceDownError reports that a source exhausted its retry and
+// breaker budget; the fan-out either degrades (default) or fails fast
+// (Options.FailFast) when it sees one.
+type SourceDownError struct {
+	Source string
+	Cause  error
+}
+
+func (e *SourceDownError) Error() string {
+	return fmt.Sprintf("mediator: source %s is down: %v", e.Source, e.Cause)
+}
+
+func (e *SourceDownError) Unwrap() error { return e.Cause }
+
+// timeoutError is a deadline cut; it is transient (the next attempt
+// may answer in time).
+type timeoutError struct {
+	source string
+	after  time.Duration
+}
+
+func (e *timeoutError) Error() string {
+	return fmt.Sprintf("mediator: source %s: call exceeded %v deadline", e.source, e.after)
+}
+
+// Transient marks the timeout as retryable.
+func (e *timeoutError) Transient() bool { return true }
+
+// errBreakerOpen rejects a call without contacting the source.
+var errBreakerOpen = errors.New("circuit breaker open")
+
+// faultTolerant reports whether the guarded fan-out path is enabled.
+func (o *Options) faultTolerant() bool {
+	return o.SourceTimeout > 0 || o.MaxRetries > 0 || o.Breaker.Threshold > 0
+}
+
+// retryBase/retryMax resolve backoff defaults.
+func (o *Options) retryBase() time.Duration {
+	if o.RetryBase > 0 {
+		return o.RetryBase
+	}
+	return time.Millisecond
+}
+
+func (o *Options) retryMax() time.Duration {
+	if o.RetryMax > 0 {
+		return o.RetryMax
+	}
+	return 100 * time.Millisecond
+}
+
+func (b BreakerOptions) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return time.Second
+}
+
+// breaker is a per-source circuit breaker: closed until Threshold
+// consecutive transient failures, then open for Cooldown, then
+// half-open (one probe at a time) until a success closes it again.
+type breaker struct {
+	mu        sync.Mutex
+	opts      BreakerOptions
+	fails     int
+	openUntil time.Time
+	probing   bool
+}
+
+// allow reports whether a call may proceed; in the half-open state it
+// admits exactly one probe.
+func (b *breaker) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.opts.Threshold {
+		return true
+	}
+	now := time.Now()
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+func (b *breaker) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.fails = 0
+	b.probing = false
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.fails++
+	b.probing = false
+	if b.fails >= b.opts.Threshold {
+		b.openUntil = time.Now().Add(b.opts.cooldown())
+	}
+	b.mu.Unlock()
+}
+
+// breakerFor returns the mediator's breaker for a source (nil when the
+// breaker is disabled). Breaker state persists across queries: a source
+// that died during one query stays open for the next until it cools
+// down.
+func (m *Mediator) breakerFor(source string) *breaker {
+	if m.opts.Breaker.Threshold <= 0 {
+		return nil
+	}
+	m.brMu.Lock()
+	defer m.brMu.Unlock()
+	if m.breakers == nil {
+		m.breakers = map[string]*breaker{}
+	}
+	b := m.breakers[source]
+	if b == nil {
+		b = &breaker{opts: m.opts.Breaker}
+		m.breakers[source] = b
+	}
+	return b
+}
+
+// guard tracks one fan-out: it applies deadline/retry/breaker policy to
+// every wrapper call and accumulates per-source reports.
+type guard struct {
+	m    *Mediator
+	opts *Options
+
+	jmu sync.Mutex
+	rng *rand.Rand // backoff jitter only; never observable in results
+
+	rmu     sync.Mutex
+	reports map[string]*SourceReport
+}
+
+// newGuard returns a guard for one fan-out, or nil when the
+// fault-tolerance layer is disabled (callers treat a nil guard as the
+// direct path).
+func (m *Mediator) newGuard() *guard {
+	if !m.opts.faultTolerant() {
+		return nil
+	}
+	return &guard{
+		m:       m,
+		opts:    &m.opts,
+		rng:     rand.New(rand.NewSource(1)),
+		reports: map[string]*SourceReport{},
+	}
+}
+
+// Reports returns the guard's per-source reports, sorted by source.
+func (g *guard) Reports() []SourceReport {
+	if g == nil {
+		return nil
+	}
+	g.rmu.Lock()
+	defer g.rmu.Unlock()
+	out := make([]SourceReport, 0, len(g.reports))
+	for _, r := range g.reports {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+func (g *guard) report(source string) *SourceReport {
+	r := g.reports[source]
+	if r == nil {
+		r = &SourceReport{Source: source}
+		g.reports[source] = r
+	}
+	return r
+}
+
+// markFailed records the terminal failure of a source.
+func (g *guard) markFailed(source string, err error) {
+	g.rmu.Lock()
+	r := g.report(source)
+	r.Status = StatusFailed
+	r.Err = err.Error()
+	g.rmu.Unlock()
+}
+
+// backoff computes the sleep before retry #attempt (1-based):
+// base·2^(attempt-1) capped at max, then jittered to [d/2, d) so
+// retry storms from concurrent fan-outs decorrelate.
+func (g *guard) backoff(attempt int) time.Duration {
+	d := g.opts.retryBase() << (attempt - 1)
+	if max := g.opts.retryMax(); d > max || d <= 0 {
+		d = max
+	}
+	g.jmu.Lock()
+	j := g.rng.Int63n(int64(d)/2 + 1)
+	g.jmu.Unlock()
+	return d/2 + time.Duration(j)
+}
+
+// callResult carries a deadline-guarded call's outcome through a
+// channel, so an abandoned (timed-out) call never races with the
+// caller: the late result is simply dropped with the channel.
+type callResult[T any] struct {
+	v   T
+	err error
+}
+
+// withDeadline runs fn, bounding it by the per-call source timeout.
+// The wrapper interface is not context-aware, so a call that blows the
+// deadline is abandoned: its goroutine finishes in the background and
+// its result is discarded (the buffered channel keeps it from leaking).
+func withDeadline[T any](source string, d time.Duration, fn func() (T, error)) (T, error) {
+	if d <= 0 {
+		return fn()
+	}
+	ch := make(chan callResult[T], 1)
+	go func() {
+		v, err := fn()
+		ch <- callResult[T]{v, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-timer.C:
+		var zero T
+		return zero, &timeoutError{source: source, after: d}
+	}
+}
+
+// retryable reports whether an error may be retried: injected faults,
+// timeouts, and anything else that marks itself Transient. Permanent
+// errors (capability misses, unknown classes) pass through untouched.
+func retryable(err error) bool { return wrapper.Transient(err) }
+
+// call runs one logical wrapper call for a source under the full
+// policy: breaker admission, per-attempt deadline, bounded retries
+// with backoff. It returns the value, or a *SourceDownError when the
+// source is unavailable, or the original error when it is permanent.
+func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error) {
+	var zero T
+	start := time.Now()
+	br := g.m.breakerFor(source)
+	defer func() {
+		g.rmu.Lock()
+		g.report(source).Elapsed += time.Since(start)
+		g.rmu.Unlock()
+	}()
+	for attempt := 0; ; attempt++ {
+		if !br.allow() {
+			g.rmu.Lock()
+			r := g.report(source)
+			r.BreakerTrips++
+			g.rmu.Unlock()
+			return zero, &SourceDownError{Source: source, Cause: errBreakerOpen}
+		}
+		v, err := withDeadline(source, g.opts.SourceTimeout, fn)
+		g.rmu.Lock()
+		r := g.report(source)
+		r.Attempts++
+		if attempt > 0 {
+			r.Retries++
+		}
+		var tErr *timeoutError
+		if errors.As(err, &tErr) {
+			r.Timeouts++
+		}
+		if err == nil && attempt > 0 && r.Status == StatusOK {
+			r.Status = StatusDegraded
+		}
+		g.rmu.Unlock()
+		if err == nil {
+			br.success()
+			return v, nil
+		}
+		if !retryable(err) {
+			// Permanent error: the caller's own fallback logic (scan
+			// instead of pushdown, skip the class) handles it; it says
+			// nothing about source health.
+			return zero, err
+		}
+		br.failure()
+		if attempt >= g.opts.MaxRetries {
+			return zero, &SourceDownError{Source: source, Cause: err}
+		}
+		time.Sleep(g.backoff(attempt + 1))
+	}
+}
+
+// queryObjects is the guarded form of Wrapper.QueryObjects. With a nil
+// guard it calls straight through.
+func (g *guard) queryObjects(s *Source, q wrapper.Query) ([]gcm.Object, error) {
+	if g == nil {
+		return s.W.QueryObjects(q)
+	}
+	return guardedCall(g, s.Name, func() ([]gcm.Object, error) { return s.W.QueryObjects(q) })
+}
+
+// queryTuples is the guarded form of Wrapper.QueryTuples.
+func (g *guard) queryTuples(s *Source, q wrapper.Query) ([][]term.Term, error) {
+	if g == nil {
+		return s.W.QueryTuples(q)
+	}
+	return guardedCall(g, s.Name, func() ([][]term.Term, error) { return s.W.QueryTuples(q) })
+}
+
+// sourceDown reports whether an error is a terminal source failure that
+// the fan-out should degrade over (rather than propagate).
+func sourceDown(err error) bool {
+	var d *SourceDownError
+	return errors.As(err, &d)
+}
+
+// guardedSourceFacts renders one source's data for the materialized
+// program. Without a guard (or for snapshot-only sources) it translates
+// the registration snapshot exactly like sourceFacts. With a guard and
+// a live wrapper it *re-pulls the instance data through the wrapper* —
+// schema facts, subclass facts and semantic rules still come from the
+// registered CM(S), but objects and tuples are fetched per class and
+// per relation under the deadline/retry/breaker policy, so a flaking
+// source is retried and a dead one degrades instead of serving stale
+// registration-time state. The emitted fact set is identical to the
+// snapshot translation when the source answers (the engine's store has
+// set semantics, so retried pulls cannot duplicate src_* facts).
+func guardedSourceFacts(g *guard, s *Source) ([]datalog.Rule, error) {
+	if g == nil || s.W == nil || s.Model == nil {
+		return sourceFacts(s)
+	}
+	sn := term.Atom(s.Name)
+	model := s.Model
+	var out []datalog.Rule
+	out = append(out, model.SchemaFacts()...)
+	names := make([]string, 0, len(model.Classes))
+	for n := range model.Classes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, cn := range names {
+		for _, sup := range model.Classes[cn].Super {
+			out = append(out, datalog.Fact(PredSrcSub, sn, term.Atom(cn), term.Atom(sup)))
+		}
+	}
+	emitObj := func(o gcm.Object) {
+		out = append(out, datalog.Fact(PredSrcObj, sn, o.ID, term.Atom(o.Class)))
+		methods := make([]string, 0, len(o.Values))
+		for mn := range o.Values {
+			methods = append(methods, mn)
+		}
+		sort.Strings(methods)
+		for _, mn := range methods {
+			for _, v := range o.Values[mn] {
+				out = append(out, datalog.Fact(PredSrcVal, sn, o.ID, term.Atom(mn), v))
+			}
+		}
+	}
+	for _, cn := range names {
+		objs, err := g.queryObjects(s, wrapper.Query{Target: cn})
+		if err != nil {
+			if sourceDown(err) {
+				return nil, err
+			}
+			// Permanent error (e.g. no scan capability for this class):
+			// fall back to the registration snapshot for it.
+			for _, o := range model.Objects {
+				if o.Class == cn {
+					emitObj(o)
+				}
+			}
+			continue
+		}
+		// QueryObjects returns the class and its descendants; keep only
+		// the exact class so each object is emitted exactly once.
+		for _, o := range objs {
+			if o.Class == cn {
+				emitObj(o)
+			}
+		}
+	}
+	rels := make([]string, 0, len(model.Tuples))
+	for rn := range model.Tuples {
+		rels = append(rels, rn)
+	}
+	sort.Strings(rels)
+	for _, rn := range rels {
+		tps, err := g.queryTuples(s, wrapper.Query{Target: rn})
+		if err != nil {
+			if sourceDown(err) {
+				return nil, err
+			}
+			tps = model.Tuples[rn]
+		}
+		for _, tp := range tps {
+			args := append([]term.Term{sn, term.Atom(rn)}, tp...)
+			out = append(out, datalog.Fact(PredSrcTuple, args...))
+		}
+	}
+	out = append(out, model.Rules...)
+	return out, nil
+}

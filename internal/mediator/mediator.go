@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"modelmed/internal/datalog"
 	"modelmed/internal/dl"
@@ -51,6 +52,31 @@ type Options struct {
 	// a concept the domain map does not know. When false, unknown
 	// concepts are added to the map implicitly.
 	StrictAnchors bool
+
+	// The fault-tolerance layer (see fault.go). Setting any of
+	// SourceTimeout, MaxRetries or Breaker.Threshold switches the
+	// mediator's source fan-out (Materialize, ExecutePlan, PushSelect)
+	// to the guarded path: instance data is pulled through the live
+	// wrappers under a per-call deadline, transient failures are
+	// retried with exponential backoff + jitter, repeatedly failing
+	// sources trip a circuit breaker, and sources that stay down are
+	// dropped from the answer (graceful degradation) with a
+	// SourceReport instead of failing the whole query.
+
+	// SourceTimeout bounds each wrapper call (0 = no deadline).
+	SourceTimeout time.Duration
+	// MaxRetries is the number of retries after the first attempt of a
+	// transiently failing call.
+	MaxRetries int
+	// RetryBase is the first backoff step (default 1ms); backoff
+	// doubles per retry up to RetryMax (default 100ms), jittered.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Breaker configures the per-source circuit breaker.
+	Breaker BreakerOptions
+	// FailFast disables graceful degradation: a source that exhausts
+	// its retry budget fails the whole query instead of being dropped.
+	FailFast bool
 }
 
 // Source is a registered source as the mediator sees it.
@@ -82,6 +108,15 @@ type Mediator struct {
 	dirty       bool
 	cache       *datalog.Result
 	cacheEngine *datalog.Engine
+
+	// lastReports are the SourceReports of the most recent guarded
+	// Materialize (nil when the fault-tolerance layer is off).
+	lastReports []SourceReport
+
+	// brMu guards breakers, the per-source circuit-breaker states,
+	// which persist across queries.
+	brMu     sync.Mutex
+	breakers map[string]*breaker
 }
 
 // New returns a mediator over the given domain map.
@@ -364,14 +399,24 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 			return nil, fmt.Errorf("mediator: materialize: %w", err)
 		}
 	}
-	// Translate every source's data concurrently — sourceFacts only reads
-	// the registered model/fact snapshots — then collect into the engine
-	// in name order, so the materialized program is independent of the
-	// worker count.
+	// Translate every source's data concurrently, then collect into the
+	// engine in name order, so the materialized program is independent
+	// of the worker count. Without the fault-tolerance layer this only
+	// reads the registered model/fact snapshots; with it, instance data
+	// is re-pulled through the live wrappers under deadline/retry/
+	// breaker policy (see guardedSourceFacts), and sources that stay
+	// down are dropped from the program instead of failing it.
+	g := m.newGuard()
 	srcs := m.sortedSources()
-	factSets, errs := translateSources(srcs, m.opts.Engine.ResolvedWorkers())
+	factSets, errs := translateSources(g, srcs, m.opts.Engine.ResolvedWorkers())
+	failed := map[string]bool{}
 	for i, s := range srcs {
 		if errs[i] != nil {
+			if g != nil && !m.opts.FailFast && sourceDown(errs[i]) {
+				g.markFailed(s.Name, errs[i])
+				failed[s.Name] = true
+				continue
+			}
 			return nil, errs[i]
 		}
 		if err := e.AddRules(factSets[i]...); err != nil {
@@ -380,6 +425,11 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 	}
 	for _, concept := range m.index.Concepts() {
 		for _, src := range m.index.SourcesAt(concept) {
+			if failed[src] {
+				// A down source contributes no facts, so its anchors
+				// must not dangle into the answer either.
+				continue
+			}
 			for _, obj := range m.index.Objects(src, concept) {
 				if err := e.AddFact(PredAnchor, term.Atom(src), obj, term.Atom(concept)); err != nil {
 					return nil, err
@@ -393,8 +443,29 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 	}
 	m.cache = res
 	m.cacheEngine = e
+	m.lastReports = g.Reports()
 	m.dirty = false
 	return res, nil
+}
+
+// SourceReports returns the per-source fault-tolerance reports of the
+// most recent materialization (nil when the layer is disabled or
+// nothing has been materialized). A Status of StatusFailed means the
+// source was dropped and the cached answer degrades over the
+// survivors; call Invalidate to re-pull once the source recovers.
+func (m *Mediator) SourceReports() []SourceReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]SourceReport(nil), m.lastReports...)
+}
+
+// Invalidate drops the cached materialization, forcing the next
+// Materialize to re-pull every source — e.g. after a degraded run, once
+// a failed source is back.
+func (m *Mediator) Invalidate() {
+	m.mu.Lock()
+	m.dirty = true
+	m.mu.Unlock()
 }
 
 // Explain returns a derivation tree for a ground fact of the
@@ -414,12 +485,13 @@ func (m *Mediator) Explain(pred string, args ...term.Term) (*datalog.Derivation,
 // translateSources renders every source's data concurrently (one task
 // per source, bounded by workers), returning the per-source fact sets
 // and errors positionally so callers can merge them in deterministic
-// source order.
-func translateSources(srcs []*Source, workers int) ([][]datalog.Rule, []error) {
+// source order. With a non-nil guard the per-source work goes through
+// the fault-tolerance layer (live pull + deadline/retry/breaker).
+func translateSources(g *guard, srcs []*Source, workers int) ([][]datalog.Rule, []error) {
 	factSets := make([][]datalog.Rule, len(srcs))
 	errs := make([]error, len(srcs))
 	par.Do(len(srcs), workers, func(i int) {
-		factSets[i], errs[i] = sourceFacts(srcs[i])
+		factSets[i], errs[i] = guardedSourceFacts(g, srcs[i])
 	})
 	return factSets, errs
 }

@@ -61,8 +61,14 @@ type PushResult struct {
 // PushSelect sends a selection query to a source, pushing the
 // selections down when the source's capabilities cover them (the
 // paper's binding patterns) and falling back to a full scan with local
-// filtering otherwise.
+// filtering otherwise. When the fault-tolerance layer is enabled the
+// wrapper calls run under deadline/retry/breaker policy; a source that
+// exhausts its budget returns a *SourceDownError.
 func (m *Mediator) PushSelect(source, class string, sels ...wrapper.Selection) (*PushResult, error) {
+	return m.pushSelect(m.newGuard(), source, class, sels...)
+}
+
+func (m *Mediator) pushSelect(g *guard, source, class string, sels ...wrapper.Selection) (*PushResult, error) {
 	s, ok := m.Source(source)
 	if !ok {
 		return nil, fmt.Errorf("mediator: unknown source %s", source)
@@ -70,12 +76,17 @@ func (m *Mediator) PushSelect(source, class string, sels ...wrapper.Selection) (
 	if s.W == nil {
 		return nil, fmt.Errorf("mediator: source %s has no live wrapper", source)
 	}
-	objs, err := s.W.QueryObjects(wrapper.Query{Target: class, Selections: sels})
+	objs, err := g.queryObjects(s, wrapper.Query{Target: class, Selections: sels})
 	if err == nil {
 		return &PushResult{Source: source, Pushed: true, Objs: objs}, nil
 	}
+	if sourceDown(err) {
+		// The source is unavailable; a scan would only burn the retry
+		// budget again.
+		return nil, err
+	}
 	// Capability miss: scan and filter at the mediator.
-	objs, scanErr := s.W.QueryObjects(wrapper.Query{Target: class})
+	objs, scanErr := g.queryObjects(s, wrapper.Query{Target: class})
 	if scanErr != nil {
 		return nil, fmt.Errorf("mediator: source %s: %v (and scan failed: %w)", source, err, scanErr)
 	}

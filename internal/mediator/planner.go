@@ -49,6 +49,9 @@ type QueryPlan struct {
 	// Pushdowns are the planned per-source accesses (filled during
 	// execution with Pushed/Returned).
 	Pushdowns []PushdownStep
+	// Reports are the per-source fault-tolerance outcomes of the
+	// execution (nil when the layer is disabled).
+	Reports []SourceReport
 	// Trace is the human-readable plan log.
 	Trace []string
 }
@@ -441,6 +444,14 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 		candidate[s] = true
 	}
 	workers := m.opts.Engine.ResolvedWorkers()
+	g := m.newGuard()
+	// degrade reports whether an error is a source failure the plan
+	// should absorb (drop the source, keep the query) rather than
+	// propagate.
+	degrade := func(err error) bool {
+		return g != nil && !m.opts.FailFast && sourceDown(err)
+	}
+	failed := map[string]bool{}
 
 	// Pushdown loads: issue the wrapper queries concurrently — one task
 	// per selected source access — then collect the results into the
@@ -453,15 +464,30 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 		if !candidate[step.Source] {
 			return
 		}
-		pushResults[i], pushErrs[i] = m.PushSelect(step.Source, step.Class, step.Selections...)
+		pushResults[i], pushErrs[i] = m.pushSelect(g, step.Source, step.Class, step.Selections...)
 	})
+	// First pass: spot exhausted sources, so a source whose later step
+	// died never leaves the partial results of an earlier step behind —
+	// degradation drops a source whole.
 	for i := range p.Pushdowns {
 		step := &p.Pushdowns[i]
-		if !candidate[step.Source] {
+		if !candidate[step.Source] || pushErrs[i] == nil {
 			continue
 		}
-		if pushErrs[i] != nil {
-			return nil, pushErrs[i]
+		if degrade(pushErrs[i]) {
+			if !failed[step.Source] {
+				g.markFailed(step.Source, pushErrs[i])
+				failed[step.Source] = true
+				p.tracef("source %s is down; degrading without it (%v)", step.Source, pushErrs[i])
+			}
+			continue
+		}
+		return nil, pushErrs[i]
+	}
+	for i := range p.Pushdowns {
+		step := &p.Pushdowns[i]
+		if !candidate[step.Source] || failed[step.Source] || pushErrs[i] != nil {
+			continue
 		}
 		res := pushResults[i]
 		step.Pushed = res.Pushed
@@ -484,7 +510,7 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 			full = append(full, s)
 		}
 	}
-	factSets, errs := translateSources(full, workers)
+	factSets, errs := translateSources(g, full, workers)
 	fullIdx := 0
 	for _, s := range all {
 		if !candidate[s.Name] {
@@ -497,6 +523,12 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 		facts, err := factSets[fullIdx], errs[fullIdx]
 		fullIdx++
 		if err != nil {
+			if degrade(err) {
+				g.markFailed(s.Name, err)
+				failed[s.Name] = true
+				p.tracef("source %s is down; degrading without it (%v)", s.Name, err)
+				continue
+			}
 			return nil, err
 		}
 		if err := e.AddRules(facts...); err != nil {
@@ -507,6 +539,7 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 		}
 		p.tracef("loaded source %s fully", s.Name)
 	}
+	p.Reports = g.Reports()
 
 	res, err := e.Run()
 	if err != nil {

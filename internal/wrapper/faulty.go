@@ -1,0 +1,280 @@
+package wrapper
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"modelmed/internal/gcm"
+	"modelmed/internal/term"
+)
+
+// Faulty decorates a Wrapper with a seeded, deterministic fault
+// schedule: transient errors, injected latency, hangs (a call that
+// sleeps past any reasonable deadline before answering) and truncated
+// result sets. It is the chaos-testing substrate for the mediator's
+// fault-tolerance layer: because every fault decision is a pure
+// function of (seed, call site, call ordinal), a failing schedule
+// reproduces exactly under any goroutine interleaving.
+//
+// A call site is the (operation, target, selections/params) tuple of a
+// query, so the retries the mediator issues for one logical query walk
+// one deterministic schedule regardless of what other sources or plan
+// steps do concurrently.
+type Faulty struct {
+	inner Wrapper
+	cfg   FaultConfig
+
+	mu     sync.Mutex
+	calls  map[string]int // call site -> total calls issued
+	consec map[string]int // call site -> consecutive injected errors
+	stats  FaultStats
+}
+
+// FaultConfig is a fault schedule. The zero value injects nothing.
+type FaultConfig struct {
+	// Seed drives every probabilistic decision; the same seed replays
+	// the same schedule.
+	Seed int64
+	// FailFirst fails the first N calls of every call site with a
+	// transient error — the deterministic "recovers after N retries"
+	// shape the retry tests pin.
+	FailFirst int
+	// HangFirst hangs the first N calls of every call site (sleep Hang,
+	// then answer) — the deterministic "first attempt times out" shape.
+	HangFirst int
+	// ErrorProb injects a transient error with this probability.
+	ErrorProb float64
+	// MaxConsecutive caps consecutive injected errors per call site, so
+	// a bounded retry loop is guaranteed to reach the real answer
+	// (0 = no cap). Hangs are not counted: they are failures only in
+	// the eye of the caller's deadline.
+	MaxConsecutive int
+	// Latency is added to every answered call.
+	Latency time.Duration
+	// HangProb makes an answered call sleep Hang first, simulating a
+	// source that is alive but stuck; callers with a deadline shorter
+	// than Hang observe a timeout.
+	HangProb float64
+	// Hang is the stuck duration (default 1s when a hang fires).
+	Hang time.Duration
+	// TruncateProb returns only a prefix of the result set with this
+	// probability — partial data without an error, the failure mode a
+	// mediator can only catch by equivalence checking.
+	TruncateProb float64
+	// Down makes every query call fail: a permanently dead source.
+	Down bool
+}
+
+// FaultStats counts what the schedule actually injected.
+type FaultStats struct {
+	Calls       int // query calls observed
+	Errors      int // transient errors injected (incl. FailFirst and Down)
+	Hangs       int // hangs injected
+	Truncations int // truncated result sets
+}
+
+// FaultError is the transient error Faulty injects. It unwraps to
+// nothing and marks itself Transient for the mediator's retry layer.
+type FaultError struct {
+	Source string
+	Op     string
+	Call   int // per-site call ordinal, 0-based
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("wrapper %s: injected transient fault on %s (call %d)", e.Source, e.Op, e.Call)
+}
+
+// Transient marks the error as retryable.
+func (e *FaultError) Transient() bool { return true }
+
+// Transient reports whether an error is marked transient (injected
+// faults, timeouts, network-style blips). Permanent errors — capability
+// misses, unknown classes — are not, and must not be retried.
+func Transient(err error) bool {
+	var t interface{ Transient() bool }
+	return errors.As(err, &t) && t.Transient()
+}
+
+// NewFaulty wraps a Wrapper with a fault schedule.
+func NewFaulty(w Wrapper, cfg FaultConfig) *Faulty {
+	if cfg.Hang == 0 {
+		cfg.Hang = time.Second
+	}
+	return &Faulty{inner: w, cfg: cfg, calls: map[string]int{}, consec: map[string]int{}}
+}
+
+// Inner returns the decorated wrapper.
+func (f *Faulty) Inner() Wrapper { return f.inner }
+
+// FaultStats returns the injection counters so far.
+func (f *Faulty) FaultStats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// verdict is one fault decision.
+type verdict struct {
+	err      error
+	hang     bool
+	truncate float64 // keep this fraction of the results (1 = all)
+}
+
+// decide takes the next step of the schedule for a call site. The
+// random draw is seeded by (Seed, site, ordinal) so the decision for
+// the n-th call of a site never depends on interleaving.
+func (f *Faulty) decide(op, site string) verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := f.calls[site]
+	f.calls[site]++
+	f.stats.Calls++
+	fail := func() verdict {
+		f.stats.Errors++
+		f.consec[site]++
+		return verdict{err: &FaultError{Source: f.inner.Name(), Op: op, Call: n}}
+	}
+	if f.cfg.Down {
+		return fail()
+	}
+	if n < f.cfg.FailFirst {
+		return fail()
+	}
+	if n-f.cfg.FailFirst < f.cfg.HangFirst {
+		f.stats.Hangs++
+		return verdict{hang: true, truncate: 1}
+	}
+	r := rand.New(rand.NewSource(f.cfg.Seed ^ int64(siteHash(site)) + int64(n)*1099511628211))
+	if f.cfg.ErrorProb > 0 && r.Float64() < f.cfg.ErrorProb {
+		if f.cfg.MaxConsecutive == 0 || f.consec[site] < f.cfg.MaxConsecutive {
+			return fail()
+		}
+	}
+	f.consec[site] = 0
+	v := verdict{truncate: 1}
+	if f.cfg.HangProb > 0 && r.Float64() < f.cfg.HangProb {
+		f.stats.Hangs++
+		v.hang = true
+	}
+	if f.cfg.TruncateProb > 0 && r.Float64() < f.cfg.TruncateProb {
+		f.stats.Truncations++
+		v.truncate = r.Float64()
+	}
+	return v
+}
+
+// apply sleeps out the verdict's latency/hang on the calling goroutine.
+func (f *Faulty) apply(v verdict) {
+	if v.hang {
+		time.Sleep(f.cfg.Hang)
+	}
+	if f.cfg.Latency > 0 {
+		time.Sleep(f.cfg.Latency)
+	}
+}
+
+func siteHash(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func querySite(op string, q Query) string {
+	site := op + ":" + q.Target
+	for _, s := range q.Selections {
+		site += "|" + s.Attr + "=" + s.Value.Key()
+	}
+	return site
+}
+
+// Name implements Wrapper.
+func (f *Faulty) Name() string { return f.inner.Name() }
+
+// ExportCM implements Wrapper (never faulted: registration is assumed
+// to have succeeded before the chaos starts).
+func (f *Faulty) ExportCM() (string, []byte, error) { return f.inner.ExportCM() }
+
+// Capabilities implements Wrapper.
+func (f *Faulty) Capabilities() []Capability { return f.inner.Capabilities() }
+
+// Anchors implements Wrapper.
+func (f *Faulty) Anchors() (map[string][]term.Term, error) { return f.inner.Anchors() }
+
+// Contexts implements Wrapper.
+func (f *Faulty) Contexts() (map[string][]term.Term, error) { return f.inner.Contexts() }
+
+// Stats implements Wrapper.
+func (f *Faulty) Stats() Stats { return f.inner.Stats() }
+
+// QueryObjects implements Wrapper with the fault schedule applied.
+func (f *Faulty) QueryObjects(q Query) ([]gcm.Object, error) {
+	v := f.decide("QueryObjects", querySite("QueryObjects", q))
+	if v.err != nil {
+		return nil, v.err
+	}
+	f.apply(v)
+	objs, err := f.inner.QueryObjects(q)
+	if err != nil {
+		return nil, err
+	}
+	return objs[:truncLen(len(objs), v.truncate)], nil
+}
+
+// QueryTuples implements Wrapper with the fault schedule applied.
+func (f *Faulty) QueryTuples(q Query) ([][]term.Term, error) {
+	v := f.decide("QueryTuples", querySite("QueryTuples", q))
+	if v.err != nil {
+		return nil, v.err
+	}
+	f.apply(v)
+	tps, err := f.inner.QueryTuples(q)
+	if err != nil {
+		return nil, err
+	}
+	return tps[:truncLen(len(tps), v.truncate)], nil
+}
+
+// QueryTemplate implements Wrapper with the fault schedule applied.
+func (f *Faulty) QueryTemplate(name string, params map[string]term.Term) ([]gcm.Object, error) {
+	site := "QueryTemplate:" + name
+	keys := make([]string, 0, len(params))
+	for k := range params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		site += "|" + k + "=" + params[k].Key()
+	}
+	v := f.decide("QueryTemplate", site)
+	if v.err != nil {
+		return nil, v.err
+	}
+	f.apply(v)
+	objs, err := f.inner.QueryTemplate(name, params)
+	if err != nil {
+		return nil, err
+	}
+	return objs[:truncLen(len(objs), v.truncate)], nil
+}
+
+// truncLen maps a keep-fraction to a prefix length.
+func truncLen(n int, frac float64) int {
+	if frac >= 1 {
+		return n
+	}
+	k := int(float64(n) * frac)
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}

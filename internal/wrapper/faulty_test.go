@@ -1,0 +1,251 @@
+package wrapper
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"modelmed/internal/gcm"
+	"modelmed/internal/term"
+)
+
+// faultyModel builds a small model with n objects of one class and a
+// binary relation, for decorating with fault schedules.
+func faultyModel(t testing.TB, n int) *gcm.Model {
+	t.Helper()
+	m := gcm.NewModel("FAULTME")
+	m.AddClass(&gcm.Class{Name: "rec", Methods: []gcm.MethodSig{
+		{Name: "location", Result: "string", Anchor: true},
+		{Name: "value", Result: "integer", Scalar: true},
+	}})
+	m.AddRelation(&gcm.Relation{Name: "link", Attrs: []gcm.RelAttr{
+		{Name: "a", Class: "rec"}, {Name: "b", Class: "rec"}}})
+	for i := 0; i < n; i++ {
+		m.AddObject(gcm.Object{
+			ID:    term.Atom(fmt.Sprintf("r%d", i)),
+			Class: "rec",
+			Values: map[string][]term.Term{
+				"location": {term.Atom("spot")},
+				"value":    {term.Int(int64(i))},
+			},
+		})
+		if i > 0 {
+			m.AddTuple("link", term.Atom(fmt.Sprintf("r%d", i-1)), term.Atom(fmt.Sprintf("r%d", i)))
+		}
+	}
+	return m
+}
+
+func newFaultyWrapper(t testing.TB, n int, cfg FaultConfig) *Faulty {
+	t.Helper()
+	w, err := NewInMemory(faultyModel(t, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewFaulty(w, cfg)
+}
+
+func TestFaultyFailFirstThenSucceeds(t *testing.T) {
+	f := newFaultyWrapper(t, 5, FaultConfig{FailFirst: 2})
+	q := Query{Target: "rec"}
+	for i := 0; i < 2; i++ {
+		if _, err := f.QueryObjects(q); err == nil {
+			t.Fatalf("call %d: expected injected fault", i)
+		} else if !Transient(err) {
+			t.Fatalf("call %d: fault should be transient: %v", i, err)
+		}
+	}
+	objs, err := f.QueryObjects(q)
+	if err != nil {
+		t.Fatalf("call 2 should succeed: %v", err)
+	}
+	if len(objs) != 5 {
+		t.Fatalf("got %d objects, want 5", len(objs))
+	}
+	// A different call site has its own schedule.
+	if _, err := f.QueryTuples(Query{Target: "link"}); err == nil {
+		t.Fatal("fresh call site should fail its first calls too")
+	}
+	st := f.FaultStats()
+	if st.Errors != 3 || st.Calls != 4 {
+		t.Fatalf("stats = %+v, want 3 errors over 4 calls", st)
+	}
+}
+
+func TestFaultyDownIsPermanentlyTransient(t *testing.T) {
+	f := newFaultyWrapper(t, 3, FaultConfig{Down: true})
+	for i := 0; i < 10; i++ {
+		_, err := f.QueryObjects(Query{Target: "rec"})
+		if err == nil {
+			t.Fatal("down source answered")
+		}
+		if !Transient(err) {
+			t.Fatalf("down-source error should look transient (retryable): %v", err)
+		}
+	}
+}
+
+func TestFaultyDeterministicSchedule(t *testing.T) {
+	run := func(seed int64) []bool {
+		f := newFaultyWrapper(t, 4, FaultConfig{Seed: seed, ErrorProb: 0.5})
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			_, err := f.QueryObjects(Query{Target: "rec"})
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced an identical 40-call schedule (suspicious)")
+	}
+}
+
+func TestFaultyMaxConsecutiveBoundsErrorRuns(t *testing.T) {
+	f := newFaultyWrapper(t, 4, FaultConfig{Seed: 3, ErrorProb: 1, MaxConsecutive: 2})
+	fails := 0
+	for i := 0; i < 12; i++ {
+		if _, err := f.QueryObjects(Query{Target: "rec"}); err != nil {
+			fails++
+			if fails > 2 {
+				t.Fatalf("call %d: more than MaxConsecutive=2 consecutive failures", i)
+			}
+		} else {
+			fails = 0
+		}
+	}
+}
+
+func TestFaultyTruncationReturnsPrefix(t *testing.T) {
+	f := newFaultyWrapper(t, 20, FaultConfig{Seed: 5, TruncateProb: 1})
+	full, err := f.Inner().QueryObjects(Query{Target: "rec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := f.QueryObjects(Query{Target: "rec"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) >= len(full) {
+		t.Fatalf("truncation kept all %d objects", len(objs))
+	}
+	for i := range objs {
+		if !objs[i].ID.Equal(full[i].ID) {
+			t.Fatalf("truncated result is not a prefix at %d", i)
+		}
+	}
+	if f.FaultStats().Truncations == 0 {
+		t.Error("truncation not counted")
+	}
+}
+
+func TestFaultyHangFirstDelays(t *testing.T) {
+	f := newFaultyWrapper(t, 3, FaultConfig{HangFirst: 1, Hang: 50 * time.Millisecond})
+	start := time.Now()
+	if _, err := f.QueryObjects(Query{Target: "rec"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("first call should hang ~50ms, took %v", d)
+	}
+	start = time.Now()
+	if _, err := f.QueryObjects(Query{Target: "rec"}); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("second call should not hang, took %v", d)
+	}
+	if f.FaultStats().Hangs != 1 {
+		t.Errorf("hangs = %d, want 1", f.FaultStats().Hangs)
+	}
+}
+
+func TestFaultyPermanentErrorsNotTransient(t *testing.T) {
+	f := newFaultyWrapper(t, 3, FaultConfig{})
+	_, err := f.QueryObjects(Query{Target: "rec", Selections: []Selection{{Attr: "value", Value: term.Int(1)}}})
+	if err == nil {
+		t.Fatal("selection without capability should be rejected")
+	}
+	if Transient(err) {
+		t.Fatalf("capability miss must not be transient: %v", err)
+	}
+}
+
+// TestInMemoryConcurrentAccess hammers one wrapper from many
+// goroutines — queries, template registration, capability listing and
+// stats reads — mirroring the mediator's concurrent fan-out. Run under
+// -race (the Makefile race/chaos targets), this pins the wrapper-side
+// locking contract.
+func TestInMemoryConcurrentAccess(t *testing.T) {
+	w, err := NewInMemory(faultyModel(t, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.RegisterTemplate("by_value", []string{"v"}, func(m *gcm.Model, params map[string]term.Term) ([]gcm.Object, error) {
+		var out []gcm.Object
+		for _, o := range m.Objects {
+			for _, v := range o.Values["value"] {
+				if v.Equal(params["v"]) {
+					out = append(out, o)
+				}
+			}
+		}
+		return out, nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch (g + i) % 5 {
+				case 0:
+					if _, err := w.QueryObjects(Query{Target: "rec"}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					if _, err := w.QueryTuples(Query{Target: "link"}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, err := w.QueryTemplate("by_value", map[string]term.Term{"v": term.Int(int64(i % 30))}); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					w.Capabilities()
+				case 4:
+					w.Stats()
+				}
+			}
+		}(g)
+	}
+	// Concurrent capability append through a second template.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		w.RegisterTemplate("all", nil, func(m *gcm.Model, _ map[string]term.Term) ([]gcm.Object, error) {
+			return m.Objects, nil
+		})
+	}()
+	wg.Wait()
+	if got := w.Stats().Queries; got == 0 {
+		t.Error("no queries recorded")
+	}
+}

@@ -218,6 +218,8 @@ func (w *InMemory) ExportCM() (string, []byte, error) {
 
 // Capabilities implements Wrapper.
 func (w *InMemory) Capabilities() []Capability {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	out := make([]Capability, len(w.caps))
 	copy(out, w.caps)
 	return out
@@ -234,7 +236,9 @@ func (w *InMemory) Contexts() (map[string][]term.Term, error) {
 }
 
 // capabilityFor finds a capability covering the query, or an error
-// explaining what is missing.
+// explaining what is missing. The capability list is snapshotted under
+// the mutex: RegisterTemplate may append concurrently with queries
+// issued by the mediator's parallel fan-out.
 func (w *InMemory) capabilityFor(q Query, wantClass bool) (Capability, error) {
 	var scanKind, selKind CapKind
 	if wantClass {
@@ -242,7 +246,10 @@ func (w *InMemory) capabilityFor(q Query, wantClass bool) (Capability, error) {
 	} else {
 		scanKind, selKind = CapRelScan, CapRelSelect
 	}
-	for _, c := range w.caps {
+	w.mu.Lock()
+	caps := w.caps
+	w.mu.Unlock()
+	for _, c := range caps {
 		if c.Target != q.Target {
 			continue
 		}
