@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"modelmed/internal/datalog"
@@ -186,6 +187,20 @@ func (b *breaker) allow() bool {
 	return true
 }
 
+// readyForProbe reports, without consuming the half-open probe slot,
+// whether allow would currently admit a call — i.e. the breaker is
+// closed, or it has cooled down and no probe is in flight. The
+// degraded-cache re-probe check (Mediator.reprobeDue) uses it to decide
+// when contacting a dropped source is worth a re-materialization.
+func (b *breaker) readyForProbe() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fails < b.opts.Threshold {
+		return true
+	}
+	return !time.Now().Before(b.openUntil) && !b.probing
+}
+
 func (b *breaker) success() {
 	if b == nil {
 		return
@@ -243,6 +258,11 @@ type guard struct {
 	reports map[string]*SourceReport
 }
 
+// jitterSeq differentiates the jitter seed of each guard: mixed with
+// the clock it gives every fan-out its own backoff sequence even when
+// two guards are created within one clock tick.
+var jitterSeq atomic.Int64
+
 // newGuard returns a guard for one fan-out, or nil when the
 // fault-tolerance layer is disabled (callers treat a nil guard as the
 // direct path).
@@ -253,7 +273,7 @@ func (m *Mediator) newGuard() *guard {
 	return &guard{
 		m:       m,
 		opts:    &m.opts,
-		rng:     rand.New(rand.NewSource(1)),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ jitterSeq.Add(1)<<32)),
 		reports: map[string]*SourceReport{},
 	}
 }
@@ -385,7 +405,12 @@ func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error
 		if !retryable(err) {
 			// Permanent error: the caller's own fallback logic (scan
 			// instead of pushdown, skip the class) handles it; it says
-			// nothing about source health.
+			// nothing about source *health* — the source answered, so for
+			// the breaker this contact is a success. In particular a
+			// half-open probe must release its slot here (closing the
+			// breaker), or a recovered source whose probe happens to be a
+			// capability miss would stay excluded forever.
+			br.success()
 			return zero, err
 		}
 		br.failure()

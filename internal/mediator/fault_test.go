@@ -277,6 +277,121 @@ func TestBreakerHalfOpenProbeRecovers(t *testing.T) {
 	}
 }
 
+// TestBreakerProbePermanentErrorReleasesSlot: a half-open probe that
+// comes back with a *permanent* error proves the source is reachable.
+// The probe slot must be released and the breaker closed — leaking the
+// slot would exclude the recovered source from every later call.
+func TestBreakerProbePermanentErrorReleasesSlot(t *testing.T) {
+	opts := fastRetry(0)
+	opts.Breaker = BreakerOptions{Threshold: 2, Cooldown: 20 * time.Millisecond}
+	m := New(sources.NeuroDM(), &opts)
+	g := m.newGuard()
+	transient := func() (int, error) {
+		return 0, &wrapper.FaultError{Source: "REC", Op: "test"}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := guardedCall(g, "REC", transient); err == nil {
+			t.Fatalf("transient call %d succeeded", i)
+		}
+	}
+	if _, err := guardedCall(g, "REC", transient); !errors.Is(err, errBreakerOpen) {
+		t.Fatalf("breaker not open after threshold: %v", err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	perm := errors.New("source X does not serve class rec")
+	if _, err := guardedCall(g, "REC", func() (int, error) { return 0, perm }); !errors.Is(err, perm) {
+		t.Fatalf("permanent probe error = %v, want pass-through", err)
+	}
+	v, err := guardedCall(g, "REC", func() (int, error) { return 42, nil })
+	if err != nil {
+		t.Fatalf("call after permanent-error probe rejected (leaked probe slot): %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("got %d, want 42", v)
+	}
+}
+
+// TestBreakerProbeCapabilityMissRecovers is the mediator-level shape of
+// the probe-slot leak: the half-open probe is a selection pushdown the
+// source has no capability for. The permanent miss must close the
+// breaker so the scan fallback *within the same PushSelect* — and every
+// call after it — goes through.
+func TestBreakerProbeCapabilityMissRecovers(t *testing.T) {
+	opts := fastRetry(0)
+	opts.Breaker = BreakerOptions{Threshold: 2, Cooldown: 20 * time.Millisecond}
+	m, f := newUnitMediator(t, 5, wrapper.FaultConfig{}, opts)
+	br := m.breakerFor("REC")
+	br.failure()
+	br.failure()
+	if _, err := m.PushSelect("REC", "rec"); !errors.Is(err, errBreakerOpen) {
+		t.Fatalf("breaker not open: %v", err)
+	}
+	time.Sleep(40 * time.Millisecond)
+	res, err := m.PushSelect("REC", "rec",
+		wrapper.Selection{Attr: "value", Value: term.Int(3)})
+	if err != nil {
+		t.Fatalf("capability-miss probe wedged the breaker: %v", err)
+	}
+	if res.Pushed || len(res.Objs) != 1 {
+		t.Fatalf("result = %+v, want 1 scan-filtered object", res)
+	}
+	if _, err := m.PushSelect("REC", "rec"); err != nil {
+		t.Fatalf("call after recovery failed: %v", err)
+	}
+	// Pushdown probe, scan fallback, final scan — all reached the wrapper.
+	if calls := f.FaultStats().Calls; calls != 3 {
+		t.Errorf("wrapper saw %d calls, want 3", calls)
+	}
+}
+
+// TestDegradedCacheReprobesAfterCooldown: a degraded materialization is
+// served from cache only while the failed source's breaker cools down;
+// the next query after the cooldown re-pulls automatically, so a
+// recovered source rejoins the answer without a manual Invalidate.
+func TestDegradedCacheReprobesAfterCooldown(t *testing.T) {
+	opts := fastRetry(0)
+	opts.Breaker = BreakerOptions{Threshold: 1, Cooldown: 150 * time.Millisecond}
+	m, f := newUnitMediator(t, 5, wrapper.FaultConfig{FailFirst: 1}, opts)
+	if got := countRows(t, m, "src_obj('REC', O, rec)", "O"); got != 0 {
+		t.Fatalf("degraded run still has %d objects", got)
+	}
+	// Within the cooldown the degraded cache is served without touching
+	// the wrapper.
+	calls := f.FaultStats().Calls
+	if got := countRows(t, m, "src_obj('REC', O, rec)", "O"); got != 0 {
+		t.Fatalf("cached degraded run has %d objects", got)
+	}
+	if f.FaultStats().Calls != calls {
+		t.Errorf("query within breaker cooldown contacted the wrapper")
+	}
+	time.Sleep(200 * time.Millisecond)
+	// Cooldown elapsed: the next query re-probes on its own; the source
+	// has recovered (FailFirst=1 is spent), so the answer is whole again.
+	if got := countRows(t, m, "src_obj('REC', O, rec)", "O"); got != 5 {
+		t.Fatalf("auto re-probe returned %d objects, want 5", got)
+	}
+	if got := countRows(t, m, "anchor('REC', O, spine)", "O"); got != 5 {
+		t.Fatalf("recovered run has %d anchor facts, want 5", got)
+	}
+	if r := reportFor(t, m.SourceReports(), "REC"); r.Status != StatusOK {
+		t.Errorf("recovered report = %+v, want ok", r)
+	}
+}
+
+// TestGuardJitterDecorrelates: concurrent fan-outs must not back off in
+// lockstep, so distinct guards draw distinct jitter sequences.
+func TestGuardJitterDecorrelates(t *testing.T) {
+	opts := fastRetry(3)
+	m := New(sources.NeuroDM(), &opts)
+	draws := map[time.Duration]bool{}
+	for i := 0; i < 8; i++ {
+		draws[m.newGuard().backoff(1)] = true
+	}
+	if len(draws) == 1 {
+		t.Errorf("8 guards drew the identical first jitter %v; seeds are not decorrelated", draws)
+	}
+}
+
 // TestPermanentErrorsNotRetried: a capability miss is not source
 // sickness — the guard must not burn retries on it, and PushSelect
 // still falls back to scan-and-filter.

@@ -108,6 +108,10 @@ type Mediator struct {
 	dirty       bool
 	cache       *datalog.Result
 	cacheEngine *datalog.Engine
+	// cacheDegraded marks a cached materialization that dropped at least
+	// one source; such a cache is only served while re-probing the
+	// failed sources is not yet due (see reprobeDue).
+	cacheDegraded bool
 
 	// lastReports are the SourceReports of the most recent guarded
 	// Materialize (nil when the fault-tolerance layer is off).
@@ -378,7 +382,7 @@ func bridgeRules() []datalog.Rule { return parser.MustParseRules(bridgeSrc) }
 func (m *Mediator) Materialize() (*datalog.Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if !m.dirty && m.cache != nil {
+	if !m.dirty && m.cache != nil && !(m.cacheDegraded && m.reprobeDue()) {
 		return m.cache, nil
 	}
 	e := datalog.NewEngine(&m.opts.Engine)
@@ -443,16 +447,39 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 	}
 	m.cache = res
 	m.cacheEngine = e
+	m.cacheDegraded = len(failed) > 0
 	m.lastReports = g.Reports()
 	m.dirty = false
 	return res, nil
+}
+
+// reprobeDue reports whether a degraded cache should be refreshed:
+// some source that was dropped is due another contact attempt, i.e. its
+// circuit breaker has cooled down (re-probes are thereby rate-limited
+// to one per cooldown; a re-probe that fails again re-opens the breaker
+// and the degraded cache is served until the next cooldown elapses).
+// Without a breaker configured there is no cooldown to pace re-probes
+// by, so the cache stands until the caller invalidates it manually.
+// Called with m.mu held.
+func (m *Mediator) reprobeDue() bool {
+	if m.opts.Breaker.Threshold <= 0 {
+		return false
+	}
+	for _, r := range m.lastReports {
+		if r.Status == StatusFailed && m.breakerFor(r.Source).readyForProbe() {
+			return true
+		}
+	}
+	return false
 }
 
 // SourceReports returns the per-source fault-tolerance reports of the
 // most recent materialization (nil when the layer is disabled or
 // nothing has been materialized). A Status of StatusFailed means the
 // source was dropped and the cached answer degrades over the
-// survivors; call Invalidate to re-pull once the source recovers.
+// survivors. With a breaker configured the next query after the
+// breaker's cooldown re-probes the failed source automatically;
+// without one, call Invalidate to re-pull once the source recovers.
 func (m *Mediator) SourceReports() []SourceReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -460,8 +487,9 @@ func (m *Mediator) SourceReports() []SourceReport {
 }
 
 // Invalidate drops the cached materialization, forcing the next
-// Materialize to re-pull every source — e.g. after a degraded run, once
-// a failed source is back.
+// Materialize to re-pull every source — e.g. after a degraded run, to
+// re-admit a recovered source immediately (or at all, when no breaker
+// is configured to pace automatic re-probes).
 func (m *Mediator) Invalidate() {
 	m.mu.Lock()
 	m.dirty = true
