@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race chaos bench bench-parallel bench-faults vet
+.PHONY: all check build test race chaos bench bench-parallel bench-faults obs vet
 
 all: build test
 
@@ -40,6 +40,11 @@ bench-parallel:
 # Fault-rate x retry-budget degradation sweep (writes BENCH_faults.json).
 bench-faults:
 	$(GO) run ./cmd/benchrunner -exp faults
+
+# Stage-level latency breakdown of the Section 5 query under the
+# tracing layer (writes BENCH_obs.json).
+obs:
+	$(GO) run ./cmd/benchrunner -exp obs
 
 vet:
 	$(GO) vet ./...

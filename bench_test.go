@@ -397,7 +397,7 @@ func registerFleet(b *testing.B, med *mediator.Mediator, bl *baseline.Mediator, 
 	}
 	// Irrelevant sources anchored away from the query concepts.
 	for i := 0; i < nSources; i++ {
-		src := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 30,
+		src := sources.MustSyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 30,
 			[]string{"ca1", "dentate_gyrus", "neostriatum"})
 		w, err := wrapper.NewInMemory(src)
 		if err != nil {
@@ -451,7 +451,7 @@ func BenchmarkSourceSelectionBaselineContactsAll(b *testing.B) {
 
 func BenchmarkClosureDownNative(b *testing.B) {
 	for _, cfg := range []struct{ d, f int }{{4, 3}, {6, 3}, {8, 2}} {
-		dm := sources.SyntheticDM(cfg.d, cfg.f, 2)
+		dm := sources.MustSyntheticDM(cfg.d, cfg.f, 2)
 		name := fmt.Sprintf("concepts=%d", len(dm.Concepts()))
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -465,7 +465,7 @@ func BenchmarkClosureDownNative(b *testing.B) {
 
 func BenchmarkClosureDatalogRoleStar(b *testing.B) {
 	for _, cfg := range []struct{ d, f int }{{4, 3}, {6, 2}} {
-		dm := sources.SyntheticDM(cfg.d, cfg.f, 1)
+		dm := sources.MustSyntheticDM(cfg.d, cfg.f, 1)
 		name := fmt.Sprintf("concepts=%d", len(dm.Concepts()))
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -658,7 +658,7 @@ func BenchmarkPlannerVsFull(b *testing.B) {
 	build := func(extra int) *mediator.Mediator {
 		m := newScenario(b, 20, 100, 20)
 		for i := 0; i < extra; i++ {
-			src := sources.SyntheticSource(fmt.Sprintf("EX%02d", i), int64(i), 50,
+			src := sources.MustSyntheticSource(fmt.Sprintf("EX%02d", i), int64(i), 50,
 				[]string{"ca1", "dentate_gyrus"})
 			w, err := wrapper.NewInMemory(src)
 			if err != nil {

@@ -3,7 +3,7 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs]
 //
 //	[-workers N]  worker count for the parallel experiment
 //	              (0 = GOMAXPROCS); the serial leg always runs with 1
@@ -14,7 +14,9 @@
 // BENCH_faults.json: a sweep of seeded wrapper fault rates against
 // retry budgets, recording per-source outcomes (ok / degraded /
 // failed), answer sizes and materialization latency under the
-// fault-tolerant fan-out.
+// fault-tolerant fan-out. The obs experiment writes BENCH_obs.json:
+// the tracing layer's stage-level latency breakdown of the Section 5
+// query under the parallel and faulty configurations.
 package main
 
 import (
@@ -59,6 +61,7 @@ func main() {
 		{"scale", scale, "Scaling — closure and source-selection sweeps"},
 		{"parallel", parallelExp, "Parallel evaluation — serial vs worker-pool speedups"},
 		{"faults", faultsExp, "Fault tolerance — fault-rate x retry-budget sweep with graceful degradation"},
+		{"obs", obsExp, "Observability — stage-level latency breakdown of the Section 5 query"},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -323,8 +326,11 @@ func plannerExp() error {
 		return err
 	}
 	for i := 0; i < 6; i++ {
-		src := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 30,
+		src, err := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 30,
 			[]string{"ca1", "dentate_gyrus"})
+		if err != nil {
+			return err
+		}
 		w, err := wrapper.NewInMemory(src)
 		if err != nil {
 			return err
@@ -399,8 +405,11 @@ func compare() error {
 			}
 		}
 		for i := 0; i < extra; i++ {
-			src := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 20,
+			src, err := sources.SyntheticSource(fmt.Sprintf("EXTRA%02d", i), int64(i), 20,
 				[]string{"ca1", "dentate_gyrus"})
+			if err != nil {
+				return err
+			}
 			w, err := wrapper.NewInMemory(src)
 			if err != nil {
 				return err
@@ -426,7 +435,10 @@ func compare() error {
 func scale() error {
 	fmt.Println("downward-closure scaling on synthetic containment trees:")
 	for _, cfg := range []struct{ d, f, isa int }{{3, 3, 2}, {5, 3, 2}, {7, 2, 2}, {10, 2, 1}} {
-		dm := sources.SyntheticDM(cfg.d, cfg.f, cfg.isa)
+		dm, err := sources.SyntheticDM(cfg.d, cfg.f, cfg.isa)
+		if err != nil {
+			return err
+		}
 		start := time.Now()
 		const reps = 20
 		var size int
@@ -450,8 +462,11 @@ func scale() error {
 			}
 		}
 		for i := 0; i < extra; i++ {
-			src := sources.SyntheticSource(fmt.Sprintf("E%04d", i), int64(i), 5,
+			src, err := sources.SyntheticSource(fmt.Sprintf("E%04d", i), int64(i), 5,
 				[]string{"ca1", "dentate_gyrus", "neostriatum"})
+			if err != nil {
+				return err
+			}
 			w, err := wrapper.NewInMemory(src)
 			if err != nil {
 				return err
@@ -723,4 +738,118 @@ func containsStr(xs []string, x string) bool {
 		}
 	}
 	return false
+}
+
+// obsReport is the JSON shape of BENCH_obs.json: the stage-level
+// latency breakdown of the Section 5 query recorded by the tracing
+// layer, under the parallel (fault-free, worker pool) and faulty
+// (decorated wrappers, retry budget) configurations. StageSumNs is the
+// sum of the recorded stage spans; the plan's steps run sequentially,
+// so it accounts for nearly all of EndToEndNs (the gap is the
+// mediator's own glue between steps).
+type obsReport struct {
+	Workers int
+	Entries []obsEntry
+}
+
+type obsEntry struct {
+	Config     string
+	EndToEndNs int64
+	StageSumNs int64
+	Stages     []obsStage
+	Counters   map[string]int64
+}
+
+type obsStage struct {
+	Name string
+	Ns   int64
+}
+
+func obsExp() error {
+	workers := *workersFlag
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := obsReport{Workers: workers}
+
+	build := func(faulty bool) (*mediator.Mediator, error) {
+		opts := &mediator.Options{Engine: datalog.Options{Workers: workers}}
+		if faulty {
+			opts.SourceTimeout = 2 * time.Second
+			opts.MaxRetries = 3
+			opts.RetryBase = 200 * time.Microsecond
+			opts.RetryMax = 2 * time.Millisecond
+		}
+		m := mediator.New(sources.NeuroDM(), opts)
+		ws, err := sources.Wrappers(2026, 60, 160, 40)
+		if err != nil {
+			return nil, err
+		}
+		for i, w := range ws {
+			var reg wrapper.Wrapper = w
+			if faulty {
+				reg = wrapper.NewFaulty(w, wrapper.FaultConfig{
+					Seed:           31 + int64(i)*7919,
+					ErrorProb:      0.2,
+					MaxConsecutive: 2,
+				})
+			}
+			if err := m.Register(reg); err != nil {
+				return nil, err
+			}
+		}
+		if err := m.DefineStandardViews(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+
+	for _, cfg := range []struct {
+		name   string
+		faulty bool
+	}{
+		{"parallel", false},
+		{"faulty", true},
+	} {
+		m, err := build(cfg.faulty)
+		if err != nil {
+			return err
+		}
+		m.EnableTracing(true)
+		start := time.Now()
+		res, err := m.CalciumBindingProteinQuery("SENSELAB", "rat", "parallel_fiber", "calcium")
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if res.Span == nil {
+			return fmt.Errorf("%s: no span recorded", cfg.name)
+		}
+		entry := obsEntry{Config: cfg.name, EndToEndNs: elapsed.Nanoseconds()}
+		for _, st := range res.Span.Children() {
+			ns := st.Duration().Nanoseconds()
+			entry.Stages = append(entry.Stages, obsStage{Name: st.Name(), Ns: ns})
+			entry.StageSumNs += ns
+		}
+		if c := m.ObsCounters(); c != nil {
+			entry.Counters = c.Snapshot()
+		}
+		rep.Entries = append(rep.Entries, entry)
+
+		fmt.Printf("%s config (%d workers): %d distributions under %s in %v\n",
+			cfg.name, workers, len(res.Distributions), res.Root, elapsed.Round(time.Microsecond))
+		fmt.Print(res.Span.Render())
+		cover := float64(entry.StageSumNs) / float64(entry.EndToEndNs) * 100
+		fmt.Printf("stage spans cover %.1f%% of the end-to-end time\n\n", cover)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote BENCH_obs.json")
+	return nil
 }

@@ -37,7 +37,12 @@ func main() {
 		}
 		fmt.Print(dm.DOT())
 	case "synthetic":
-		fmt.Print(sources.SyntheticDM(*depth, *fanout, *isa).DOT())
+		dm, err := sources.SyntheticDM(*depth, *fanout, *isa)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dmviz:", err)
+			os.Exit(1)
+		}
+		fmt.Print(dm.DOT())
 	case "file":
 		data, err := os.ReadFile(*axioms)
 		if err != nil {

@@ -18,7 +18,7 @@ func TestNeuroDOTOutput(t *testing.T) {
 }
 
 func TestSyntheticDOTOutput(t *testing.T) {
-	dot := sources.SyntheticDM(2, 2, 1).DOT()
+	dot := sources.MustSyntheticDM(2, 2, 1).DOT()
 	if !strings.Contains(dot, "root") {
 		t.Error("synthetic DOT missing root")
 	}

@@ -26,7 +26,9 @@
 // commands: `.sources`, `.views`, `.concepts`, `.plan` (runs the
 // Section 5 query with its plan trace), `.planq QUERY` (plans and runs
 // an arbitrary query, printing the plan trace), `.reports` (per-source
-// fault-tolerance reports of the last materialization), `.check`
+// fault-tolerance reports of the last materialization), `.trace on|off`
+// (span tracing and counter collection), `.stats` (span tree and
+// counter snapshot of the last traced query), `.check`
 // (integrity constraints over the federation), `.checkdm` (also
 // data-completeness of domain-map edges), `.dot` (domain map as
 // GraphViz), `.load FILE` (rule file with views and `?-` queries),
@@ -84,7 +86,7 @@ func main() {
 
 	fmt.Printf("model-based mediator: %d sources registered over %s (%d concepts)\n",
 		len(med.Sources()), med.DomainMap().Name(), len(med.DomainMap().Concepts()))
-	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .reports .check .checkdm .dot .load FILE .fig3 .quit`)
+	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .reports .trace on|off .stats .check .checkdm .dot .load FILE .fig3 .quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("medsh> ")
@@ -258,6 +260,33 @@ func runLine(med *mediator.Mediator, line string) error {
 		}
 		fmt.Print(mediator.FormatAnswer(ans))
 		fmt.Printf("(%d rows)\n", len(ans.Rows))
+		return nil
+	case line == ".trace on" || line == ".trace off":
+		med.EnableTracing(line == ".trace on")
+		if med.TracingEnabled() {
+			fmt.Println("tracing on: queries record spans and counters; see .stats")
+		} else {
+			fmt.Println("tracing off")
+		}
+		return nil
+	case line == ".trace":
+		if med.TracingEnabled() {
+			fmt.Println("tracing is on (.trace off to disable)")
+		} else {
+			fmt.Println("tracing is off (.trace on to enable)")
+		}
+		return nil
+	case line == ".stats":
+		sp := med.LastTrace()
+		if sp == nil {
+			fmt.Println("no trace recorded (enable with .trace on, then run a query)")
+			return nil
+		}
+		fmt.Print(sp.Render())
+		if c := med.ObsCounters(); c != nil {
+			fmt.Println("counters:")
+			fmt.Print(c.Render())
+		}
 		return nil
 	case line == ".reports":
 		reps := med.SourceReports()

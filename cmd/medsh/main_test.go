@@ -1,7 +1,9 @@
 package main
 
 import (
+	"io"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -276,5 +278,141 @@ func TestRunLineDist(t *testing.T) {
 	}
 	if err := runLine(med, ".dist onlyone"); err == nil {
 		t.Error("usage error expected")
+	}
+}
+
+// captureOutput runs fn with os.Stdout redirected to a pipe and
+// returns everything it printed.
+func captureOutput(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+// TestRunLineTraceAndStats drives the observability commands through a
+// session: .stats without a trace explains itself, .trace on records
+// the next query's span tree, .stats renders spans plus counters, and
+// .trace off clears the captured state.
+func TestRunLineTraceAndStats(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain := func(cmd, out string, wants ...string) {
+		t.Helper()
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", cmd, w, out)
+			}
+		}
+	}
+	out, err := captureOutput(t, func() error { return runLine(med, ".stats") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(".stats", out, "no trace recorded")
+
+	out, err = captureOutput(t, func() error { return runLine(med, ".trace on") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(".trace on", out, "tracing on")
+
+	if _, err := captureOutput(t, func() error { return runLine(med, `anchor('NCMIR', O, C)`) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err = captureOutput(t, func() error { return runLine(med, ".stats") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(".stats", out,
+		"mediator.query", "materialize", "source NCMIR", "datalog.run",
+		"counters:", "datalog.rounds", "datalog.firings")
+
+	out, err = captureOutput(t, func() error { return runLine(med, ".trace") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(".trace", out, "tracing is on")
+
+	out, err = captureOutput(t, func() error { return runLine(med, ".trace off") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(".trace off", out, "tracing off")
+
+	out, err = captureOutput(t, func() error { return runLine(med, ".stats") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustContain(".stats after off", out, "no trace recorded")
+}
+
+// TestRunLineReportsOutput pins the .reports rendering for a degraded
+// session: the dead source and its failure must be visible.
+func TestRunLineReportsOutput(t *testing.T) {
+	med, err := buildFaultScenario(scenarioConfig{
+		seed: 3, nSyn: 5, nNcm: 10, nSl: 5, workers: 2,
+		retries: 1, down: parseDown("NCMIR"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := captureOutput(t, func() error { return runLine(med, `anchor('SYNAPSE', O, C)`) }); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureOutput(t, func() error { return runLine(med, ".reports") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NCMIR", "failed", "SYNAPSE"} {
+		if !strings.Contains(out, want) {
+			t.Errorf(".reports output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunLineSurvivesGarbage: malformed queries, axioms and commands
+// come back as errors (the shell prints them and keeps the session) —
+// never as panics.
+func TestRunLineSurvivesGarbage(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		"broken(", "p(X :- q", "a[m->", "?- ?-", "not (",
+		".register my sub", ".register sub sub sub", ".why p(",
+		".planq broken(", ".dist", ".load /no/such/file",
+	} {
+		line := line
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("runLine(%q) panicked: %v", line, r)
+				}
+			}()
+			if _, err := captureOutput(t, func() error { return runLine(med, line) }); err == nil {
+				t.Errorf("runLine(%q) accepted malformed input", line)
+			}
+		}()
+	}
+	// The session still answers after the garbage.
+	if _, err := captureOutput(t, func() error { return runLine(med, `anchor('NCMIR', O, C)`) }); err != nil {
+		t.Errorf("session did not survive garbage input: %v", err)
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"time"
 
 	"modelmed/internal/baseline"
 	"modelmed/internal/datalog"
@@ -120,10 +121,16 @@ func multipleWorlds() {
 	// *including* their dendrites, branches and spines.
 	const protein, organism, root = "calbindin", "rat", "purkinje_cell"
 
+	// Trace the model-based run so the stage timings below come from
+	// the mediator's own spans rather than stopwatching from outside.
+	med.EnableTracing(true)
+
+	bStart := time.Now()
 	flatSum, flatN, err := b.FlatAmountSum(protein, organism, root)
 	if err != nil {
 		log.Fatal(err)
 	}
+	bElapsed := time.Since(bStart)
 	fmt.Printf("structural mediator: location == %q exactly: %d records, total %.1f\n",
 		root, flatN, flatSum)
 
@@ -137,6 +144,14 @@ func multipleWorlds() {
 	fmt.Printf("→ the domain map recovers %.1fx more data (%d vs %d records):\n",
 		float64(total.Count)/maxf(float64(flatN), 1), total.Count, flatN)
 	fmt.Print(d)
+
+	// Where the mediator's extra time goes, stage by stage, against the
+	// baseline's flat scan.
+	if sp := med.LastTrace(); sp != nil {
+		fmt.Printf("\nstage timings (structural baseline end to end: %v):\n",
+			bElapsed.Round(time.Microsecond))
+		fmt.Print(sp.Render())
+	}
 }
 
 func maxf(a, b float64) float64 {

@@ -2,6 +2,9 @@ package main
 
 import (
 	"flag"
+	"io"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -99,6 +102,42 @@ func TestComparisonDegradesWithDeadSource(t *testing.T) {
 	for _, r := range med.SourceReports() {
 		if r.Source == "NCMIR" && r.Status != mediator.StatusFailed {
 			t.Errorf("NCMIR report = %+v, want failed", r)
+		}
+	}
+}
+
+// TestMultipleWorldsStageTimings captures the example's output and
+// asserts the traced stage-timing section is present: baseline
+// end-to-end line, the mediator's query span tree and the per-source
+// fan-out children.
+func TestMultipleWorldsStageTimings(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		_, _ = io.Copy(&b, r)
+		done <- b.String()
+	}()
+	multipleWorlds()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+
+	for _, want := range []string{
+		"stage timings (structural baseline end to end:",
+		"mediator.query",
+		"materialize",
+		"source NCMIR",
+		"datalog.run",
+		"evaluate",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
 		}
 	}
 }

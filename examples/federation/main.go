@@ -33,8 +33,11 @@ func main() {
 	}
 	// A few unrelated sources, to give the planner something to skip.
 	for i := 0; i < 4; i++ {
-		src := sources.SyntheticSource(fmt.Sprintf("OTHERLAB%d", i), int64(i), 25,
+		src, err := sources.SyntheticSource(fmt.Sprintf("OTHERLAB%d", i), int64(i), 25,
 			[]string{"ca1", "dentate_gyrus"})
+		if err != nil {
+			log.Fatal(err)
+		}
 		w, err := wrapper.NewInMemory(src)
 		if err != nil {
 			log.Fatal(err)

@@ -117,7 +117,7 @@ func TestModelBasedSelectsFewerSources(t *testing.T) {
 	}
 	// Add 5 irrelevant sources anchored far from the query concepts.
 	for i := 0; i < 5; i++ {
-		src := sources.SyntheticSource(srcName(i), int64(i), 10, []string{"ca1", "dentate_gyrus"})
+		src := sources.MustSyntheticSource(srcName(i), int64(i), 10, []string{"ca1", "dentate_gyrus"})
 		w, err := wrapper.NewInMemory(src)
 		if err != nil {
 			t.Fatal(err)

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 
+	"modelmed/internal/obs"
 	"modelmed/internal/par"
 	"modelmed/internal/term"
 )
@@ -31,6 +32,17 @@ type Options struct {
 	// result is independent of Workers (see DESIGN.md, "Parallel
 	// evaluation").
 	Workers int
+	// Trace, when non-nil, receives the evaluation's span tree: a
+	// "datalog.run" child carrying one span per stratum (or per
+	// independent stratum group) with per-round children recording rules
+	// fired, delta sizes and worker utilization. Nil — the default —
+	// disables tracing; the disabled path costs one nil check per round
+	// (see DESIGN.md, "Observability").
+	Trace *obs.Span
+	// Counters, when non-nil, accumulates monotonic evaluation counters
+	// (datalog.rounds, datalog.firings, datalog.facts_derived,
+	// datalog.depth_drops). Nil disables them at the same cost as Trace.
+	Counters *obs.Counters
 }
 
 // ResolvedWorkers returns the effective worker count: Workers, or
@@ -127,6 +139,10 @@ type Result struct {
 
 // Run evaluates the program.
 func (e *Engine) Run() (*Result, error) {
+	sp := e.opts.Trace.Child("datalog.run")
+	defer sp.End()
+	sp.SetInt("rules", int64(len(e.rules)))
+	sp.SetInt("edb_facts", int64(e.edb.Size()))
 	g := buildDepGraph(e.rules)
 	scc := tarjanSCC(g)
 	stratified, aggCycle := scc.stratify(e.rules)
@@ -134,7 +150,8 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, fmt.Errorf("datalog: aggregation through recursion is not supported")
 	}
 	if stratified {
-		return e.runStratified(scc)
+		sp.SetStr("mode", "stratified")
+		return e.runStratified(scc, sp)
 	}
 	if e.opts.RequireStratified {
 		return nil, fmt.Errorf("%w and RequireStratified is set", ErrNotStratified)
@@ -142,7 +159,8 @@ func (e *Engine) Run() (*Result, error) {
 	if hasAggregates(e.rules) {
 		return nil, fmt.Errorf("%w: well-founded fallback does not support aggregation", ErrNotStratified)
 	}
-	return e.runWellFounded()
+	sp.SetStr("mode", "well-founded")
+	return e.runWellFounded(sp)
 }
 
 func hasAggregates(rules []Rule) bool {
@@ -156,7 +174,7 @@ func hasAggregates(rules []Rule) bool {
 	return false
 }
 
-func (e *Engine) runStratified(scc *sccResult) (*Result, error) {
+func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
 	store := e.edb.Clone()
 	res := &Result{Store: store, Stratified: true}
 	workers := e.opts.ResolvedWorkers()
@@ -165,8 +183,12 @@ func (e *Engine) runStratified(scc *sccResult) (*Result, error) {
 		if len(stratum) == 0 {
 			continue
 		}
+		ssp := sp.Childf("stratum %d", lvl)
+		ssp.SetInt("rules", int64(len(stratum)))
 		if workers > 1 && len(groups[lvl]) > 1 {
-			if err := e.runGroups(groups[lvl], store, res, workers); err != nil {
+			err := e.runGroups(groups[lvl], store, res, workers, ssp)
+			ssp.End()
+			if err != nil {
 				return res, err
 			}
 			continue
@@ -178,7 +200,8 @@ func (e *Engine) runStratified(scc *sccResult) (*Result, error) {
 		// Within a stratum, negated and aggregated predicates are fully
 		// computed (they live in strictly lower strata), so negation is
 		// answered from the same store.
-		rounds, firings, err := fixpoint(prepared, store, store, &e.opts)
+		rounds, firings, err := fixpoint(prepared, store, store, &e.opts, ssp)
+		ssp.End()
 		res.Rounds += rounds
 		res.Firings += firings
 		if err != nil {
@@ -196,7 +219,7 @@ func (e *Engine) runStratified(scc *sccResult) (*Result, error) {
 // everything past the shared base prefix that Clone preserves — are then
 // merged into the store in group order, keeping the result deterministic
 // for a fixed Workers setting and set-identical to the serial run.
-func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers int) error {
+func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers int, sp *obs.Span) error {
 	prepared := make([][]preparedRule, len(groups))
 	for i, g := range groups {
 		p, err := prepareRules(g)
@@ -209,6 +232,14 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 	for k, r := range store.rels {
 		baseCounts[k] = r.Len()
 	}
+	// Child spans are created serially here (deterministic order) and
+	// filled by the pool workers; each worker only touches its own span.
+	spans := make([]*obs.Span, len(groups))
+	if sp != nil {
+		for i := range groups {
+			spans[i] = sp.Childf("group %d", i)
+		}
+	}
 	type groupRun struct {
 		clone           *Store
 		rounds, firings int
@@ -218,7 +249,8 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 	par.Do(len(groups), workers, func(i int) {
 		clone := store.Clone()
 		runs[i].clone = clone
-		runs[i].rounds, runs[i].firings, runs[i].err = fixpoint(prepared[i], clone, clone, &e.opts)
+		runs[i].rounds, runs[i].firings, runs[i].err = fixpoint(prepared[i], clone, clone, &e.opts, spans[i])
+		spans[i].End()
 	})
 	for i := range runs {
 		if runs[i].err != nil {
@@ -248,15 +280,19 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 // between underestimates (true facts) and overestimates (possible facts)
 // and converges because Γ is antimonotone. True = lfp(Γ²); Undefined =
 // Γ(True) − True.
-func (e *Engine) runWellFounded() (*Result, error) {
+func (e *Engine) runWellFounded(sp *obs.Span) (*Result, error) {
 	prepared, err := prepareRules(e.rules)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Stratified: false}
+	nGamma := 0
 	gamma := func(negCtx *Store) (*Store, error) {
+		gsp := sp.Childf("gamma %d", nGamma)
+		nGamma++
 		store := e.edb.Clone()
-		rounds, firings, err := fixpoint(prepared, store, negCtx, &e.opts)
+		rounds, firings, err := fixpoint(prepared, store, negCtx, &e.opts, gsp)
+		gsp.End()
 		res.Rounds += rounds
 		res.Firings += firings
 		return store, err

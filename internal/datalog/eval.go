@@ -3,7 +3,9 @@ package datalog
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"modelmed/internal/obs"
 	"modelmed/internal/par"
 	"modelmed/internal/term"
 )
@@ -385,9 +387,29 @@ func (j evalJob) run(ev *evalCtx) error {
 // barrier the buffers are concatenated in job order, which is exactly
 // the order the serial loop derives in, so the store's insertion
 // sequence — and therefore the result — is identical to Workers=1.
-func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options) (rounds int, firings int, err error) {
+//
+// sp, when non-nil, receives one child span per round (job count, facts
+// derived, delta size, rule firings, and — on the parallel path —
+// summed worker busy time and utilization). All instrumentation sits
+// behind nil checks so a nil sp costs one branch per round.
+func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs.Span) (rounds int, firings int, err error) {
 	ev := &evalCtx{store: store, negCtx: negCtx, opts: opts}
 	workers := opts.ResolvedWorkers()
+	derivedTotal := 0
+	if sp != nil || opts.Counters != nil {
+		sp.SetInt("rules", int64(len(rules)))
+		sp.SetInt("workers", int64(workers))
+		defer func() {
+			sp.SetInt("rounds", int64(ev.rounds))
+			sp.SetInt("firings", int64(ev.firings))
+			if c := opts.Counters; c != nil {
+				c.Add("datalog.rounds", int64(ev.rounds))
+				c.Add("datalog.firings", int64(ev.firings))
+				c.Add("datalog.facts_derived", int64(derivedTotal))
+				c.Add("datalog.depth_drops", int64(ev.depthDrops))
+			}
+		}()
+	}
 
 	// Round 0 facts.
 	for _, pr := range rules {
@@ -416,8 +438,11 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options) (rounds
 
 	// runRound evaluates jobs against the current snapshot and returns
 	// the derived facts in job order. The returned slice is only valid
-	// until the next call (the serial path reuses one buffer).
-	runRound := func(jobs []evalJob, delta *Store) ([]derivedFact, error) {
+	// until the next call (the serial path reuses one buffer). rsp, when
+	// non-nil, records the round's job count and worker utilization
+	// (summed per-job busy time vs. wall-clock × workers).
+	runRound := func(jobs []evalJob, delta *Store, rsp *obs.Span) ([]derivedFact, error) {
+		rsp.SetInt("jobs", int64(len(jobs)))
 		if workers <= 1 || len(jobs) <= 1 {
 			ev.delta = delta
 			ev.newFacts = ev.newFacts[:0]
@@ -430,11 +455,34 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options) (rounds
 		}
 		ctxs := make([]*evalCtx, len(jobs))
 		errs := make([]error, len(jobs))
+		var busy []int64
+		var wallStart time.Time
+		if rsp != nil {
+			busy = make([]int64, len(jobs))
+			wallStart = time.Now()
+		}
 		par.Do(len(jobs), workers, func(i int) {
+			var t0 time.Time
+			if busy != nil {
+				t0 = time.Now()
+			}
 			c := &evalCtx{store: store, negCtx: negCtx, delta: delta, opts: opts}
 			ctxs[i] = c
 			errs[i] = jobs[i].run(c)
+			if busy != nil {
+				busy[i] = time.Since(t0).Nanoseconds()
+			}
 		})
+		if busy != nil {
+			var total int64
+			for _, b := range busy {
+				total += b
+			}
+			rsp.SetInt("busy_ns", total)
+			if wall := time.Since(wallStart).Nanoseconds(); wall > 0 {
+				rsp.SetInt("util_pct", total*100/(wall*int64(workers)))
+			}
+		}
 		n := 0
 		for i := range jobs {
 			if errs[i] != nil {
@@ -451,35 +499,59 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options) (rounds
 		return merged, nil
 	}
 
+	// endRound closes a round span with the barrier-side metrics.
+	endRound := func(rsp *obs.Span, derived, deltaSize, prevFirings int) {
+		if rsp == nil {
+			return
+		}
+		rsp.SetInt("derived", int64(derived))
+		rsp.SetInt("delta", int64(deltaSize))
+		rsp.SetInt("firings", int64(ev.firings-prevFirings))
+		rsp.End()
+	}
+
 	// Round 0: evaluate every rule once against the full store (no delta
 	// restriction).
-	newFacts, err := runRound(fullJobs, nil)
+	rsp := sp.Child("round 0")
+	newFacts, err := runRound(fullJobs, nil, rsp)
 	if err != nil {
+		rsp.End()
 		return ev.rounds, ev.firings, err
 	}
 	delta := NewStore()
+	derived := 0
 	for _, f := range newFacts {
 		if store.Insert(f.pred, f.args) {
 			delta.Insert(f.pred, f.args)
+			derived++
 		}
 	}
+	derivedTotal += derived
+	endRound(rsp, derived, delta.Size(), 0)
 	ev.rounds = 1
 
 	for delta.Size() > 0 {
 		if opts.MaxIterations > 0 && ev.rounds > opts.MaxIterations {
 			return ev.rounds, ev.firings, fmt.Errorf("datalog: fixpoint exceeded %d rounds (possible non-termination via function symbols)", opts.MaxIterations)
 		}
-		newFacts, err := runRound(deltaJobs, delta)
+		prevFirings := ev.firings
+		rsp := sp.Childf("round %d", ev.rounds)
+		newFacts, err := runRound(deltaJobs, delta, rsp)
 		if err != nil {
+			rsp.End()
 			return ev.rounds, ev.firings, err
 		}
 		next := NewStore()
+		derived = 0
 		for _, f := range newFacts {
 			if store.Insert(f.pred, f.args) {
 				next.Insert(f.pred, f.args)
+				derived++
 			}
 		}
+		derivedTotal += derived
 		delta = next
+		endRound(rsp, derived, delta.Size(), prevFirings)
 		ev.rounds++
 	}
 	return ev.rounds, ev.firings, nil

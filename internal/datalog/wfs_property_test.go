@@ -155,7 +155,7 @@ func TestWFSAgreesOnStratified(t *testing.T) {
 		if !strat.Stratified {
 			t.Fatal("program should be stratified")
 		}
-		wfs, err := e2.runWellFounded()
+		wfs, err := e2.runWellFounded(nil)
 		if err != nil {
 			t.Fatal(err)
 		}

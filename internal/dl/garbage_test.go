@@ -1,0 +1,33 @@
+package dl
+
+import (
+	"testing"
+)
+
+// TestParseAxiomsGarbageReturnsErrors: malformed axiom text — including
+// every truncation of a full axiom — must come back as a returned
+// error, never a panic (`.register` in medsh feeds user input here).
+func TestParseAxiomsGarbageReturnsErrors(t *testing.T) {
+	inputs := []string{
+		"", ".", "sub", "eqv", "a", "a sub", "a sub .", "a sub (", "a sub ()",
+		"a sub exists", "a sub exists r", "a sub exists r.", "a sub forall .c.",
+		"a sub b c.", "a sub and.", "a sub (b or ).", "a eqv exists sub.c.",
+		"sub sub sub.", "a sub b", "a sub b. c", "\x00\xff", "((((", "))))",
+		"a sub b.\na eqv", "% only a comment", "// only a comment",
+	}
+	const axiom = "spiny_neuron eqv (neuron and exists has_a.spine) or forall proj.gpe."
+	for i := range axiom {
+		inputs = append(inputs, axiom[:i])
+	}
+	for _, in := range inputs {
+		in := in
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("ParseAxioms(%q) panicked: %v", in, r)
+				}
+			}()
+			ParseAxioms(in)
+		}()
+	}
+}

@@ -17,7 +17,16 @@ import (
 // Grammar (lowest to highest precedence): `or`, `and`, then the unary
 // constructors `exists role.C` and `forall role.C`, parentheses, and
 // concept names. Lines starting with % or // are comments.
-func ParseAxioms(src string) ([]Axiom, error) {
+//
+// ParseAxioms never panics on malformed input: an internal panic is
+// converted to a returned error so interactive callers (`.register`
+// in medsh) can print it and continue.
+func ParseAxioms(src string) (_ []Axiom, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("dl: invalid input: %v", r)
+		}
+	}()
 	toks, err := lexDL(src)
 	if err != nil {
 		return nil, err

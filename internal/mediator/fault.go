@@ -11,6 +11,7 @@ import (
 
 	"modelmed/internal/datalog"
 	"modelmed/internal/gcm"
+	"modelmed/internal/obs"
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
 )
@@ -211,17 +212,24 @@ func (b *breaker) success() {
 	b.mu.Unlock()
 }
 
-func (b *breaker) failure() {
+// failure records a failed contact. It reports whether this failure
+// transitioned the breaker into the open state (closed→open on
+// reaching the threshold, or half-open→open on a failed probe), so the
+// caller can count state transitions.
+func (b *breaker) failure() (opened bool) {
 	if b == nil {
-		return
+		return false
 	}
 	b.mu.Lock()
+	wasProbing := b.probing
 	b.fails++
 	b.probing = false
 	if b.fails >= b.opts.Threshold {
 		b.openUntil = time.Now().Add(b.opts.cooldown())
+		opened = b.fails == b.opts.Threshold || wasProbing
 	}
 	b.mu.Unlock()
+	return opened
 }
 
 // breakerFor returns the mediator's breaker for a source (nil when the
@@ -250,6 +258,9 @@ func (m *Mediator) breakerFor(source string) *breaker {
 type guard struct {
 	m    *Mediator
 	opts *Options
+	// ctr is the mediator's observability sink, captured once per
+	// fan-out (nil when tracing is off; all Adds are then no-ops).
+	ctr *obs.Counters
 
 	jmu sync.Mutex
 	rng *rand.Rand // backoff jitter only; never observable in results
@@ -273,9 +284,42 @@ func (m *Mediator) newGuard() *guard {
 	return &guard{
 		m:       m,
 		opts:    &m.opts,
+		ctr:     m.counters(),
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ jitterSeq.Add(1)<<32)),
 		reports: map[string]*SourceReport{},
 	}
+}
+
+// annotate mirrors the guard's fault-tolerance outcomes onto a fan-out
+// span: aggregate retry/timeout/breaker attrs on sp itself, plus
+// status/attempt attrs on any per-source child span ("source <name>")
+// the caller created. Nil guard or span is a no-op.
+func (g *guard) annotate(sp *obs.Span) {
+	if g == nil || sp == nil {
+		return
+	}
+	var retries, timeouts, trips int64
+	for _, r := range g.Reports() {
+		retries += int64(r.Retries)
+		timeouts += int64(r.Timeouts)
+		trips += int64(r.BreakerTrips)
+		if ssp := sp.Find("source " + r.Source); ssp != nil {
+			ssp.SetStr("status", r.Status.String())
+			ssp.SetInt("attempts", int64(r.Attempts))
+			if r.Retries > 0 {
+				ssp.SetInt("retries", int64(r.Retries))
+			}
+			if r.Timeouts > 0 {
+				ssp.SetInt("timeouts", int64(r.Timeouts))
+			}
+			if r.BreakerTrips > 0 {
+				ssp.SetInt("breaker_trips", int64(r.BreakerTrips))
+			}
+		}
+	}
+	sp.SetInt("retries", retries)
+	sp.SetInt("timeouts", timeouts)
+	sp.SetInt("breaker_trips", trips)
 }
 
 // Reports returns the guard's per-source reports, sorted by source.
@@ -381,6 +425,7 @@ func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error
 			r := g.report(source)
 			r.BreakerTrips++
 			g.rmu.Unlock()
+			g.ctr.Add("mediator.breaker_rejections", 1)
 			return zero, &SourceDownError{Source: source, Cause: errBreakerOpen}
 		}
 		v, err := withDeadline(source, g.opts.SourceTimeout, fn)
@@ -393,11 +438,13 @@ func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error
 		var tErr *timeoutError
 		if errors.As(err, &tErr) {
 			r.Timeouts++
+			g.ctr.Add("mediator.source_timeouts", 1)
 		}
 		if err == nil && attempt > 0 && r.Status == StatusOK {
 			r.Status = StatusDegraded
 		}
 		g.rmu.Unlock()
+		g.ctr.Add("mediator.source_attempts", 1)
 		if err == nil {
 			br.success()
 			return v, nil
@@ -413,11 +460,16 @@ func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error
 			br.success()
 			return zero, err
 		}
-		br.failure()
+		if br.failure() {
+			g.ctr.Add("mediator.breaker_opened", 1)
+		}
 		if attempt >= g.opts.MaxRetries {
 			return zero, &SourceDownError{Source: source, Cause: err}
 		}
-		time.Sleep(g.backoff(attempt + 1))
+		g.ctr.Add("mediator.source_retries", 1)
+		wait := g.backoff(attempt + 1)
+		g.ctr.Add("mediator.backoff_wait_ns", wait.Nanoseconds())
+		time.Sleep(wait)
 	}
 }
 

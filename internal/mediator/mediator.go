@@ -20,6 +20,7 @@ import (
 	"modelmed/internal/domainmap"
 	"modelmed/internal/flogic"
 	"modelmed/internal/gcm"
+	"modelmed/internal/obs"
 	"modelmed/internal/par"
 	"modelmed/internal/parser"
 	"modelmed/internal/term"
@@ -113,14 +114,26 @@ type Mediator struct {
 	// failed sources is not yet due (see reprobeDue).
 	cacheDegraded bool
 
-	// lastReports are the SourceReports of the most recent guarded
-	// Materialize (nil when the fault-tolerance layer is off).
-	lastReports []SourceReport
+	// lastReports is the mediator-level merge-by-source view of the
+	// guarded fan-outs' SourceReports: each guarded query (Materialize,
+	// ExecutePlan, PushSelect) folds its per-query reports in keyed by
+	// source name, so under concurrent queries every source keeps its
+	// most recent report instead of one query's report set wholesale
+	// overwriting another's. Per-query reports stay on the result path
+	// (QueryPlan.Reports). Nil when the fault-tolerance layer is off.
+	lastReports map[string]SourceReport
 
 	// brMu guards breakers, the per-source circuit-breaker states,
 	// which persist across queries.
 	brMu     sync.Mutex
 	breakers map[string]*breaker
+
+	// obsMu guards the observability state (see obs.go); separate from
+	// m.mu because Materialize holds m.mu for its whole body.
+	obsMu    sync.Mutex
+	obsOn    bool
+	obsCtr   *obs.Counters
+	lastSpan *obs.Span
 }
 
 // New returns a mediator over the given domain map.
@@ -217,6 +230,11 @@ func (m *Mediator) Register(w wrapper.Wrapper) error {
 		return fmt.Errorf("mediator: source %s already registered", name)
 	}
 	m.srcs[name] = src
+	if cs, ok := w.(wrapper.CounterSink); ok {
+		// A source joining a traced mediator reports into the live sink
+		// from its first query on.
+		cs.SetObsCounters(m.counters())
+	}
 	for concept, objs := range anchors {
 		m.index.Register(name, concept, objs...)
 	}
@@ -308,7 +326,11 @@ type Answer struct {
 // output columns; when empty, all query variables are returned in order
 // of first occurrence.
 func (m *Mediator) Query(q string, vars ...string) (*Answer, error) {
+	sp := m.startSpan("mediator.query")
+	defer m.endTrace(sp)
+	psp := sp.Child("parse")
 	body, aux, err := parser.ParseQuery(q)
+	psp.End()
 	if err != nil {
 		return nil, fmt.Errorf("mediator: query: %w", err)
 	}
@@ -329,11 +351,16 @@ func (m *Mediator) Query(q string, vars ...string) (*Answer, error) {
 	if len(vars) == 0 {
 		vars = defaultVars(body)
 	}
-	res, err := m.Materialize()
+	msp := sp.Child("materialize")
+	res, err := m.materialize(msp)
+	msp.End()
 	if err != nil {
 		return nil, err
 	}
+	esp := sp.Child("evaluate")
 	rows, err := res.Query(body, vars)
+	esp.SetInt("rows", int64(len(rows)))
+	esp.End()
 	if err != nil {
 		return nil, fmt.Errorf("mediator: query: %w", err)
 	}
@@ -380,12 +407,25 @@ func bridgeRules() []datalog.Rule { return parser.MustParseRules(bridgeSrc) }
 // registered views, and evaluates the program. The result is cached
 // until a registration or view definition invalidates it.
 func (m *Mediator) Materialize() (*datalog.Result, error) {
+	sp := m.startSpan("mediator.materialize")
+	res, err := m.materialize(sp)
+	m.endTrace(sp)
+	return res, err
+}
+
+// materialize is Materialize with the caller's span threaded through
+// (nil when tracing is off; the caller owns ending it).
+func (m *Mediator) materialize(sp *obs.Span) (*datalog.Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if !m.dirty && m.cache != nil && !(m.cacheDegraded && m.reprobeDue()) {
+		sp.SetStr("cache", "hit")
 		return m.cache, nil
 	}
-	e := datalog.NewEngine(&m.opts.Engine)
+	eo := m.opts.Engine
+	eo.Trace = sp
+	eo.Counters = m.counters()
+	e := datalog.NewEngine(&eo)
 	var ruleSets [][]datalog.Rule
 	ruleSets = append(ruleSets,
 		flogic.Axioms(),
@@ -412,21 +452,27 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 	// down are dropped from the program instead of failing it.
 	g := m.newGuard()
 	srcs := m.sortedSources()
-	factSets, errs := translateSources(g, srcs, m.opts.Engine.ResolvedWorkers())
+	fsp := sp.Child("sources")
+	factSets, errs := translateSources(g, srcs, m.opts.Engine.ResolvedWorkers(), fsp)
 	failed := map[string]bool{}
 	for i, s := range srcs {
 		if errs[i] != nil {
 			if g != nil && !m.opts.FailFast && sourceDown(errs[i]) {
 				g.markFailed(s.Name, errs[i])
 				failed[s.Name] = true
+				m.counters().Add("mediator.sources_dropped", 1)
 				continue
 			}
+			fsp.End()
 			return nil, errs[i]
 		}
 		if err := e.AddRules(factSets[i]...); err != nil {
+			fsp.End()
 			return nil, fmt.Errorf("mediator: materialize %s: %w", s.Name, err)
 		}
 	}
+	g.annotate(fsp)
+	fsp.End()
 	for _, concept := range m.index.Concepts() {
 		for _, src := range m.index.SourcesAt(concept) {
 			if failed[src] {
@@ -448,9 +494,33 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 	m.cache = res
 	m.cacheEngine = e
 	m.cacheDegraded = len(failed) > 0
-	m.lastReports = g.Reports()
+	m.mergeReportsLocked(g.Reports())
 	m.dirty = false
 	return res, nil
+}
+
+// mergeReportsLocked folds per-query reports into the mediator-level
+// merge-by-source view behind SourceReports. Called with m.mu held.
+func (m *Mediator) mergeReportsLocked(reps []SourceReport) {
+	if len(reps) == 0 {
+		return
+	}
+	if m.lastReports == nil {
+		m.lastReports = make(map[string]SourceReport, len(reps))
+	}
+	for _, r := range reps {
+		m.lastReports[r.Source] = r
+	}
+}
+
+// mergeReports is mergeReportsLocked for callers not holding m.mu.
+func (m *Mediator) mergeReports(reps []SourceReport) {
+	if len(reps) == 0 {
+		return
+	}
+	m.mu.Lock()
+	m.mergeReportsLocked(reps)
+	m.mu.Unlock()
 }
 
 // reprobeDue reports whether a degraded cache should be refreshed:
@@ -473,17 +543,29 @@ func (m *Mediator) reprobeDue() bool {
 	return false
 }
 
-// SourceReports returns the per-source fault-tolerance reports of the
-// most recent materialization (nil when the layer is disabled or
-// nothing has been materialized). A Status of StatusFailed means the
-// source was dropped and the cached answer degrades over the
-// survivors. With a breaker configured the next query after the
-// breaker's cooldown re-probes the failed source automatically;
+// SourceReports returns each source's most recent fault-tolerance
+// report across all guarded fan-outs — Materialize, ExecutePlan and
+// PushSelect — merged by source name and sorted (nil when the layer is
+// disabled or nothing guarded has run). Because concurrent queries
+// merge rather than overwrite, a query that never touched source X
+// leaves X's report from the query that did intact; for the reports of
+// exactly one plan execution use QueryPlan.Reports. A Status of
+// StatusFailed means the source was dropped and the answer degrades
+// over the survivors. With a breaker configured the next query after
+// the breaker's cooldown re-probes the failed source automatically;
 // without one, call Invalidate to re-pull once the source recovers.
 func (m *Mediator) SourceReports() []SourceReport {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]SourceReport(nil), m.lastReports...)
+	if len(m.lastReports) == 0 {
+		return nil
+	}
+	out := make([]SourceReport, 0, len(m.lastReports))
+	for _, r := range m.lastReports {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
 }
 
 // Invalidate drops the cached materialization, forcing the next
@@ -514,12 +596,27 @@ func (m *Mediator) Explain(pred string, args ...term.Term) (*datalog.Derivation,
 // per source, bounded by workers), returning the per-source fact sets
 // and errors positionally so callers can merge them in deterministic
 // source order. With a non-nil guard the per-source work goes through
-// the fault-tolerance layer (live pull + deadline/retry/breaker).
-func translateSources(g *guard, srcs []*Source, workers int) ([][]datalog.Rule, []error) {
+// the fault-tolerance layer (live pull + deadline/retry/breaker). A
+// non-nil sp gets one child span per source (created serially for
+// deterministic order; each pool worker fills only its own span).
+func translateSources(g *guard, srcs []*Source, workers int, sp *obs.Span) ([][]datalog.Rule, []error) {
 	factSets := make([][]datalog.Rule, len(srcs))
 	errs := make([]error, len(srcs))
+	spans := make([]*obs.Span, len(srcs))
+	if sp != nil {
+		for i, s := range srcs {
+			spans[i] = sp.Child("source " + s.Name)
+		}
+	}
 	par.Do(len(srcs), workers, func(i int) {
 		factSets[i], errs[i] = guardedSourceFacts(g, srcs[i])
+		if spans[i] != nil {
+			spans[i].SetInt("facts", int64(len(factSets[i])))
+			if errs[i] != nil {
+				spans[i].SetStr("error", errs[i].Error())
+			}
+			spans[i].End()
+		}
 	})
 	return factSets, errs
 }

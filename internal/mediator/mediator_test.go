@@ -68,7 +68,7 @@ func TestDuplicateRegistrationRejected(t *testing.T) {
 
 func TestStrictAnchors(t *testing.T) {
 	m := New(sources.NeuroDM(), &Options{StrictAnchors: true})
-	model := sources.SyntheticSource("odd", 1, 5, []string{"not_a_concept"})
+	model := sources.MustSyntheticSource("odd", 1, 5, []string{"not_a_concept"})
 	w, err := wrapper.NewInMemory(model)
 	if err != nil {
 		t.Fatal(err)

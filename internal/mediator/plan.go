@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"modelmed/internal/gcm"
+	"modelmed/internal/obs"
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
 )
@@ -65,7 +66,12 @@ type PushResult struct {
 // wrapper calls run under deadline/retry/breaker policy; a source that
 // exhausts its budget returns a *SourceDownError.
 func (m *Mediator) PushSelect(source, class string, sels ...wrapper.Selection) (*PushResult, error) {
-	return m.pushSelect(m.newGuard(), source, class, sels...)
+	g := m.newGuard()
+	res, err := m.pushSelect(g, source, class, sels...)
+	// Keep the mediator-level report view current for this source
+	// without clobbering other sources' reports (merge-by-source).
+	m.mergeReports(g.Reports())
+	return res, err
 }
 
 func (m *Mediator) pushSelect(g *guard, source, class string, sels ...wrapper.Selection) (*PushResult, error) {
@@ -158,6 +164,10 @@ type Section5Result struct {
 	Distributions map[string]*Distribution
 	// Trace is the human-readable plan log.
 	Trace []string
+	// Span is the query's span tree (nil when tracing is off), with one
+	// child per plan step — the stage-level latency breakdown behind
+	// `benchrunner -exp obs`.
+	Span *obs.Span
 }
 
 // CalciumBindingProteinQuery executes the Section 5 query — "What is
@@ -177,17 +187,21 @@ type Section5Result struct {
 //     evaluate the distribution view with its downward closure along
 //     has_a_star.
 func (m *Mediator) CalciumBindingProteinQuery(driver, organism, transmittingCompartment, ion string) (*Section5Result, error) {
-	res := &Section5Result{Distributions: map[string]*Distribution{}}
+	sp := m.startSpan("mediator.section5")
+	defer m.endTrace(sp)
+	res := &Section5Result{Distributions: map[string]*Distribution{}, Span: sp}
 	tracef := func(format string, args ...interface{}) {
 		res.Trace = append(res.Trace, fmt.Sprintf(format, args...))
 	}
 
 	// Step 1: push selections to the driver source.
+	s1 := sp.Child("step1 pushdown")
 	push, err := m.PushSelect(driver, "neurotransmission",
 		wrapper.Selection{Attr: "organism", Value: term.Str(organism)},
 		wrapper.Selection{Attr: "transmitting_compartment", Value: term.Atom(transmittingCompartment)},
 	)
 	if err != nil {
+		s1.End()
 		return nil, err
 	}
 	tracef("step 1: pushed (organism=%s, transmitting_compartment=%s) to %s; %d records (pushdown=%v)",
@@ -207,6 +221,9 @@ func (m *Mediator) CalciumBindingProteinQuery(driver, organism, transmittingComp
 		}
 		return res.Pairs[i][1] < res.Pairs[j][1]
 	})
+	s1.SetInt("records", int64(len(push.Objs)))
+	s1.SetInt("pairs", int64(len(res.Pairs)))
+	s1.End()
 	if len(res.Pairs) == 0 {
 		tracef("step 1: no bindings; query is empty")
 		return res, nil
@@ -215,6 +232,7 @@ func (m *Mediator) CalciumBindingProteinQuery(driver, organism, transmittingComp
 	// Step 2: semantic-index source selection per pair, refined by the
 	// organism context attribute (Section 2's context coordinates: a
 	// source with no rat data never receives rat queries).
+	s2 := sp.Child("step2 source_selection")
 	srcSet := map[string]bool{}
 	for _, p := range res.Pairs {
 		for _, s := range m.SelectSourcesForPair(p[0], p[1], driver) {
@@ -233,9 +251,12 @@ func (m *Mediator) CalciumBindingProteinQuery(driver, organism, transmittingComp
 	} else {
 		tracef("step 2: semantic index selects sources %v for pairs %v", res.SelectedSources, res.Pairs)
 	}
+	s2.SetInt("sources", int64(len(res.SelectedSources)))
+	s2.End()
 
 	// Step 3: push location selections to the selected sources; collect
 	// proteins found there, filtered by bound ion.
+	s3 := sp.Child("step3 proteins")
 	locations := map[string]bool{}
 	for _, p := range res.Pairs {
 		locations[p[0]] = true
@@ -300,12 +321,16 @@ func (m *Mediator) CalciumBindingProteinQuery(driver, organism, transmittingComp
 	sort.Strings(res.Proteins)
 	tracef("step 3: pushed location selections to %v; %d %s-binding proteins found: %v",
 		res.SelectedSources, len(res.Proteins), ion, res.Proteins)
+	s3.SetInt("proteins", int64(len(res.Proteins)))
+	s3.End()
 
 	// Step 4: lub of the locations as distribution root, then the
 	// downward-closure aggregation.
+	s4 := sp.Child("step4 distribution")
 	lub := m.dm.LUB("has_a", locs)
 	if len(lub) == 0 {
 		tracef("step 4: locations %v have no common container; no distribution", locs)
+		s4.End()
 		return res, nil
 	}
 	res.Root = lub[0]
@@ -313,11 +338,14 @@ func (m *Mediator) CalciumBindingProteinQuery(driver, organism, transmittingComp
 	for _, p := range res.Proteins {
 		d, err := m.DistributionOf(p, organism, res.Root)
 		if err != nil {
+			s4.End()
 			return nil, err
 		}
 		res.Distributions[p] = d
 	}
 	tracef("step 4: computed %d distributions under %s", len(res.Distributions), res.Root)
+	s4.SetInt("distributions", int64(len(res.Distributions)))
+	s4.End()
 	return res, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"modelmed/internal/domainmap"
 	"modelmed/internal/flogic"
 	"modelmed/internal/gcm"
+	"modelmed/internal/obs"
 	"modelmed/internal/par"
 	"modelmed/internal/parser"
 	"modelmed/internal/term"
@@ -50,10 +51,15 @@ type QueryPlan struct {
 	// execution with Pushed/Returned).
 	Pushdowns []PushdownStep
 	// Reports are the per-source fault-tolerance outcomes of the
-	// execution (nil when the layer is disabled).
+	// execution (nil when the layer is disabled). These are the reports
+	// of *this* execution alone; the mediator-level SourceReports merges
+	// them by source across queries.
 	Reports []SourceReport
 	// Trace is the human-readable plan log.
 	Trace []string
+	// Span is the execution's span tree (nil when tracing is off), with
+	// rule-cone/pushdown/full-load/evaluate children.
+	Span *obs.Span
 }
 
 func (p *QueryPlan) tracef(format string, args ...interface{}) {
@@ -408,7 +414,13 @@ func (m *Mediator) extractPushdowns(body []datalog.BodyElem, p *QueryPlan) []Pus
 // are skipped. The residual query then evaluates over the restricted
 // base (with the domain-map graph and views available as usual).
 func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
-	e := datalog.NewEngine(&m.opts.Engine)
+	sp := m.startSpan("mediator.execute_plan")
+	defer m.endTrace(sp)
+	p.Span = sp
+	eo := m.opts.Engine
+	eo.Trace = sp
+	eo.Counters = m.counters()
+	e := datalog.NewEngine(&eo)
 	m.mu.Lock()
 	ruleSets := [][]datalog.Rule{
 		flogic.Axioms(),
@@ -423,12 +435,16 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 	// Evaluate only the dependency cone of the query: a query that never
 	// touches dm_down skips the quadratic containment computation
 	// entirely.
+	csp := sp.Child("rule_cone")
 	var static []datalog.Rule
 	for _, rs := range ruleSets {
 		static = append(static, rs...)
 	}
 	cone := datalog.RelevantRules(static, datalog.GoalKeys(p.Body))
 	p.tracef("rule cone: %d of %d static rules relevant", len(cone), len(static))
+	csp.SetInt("relevant", int64(len(cone)))
+	csp.SetInt("static", int64(len(static)))
+	csp.End()
 	if err := e.AddRules(cone...); err != nil {
 		return nil, fmt.Errorf("mediator: execute plan: %w", err)
 	}
@@ -457,14 +473,38 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 	// per selected source access — then collect the results into the
 	// engine in step order, so the loaded program (and the plan trace) is
 	// independent of the worker count.
+	psp := sp.Child("pushdown")
 	pushResults := make([]*PushResult, len(p.Pushdowns))
 	pushErrs := make([]error, len(p.Pushdowns))
+	pushSpans := make([]*obs.Span, len(p.Pushdowns))
+	if psp != nil {
+		for i := range p.Pushdowns {
+			step := &p.Pushdowns[i]
+			if candidate[step.Source] {
+				pushSpans[i] = psp.Child("push " + step.Source + "/" + step.Class)
+			}
+		}
+	}
 	par.Do(len(p.Pushdowns), workers, func(i int) {
 		step := &p.Pushdowns[i]
 		if !candidate[step.Source] {
 			return
 		}
 		pushResults[i], pushErrs[i] = m.pushSelect(g, step.Source, step.Class, step.Selections...)
+		if pushSpans[i] != nil {
+			if r := pushResults[i]; r != nil {
+				pushSpans[i].SetInt("objects", int64(len(r.Objs)))
+				if r.Pushed {
+					pushSpans[i].SetStr("mode", "pushed")
+				} else {
+					pushSpans[i].SetStr("mode", "scan+filter")
+				}
+			}
+			if pushErrs[i] != nil {
+				pushSpans[i].SetStr("error", pushErrs[i].Error())
+			}
+			pushSpans[i].End()
+		}
 	})
 	// First pass: spot exhausted sources, so a source whose later step
 	// died never leaves the partial results of an earlier step behind —
@@ -478,6 +518,7 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 			if !failed[step.Source] {
 				g.markFailed(step.Source, pushErrs[i])
 				failed[step.Source] = true
+				m.counters().Add("mediator.sources_dropped", 1)
 				p.tracef("source %s is down; degrading without it (%v)", step.Source, pushErrs[i])
 			}
 			continue
@@ -498,6 +539,7 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 		}
 		p.tracef("loaded %d objects from %s (pushdown=%v)", len(res.Objs), step.Source, res.Pushed)
 	}
+	psp.End()
 
 	// Full loads for candidate sources without (complete) pushdown
 	// coverage: translate concurrently, collect in source order.
@@ -510,7 +552,8 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 			full = append(full, s)
 		}
 	}
-	factSets, errs := translateSources(g, full, workers)
+	fsp := sp.Child("full_load")
+	factSets, errs := translateSources(g, full, workers, fsp)
 	fullIdx := 0
 	for _, s := range all {
 		if !candidate[s.Name] {
@@ -526,20 +569,29 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 			if degrade(err) {
 				g.markFailed(s.Name, err)
 				failed[s.Name] = true
+				m.counters().Add("mediator.sources_dropped", 1)
 				p.tracef("source %s is down; degrading without it (%v)", s.Name, err)
 				continue
 			}
+			fsp.End()
 			return nil, err
 		}
 		if err := e.AddRules(facts...); err != nil {
+			fsp.End()
 			return nil, err
 		}
 		if err := m.loadAnchorFacts(e, s.Name); err != nil {
+			fsp.End()
 			return nil, err
 		}
 		p.tracef("loaded source %s fully", s.Name)
 	}
+	g.annotate(fsp)
+	fsp.End()
+	// Per-query reports stay on the plan; the mediator-level view merges
+	// them by source so concurrent plans don't clobber each other.
 	p.Reports = g.Reports()
+	m.mergeReports(p.Reports)
 
 	res, err := e.Run()
 	if err != nil {
@@ -548,7 +600,10 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 	if len(vars) == 0 {
 		vars = defaultVars(p.Body)
 	}
+	esp := sp.Child("evaluate")
 	rows, err := res.Query(p.Body, vars)
+	esp.SetInt("rows", int64(len(rows)))
+	esp.End()
 	if err != nil {
 		return nil, fmt.Errorf("mediator: execute plan: %w", err)
 	}

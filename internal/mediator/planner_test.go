@@ -15,7 +15,7 @@ func plannerMediator(t *testing.T, extra int) *Mediator {
 	t.Helper()
 	m := newNeuroMediator(t, 20, 60, 20)
 	for i := 0; i < extra; i++ {
-		src := sources.SyntheticSource(srcNameT(i), int64(i), 15,
+		src := sources.MustSyntheticSource(srcNameT(i), int64(i), 15,
 			[]string{"ca1", "dentate_gyrus"})
 		w, err := wrapper.NewInMemory(src)
 		if err != nil {

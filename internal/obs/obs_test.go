@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndAttrs(t *testing.T) {
+	root := New("root")
+	a := root.Child("a")
+	a.SetInt("rows", 3)
+	a.AddInt("rows", 2)
+	a.SetStr("status", "ok")
+	a.End()
+	b := root.Child("b")
+	b.End()
+	root.End()
+
+	if root.Name() != "root" {
+		t.Fatalf("name = %q", root.Name())
+	}
+	kids := root.Children()
+	if len(kids) != 2 || kids[0].Name() != "a" || kids[1].Name() != "b" {
+		t.Fatalf("children = %v", kids)
+	}
+	if v, ok := a.Int("rows"); !ok || v != 5 {
+		t.Fatalf("rows = %d ok=%v", v, ok)
+	}
+	if v, ok := a.Str("status"); !ok || v != "ok" {
+		t.Fatalf("status = %q ok=%v", v, ok)
+	}
+	if _, ok := a.Int("missing"); ok {
+		t.Fatal("missing attr reported present")
+	}
+	if root.Duration() <= 0 {
+		t.Fatal("duration not recorded")
+	}
+	if root.Find("b") != kids[1] {
+		t.Fatal("Find failed")
+	}
+	if root.Find("nope") != nil {
+		t.Fatal("Find found a ghost")
+	}
+}
+
+func TestSpanEndTwiceKeepsFirst(t *testing.T) {
+	s := New("s")
+	s.End()
+	d := s.Duration()
+	time.Sleep(2 * time.Millisecond)
+	s.End()
+	if s.Duration() != d {
+		t.Fatalf("second End changed duration: %v vs %v", s.Duration(), d)
+	}
+}
+
+func TestNilSpanIsSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	s.Childf("x %d", 1)
+	s.End()
+	s.SetInt("k", 1)
+	s.AddInt("k", 1)
+	s.SetStr("k", "v")
+	if s.Name() != "" || s.Duration() != 0 {
+		t.Fatal("nil span has identity")
+	}
+	if _, ok := s.Int("k"); ok {
+		t.Fatal("nil span has attrs")
+	}
+	if _, ok := s.Str("k"); ok {
+		t.Fatal("nil span has attrs")
+	}
+	if s.Children() != nil || s.Find("x") != nil {
+		t.Fatal("nil span has structure")
+	}
+	if !strings.Contains(s.Render(), "no trace") {
+		t.Fatalf("nil render = %q", s.Render())
+	}
+}
+
+func TestNilCountersIsSafe(t *testing.T) {
+	var c *Counters
+	c.Add("a", 1)
+	c.Set("a", 2)
+	c.Reset()
+	if c.Get("a") != 0 {
+		t.Fatal("nil counters hold state")
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("nil snapshot non-nil")
+	}
+	if !strings.Contains(c.Render(), "no counters") {
+		t.Fatalf("nil render = %q", c.Render())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("x", 2)
+	c.Add("x", 3)
+	c.Set("g", 7)
+	if c.Get("x") != 5 || c.Get("g") != 7 {
+		t.Fatalf("snapshot = %v", c.Snapshot())
+	}
+	snap := c.Snapshot()
+	c.Add("x", 1)
+	if snap["x"] != 5 {
+		t.Fatal("snapshot not a copy")
+	}
+	out := c.Render()
+	if !strings.Contains(out, "g") || !strings.Contains(out, "x") {
+		t.Fatalf("render = %q", out)
+	}
+	c.Reset()
+	if c.Get("x") != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// TestSpanConcurrent exercises the paths used by the worker pool:
+// concurrent Child/attr updates under -race.
+func TestSpanConcurrent(t *testing.T) {
+	root := New("root")
+	ctr := NewCounters()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c := root.Childf("w%d-%d", i, j)
+				c.AddInt("n", 1)
+				c.End()
+				root.AddInt("total", 1)
+				ctr.Add("ops", 1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	root.End()
+	if n := len(root.Children()); n != 800 {
+		t.Fatalf("children = %d", n)
+	}
+	if v, _ := root.Int("total"); v != 800 {
+		t.Fatalf("total = %d", v)
+	}
+	if ctr.Get("ops") != 800 {
+		t.Fatalf("ops = %d", ctr.Get("ops"))
+	}
+}
+
+func TestRenderCapsChildren(t *testing.T) {
+	root := New("root")
+	for i := 0; i < maxRenderChildren+5; i++ {
+		root.Childf("round %d", i).End()
+	}
+	root.End()
+	out := root.Render()
+	if !strings.Contains(out, "(+5 more)") {
+		t.Fatalf("render missing cap marker:\n%s", out)
+	}
+	if strings.Contains(out, "round 13") {
+		t.Fatalf("render shows capped child:\n%s", out)
+	}
+}
+
+func TestRenderShowsAttrsAndDurations(t *testing.T) {
+	root := New("query")
+	c := root.Child("evaluate")
+	c.SetInt("rows", 42)
+	c.SetStr("status", "ok")
+	c.End()
+	root.End()
+	out := root.Render()
+	for _, want := range []string{"query", "evaluate", "rows=42", "status=ok"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The disabled path must be near-free: these benchmarks document the
+// nil-sink fast path the instrumented layers rely on.
+func BenchmarkSpanDisabled(b *testing.B) {
+	var s *Span
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := s.Child("round")
+		c.SetInt("delta", int64(i))
+		c.End()
+	}
+}
+
+func BenchmarkCountersDisabled(b *testing.B) {
+	var c *Counters
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add("n", 1)
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	s := New("root")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := s.Child("round")
+		c.SetInt("delta", int64(i))
+		c.End()
+	}
+}

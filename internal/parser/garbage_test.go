@@ -1,0 +1,63 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+)
+
+// garbageCorpus is a deterministic stand-in for the fuzzer in plain
+// `go test` runs: truncations, unbalanced delimiters, stray operators
+// and binary junk. Every entry must come back as a returned error (or
+// parse cleanly) — never a panic.
+var garbageCorpus = []string{
+	"", ".", "..", ":-", ":- .", "p(", "p(X", "p(X,", "p(X) :-", "p(X) :- ,",
+	"?-", "?- .", "?- p(", "not", "not (", "not (p(X)", "a :- b", "a[",
+	"a[m", "a[m->", "a[m->>", "a[m->{", "a[m->{x,", "a : ", "a ::", "a isa",
+	"X = sum{", "X = sum{V", "X = sum{V;", "X = sum{V; p(V)", "X = count{;}",
+	"p(X) :- X is", "p(X) :- X is 1 +", "p(X) :- X is mod", "- .", "p :- -",
+	"\"unterminated", "'unterminated", "p(1.2.3).", "p().", "p(,).",
+	"\x00\x01\xff", "((((((((", "))))))))", "{{{{", "}}}}", "[;].",
+	"p(a) q(b).", "p(a)..", "not not p(a).", "$x(1).",
+}
+
+// TestGarbageInputsReturnErrors feeds the corpus plus every truncation
+// of a representative rule through all parse entry points: malformed
+// input must surface as an error, never a panic (the shell prints the
+// error and keeps its session).
+func TestGarbageInputsReturnErrors(t *testing.T) {
+	inputs := append([]string{}, garbageCorpus...)
+	const rule = `t(G,S) :- S = sum{A[G] per O; m(G,O,A)}, not (a(G), b(G)), o[size -> 3].`
+	for i := range rule {
+		inputs = append(inputs, rule[:i])
+	}
+	for _, in := range inputs {
+		in := in
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Errorf("parsing %q panicked: %v", in, r)
+				}
+			}()
+			Parse(in)
+			ParseRules(in)
+			ParseQuery(in)
+			ParseTerm(in)
+		}()
+	}
+}
+
+// TestParseErrorsAreDescriptive spot-checks that the returned errors
+// carry the parser prefix and a line number, so the shell's output is
+// actionable.
+func TestParseErrorsAreDescriptive(t *testing.T) {
+	for _, in := range []string{"p(X :- q(X).", "a[m => ].", "?- p(X)"} {
+		_, err := Parse(in)
+		if err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), "parser:") {
+			t.Errorf("Parse(%q) error %q lacks parser prefix", in, err)
+		}
+	}
+}

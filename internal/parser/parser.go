@@ -16,8 +16,13 @@ type ParsedProgram struct {
 	Queries [][]datalog.BodyElem
 }
 
-// Parse parses a complete rule text.
-func Parse(src string) (*ParsedProgram, error) {
+// Parse parses a complete rule text. Like every parse entry point in
+// this package it never panics on malformed input: an internal panic
+// (a bug driving the cursor out of bounds on some garbage program) is
+// converted to a returned error so interactive callers can print it
+// and continue.
+func Parse(src string) (_ *ParsedProgram, err error) {
+	defer recoverParse(&err)
 	toks, err := lex(src)
 	if err != nil {
 		return nil, err
@@ -72,7 +77,8 @@ func MustParseRules(src string) []datalog.Rule {
 // ParseQuery parses a query body (without the leading `?-` and trailing
 // dot optional). It returns the body elements plus any auxiliary rules
 // generated for negated conjunctions.
-func ParseQuery(src string) ([]datalog.BodyElem, []datalog.Rule, error) {
+func ParseQuery(src string) (_ []datalog.BodyElem, _ []datalog.Rule, err error) {
+	defer recoverParse(&err)
 	toks, err := lex(src)
 	if err != nil {
 		return nil, nil, err
@@ -92,7 +98,8 @@ func ParseQuery(src string) ([]datalog.BodyElem, []datalog.Rule, error) {
 }
 
 // ParseTerm parses a single term.
-func ParseTerm(src string) (term.Term, error) {
+func ParseTerm(src string) (_ term.Term, err error) {
+	defer recoverParse(&err)
 	toks, err := lex(src)
 	if err != nil {
 		return term.Term{}, err
@@ -106,6 +113,15 @@ func ParseTerm(src string) (term.Term, error) {
 		return term.Term{}, fmt.Errorf("parser: trailing input after term at line %d", p.peek().line)
 	}
 	return t, nil
+}
+
+// recoverParse converts a panic escaping the recursive-descent core
+// into a returned error. The zero results of the recovering entry
+// point are returned alongside it.
+func recoverParse(err *error) {
+	if r := recover(); r != nil {
+		*err = fmt.Errorf("parser: invalid input: %v", r)
+	}
 }
 
 type parser struct {

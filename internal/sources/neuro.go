@@ -22,11 +22,23 @@ import (
 	"modelmed/internal/wrapper"
 )
 
-// NeuroDM builds the ANATOM domain map: the Figure 1 axioms, the
+// NeuroDM builds the ANATOM domain map (see NewNeuroDM). The axiom set
+// is static, so a construction failure is a programming error and this
+// convenience wrapper panics on it; code assembling domain maps from
+// configuration should use NewNeuroDM and handle the error.
+func NeuroDM() *domainmap.DomainMap {
+	dm, err := NewNeuroDM()
+	if err != nil {
+		panic(err)
+	}
+	return dm
+}
+
+// NewNeuroDM builds the ANATOM domain map: the Figure 1 axioms, the
 // Figure 3 Neostriatum fragment, and an anatomical containment hierarchy
 // (nervous_system … cerebellum … purkinje_cell … spine) under the has_a
 // role, which the Section 5 query and the Example 4 view traverse.
-func NeuroDM() *domainmap.DomainMap {
+func NewNeuroDM() (*domainmap.DomainMap, error) {
 	dm := domainmap.New("ANATOM")
 	axioms := []dl.Axiom{
 		// --- Figure 1: cell-level knowledge ---
@@ -78,10 +90,9 @@ func NeuroDM() *domainmap.DomainMap {
 			dl.C("globus_pallidus_external"), dl.C("globus_pallidus_internal")))),
 	}
 	if err := dm.AddAxioms(axioms...); err != nil {
-		// The axiom set is static; a failure is a programming error.
-		panic(err)
+		return nil, fmt.Errorf("sources: building ANATOM: %w", err)
 	}
-	return dm
+	return dm, nil
 }
 
 // Fig3Registration returns the DL axioms a source sends to register the

@@ -68,7 +68,7 @@ func TestGeneratorsDeterministic(t *testing.T) {
 func TestModelsValidate(t *testing.T) {
 	for _, m := range []interface{ Validate() error }{
 		Synapse(1, 50), NCMIR(2, 50), SenseLab(3, 50),
-		SyntheticSource("s", 4, 50, []string{"a", "b"}),
+		MustSyntheticSource("s", 4, 50, []string{"a", "b"}),
 		Bookstore("amazon", 5, 50),
 	} {
 		if err := m.Validate(); err != nil {
@@ -155,7 +155,10 @@ func TestWrappersCapabilities(t *testing.T) {
 }
 
 func TestSyntheticDMShape(t *testing.T) {
-	dm := SyntheticDM(2, 3, 2)
+	dm, err := SyntheticDM(2, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// 1 root + 3 + 9 tree nodes + 2 isa per 9 leaves = 13 + 18.
 	if got := len(dm.Concepts()); got != 31 {
 		t.Errorf("concepts = %d, want 31", got)
@@ -178,5 +181,26 @@ func TestFig3RegistrationAxioms(t *testing.T) {
 	}
 	if got := dm.DC("proj", "my_neuron"); len(got) == 0 || got[0] != "globus_pallidus_external" {
 		t.Errorf("my_neuron proj = %v", got)
+	}
+}
+
+// TestConstructorErrorsOnBadConfig: a generator config that used to
+// panic inside the generators now surfaces as a constructor error, so
+// federation builders can skip or degrade the affected source.
+func TestConstructorErrorsOnBadConfig(t *testing.T) {
+	if _, err := SyntheticSource("bad", 1, 5, nil); err == nil {
+		t.Error("SyntheticSource with records but no concepts must error")
+	}
+	if _, err := SyntheticSource("bad", 1, -1, []string{"ca1"}); err == nil {
+		t.Error("SyntheticSource with negative record count must error")
+	}
+	if m, err := SyntheticSource("empty", 1, 0, nil); err != nil || len(m.Objects) != 0 {
+		t.Errorf("empty synthetic source should be valid, got %v", err)
+	}
+	if _, err := SyntheticDM(-1, 2, 1); err == nil {
+		t.Error("SyntheticDM with negative depth must error")
+	}
+	if dm, err := NewNeuroDM(); err != nil || dm == nil {
+		t.Errorf("NewNeuroDM: %v", err)
 	}
 }

@@ -13,8 +13,14 @@ import (
 // SyntheticDM builds a scalable domain map for the closure and
 // source-selection benchmarks: a containment tree of the given depth and
 // fanout under the has_a role, with an isa chain of the given length
-// hanging off every leaf. Concept names are deterministic.
-func SyntheticDM(depth, fanout, isaChain int) *domainmap.DomainMap {
+// hanging off every leaf. Concept names are deterministic. A bad
+// generator configuration (negative dimensions, or axioms the domain
+// map rejects) is a returned error, so callers can degrade the
+// affected source instead of crashing.
+func SyntheticDM(depth, fanout, isaChain int) (*domainmap.DomainMap, error) {
+	if depth < 0 || fanout < 0 || isaChain < 0 {
+		return nil, fmt.Errorf("sources: synthetic domain map: negative dimensions d=%d f=%d isa=%d", depth, fanout, isaChain)
+	}
 	dm := domainmap.New(fmt.Sprintf("synthetic_d%d_f%d", depth, fanout))
 	var axioms []dl.Axiom
 	var build func(name string, level int)
@@ -38,6 +44,16 @@ func SyntheticDM(depth, fanout, isaChain int) *domainmap.DomainMap {
 	}
 	build("root", 0)
 	if err := dm.AddAxioms(axioms...); err != nil {
+		return nil, fmt.Errorf("sources: synthetic domain map: %w", err)
+	}
+	return dm, nil
+}
+
+// MustSyntheticDM is SyntheticDM panicking on error; for benchmarks and
+// tests with statically known dimensions.
+func MustSyntheticDM(depth, fanout, isaChain int) *domainmap.DomainMap {
+	dm, err := SyntheticDM(depth, fanout, isaChain)
+	if err != nil {
 		panic(err)
 	}
 	return dm
@@ -45,8 +61,17 @@ func SyntheticDM(depth, fanout, isaChain int) *domainmap.DomainMap {
 
 // SyntheticSource builds a source model whose objects anchor uniformly
 // at the given concepts; used for scaling the number of registered
-// sources in the source-selection benchmarks.
-func SyntheticSource(name string, seed int64, n int, concepts []string) *gcm.Model {
+// sources in the source-selection benchmarks. A configuration that
+// asks for records but gives no concepts to anchor them at is a
+// returned error (it used to panic inside the generator), so a bad
+// source config degrades instead of crashing the federation build.
+func SyntheticSource(name string, seed int64, n int, concepts []string) (*gcm.Model, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sources: synthetic source %s: negative record count %d", name, n)
+	}
+	if n > 0 && len(concepts) == 0 {
+		return nil, fmt.Errorf("sources: synthetic source %s: %d records requested but no anchor concepts given", name, n)
+	}
 	r := rand.New(rand.NewSource(seed))
 	m := gcm.NewModel(name)
 	m.AddClass(&gcm.Class{Name: "record", Methods: []gcm.MethodSig{
@@ -62,6 +87,16 @@ func SyntheticSource(name string, seed int64, n int, concepts []string) *gcm.Mod
 				"value":    {term.Float(float64(r.Intn(1000)) / 10)},
 			},
 		})
+	}
+	return m, nil
+}
+
+// MustSyntheticSource is SyntheticSource panicking on error; for
+// benchmarks and tests with statically known configurations.
+func MustSyntheticSource(name string, seed int64, n int, concepts []string) *gcm.Model {
+	m, err := SyntheticSource(name, seed, n, concepts)
+	if err != nil {
+		panic(err)
 	}
 	return m
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"modelmed/internal/gcm"
+	"modelmed/internal/obs"
 	"modelmed/internal/term"
 )
 
@@ -32,6 +33,28 @@ type Faulty struct {
 	calls  map[string]int // call site -> total calls issued
 	consec map[string]int // call site -> consecutive injected errors
 	stats  FaultStats
+	obsC   *obs.Counters
+}
+
+// SetObsCounters implements CounterSink. The sink is attached to the
+// decorator only, not the inner wrapper, so each mediator-visible call
+// is counted once and injected faults are attributed to this layer
+// ("wrapper.<source>.injected_*" vs. the shared per-call counters).
+func (f *Faulty) SetObsCounters(c *obs.Counters) {
+	f.mu.Lock()
+	f.obsC = c
+	f.mu.Unlock()
+}
+
+// obsStart mirrors InMemory.obsStart for the decorator layer.
+func (f *Faulty) obsStart() (*obs.Counters, time.Time) {
+	f.mu.Lock()
+	c := f.obsC
+	f.mu.Unlock()
+	if c == nil {
+		return nil, time.Time{}
+	}
+	return c, time.Now()
 }
 
 // FaultConfig is a fault schedule. The zero value injects nothing.
@@ -134,9 +157,11 @@ func (f *Faulty) decide(op, site string) verdict {
 	n := f.calls[site]
 	f.calls[site]++
 	f.stats.Calls++
+	ctr := f.obsC
 	fail := func() verdict {
 		f.stats.Errors++
 		f.consec[site]++
+		ctr.Add("wrapper."+f.inner.Name()+".injected_errors", 1)
 		return verdict{err: &FaultError{Source: f.inner.Name(), Op: op, Call: n}}
 	}
 	if f.cfg.Down {
@@ -147,6 +172,7 @@ func (f *Faulty) decide(op, site string) verdict {
 	}
 	if n-f.cfg.FailFirst < f.cfg.HangFirst {
 		f.stats.Hangs++
+		ctr.Add("wrapper."+f.inner.Name()+".injected_hangs", 1)
 		return verdict{hang: true, truncate: 1}
 	}
 	r := rand.New(rand.NewSource(f.cfg.Seed ^ int64(siteHash(site)) + int64(n)*1099511628211))
@@ -159,10 +185,12 @@ func (f *Faulty) decide(op, site string) verdict {
 	v := verdict{truncate: 1}
 	if f.cfg.HangProb > 0 && r.Float64() < f.cfg.HangProb {
 		f.stats.Hangs++
+		ctr.Add("wrapper."+f.inner.Name()+".injected_hangs", 1)
 		v.hang = true
 	}
 	if f.cfg.TruncateProb > 0 && r.Float64() < f.cfg.TruncateProb {
 		f.stats.Truncations++
+		ctr.Add("wrapper."+f.inner.Name()+".injected_truncations", 1)
 		v.truncate = r.Float64()
 	}
 	return v
@@ -215,30 +243,40 @@ func (f *Faulty) Stats() Stats { return f.inner.Stats() }
 
 // QueryObjects implements Wrapper with the fault schedule applied.
 func (f *Faulty) QueryObjects(q Query) ([]gcm.Object, error) {
+	ctr, start := f.obsStart()
 	v := f.decide("QueryObjects", querySite("QueryObjects", q))
 	if v.err != nil {
+		obsEnd(ctr, f.inner.Name(), start, "", 0, v.err)
 		return nil, v.err
 	}
 	f.apply(v)
 	objs, err := f.inner.QueryObjects(q)
 	if err != nil {
+		obsEnd(ctr, f.inner.Name(), start, "", 0, err)
 		return nil, err
 	}
-	return objs[:truncLen(len(objs), v.truncate)], nil
+	objs = objs[:truncLen(len(objs), v.truncate)]
+	obsEnd(ctr, f.inner.Name(), start, "objects", len(objs), nil)
+	return objs, nil
 }
 
 // QueryTuples implements Wrapper with the fault schedule applied.
 func (f *Faulty) QueryTuples(q Query) ([][]term.Term, error) {
+	ctr, start := f.obsStart()
 	v := f.decide("QueryTuples", querySite("QueryTuples", q))
 	if v.err != nil {
+		obsEnd(ctr, f.inner.Name(), start, "", 0, v.err)
 		return nil, v.err
 	}
 	f.apply(v)
 	tps, err := f.inner.QueryTuples(q)
 	if err != nil {
+		obsEnd(ctr, f.inner.Name(), start, "", 0, err)
 		return nil, err
 	}
-	return tps[:truncLen(len(tps), v.truncate)], nil
+	tps = tps[:truncLen(len(tps), v.truncate)]
+	obsEnd(ctr, f.inner.Name(), start, "tuples", len(tps), nil)
+	return tps, nil
 }
 
 // QueryTemplate implements Wrapper with the fault schedule applied.
@@ -252,16 +290,21 @@ func (f *Faulty) QueryTemplate(name string, params map[string]term.Term) ([]gcm.
 	for _, k := range keys {
 		site += "|" + k + "=" + params[k].Key()
 	}
+	ctr, start := f.obsStart()
 	v := f.decide("QueryTemplate", site)
 	if v.err != nil {
+		obsEnd(ctr, f.inner.Name(), start, "", 0, v.err)
 		return nil, v.err
 	}
 	f.apply(v)
 	objs, err := f.inner.QueryTemplate(name, params)
 	if err != nil {
+		obsEnd(ctr, f.inner.Name(), start, "", 0, err)
 		return nil, err
 	}
-	return objs[:truncLen(len(objs), v.truncate)], nil
+	objs = objs[:truncLen(len(objs), v.truncate)]
+	obsEnd(ctr, f.inner.Name(), start, "objects", len(objs), nil)
+	return objs, nil
 }
 
 // truncLen maps a keep-fraction to a prefix length.

@@ -11,8 +11,10 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"modelmed/internal/gcm"
+	"modelmed/internal/obs"
 	"modelmed/internal/term"
 	"modelmed/internal/xmlio"
 )
@@ -112,6 +114,31 @@ type Wrapper interface {
 	Stats() Stats
 }
 
+// CounterSink is implemented by wrappers that can report per-call
+// latency/outcome counters into an observability sink. The mediator
+// attaches its counter set when tracing is enabled (and detaches with
+// nil when disabled); a wrapper with no sink records nothing. Counter
+// names follow "wrapper.<source>.<metric>" — see DESIGN.md,
+// "Observability".
+type CounterSink interface {
+	SetObsCounters(c *obs.Counters)
+}
+
+// obsEnd charges one finished wrapper call to a sink; a nil sink is a
+// no-op. kind ("objects"/"tuples") labels the success payload counter.
+func obsEnd(c *obs.Counters, name string, start time.Time, kind string, n int, err error) {
+	if c == nil {
+		return
+	}
+	c.Add("wrapper."+name+".calls", 1)
+	c.Add("wrapper."+name+".latency_ns", time.Since(start).Nanoseconds())
+	if err != nil {
+		c.Add("wrapper."+name+".errors", 1)
+	} else if kind != "" {
+		c.Add("wrapper."+name+"."+kind, int64(n))
+	}
+}
+
 // TemplateFunc answers one query template over a model.
 type TemplateFunc func(m *gcm.Model, params map[string]term.Term) ([]gcm.Object, error)
 
@@ -123,6 +150,26 @@ type InMemory struct {
 	caps      []Capability
 	templates map[string]TemplateFunc
 	stats     Stats
+	obsC      *obs.Counters
+}
+
+// SetObsCounters implements CounterSink.
+func (w *InMemory) SetObsCounters(c *obs.Counters) {
+	w.mu.Lock()
+	w.obsC = c
+	w.mu.Unlock()
+}
+
+// obsStart returns the attached sink (nil when observability is off)
+// and the call start time; the clock is only read when a sink is set.
+func (w *InMemory) obsStart() (*obs.Counters, time.Time) {
+	w.mu.Lock()
+	c := w.obsC
+	w.mu.Unlock()
+	if c == nil {
+		return nil, time.Time{}
+	}
+	return c, time.Now()
 }
 
 // NewInMemory wraps a model with the given capabilities. If caps is
@@ -165,6 +212,7 @@ func (w *InMemory) RegisterTemplate(name string, params []string, fn TemplateFun
 
 // QueryTemplate implements Wrapper.
 func (w *InMemory) QueryTemplate(name string, params map[string]term.Term) ([]gcm.Object, error) {
+	ctr, start := w.obsStart()
 	w.mu.Lock()
 	fn := w.templates[name]
 	var cap Capability
@@ -177,7 +225,9 @@ func (w *InMemory) QueryTemplate(name string, params map[string]term.Term) ([]gc
 	}
 	w.mu.Unlock()
 	if fn == nil || !declared {
-		return nil, fmt.Errorf("wrapper %s: no template %q", w.model.Name, name)
+		err := fmt.Errorf("wrapper %s: no template %q", w.model.Name, name)
+		obsEnd(ctr, w.model.Name, start, "", 0, err)
+		return nil, err
 	}
 	for p := range params {
 		ok := false
@@ -188,18 +238,22 @@ func (w *InMemory) QueryTemplate(name string, params map[string]term.Term) ([]gc
 			}
 		}
 		if !ok {
-			return nil, fmt.Errorf("wrapper %s: template %q has no parameter %q (has %v)",
+			err := fmt.Errorf("wrapper %s: template %q has no parameter %q (has %v)",
 				w.model.Name, name, p, cap.Bindable)
+			obsEnd(ctr, w.model.Name, start, "", 0, err)
+			return nil, err
 		}
 	}
 	objs, err := fn(w.model, params)
 	if err != nil {
+		obsEnd(ctr, w.model.Name, start, "", 0, err)
 		return nil, err
 	}
 	w.mu.Lock()
 	w.stats.Queries++
 	w.stats.ObjectsReturned += len(objs)
 	w.mu.Unlock()
+	obsEnd(ctr, w.model.Name, start, "objects", len(objs), nil)
 	return objs, nil
 }
 
@@ -306,7 +360,9 @@ func (w *InMemory) classAndDescendants(class string) map[string]bool {
 
 // QueryObjects implements Wrapper.
 func (w *InMemory) QueryObjects(q Query) ([]gcm.Object, error) {
+	ctr, start := w.obsStart()
 	if _, err := w.capabilityFor(q, true); err != nil {
+		obsEnd(ctr, w.model.Name, start, "", 0, err)
 		return nil, err
 	}
 	classes := w.classAndDescendants(q.Target)
@@ -325,6 +381,7 @@ func (w *InMemory) QueryObjects(q Query) ([]gcm.Object, error) {
 	w.stats.Queries++
 	w.stats.ObjectsReturned += len(out)
 	w.mu.Unlock()
+	obsEnd(ctr, w.model.Name, start, "objects", len(out), nil)
 	return out, nil
 }
 
@@ -347,12 +404,16 @@ func matchSelections(values map[string][]term.Term, sels []Selection) bool {
 // QueryTuples implements Wrapper. Selections address relation attributes
 // by name.
 func (w *InMemory) QueryTuples(q Query) ([][]term.Term, error) {
+	ctr, start := w.obsStart()
 	if _, err := w.capabilityFor(q, false); err != nil {
+		obsEnd(ctr, w.model.Name, start, "", 0, err)
 		return nil, err
 	}
 	rel := w.model.Relations[q.Target]
 	if rel == nil {
-		return nil, fmt.Errorf("wrapper %s: unknown relation %s", w.model.Name, q.Target)
+		err := fmt.Errorf("wrapper %s: unknown relation %s", w.model.Name, q.Target)
+		obsEnd(ctr, w.model.Name, start, "", 0, err)
+		return nil, err
 	}
 	pos := map[string]int{}
 	for i, a := range rel.Attrs {
@@ -376,6 +437,7 @@ func (w *InMemory) QueryTuples(q Query) ([][]term.Term, error) {
 	w.stats.Queries++
 	w.stats.TuplesReturned += len(out)
 	w.mu.Unlock()
+	obsEnd(ctr, w.model.Name, start, "tuples", len(out), nil)
 	return out, nil
 }
 
