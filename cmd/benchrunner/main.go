@@ -3,7 +3,7 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr]
 //
 //	[-workers N]  worker count for the parallel experiment
 //	              (0 = GOMAXPROCS); the serial leg always runs with 1
@@ -16,11 +16,14 @@
 // failed), answer sizes and materialization latency under the
 // fault-tolerant fan-out. The obs experiment writes BENCH_obs.json:
 // the tracing layer's stage-level latency breakdown of the Section 5
-// query under the parallel and faulty configurations.
+// query under the parallel and faulty configurations. The incr
+// experiment writes BENCH_incr.json: incremental view maintenance
+// (SyncSources / ApplySourceDelta patching the cached materialization)
+// vs full re-materialization on <=1% deltas. All BENCH_*.json reports
+// are written atomically (temp file + rename).
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +65,7 @@ func main() {
 		{"parallel", parallelExp, "Parallel evaluation — serial vs worker-pool speedups"},
 		{"faults", faultsExp, "Fault tolerance — fault-rate x retry-budget sweep with graceful degradation"},
 		{"obs", obsExp, "Observability — stage-level latency breakdown of the Section 5 query"},
+		{"incr", incrExp, "Incremental maintenance — delta patch vs full re-materialization"},
 	}
 	ran := 0
 	for _, e := range experiments {
@@ -602,15 +606,7 @@ func parallelExp() error {
 		return err
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_parallel.json", append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("wrote BENCH_parallel.json")
-	return nil
+	return writeJSON("BENCH_parallel.json", rep)
 }
 
 // faultsReport is the JSON shape of BENCH_faults.json: a sweep of
@@ -720,15 +716,7 @@ func faultsExp() error {
 			name, entry.OK, entry.Degraded, entry.Failed, entry.Retried,
 			entry.AnchorFacts, (total / runs).Round(time.Microsecond))
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_faults.json", append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("wrote BENCH_faults.json")
-	return nil
+	return writeJSON("BENCH_faults.json", rep)
 }
 
 func containsStr(xs []string, x string) bool {
@@ -843,13 +831,5 @@ func obsExp() error {
 		fmt.Printf("stage spans cover %.1f%% of the end-to-end time\n\n", cover)
 	}
 
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile("BENCH_obs.json", append(data, '\n'), 0o644); err != nil {
-		return err
-	}
-	fmt.Println("wrote BENCH_obs.json")
-	return nil
+	return writeJSON("BENCH_obs.json", rep)
 }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteJSONAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+
+	type doc struct {
+		Name  string
+		Count int
+	}
+	if err := writeJSON(path, doc{Name: "first", Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("report should end with a newline")
+	}
+	var got doc
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if got.Name != "first" || got.Count != 1 {
+		t.Errorf("round-trip = %+v", got)
+	}
+	if !strings.Contains(string(data), "  \"Name\"") {
+		t.Error("report should be indented")
+	}
+
+	// Overwrite replaces the previous report wholesale.
+	if err := writeJSON(path, doc{Name: "second", Count: 2}); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "second" {
+		t.Errorf("overwrite kept stale content: %+v", got)
+	}
+
+	// No temp files left behind in the target directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) {
+			t.Errorf("stray file left behind: %s", e.Name())
+		}
+	}
+
+	// Unmarshalable values fail without touching the target.
+	if err := writeJSON(path, func() {}); err == nil {
+		t.Error("writeJSON should reject unmarshalable values")
+	}
+	data2, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data2) != string(data) {
+		t.Error("failed write clobbered the previous report")
+	}
+}

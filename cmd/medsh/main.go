@@ -32,7 +32,12 @@
 // (integrity constraints over the federation), `.checkdm` (also
 // data-completeness of domain-map edges), `.dot` (domain map as
 // GraphViz), `.load FILE` (rule file with views and `?-` queries),
-// `.fig3` (registers the Figure 3 knowledge), `.quit`.
+// `.fig3` (registers the Figure 3 knowledge), `.delta SRC +fact(...)
+// -fact(...)` (pushes ground source-fact insertions/deletions through
+// incremental maintenance, patching the cached materialization),
+// `.sync` (re-pulls sources whose data version changed and patches the
+// cache), `.invalidate` (drops the cache so the next query rebuilds
+// from scratch), `.quit`.
 package main
 
 import (
@@ -86,7 +91,7 @@ func main() {
 
 	fmt.Printf("model-based mediator: %d sources registered over %s (%d concepts)\n",
 		len(med.Sources()), med.DomainMap().Name(), len(med.DomainMap().Concepts()))
-	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .reports .trace on|off .stats .check .checkdm .dot .load FILE .fig3 .quit`)
+	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .reports .trace on|off .stats .check .checkdm .dot .load FILE .fig3 .delta SRC +f(..) -f(..) .sync .invalidate .quit`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("medsh> ")
@@ -207,6 +212,72 @@ func loadRuleFile(med *mediator.Mediator, src string) error {
 		fmt.Printf("(%d rows)\n", len(ans.Rows))
 	}
 	return nil
+}
+
+// runDelta handles `.delta SRC +fact(...) -fact(...)`: the first field
+// names a registered source, every following signed term is a ground
+// source fact (src_obj/src_val/src_sub/src_tuple/anchor) pushed as an
+// insertion (+) or deletion (-) through incremental maintenance.
+func runDelta(med *mediator.Mediator, rest string) error {
+	rest = strings.TrimSpace(rest)
+	i := strings.IndexAny(rest, " \t")
+	if i < 0 {
+		return fmt.Errorf("usage: .delta SRC +fact(...) -fact(...)")
+	}
+	src := rest[:i]
+	var adds, dels []datalog.Rule
+	for _, tok := range splitSigned(rest[i:]) {
+		sign, body := tok[0], strings.TrimSpace(tok[1:])
+		t, err := parser.ParseTerm(body)
+		if err != nil {
+			return fmt.Errorf("delta fact %q: %w", body, err)
+		}
+		if t.Kind() != term.KindCompound {
+			return fmt.Errorf("delta fact %q: want pred(arg1, ...)", body)
+		}
+		f := datalog.Fact(t.Name(), t.Args()...)
+		if sign == '+' {
+			adds = append(adds, f)
+		} else {
+			dels = append(dels, f)
+		}
+	}
+	if len(adds)+len(dels) == 0 {
+		return fmt.Errorf("usage: .delta SRC +fact(...) -fact(...)")
+	}
+	rep, err := med.ApplySourceDelta(src, adds, dels)
+	if err != nil {
+		return err
+	}
+	fmt.Println(" ", rep)
+	return nil
+}
+
+// splitSigned splits "+f(a, b) -g(c)" into signed fact chunks. Only a
+// '+' or '-' at paren depth zero starts a new chunk, so commas and
+// signs inside argument lists don't split a fact.
+func splitSigned(s string) []string {
+	var out []string
+	depth, start := 0, -1
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '+', '-':
+			if depth == 0 {
+				if start >= 0 {
+					out = append(out, strings.TrimSpace(s[start:i]))
+				}
+				start = i
+			}
+		}
+	}
+	if start >= 0 {
+		out = append(out, strings.TrimSpace(s[start:]))
+	}
+	return out
 }
 
 func runLine(med *mediator.Mediator, line string) error {
@@ -357,6 +428,25 @@ func runLine(med *mediator.Mediator, line string) error {
 		} else {
 			fmt.Print(d)
 		}
+		return nil
+	case strings.HasPrefix(line, ".delta "):
+		return runDelta(med, strings.TrimPrefix(line, ".delta "))
+	case line == ".sync":
+		reps, err := med.SyncSources()
+		if err != nil {
+			return err
+		}
+		if len(reps) == 0 {
+			fmt.Println("all sources up to date")
+			return nil
+		}
+		for _, r := range reps {
+			fmt.Println(" ", r)
+		}
+		return nil
+	case line == ".invalidate":
+		med.Invalidate()
+		fmt.Println("cache invalidated: the next query re-materializes from scratch")
 		return nil
 	case line == ".dot":
 		fmt.Print(med.DomainMap().DOT())

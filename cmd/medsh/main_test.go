@@ -416,3 +416,67 @@ func TestRunLineSurvivesGarbage(t *testing.T) {
 		t.Errorf("session did not survive garbage input: %v", err)
 	}
 }
+
+func TestSplitSigned(t *testing.T) {
+	got := splitSigned(` +src_val('SYNAPSE', o1, spine_density, 2.5) -src_obj('SYNAPSE', o2, spine_measurement)`)
+	if len(got) != 2 {
+		t.Fatalf("splitSigned = %v", got)
+	}
+	if got[0] != "+src_val('SYNAPSE', o1, spine_density, 2.5)" {
+		t.Errorf("chunk 0 = %q", got[0])
+	}
+	if got[1] != "-src_obj('SYNAPSE', o2, spine_measurement)" {
+		t.Errorf("chunk 1 = %q", got[1])
+	}
+	// Signs inside argument lists don't split a chunk.
+	got = splitSigned("+f(a, -1, g(+2))")
+	if len(got) != 1 || got[0] != "+f(a, -1, g(+2))" {
+		t.Errorf("nested signs = %v", got)
+	}
+	if got := splitSigned("   "); len(got) != 0 {
+		t.Errorf("blank input = %v", got)
+	}
+}
+
+func TestRunLineDeltaSyncInvalidate(t *testing.T) {
+	med, err := buildScenario(3, 10, 20, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Push a new SYNAPSE record and see it through a query.
+	cmd := `.delta SYNAPSE +src_obj('SYNAPSE', pushed_m, spine_measurement) +src_val('SYNAPSE', pushed_m, spine_density, 9.5)`
+	if err := runLine(med, cmd); err != nil {
+		t.Fatalf(".delta: %v", err)
+	}
+	ans, err := med.Query(`src_val('SYNAPSE', pushed_m, spine_density, V)`, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 1 {
+		t.Errorf("pushed fact not visible: %d rows", len(ans.Rows))
+	}
+	// Retract it again.
+	if err := runLine(med, `.delta SYNAPSE -src_obj('SYNAPSE', pushed_m, spine_measurement) -src_val('SYNAPSE', pushed_m, spine_density, 9.5)`); err != nil {
+		t.Fatalf(".delta retract: %v", err)
+	}
+	ans, err = med.Query(`src_val('SYNAPSE', pushed_m, spine_density, V)`, "V")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) != 0 {
+		t.Errorf("retracted fact still visible: %d rows", len(ans.Rows))
+	}
+	// .sync with untouched wrappers reports nothing to do.
+	if err := runLine(med, ".sync"); err != nil {
+		t.Fatalf(".sync: %v", err)
+	}
+	if err := runLine(med, ".invalidate"); err != nil {
+		t.Fatalf(".invalidate: %v", err)
+	}
+	// Malformed deltas error instead of panicking.
+	for _, bad := range []string{".delta SYNAPSE", ".delta SYNAPSE +broken(", ".delta NOWHERE +f(a)", ".delta SYNAPSE +justatom"} {
+		if err := runLine(med, bad); err == nil {
+			t.Errorf("%q should error", bad)
+		}
+	}
+}

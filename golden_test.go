@@ -1,0 +1,249 @@
+package modelmed_test
+
+// Golden-file tests pinning the paper-facing surfaces: the rendered
+// output of Examples 1-4, the Table 1 F-logic <-> GCM/Datalog
+// compilation, and the shape of the Section 5 query plan. Regenerate
+// with:
+//
+//	go test -run Golden -update .
+//
+// and review the testdata/*.golden diff like any other code change.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"modelmed/internal/flogic"
+	"modelmed/internal/gcm"
+	"modelmed/internal/mediator"
+	"modelmed/internal/sources"
+	"modelmed/internal/term"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/*.golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting
+// the file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (run `go test -run Golden -update .` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s mismatch (re-run with -update and review the diff)\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// goldenMediator is the deterministic paper scenario shared by the
+// example and plan goldens.
+func goldenMediator(t *testing.T) *mediator.Mediator {
+	t.Helper()
+	m := mediator.New(sources.NeuroDM(), nil)
+	ws, err := sources.Wrappers(2026, 30, 60, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if err := m.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.DefineStandardViews(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func formatRows(ans *mediator.Answer) string {
+	lines := make([]string, 0, len(ans.Rows))
+	for _, row := range ans.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		lines = append(lines, "  "+strings.Join(parts, " "))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// TestGoldenExamples pins the rendered output of the paper's four
+// examples over the seeded scenario.
+func TestGoldenExamples(t *testing.T) {
+	var b strings.Builder
+	m := goldenMediator(t)
+
+	// Example 1: loose federation — SYNAPSE and NCMIR correlate through
+	// the domain map although their schemas share nothing.
+	b.WriteString("== Example 1: cross-world correlation through the domain map ==\n")
+	ans, err := m.Query(`
+		anchor('SYNAPSE', O1, C1),
+		anchor('NCMIR', O2, C2),
+		dm_down(has_a, C1, C2),
+		C1 \= C2`, "C1", "C2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := map[string]bool{}
+	for _, row := range ans.Rows {
+		pairs[fmt.Sprintf("  %s contains %s", row[0].Name(), row[1].Name())] = true
+	}
+	keys := make([]string, 0, len(pairs))
+	for k := range pairs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteString(strings.Join(keys, "\n") + "\n")
+
+	// Example 2: partial-order integrity constraints with seeded
+	// violations of reflexivity, transitivity and antisymmetry.
+	b.WriteString("\n== Example 2: partial-order constraint witnesses ==\n")
+	ex2 := gcm.NewModel("ex2")
+	ex2.AddClass(&gcm.Class{Name: "c"})
+	ex2.AddRelation(&gcm.Relation{Name: "po", Attrs: []gcm.RelAttr{
+		{Name: "a", Class: "c"}, {Name: "b", Class: "c"}}})
+	ex2.Constraints = append(ex2.Constraints, gcm.PartialOrder{Class: "c", Rel: "po"})
+	for _, x := range []string{"x", "y", "z"} {
+		ex2.AddObject(gcm.Object{ID: term.Atom(x), Class: "c"})
+	}
+	ex2.AddTuple("po", term.Atom("x"), term.Atom("x"))
+	ex2.AddTuple("po", term.Atom("x"), term.Atom("y"))
+	ex2.AddTuple("po", term.Atom("y"), term.Atom("z"))
+	ex2.AddTuple("po", term.Atom("y"), term.Atom("x"))
+	res2, err := gcm.Check(ex2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wlines []string
+	for _, w := range gcm.Witnesses(res2) {
+		wlines = append(wlines, "  "+w.String())
+	}
+	sort.Strings(wlines)
+	b.WriteString(strings.Join(wlines, "\n") + "\n")
+
+	// Example 3: cardinality constraints — a neuron has at most 2
+	// axons, an axon sits in exactly one neuron.
+	b.WriteString("\n== Example 3: cardinality constraint witnesses ==\n")
+	ex3 := gcm.NewModel("ex3")
+	ex3.AddClass(&gcm.Class{Name: "neuron"})
+	ex3.AddClass(&gcm.Class{Name: "axon"})
+	ex3.AddRelation(&gcm.Relation{Name: "has", Attrs: []gcm.RelAttr{
+		{Name: "a", Class: "neuron", Card: gcm.Exactly(1)},
+		{Name: "b", Class: "axon", Card: gcm.AtMost(2)},
+	}})
+	for _, n := range []string{"n1", "n2"} {
+		ex3.AddObject(gcm.Object{ID: term.Atom(n), Class: "neuron"})
+	}
+	for _, x := range []string{"x1", "x2", "x3", "x4", "x5"} {
+		ex3.AddObject(gcm.Object{ID: term.Atom(x), Class: "axon"})
+	}
+	for _, p := range [][2]string{{"n1", "x1"}, {"n1", "x2"}, {"n1", "x3"}, {"n2", "x1"}, {"n2", "x4"}} {
+		ex3.AddTuple("has", term.Atom(p[0]), term.Atom(p[1]))
+	}
+	res3, err := gcm.Check(ex3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlines = wlines[:0]
+	for _, w := range gcm.Witnesses(res3) {
+		wlines = append(wlines, "  "+w.String())
+	}
+	sort.Strings(wlines)
+	b.WriteString(strings.Join(wlines, "\n") + "\n")
+
+	// Example 4: the protein_distribution integrated view.
+	b.WriteString("\n== Example 4: protein_distribution(cerebellum, ryanodine_receptor, rat) ==\n")
+	ans, err = m.Query(
+		`protein_distribution(cerebellum, "ryanodine_receptor", "rat", Total, N)`,
+		"Total", "N")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.WriteString(formatRows(ans) + "\n")
+
+	checkGolden(t, "examples", b.String())
+}
+
+// TestGoldenTable1 pins the Table 1 compilation: the six GCM
+// expression forms in F-logic concrete syntax, their parse back into
+// GCM literals, and the FL closure axioms as Datalog.
+func TestGoldenTable1(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("== Table 1: GCM expression forms in F-logic syntax ==\n")
+	exprs := []flogic.GCMExpr{
+		{Form: "instance", Args: []term.Term{term.Atom("o"), term.Atom("c")}},
+		{Form: "subclass", Args: []term.Term{term.Atom("c1"), term.Atom("c2")}},
+		{Form: "method", Args: []term.Term{term.Atom("c"), term.Atom("m"), term.Atom("d")}},
+		{Form: "methodinst", Args: []term.Term{term.Atom("o"), term.Atom("m"), term.Atom("v")}},
+		{Form: "relation", Args: []term.Term{term.Atom("r"),
+			term.Atom("a1"), term.Atom("c1"), term.Atom("a2"), term.Atom("c2")}},
+		{Form: "relationinst", Args: []term.Term{term.Atom("r"),
+			term.Atom("a1"), term.Atom("v1"), term.Atom("a2"), term.Atom("v2")}},
+	}
+	for _, e := range exprs {
+		fl := e.ToFL()
+		fmt.Fprintf(&b, "  %-12s %s\n", e.Form, fl)
+		// The forms ParseFL understands round-trip into GCM literals.
+		switch e.Form {
+		case "instance", "subclass", "method", "methodinst":
+			lits, err := flogic.ParseFL(fl)
+			if err != nil {
+				t.Fatalf("ParseFL(%q): %v", fl, err)
+			}
+			for _, l := range lits {
+				fmt.Fprintf(&b, "               = %s\n", l)
+			}
+		}
+	}
+	b.WriteString("\n== Table 1: FL closure axioms as Datalog ==\n")
+	for _, r := range flogic.Axioms() {
+		b.WriteString("  " + r.String() + "\n")
+	}
+	checkGolden(t, "table1", b.String())
+}
+
+// TestGoldenSection5Plan pins the shape of the Section 5 query plan:
+// the four-step trace, the bindings, the semantic source selection and
+// the distribution roots.
+func TestGoldenSection5Plan(t *testing.T) {
+	m := goldenMediator(t)
+	res, err := m.CalciumBindingProteinQuery("SENSELAB", "rat", "parallel_fiber", "calcium")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	b.WriteString("== Section 5: calcium-binding protein query plan ==\n")
+	for _, step := range res.Trace {
+		b.WriteString("  " + step + "\n")
+	}
+	b.WriteString("\npairs:\n")
+	for _, p := range res.Pairs {
+		fmt.Fprintf(&b, "  %s / %s\n", p[0], p[1])
+	}
+	fmt.Fprintf(&b, "sources: %s\n", strings.Join(res.SelectedSources, ", "))
+	fmt.Fprintf(&b, "root: %s\n", res.Root)
+	fmt.Fprintf(&b, "proteins: %s\n", strings.Join(res.Proteins, ", "))
+	for _, p := range res.Proteins {
+		if d := res.Distributions[p]; d != nil {
+			fmt.Fprintf(&b, "\n%s distribution under %s:\n%s", p, res.Root, d)
+		}
+	}
+	checkGolden(t, "section5_plan", b.String())
+}

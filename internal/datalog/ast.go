@@ -51,6 +51,14 @@ func PredKey(name string, arity int) string {
 	return name + "/" + strconv.Itoa(arity)
 }
 
+// PredName recovers the predicate name from a "name/arity" key.
+func PredName(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
 // String renders the literal in concrete syntax.
 func (l Literal) String() string {
 	var b strings.Builder

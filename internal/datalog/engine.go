@@ -120,6 +120,22 @@ func (e *Engine) AddFact(pred string, args ...term.Term) error {
 // FactCount returns the number of extensional facts loaded.
 func (e *Engine) FactCount() int { return e.edb.Size() }
 
+// HasFact reports whether the ground fact is currently asserted in the
+// extensional database.
+func (e *Engine) HasFact(pred string, args ...term.Term) bool {
+	return e.edb.Contains(pred, args)
+}
+
+// SetObs retargets the engine's trace span and counters. Long-lived
+// engines (the mediator's materialization cache) use this to attach
+// each incremental update's spans to the span tree of the operation
+// that triggered it rather than to the long-dead span of the original
+// full run.
+func (e *Engine) SetObs(sp *obs.Span, c *obs.Counters) {
+	e.opts.Trace = sp
+	e.opts.Counters = c
+}
+
 // Result is the outcome of evaluating a program.
 type Result struct {
 	// Store holds all true facts (extensional and derived).
@@ -135,6 +151,12 @@ type Result struct {
 	// Firings is the total number of rule-body solutions found; an
 	// ablation metric comparing naive and semi-naive evaluation.
 	Firings int
+	// Delta describes the incremental work when this result was produced
+	// by ApplyDelta/Update; nil for full evaluations.
+	Delta *DeltaStats
+
+	// eng is the engine that produced the result, enabling Update.
+	eng *Engine
 }
 
 // Run evaluates the program.
@@ -176,7 +198,7 @@ func hasAggregates(rules []Rule) bool {
 
 func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
 	store := e.edb.Clone()
-	res := &Result{Store: store, Stratified: true}
+	res := &Result{Store: store, Stratified: true, eng: e}
 	workers := e.opts.ResolvedWorkers()
 	groups := scc.strataGroups(e.rules)
 	for lvl, stratum := range scc.strata(e.rules) {
@@ -285,7 +307,7 @@ func (e *Engine) runWellFounded(sp *obs.Span) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Stratified: false}
+	res := &Result{Stratified: false, eng: e}
 	nGamma := 0
 	gamma := func(negCtx *Store) (*Store, error) {
 		gsp := sp.Childf("gamma %d", nGamma)

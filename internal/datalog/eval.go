@@ -378,6 +378,75 @@ func (j evalJob) run(ev *evalCtx) error {
 	})
 }
 
+// runJobs evaluates one round's jobs against the snapshot held by ev
+// (store, negCtx, opts) with delta as the designated delta store, and
+// returns the derived facts in job order. The serial path reuses
+// ev.newFacts, so the returned slice is only valid until the next call.
+// With workers > 1 and more than one job the round fans out across a
+// bounded pool; each job derives into its own context and the buffers
+// are concatenated in job order — exactly the order the serial loop
+// derives in — with firings/depthDrops folded back into ev. rsp, when
+// non-nil, records the round's job count and worker utilization (summed
+// per-job busy time vs. wall-clock × workers). Both the fixpoint rounds
+// and the incremental phases of ApplyDelta run on this.
+func runJobs(jobs []evalJob, delta *Store, ev *evalCtx, workers int, rsp *obs.Span) ([]derivedFact, error) {
+	rsp.SetInt("jobs", int64(len(jobs)))
+	if workers <= 1 || len(jobs) <= 1 {
+		ev.delta = delta
+		ev.newFacts = ev.newFacts[:0]
+		for _, j := range jobs {
+			if err := j.run(ev); err != nil {
+				return nil, err
+			}
+		}
+		return ev.newFacts, nil
+	}
+	ctxs := make([]*evalCtx, len(jobs))
+	errs := make([]error, len(jobs))
+	var busy []int64
+	var wallStart time.Time
+	if rsp != nil {
+		busy = make([]int64, len(jobs))
+		wallStart = time.Now()
+	}
+	par.Do(len(jobs), workers, func(i int) {
+		var t0 time.Time
+		if busy != nil {
+			t0 = time.Now()
+		}
+		c := &evalCtx{store: ev.store, negCtx: ev.negCtx, delta: delta, opts: ev.opts}
+		ctxs[i] = c
+		errs[i] = jobs[i].run(c)
+		if busy != nil {
+			busy[i] = time.Since(t0).Nanoseconds()
+		}
+	})
+	if busy != nil {
+		var total int64
+		for _, b := range busy {
+			total += b
+		}
+		rsp.SetInt("busy_ns", total)
+		if wall := time.Since(wallStart).Nanoseconds(); wall > 0 {
+			rsp.SetInt("util_pct", total*100/(wall*int64(workers)))
+		}
+	}
+	n := 0
+	for i := range jobs {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		n += len(ctxs[i].newFacts)
+	}
+	merged := make([]derivedFact, 0, n)
+	for i := range jobs {
+		merged = append(merged, ctxs[i].newFacts...)
+		ev.firings += ctxs[i].firings
+		ev.depthDrops += ctxs[i].depthDrops
+	}
+	return merged, nil
+}
+
 // fixpoint evaluates the prepared rules to a fixpoint over store, with
 // negative literals answered from negCtx. It uses semi-naive evaluation
 // unless opts.Naive is set. Returns the number of evaluation rounds.
@@ -437,66 +506,9 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs
 	}
 
 	// runRound evaluates jobs against the current snapshot and returns
-	// the derived facts in job order. The returned slice is only valid
-	// until the next call (the serial path reuses one buffer). rsp, when
-	// non-nil, records the round's job count and worker utilization
-	// (summed per-job busy time vs. wall-clock × workers).
+	// the derived facts in job order; see runJobs.
 	runRound := func(jobs []evalJob, delta *Store, rsp *obs.Span) ([]derivedFact, error) {
-		rsp.SetInt("jobs", int64(len(jobs)))
-		if workers <= 1 || len(jobs) <= 1 {
-			ev.delta = delta
-			ev.newFacts = ev.newFacts[:0]
-			for _, j := range jobs {
-				if err := j.run(ev); err != nil {
-					return nil, err
-				}
-			}
-			return ev.newFacts, nil
-		}
-		ctxs := make([]*evalCtx, len(jobs))
-		errs := make([]error, len(jobs))
-		var busy []int64
-		var wallStart time.Time
-		if rsp != nil {
-			busy = make([]int64, len(jobs))
-			wallStart = time.Now()
-		}
-		par.Do(len(jobs), workers, func(i int) {
-			var t0 time.Time
-			if busy != nil {
-				t0 = time.Now()
-			}
-			c := &evalCtx{store: store, negCtx: negCtx, delta: delta, opts: opts}
-			ctxs[i] = c
-			errs[i] = jobs[i].run(c)
-			if busy != nil {
-				busy[i] = time.Since(t0).Nanoseconds()
-			}
-		})
-		if busy != nil {
-			var total int64
-			for _, b := range busy {
-				total += b
-			}
-			rsp.SetInt("busy_ns", total)
-			if wall := time.Since(wallStart).Nanoseconds(); wall > 0 {
-				rsp.SetInt("util_pct", total*100/(wall*int64(workers)))
-			}
-		}
-		n := 0
-		for i := range jobs {
-			if errs[i] != nil {
-				return nil, errs[i]
-			}
-			n += len(ctxs[i].newFacts)
-		}
-		merged := make([]derivedFact, 0, n)
-		for i := range jobs {
-			merged = append(merged, ctxs[i].newFacts...)
-			ev.firings += ctxs[i].firings
-			ev.depthDrops += ctxs[i].depthDrops
-		}
-		return merged, nil
+		return runJobs(jobs, delta, ev, workers, rsp)
 	}
 
 	// endRound closes a round span with the barrier-side metrics.

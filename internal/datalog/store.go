@@ -74,6 +74,83 @@ func (r *Relation) Contains(ts []term.Term) bool {
 	return ok
 }
 
+// Delete removes the ground tuple ts, returning true if it was present.
+// The last row is swapped into the vacated slot and the positional
+// indexes are patched in place, so a deletion costs O(arity + touched
+// index buckets) rather than a rebuild. Row order is therefore not
+// preserved across deletions (set semantics are unaffected; stable
+// output goes through SortedRows).
+func (r *Relation) Delete(ts []term.Term) bool {
+	k := tupleKey(ts)
+	if _, ok := r.keys[k]; !ok {
+		return false
+	}
+	delete(r.keys, k)
+	last := len(r.rows) - 1
+	idx := last
+	if r.arity > 0 {
+		idx = -1
+		for _, ri := range r.posIdx[0][ts[0].Key()] {
+			if tupleKey(r.rows[ri]) == k {
+				idx = ri
+				break
+			}
+		}
+		if idx < 0 { // defensive: index out of sync, fall back to a scan
+			for ri, row := range r.rows {
+				if tupleKey(row) == k {
+					idx = ri
+					break
+				}
+			}
+			if idx < 0 {
+				return false
+			}
+		}
+	}
+	victim := r.rows[idx]
+	for pos, t := range victim {
+		vk := t.Key()
+		bucket := removeIdxValue(r.posIdx[pos][vk], idx)
+		if len(bucket) == 0 {
+			delete(r.posIdx[pos], vk)
+		} else {
+			r.posIdx[pos][vk] = bucket
+		}
+	}
+	if idx != last {
+		moved := r.rows[last]
+		r.rows[idx] = moved
+		for pos, t := range moved {
+			replaceIdxValue(r.posIdx[pos][t.Key()], last, idx)
+		}
+	}
+	r.rows[last] = nil
+	r.rows = r.rows[:last]
+	return true
+}
+
+// removeIdxValue removes the element equal to v (unordered).
+func removeIdxValue(s []int, v int) []int {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// replaceIdxValue rewrites the element equal to from with to.
+func replaceIdxValue(s []int, from, to int) {
+	for i, x := range s {
+		if x == from {
+			s[i] = to
+			return
+		}
+	}
+}
+
 // Rows returns the stored tuples. The returned slice and its elements
 // must not be modified.
 func (r *Relation) Rows() [][]term.Term { return r.rows }
@@ -132,6 +209,64 @@ func (s *Store) Insert(pred string, args []term.Term) bool {
 func (s *Store) Contains(pred string, args []term.Term) bool {
 	r := s.rels[PredKey(pred, len(args))]
 	return r != nil && r.Contains(args)
+}
+
+// Delete removes a ground fact, returning true if it was present.
+func (s *Store) Delete(pred string, args []term.Term) bool {
+	return s.DeleteKey(PredKey(pred, len(args)), args)
+}
+
+// DeleteKey removes a ground tuple addressed by predicate key.
+func (s *Store) DeleteKey(key string, row []term.Term) bool {
+	r := s.rels[key]
+	return r != nil && r.Delete(row)
+}
+
+// ContainsKey reports whether the tuple addressed by predicate key is
+// present.
+func (s *Store) ContainsKey(key string, row []term.Term) bool {
+	r := s.rels[key]
+	return r != nil && r.Contains(row)
+}
+
+// InsertKey adds a ground tuple addressed by predicate key, returning
+// true if new.
+func (s *Store) InsertKey(key string, arity int, row []term.Term) bool {
+	return s.Ensure(key, arity).Insert(row)
+}
+
+// Each calls fn for every stored fact, predicates in sorted key order
+// and rows in insertion order.
+func (s *Store) Each(fn func(key string, arity int, row []term.Term)) {
+	for _, k := range s.Keys() {
+		r := s.rels[k]
+		for _, row := range r.rows {
+			fn(k, r.arity, row)
+		}
+	}
+}
+
+// Equal reports whether the two stores hold exactly the same facts.
+func (s *Store) Equal(t *Store) bool {
+	return s.isSubset(t) && t.isSubset(s)
+}
+
+func (s *Store) isSubset(t *Store) bool {
+	for k, r := range s.rels {
+		if r.Len() == 0 {
+			continue
+		}
+		tr := t.rels[k]
+		if tr == nil || tr.Len() < r.Len() {
+			return false
+		}
+		for _, row := range r.rows {
+			if !tr.Contains(row) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Count returns the number of facts for the predicate key (0 if absent).

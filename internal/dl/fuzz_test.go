@@ -1,0 +1,62 @@
+package dl
+
+import (
+	"testing"
+)
+
+// FuzzParseAxioms asserts the DL axiom parser never panics and that
+// anything it accepts re-parses from its canonical printing to the
+// same printing (`.register` in medsh feeds user input here). Seeds
+// cover the accepted surface plus the garbage corpus's worst
+// offenders, including truncations of a full axiom.
+func FuzzParseAxioms(f *testing.F) {
+	seeds := []string{
+		"a sub b.",
+		"a eqv b.",
+		"a eqv (b and exists r.c).",
+		"a sub exists r.(b or c) and forall s.d.",
+		"spiny_neuron eqv (neuron and exists has_a.spine) or forall proj.gpe.",
+		"a sub (b and c) or (d and exists r.e).",
+		"x sub forall has_a.(y or z).",
+		"a sub b. b sub c.\n% comment\nc eqv d.",
+		"", ".", "sub", "a sub", "a sub (", "a sub ()",
+		"a sub exists r", "a sub forall .c.", "a sub b c.",
+		"sub sub sub.", "\x00\xff", "((((", "))))",
+		"% only a comment",
+	}
+	const axiom = "spiny_neuron eqv (neuron and exists has_a.spine) or forall proj.gpe."
+	for i := range axiom {
+		seeds = append(seeds, axiom[:i])
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		axioms, err := ParseAxioms(src) // must not panic
+		if err != nil {
+			return
+		}
+		// Accepted input: the whole set round-trips through FormatAxioms
+		// and each axiom's canonical printing re-parses to itself.
+		text := FormatAxioms(axioms)
+		if back, err := ParseAxioms(text); err != nil {
+			t.Fatalf("reparse of accepted axiom set failed: %v\n%s", err, text)
+		} else if FormatAxioms(back) != text {
+			t.Fatalf("axiom set printing not canonical:\n%s\nvs\n%s", text, FormatAxioms(back))
+		}
+		for _, a := range axioms {
+			printed := a.String()
+			// Axiom.String omits the terminating '.'; ParseAxioms wants it.
+			back, err := ParseAxioms(printed + ".")
+			if err != nil {
+				t.Fatalf("reparse of accepted axiom failed: %v\noriginal: %q\nprinted: %q", err, src, printed)
+			}
+			if len(back) != 1 {
+				t.Fatalf("printed axiom %q parsed into %d axioms", printed, len(back))
+			}
+			if back[0].String() != printed {
+				t.Fatalf("printing not canonical:\n1: %q\n2: %q", printed, back[0].String())
+			}
+		}
+	})
+}

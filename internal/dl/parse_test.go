@@ -78,30 +78,3 @@ func TestFormatAxioms(t *testing.T) {
 		t.Errorf("FormatAxioms = %q", text)
 	}
 }
-
-// FuzzParseAxioms asserts the DL parser never panics and accepted axiom
-// sets round-trip through FormatAxioms.
-func FuzzParseAxioms(f *testing.F) {
-	for _, s := range []string{
-		"a sub b.",
-		"a eqv (b and exists r.c).",
-		"a sub exists r.(b or c) and forall s.d.",
-		"% comment\na sub b.",
-	} {
-		f.Add(s)
-	}
-	f.Fuzz(func(t *testing.T, src string) {
-		axs, err := ParseAxioms(src)
-		if err != nil {
-			return
-		}
-		text := FormatAxioms(axs)
-		back, err := ParseAxioms(text)
-		if err != nil {
-			t.Fatalf("reparse of accepted axioms failed: %v\n%s", err, text)
-		}
-		if FormatAxioms(back) != text {
-			t.Fatalf("axiom printing not canonical:\n%s\nvs\n%s", text, FormatAxioms(back))
-		}
-	})
-}

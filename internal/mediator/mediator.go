@@ -109,6 +109,11 @@ type Mediator struct {
 	dirty       bool
 	cache       *datalog.Result
 	cacheEngine *datalog.Engine
+	// snaps records, per source, the facts/rules/anchors the cached
+	// materialization was built from plus the wrapper data version, so
+	// source changes can be diffed and patched into the cache instead of
+	// invalidating it (see incr.go).
+	snaps map[string]*srcSnapshot
 	// cacheDegraded marks a cached materialization that dropped at least
 	// one source; such a cache is only served while re-probing the
 	// failed sources is not yet due (see reprobeDue).
@@ -195,15 +200,9 @@ func (m *Mediator) Register(w wrapper.Wrapper) error {
 	}
 	src := &Source{Name: name, W: w, Caps: w.Capabilities()}
 	if format == "gcmx" {
-		if err := xmlio.ValidateGCMX(doc); err != nil {
-			return fmt.Errorf("mediator: source %s: invalid GCMX document: %w", name, err)
-		}
-		model, err := xmlio.DecodeModel(doc)
+		model, err := decodeGCMX(name, doc)
 		if err != nil {
-			return fmt.Errorf("mediator: source %s: decode: %w", name, err)
-		}
-		if err := model.Validate(); err != nil {
-			return fmt.Errorf("mediator: source %s: %w", name, err)
+			return err
 		}
 		src.Model = model
 	} else {
@@ -245,6 +244,21 @@ func (m *Mediator) Register(w wrapper.Wrapper) error {
 	}
 	m.dirty = true
 	return nil
+}
+
+// decodeGCMX validates and decodes a GCMX document into a model.
+func decodeGCMX(source string, doc []byte) (*gcm.Model, error) {
+	if err := xmlio.ValidateGCMX(doc); err != nil {
+		return nil, fmt.Errorf("mediator: source %s: invalid GCMX document: %w", source, err)
+	}
+	model, err := xmlio.DecodeModel(doc)
+	if err != nil {
+		return nil, fmt.Errorf("mediator: source %s: decode: %w", source, err)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, fmt.Errorf("mediator: source %s: %w", source, err)
+	}
+	return model, nil
 }
 
 // checkAnchors validates anchor concepts against the domain map,
@@ -418,6 +432,13 @@ func (m *Mediator) Materialize() (*datalog.Result, error) {
 func (m *Mediator) materialize(sp *obs.Span) (*datalog.Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.materializeLocked(sp)
+}
+
+// materializeLocked is materialize for callers already holding m.mu
+// (the incremental-maintenance paths fall back to it when a change
+// cannot be patched in).
+func (m *Mediator) materializeLocked(sp *obs.Span) (*datalog.Result, error) {
 	if !m.dirty && m.cache != nil && !(m.cacheDegraded && m.reprobeDue()) {
 		sp.SetStr("cache", "hit")
 		return m.cache, nil
@@ -452,9 +473,19 @@ func (m *Mediator) materialize(sp *obs.Span) (*datalog.Result, error) {
 	// down are dropped from the program instead of failing it.
 	g := m.newGuard()
 	srcs := m.sortedSources()
+	// Wrapper data versions are read before the pull: a mutation racing
+	// the fan-out leaves the recorded version behind the wrapper's, so
+	// the next SyncSources re-pulls and converges.
+	versions := make([]uint64, len(srcs))
+	for i, s := range srcs {
+		if v, ok := s.W.(wrapper.Versioned); ok {
+			versions[i] = v.DataVersion()
+		}
+	}
 	fsp := sp.Child("sources")
 	factSets, errs := translateSources(g, srcs, m.opts.Engine.ResolvedWorkers(), fsp)
 	failed := map[string]bool{}
+	snaps := make(map[string]*srcSnapshot, len(srcs))
 	for i, s := range srcs {
 		if errs[i] != nil {
 			if g != nil && !m.opts.FailFast && sourceDown(errs[i]) {
@@ -466,10 +497,25 @@ func (m *Mediator) materialize(sp *obs.Span) (*datalog.Result, error) {
 			fsp.End()
 			return nil, errs[i]
 		}
-		if err := e.AddRules(factSets[i]...); err != nil {
-			fsp.End()
-			return nil, fmt.Errorf("mediator: materialize %s: %w", s.Name, err)
+		// Ground facts go into the engine's EDB — the unit of incremental
+		// change — while the source's semantic rules join the program.
+		snap := newSrcSnapshot(versions[i])
+		for _, r := range factSets[i] {
+			if isGroundFact(r) {
+				if err := e.AddFact(r.Head.Pred, r.Head.Args...); err != nil {
+					fsp.End()
+					return nil, fmt.Errorf("mediator: materialize %s: %w", s.Name, err)
+				}
+				snap.facts.Insert(r.Head.Pred, r.Head.Args)
+				continue
+			}
+			if err := e.AddRule(r); err != nil {
+				fsp.End()
+				return nil, fmt.Errorf("mediator: materialize %s: %w", s.Name, err)
+			}
+			snap.ruleSig = append(snap.ruleSig, r.String())
 		}
+		snaps[s.Name] = snap
 	}
 	g.annotate(fsp)
 	fsp.End()
@@ -484,6 +530,9 @@ func (m *Mediator) materialize(sp *obs.Span) (*datalog.Result, error) {
 				if err := e.AddFact(PredAnchor, term.Atom(src), obj, term.Atom(concept)); err != nil {
 					return nil, err
 				}
+				if snap := snaps[src]; snap != nil {
+					snap.anchors.Insert(PredAnchor, []term.Term{term.Atom(src), obj, term.Atom(concept)})
+				}
 			}
 		}
 	}
@@ -494,9 +543,24 @@ func (m *Mediator) materialize(sp *obs.Span) (*datalog.Result, error) {
 	m.cache = res
 	m.cacheEngine = e
 	m.cacheDegraded = len(failed) > 0
+	m.snaps = snaps
 	m.mergeReportsLocked(g.Reports())
 	m.dirty = false
 	return res, nil
+}
+
+// isGroundFact reports whether r is an empty-body rule with a fully
+// ground head — the shape that can live in the engine's EDB.
+func isGroundFact(r datalog.Rule) bool {
+	if len(r.Body) != 0 {
+		return false
+	}
+	for _, a := range r.Head.Args {
+		if !a.IsGround() {
+			return false
+		}
+	}
+	return true
 }
 
 // mergeReportsLocked folds per-query reports into the mediator-level

@@ -241,6 +241,17 @@ func (f *Faulty) Contexts() (map[string][]term.Term, error) { return f.inner.Con
 // Stats implements Wrapper.
 func (f *Faulty) Stats() Stats { return f.inner.Stats() }
 
+// DataVersion implements Versioned by forwarding to the inner wrapper
+// (never faulted: version probes are cheap metadata reads). Returns 0 —
+// "unversioned", never considered changed — when the inner wrapper is
+// not Versioned.
+func (f *Faulty) DataVersion() uint64 {
+	if v, ok := f.inner.(Versioned); ok {
+		return v.DataVersion()
+	}
+	return 0
+}
+
 // QueryObjects implements Wrapper with the fault schedule applied.
 func (f *Faulty) QueryObjects(q Query) ([]gcm.Object, error) {
 	ctr, start := f.obsStart()

@@ -114,6 +114,16 @@ type Wrapper interface {
 	Stats() Stats
 }
 
+// Versioned is an optional wrapper capability: sources whose data can
+// change in place expose a monotonically increasing data version. The
+// mediator records the version it materialized from and, on
+// SyncSources, re-pulls and diffs only the sources whose version moved
+// — the change-detection half of incremental view maintenance. A
+// version of 0 means "unversioned" and is never considered changed.
+type Versioned interface {
+	DataVersion() uint64
+}
+
 // CounterSink is implemented by wrappers that can report per-call
 // latency/outcome counters into an observability sink. The mediator
 // attaches its counter set when tracing is enabled (and detaches with
@@ -151,6 +161,7 @@ type InMemory struct {
 	templates map[string]TemplateFunc
 	stats     Stats
 	obsC      *obs.Counters
+	version   uint64
 }
 
 // SetObsCounters implements CounterSink.
@@ -259,6 +270,28 @@ func (w *InMemory) QueryTemplate(name string, params map[string]term.Term) ([]gc
 
 // Name implements Wrapper.
 func (w *InMemory) Name() string { return w.model.Name }
+
+// DataVersion implements Versioned: it starts at 1 and each Mutate
+// bumps it.
+func (w *InMemory) DataVersion() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.version + 1
+}
+
+// Mutate applies fn to the wrapped model and bumps the data version so
+// the mediator's SyncSources notices the change. fn runs under the
+// wrapper mutex, which orders concurrent Mutate calls and version
+// reads; callers remain responsible for not mutating the model while a
+// query fan-out is reading it (the mediator's Refresh/Sync path pulls a
+// consistent snapshot after the mutation, so mutate-then-sync is the
+// intended sequence).
+func (w *InMemory) Mutate(fn func(m *gcm.Model)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	fn(w.model)
+	w.version++
+}
 
 // Model exposes the wrapped model (for in-process tooling; the mediator
 // uses ExportCM).
