@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race chaos bench bench-parallel bench-faults bench-incr obs vet cover fuzz-smoke
+.PHONY: all check build test race chaos bench bench-parallel bench-faults bench-incr bench-serve obs serve loadgen vet cover fuzz-smoke
 
 all: build test
 
@@ -50,6 +50,21 @@ obs:
 # (writes BENCH_incr.json).
 bench-incr:
 	$(GO) run ./cmd/benchrunner -exp incr
+
+# Query service: answer-cache speedup, cache-on/off concurrency sweep
+# with shed rates, zero-drop SIGTERM drain (writes BENCH_serve.json).
+bench-serve:
+	$(GO) run ./cmd/benchrunner -exp serve
+
+# Run the query service daemon on its default address (127.0.0.1:8344).
+SERVE_ADDR ?= 127.0.0.1:8344
+serve:
+	$(GO) run ./cmd/medd -addr $(SERVE_ADDR)
+
+# Closed-loop load against a running daemon (make serve in another
+# terminal first).
+loadgen:
+	$(GO) run ./cmd/loadgen -addr http://$(SERVE_ADDR)
 
 vet:
 	$(GO) vet ./...

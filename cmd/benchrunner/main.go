@@ -3,7 +3,7 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr|serve]
 //
 //	[-workers N]  worker count for the parallel experiment
 //	              (0 = GOMAXPROCS); the serial leg always runs with 1
@@ -19,8 +19,12 @@
 // query under the parallel and faulty configurations. The incr
 // experiment writes BENCH_incr.json: incremental view maintenance
 // (SyncSources / ApplySourceDelta patching the cached materialization)
-// vs full re-materialization on <=1% deltas. All BENCH_*.json reports
-// are written atomically (temp file + rename).
+// vs full re-materialization on <=1% deltas. The serve experiment
+// writes BENCH_serve.json: the query service's answer-cache speedup,
+// a closed-loop concurrency sweep (throughput / p50 / p99 / shed
+// rate), and zero-drop graceful drain under SIGTERM while load is
+// running. All BENCH_*.json reports are written atomically (temp file
+// + rename).
 package main
 
 import (
@@ -66,6 +70,7 @@ func main() {
 		{"faults", faultsExp, "Fault tolerance — fault-rate x retry-budget sweep with graceful degradation"},
 		{"obs", obsExp, "Observability — stage-level latency breakdown of the Section 5 query"},
 		{"incr", incrExp, "Incremental maintenance — delta patch vs full re-materialization"},
+		{"serve", serveExp, "Query service — answer cache, admission sweep, graceful drain"},
 	}
 	ran := 0
 	for _, e := range experiments {

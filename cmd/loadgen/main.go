@@ -1,0 +1,65 @@
+// Command loadgen drives closed-loop load against a running medd and
+// prints the merged statistics (throughput, latency quantiles, shed
+// rate) as JSON — the same loop the benchrunner serve experiment uses
+// for BENCH_serve.json, exposed for ad-hoc capacity runs.
+//
+// Usage:
+//
+//	loadgen [-addr URL] [-c N] [-duration D]
+//	        [-q QUERY] [-vars V1,V2] [-planned] [-no-cache]
+//	        [-timeout-ms N]
+//
+// Example:
+//
+//	medd -addr :8344 &
+//	loadgen -addr http://127.0.0.1:8344 -c 16 -duration 5s \
+//	        -q "src_obj('SYNAPSE', O, C)" -vars O,C
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"modelmed/internal/load"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8344", "base URL of the medd service")
+	c := flag.Int("c", 8, "closed-loop workers (concurrency)")
+	dur := flag.Duration("duration", 5*time.Second, "run duration")
+	q := flag.String("q", "src_obj('SYNAPSE', O, C)", "query to issue")
+	vars := flag.String("vars", "", "comma-separated output variables")
+	planned := flag.Bool("planned", false, "route through the planner (pruning + pushdown)")
+	noCache := flag.Bool("no-cache", false, "bypass the answer cache")
+	timeoutMs := flag.Int("timeout-ms", 0, "per-request timeout override in milliseconds")
+	flag.Parse()
+
+	req := load.Request{Query: *q, Planned: *planned, NoCache: *noCache, TimeoutMs: *timeoutMs}
+	for _, v := range strings.Split(*vars, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			req.Vars = append(req.Vars, v)
+		}
+	}
+
+	stats, err := load.Run(load.Config{
+		BaseURL:     strings.TrimRight(*addr, "/"),
+		Requests:    []load.Request{req},
+		Concurrency: *c,
+		Duration:    *dur,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, stats.String())
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(stats); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

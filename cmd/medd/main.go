@@ -1,0 +1,144 @@
+// Command medd is the mediator query service daemon: it builds the
+// paper's Neuroscience scenario (ANATOM domain map plus the SYNAPSE,
+// NCMIR and SENSELAB sources), registers the standard views, and
+// serves the HTTP/JSON API of internal/serve — ad-hoc and planned
+// queries with admission control and an answer cache, the incremental
+// maintenance bridge (/v1/delta, /v1/sync), plan analysis, health,
+// Prometheus metrics and trace export.
+//
+// Usage:
+//
+//	medd [-addr HOST:PORT]
+//	     [-synapse N -ncmir N -senselab N] [-seed S] [-workers W]
+//	     [-source-timeout D -retries N]
+//	     [-max-inflight N] [-max-queue N] [-request-timeout D]
+//	     [-cache-entries N] [-no-cache] [-trace] [-log]
+//	     [-drain-timeout D]
+//
+// The daemon prints "medd listening on http://HOST:PORT" once the
+// listener is bound (with -addr :0 the kernel-assigned port appears
+// here), serves until SIGINT/SIGTERM, then drains: the listener
+// closes, in-flight requests run to completion (bounded by
+// -drain-timeout), and the process exits 0 having dropped none.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/mediator"
+	"modelmed/internal/serve"
+	"modelmed/internal/sources"
+)
+
+func main() {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr, sig); err != nil {
+		fmt.Fprintln(os.Stderr, "medd:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole daemon, factored so tests can drive it: it returns
+// once the server has drained after a signal on sig (or failed).
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("medd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8344", "listen address (use :0 for a kernel-assigned port)")
+	nSyn := fs.Int("synapse", 50, "SYNAPSE measurement records")
+	nNcm := fs.Int("ncmir", 100, "NCMIR protein amount records")
+	nSl := fs.Int("senselab", 30, "SENSELAB neurotransmission records")
+	seed := fs.Int64("seed", 11, "generator seed")
+	workers := fs.Int("workers", 0, "evaluation worker goroutines (0 = GOMAXPROCS)")
+	srcTimeout := fs.Duration("source-timeout", 0, "per-source call deadline (0 = none; enables the fault-tolerance layer)")
+	retries := fs.Int("retries", 0, "retries per transiently failing source call")
+	maxInflight := fs.Int("max-inflight", 0, "concurrently evaluating queries (0 = default 8)")
+	maxQueue := fs.Int("max-queue", 0, "admission wait-queue length (0 = default 64, negative = no queue)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = default 30s)")
+	cacheEntries := fs.Int("cache-entries", 0, "answer cache capacity (0 = default 256)")
+	noCache := fs.Bool("no-cache", false, "disable the answer cache")
+	trace := fs.Bool("trace", false, "enable span tracing and counter collection")
+	reqLog := fs.Bool("log", false, "log every request to stderr")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	med := mediator.New(sources.NeuroDM(), &mediator.Options{
+		Engine:        datalog.Options{Workers: *workers},
+		SourceTimeout: *srcTimeout,
+		MaxRetries:    *retries,
+	})
+	ws, err := sources.Wrappers(*seed, *nSyn, *nNcm, *nSl)
+	if err != nil {
+		return err
+	}
+	for _, w := range ws {
+		if err := med.Register(w); err != nil {
+			return err
+		}
+	}
+	if err := med.DefineStandardViews(); err != nil {
+		return err
+	}
+	if *trace {
+		med.EnableTracing(true)
+	}
+
+	cfg := serve.Config{
+		MaxInFlight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *reqTimeout,
+		CacheEntries:   *cacheEntries,
+		DisableCache:   *noCache,
+	}
+	if *reqLog {
+		cfg.Log = log.New(stderr, "medd: ", log.LstdFlags|log.Lmicroseconds)
+	}
+	srv := serve.New(med, cfg)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "medd listening on http://%s\n", ln.Addr())
+	fmt.Fprintf(stdout, "medd: %d sources, %d concepts, cache=%v\n",
+		len(med.Sources()), len(med.DomainMap().Concepts()), !*noCache)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(stdout, "medd: %v: draining (%d in flight)\n",
+			s, srv.Started()-srv.Finished())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		if started, finished := srv.Started(), srv.Finished(); started != finished {
+			return fmt.Errorf("drain dropped requests: started %d, finished %d", started, finished)
+		}
+		fmt.Fprintf(stdout, "medd: drained, served %d requests\n", srv.Finished())
+		return nil
+	}
+}

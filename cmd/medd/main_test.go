@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe stdout sink for the daemon under test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var addrRe = regexp.MustCompile(`medd listening on (http://[\d.:]+)`)
+
+// startDaemon boots run() on a kernel-assigned port with a small
+// scenario and returns the base URL, the stop signal channel, and the
+// channel carrying run's result.
+func startDaemon(t *testing.T, extra ...string) (string, chan os.Signal, chan error, *syncBuffer) {
+	t.Helper()
+	out := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-synapse", "10", "-ncmir", "20", "-senselab", "8"}, extra...)
+	go func() { done <- run(args, out, os.Stderr, sig) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1], sig, done, out
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before binding: %v\noutput: %s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed its address; output: %s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, sig, done, out := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status  string   `json:"status"`
+		Sources []string `json:"sources"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "ok" || len(hz.Sources) != 3 {
+		t.Fatalf("healthz = %+v", hz)
+	}
+
+	body := strings.NewReader(`{"query": "src_obj('SYNAPSE', O, C)", "vars": ["O", "C"]}`)
+	resp, err = http.Post(base+"/v1/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || qr.Count == 0 {
+		t.Fatalf("query: status %d, count %d", resp.StatusCode, qr.Count)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v\noutput: %s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Fatalf("no drain message in output: %s", out.String())
+	}
+}
+
+func TestDaemonBadFlag(t *testing.T) {
+	var out syncBuffer
+	err := run([]string{"-definitely-not-a-flag"}, &out, &out, make(chan os.Signal))
+	if err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

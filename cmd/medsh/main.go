@@ -37,13 +37,18 @@
 // incremental maintenance, patching the cached materialization),
 // `.sync` (re-pulls sources whose data version changed and patches the
 // cache), `.invalidate` (drops the cache so the next query rebuilds
-// from scratch), `.quit`.
+// from scratch), `.serve ADDR` (serves the HTTP query API of
+// internal/serve over the session's mediator in the background),
+// `.help` (the full command list — unknown dot-commands print it and
+// error instead of evaluating as query text), `.quit`.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -52,10 +57,38 @@ import (
 	"modelmed/internal/dl"
 	"modelmed/internal/mediator"
 	"modelmed/internal/parser"
+	"modelmed/internal/serve"
 	"modelmed/internal/sources"
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
 )
+
+// helpText is the `.help` listing; unknown dot-commands print it too,
+// so a typo never silently evaluates as a query.
+const helpText = `commands:
+  .help                        this list
+  .sources                     registered sources
+  .views                       registered views
+  .concepts                    domain-map concepts
+  .plan                        run the Section 5 query with its plan trace
+  .planq QUERY                 plan and run QUERY, printing the plan trace
+  .reports                     per-source fault-tolerance reports of the last materialization
+  .trace on|off                span tracing and counter collection
+  .stats                       span tree and counters of the last traced query
+  .check | .checkdm            integrity constraints (.checkdm adds domain-map completeness)
+  .why FACT                    derivation of a ground fact
+  .register AXIOMS             register DL axioms at the mediator
+  .taxonomy                    classified concept taxonomy
+  .dist PROTEIN ORG ROOT [dot] protein distribution under a root concept
+  .dot                         domain map as GraphViz
+  .load FILE                   rule file with views and ?- queries
+  .fig3                        register the Figure 3 knowledge
+  .delta SRC +f(..) -f(..)     push a source delta through incremental maintenance
+  .sync                        re-pull sources whose data version changed
+  .invalidate                  drop the cached materialization
+  .serve ADDR                  serve the HTTP query API on ADDR (e.g. 127.0.0.1:8344)
+  .quit                        exit
+anything not starting with '.' is evaluated as a rule-language query`
 
 func main() {
 	nSyn := flag.Int("synapse", 50, "SYNAPSE measurement records")
@@ -91,7 +124,7 @@ func main() {
 
 	fmt.Printf("model-based mediator: %d sources registered over %s (%d concepts)\n",
 		len(med.Sources()), med.DomainMap().Name(), len(med.DomainMap().Concepts()))
-	fmt.Println(`enter rule-language queries, or .sources .views .concepts .plan .planq Q .reports .trace on|off .stats .check .checkdm .dot .load FILE .fig3 .delta SRC +f(..) -f(..) .sync .invalidate .quit`)
+	fmt.Println(`enter rule-language queries, or .help for the command list (.plan .planq Q .delta .sync .invalidate .serve ADDR .trace on|off .quit ...)`)
 	sc := bufio.NewScanner(os.Stdin)
 	for {
 		fmt.Print("medsh> ")
@@ -280,6 +313,24 @@ func splitSigned(s string) []string {
 	return out
 }
 
+// runServe mounts the HTTP query service (internal/serve) over the
+// session's mediator on addr and serves it in the background until the
+// shell exits — queries keep working at the prompt while remote
+// clients hit the same mediator.
+func runServe(med *mediator.Mediator, addr string) error {
+	if addr == "" {
+		return fmt.Errorf("usage: .serve ADDR (e.g. .serve 127.0.0.1:8344)")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(med, serve.Config{})
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	fmt.Printf("serving HTTP query API on http://%s (POST /v1/query, GET /healthz, /metrics)\n", ln.Addr())
+	return nil
+}
+
 func runLine(med *mediator.Mediator, line string) error {
 	switch {
 	case line == ".sources":
@@ -457,6 +508,17 @@ func runLine(med *mediator.Mediator, line string) error {
 			return err
 		}
 		return loadRuleFile(med, string(data))
+	case line == ".help":
+		fmt.Println(helpText)
+		return nil
+	case strings.HasPrefix(line, ".serve "):
+		return runServe(med, strings.TrimSpace(strings.TrimPrefix(line, ".serve ")))
+	}
+	if strings.HasPrefix(line, ".") {
+		// A dot-line is always meant as a command; evaluating a typo as a
+		// query would only yield a confusing parse error.
+		fmt.Println(helpText)
+		return fmt.Errorf("unknown command %s", strings.Fields(line)[0])
 	}
 	ans, err := med.Query(line)
 	if err != nil {

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"net/http"
 	"os"
+	"regexp"
 	"strings"
 	"testing"
 	"time"
@@ -478,5 +481,98 @@ func TestRunLineDeltaSyncInvalidate(t *testing.T) {
 		if err := runLine(med, bad); err == nil {
 			t.Errorf("%q should error", bad)
 		}
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestHelpAndUnknownCommand pins the dot-command contract: .help lists
+// every command including the incremental and serving ones, and an
+// unknown dot-command errors with the help text instead of evaluating
+// as query text.
+func TestHelpAndUnknownCommand(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := runLine(med, ".help"); err != nil {
+			t.Errorf(".help: %v", err)
+		}
+	})
+	for _, want := range []string{".delta", ".sync", ".invalidate", ".serve ADDR", ".planq", ".trace"} {
+		if !strings.Contains(out, want) {
+			t.Errorf(".help output missing %q", want)
+		}
+	}
+
+	var cmdErr error
+	out = captureStdout(t, func() { cmdErr = runLine(med, ".definitely_not_a_command foo") })
+	if cmdErr == nil {
+		t.Fatal("unknown dot-command accepted")
+	}
+	if !strings.Contains(cmdErr.Error(), "unknown command .definitely_not_a_command") {
+		t.Errorf("error = %v", cmdErr)
+	}
+	if !strings.Contains(out, ".help") || !strings.Contains(out, ".serve ADDR") {
+		t.Errorf("unknown command did not print the help text: %q", out)
+	}
+}
+
+// TestServeCommand mounts the HTTP API from the shell and queries the
+// same mediator over the wire.
+func TestServeCommand(t *testing.T) {
+	med, err := buildScenario(3, 5, 10, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() {
+		if err := runLine(med, ".serve 127.0.0.1:0"); err != nil {
+			t.Fatalf(".serve: %v", err)
+		}
+	})
+	m := regexp.MustCompile(`http://[\d.]+:\d+`).FindString(out)
+	if m == "" {
+		t.Fatalf("no bound address in output: %q", out)
+	}
+	resp, err := http.Post(m+"/v1/query", "application/json",
+		strings.NewReader(`{"query": "src_obj('SYNAPSE', O, C)", "vars": ["O", "C"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || qr.Count == 0 {
+		t.Errorf("served query: status %d, count %d", resp.StatusCode, qr.Count)
+	}
+
+	if err := runLine(med, ".serve"); err == nil {
+		t.Error(".serve without ADDR should error")
+	}
+	if err := runLine(med, ".serve not-an-address:xx:yy"); err == nil {
+		t.Error(".serve with a bad address should error")
 	}
 }

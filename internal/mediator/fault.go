@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -258,6 +259,10 @@ func (m *Mediator) breakerFor(source string) *breaker {
 type guard struct {
 	m    *Mediator
 	opts *Options
+	// ctx is the requesting caller's context: cancelling it abandons the
+	// fan-out mid-flight (in-flight wrapper calls are dropped, pending
+	// retries and backoff sleeps are cut short). Never nil.
+	ctx context.Context
 	// ctr is the mediator's observability sink, captured once per
 	// fan-out (nil when tracing is off; all Adds are then no-ops).
 	ctr *obs.Counters
@@ -278,12 +283,23 @@ var jitterSeq atomic.Int64
 // fault-tolerance layer is disabled (callers treat a nil guard as the
 // direct path).
 func (m *Mediator) newGuard() *guard {
+	return m.newGuardCtx(context.Background())
+}
+
+// newGuardCtx is newGuard with the caller's cancellation context
+// attached: the serving layer's per-request deadlines propagate through
+// it into every wrapper call of the fan-out.
+func (m *Mediator) newGuardCtx(ctx context.Context) *guard {
 	if !m.opts.faultTolerant() {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	return &guard{
 		m:       m,
 		opts:    &m.opts,
+		ctx:     ctx,
 		ctr:     m.counters(),
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano() ^ jitterSeq.Add(1)<<32)),
 		reports: map[string]*SourceReport{},
@@ -377,12 +393,13 @@ type callResult[T any] struct {
 	err error
 }
 
-// withDeadline runs fn, bounding it by the per-call source timeout.
-// The wrapper interface is not context-aware, so a call that blows the
-// deadline is abandoned: its goroutine finishes in the background and
-// its result is discarded (the buffered channel keeps it from leaking).
-func withDeadline[T any](source string, d time.Duration, fn func() (T, error)) (T, error) {
-	if d <= 0 {
+// withDeadline runs fn, bounding it by the per-call source timeout and
+// the caller's context. The wrapper interface is not context-aware, so
+// a call that blows the deadline (or whose requester goes away) is
+// abandoned: its goroutine finishes in the background and its result is
+// discarded (the buffered channel keeps it from leaking).
+func withDeadline[T any](ctx context.Context, source string, d time.Duration, fn func() (T, error)) (T, error) {
+	if d <= 0 && ctx.Done() == nil {
 		return fn()
 	}
 	ch := make(chan callResult[T], 1)
@@ -390,14 +407,21 @@ func withDeadline[T any](source string, d time.Duration, fn func() (T, error)) (
 		v, err := fn()
 		ch <- callResult[T]{v, err}
 	}()
-	timer := time.NewTimer(d)
-	defer timer.Stop()
+	var timeout <-chan time.Time
+	if d > 0 {
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		timeout = timer.C
+	}
 	select {
 	case r := <-ch:
 		return r.v, r.err
-	case <-timer.C:
+	case <-timeout:
 		var zero T
 		return zero, &timeoutError{source: source, after: d}
+	case <-ctx.Done():
+		var zero T
+		return zero, ctx.Err()
 	}
 }
 
@@ -420,6 +444,12 @@ func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error
 		g.rmu.Unlock()
 	}()
 	for attempt := 0; ; attempt++ {
+		if err := g.ctx.Err(); err != nil {
+			// The requester is gone. Cancellation says nothing about
+			// source health, so it bypasses the breaker bookkeeping
+			// entirely: no failure is recorded and nothing is retried.
+			return zero, err
+		}
 		if !br.allow() {
 			g.rmu.Lock()
 			r := g.report(source)
@@ -428,7 +458,11 @@ func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error
 			g.ctr.Add("mediator.breaker_rejections", 1)
 			return zero, &SourceDownError{Source: source, Cause: errBreakerOpen}
 		}
-		v, err := withDeadline(source, g.opts.SourceTimeout, fn)
+		v, err := withDeadline(g.ctx, source, g.opts.SourceTimeout, fn)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// As above: not a health signal, not retryable, not counted.
+			return zero, err
+		}
 		g.rmu.Lock()
 		r := g.report(source)
 		r.Attempts++
@@ -469,7 +503,11 @@ func guardedCall[T any](g *guard, source string, fn func() (T, error)) (T, error
 		g.ctr.Add("mediator.source_retries", 1)
 		wait := g.backoff(attempt + 1)
 		g.ctr.Add("mediator.backoff_wait_ns", wait.Nanoseconds())
-		time.Sleep(wait)
+		select {
+		case <-time.After(wait):
+		case <-g.ctx.Done():
+			return zero, g.ctx.Err()
+		}
 	}
 }
 
@@ -495,6 +533,14 @@ func (g *guard) queryTuples(s *Source, q wrapper.Query) ([][]term.Term, error) {
 func sourceDown(err error) bool {
 	var d *SourceDownError
 	return errors.As(err, &d)
+}
+
+// cancelled reports whether an error is a context cancellation or
+// deadline; such errors must propagate verbatim — they are neither
+// permanent capability misses (no snapshot fallback) nor source
+// failures (no degradation).
+func cancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // guardedSourceFacts renders one source's data for the materialized
@@ -542,7 +588,7 @@ func guardedSourceFacts(g *guard, s *Source) ([]datalog.Rule, error) {
 	for _, cn := range names {
 		objs, err := g.queryObjects(s, wrapper.Query{Target: cn})
 		if err != nil {
-			if sourceDown(err) {
+			if sourceDown(err) || cancelled(err) {
 				return nil, err
 			}
 			// Permanent error (e.g. no scan capability for this class):
@@ -570,7 +616,7 @@ func guardedSourceFacts(g *guard, s *Source) ([]datalog.Rule, error) {
 	for _, rn := range rels {
 		tps, err := g.queryTuples(s, wrapper.Query{Target: rn})
 		if err != nil {
-			if sourceDown(err) {
+			if sourceDown(err) || cancelled(err) {
 				return nil, err
 			}
 			tps = model.Tuples[rn]

@@ -26,6 +26,7 @@ package mediator
 // says so (DeltaReport.Full).
 
 import (
+	"context"
 	"fmt"
 
 	"modelmed/internal/datalog"
@@ -141,7 +142,7 @@ func (m *Mediator) fullRebuildLocked(rep *DeltaReport, sp *obs.Span) (*DeltaRepo
 	m.dirty = true
 	m.counters().Add("mediator.delta_full_rebuilds", 1)
 	sp.SetStr("fallback", "full")
-	if _, err := m.materializeLocked(sp); err != nil {
+	if _, err := m.materializeLocked(context.Background(), sp); err != nil {
 		return nil, err
 	}
 	return rep, nil
@@ -166,6 +167,10 @@ func (m *Mediator) ApplySourceDelta(source string, adds, dels []datalog.Rule) (*
 			return nil, fmt.Errorf("mediator: source delta for %s: %s is not a ground fact", source, r)
 		}
 	}
+	// Write side of evalMu: the patch mutates the cached store in place,
+	// so concurrent query evaluation must be excluded for its duration.
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if _, ok := m.srcs[source]; !ok {
@@ -230,6 +235,8 @@ func (m *Mediator) ApplySourceDelta(source string, adds, dels []datalog.Rule) (*
 func (m *Mediator) RefreshSource(source string) (*DeltaReport, error) {
 	sp := m.startSpan("mediator.refresh_source")
 	defer m.endTrace(sp)
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.refreshSourceLocked(source, sp)
@@ -401,6 +408,8 @@ func (m *Mediator) refreshAnchorsLocked(s *Source, snap *srcSnapshot) (*datalog.
 func (m *Mediator) SyncSources() ([]*DeltaReport, error) {
 	sp := m.startSpan("mediator.sync_sources")
 	defer m.endTrace(sp)
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	var reps []*DeltaReport

@@ -9,6 +9,7 @@
 package mediator
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -105,6 +106,16 @@ type Mediator struct {
 	srcs     map[string]*Source
 	views    []datalog.Rule
 	viewText []string
+
+	// evalMu orders cached-store readers against in-place patches:
+	// Query/Holds/Explain evaluate over the cached Result *outside*
+	// m.mu, while the incremental layer (ApplySourceDelta,
+	// RefreshSource, SyncSources) mutates that same store in place via
+	// the engine's delta API. Readers hold the read side across
+	// materialize+evaluate and patchers the write side across the whole
+	// patch, so every answer reflects exactly a pre- or post-delta
+	// state, never a torn mix. Lock order: evalMu before m.mu.
+	evalMu sync.RWMutex
 
 	dirty       bool
 	cache       *datalog.Result
@@ -333,6 +344,11 @@ func (m *Mediator) Views() []string {
 type Answer struct {
 	Vars []string
 	Rows [][]term.Term
+	// Span is this query's own span tree (nil when tracing is off).
+	// Unlike LastTrace — which concurrent queries overwrite — Span is
+	// race-free per answer, so the serving layer can attach the trace to
+	// the request that produced it.
+	Span *obs.Span
 }
 
 // Query parses and evaluates a conjunctive query (rule-language body)
@@ -340,6 +356,14 @@ type Answer struct {
 // output columns; when empty, all query variables are returned in order
 // of first occurrence.
 func (m *Mediator) Query(q string, vars ...string) (*Answer, error) {
+	return m.QueryCtx(context.Background(), q, vars...)
+}
+
+// QueryCtx is Query under the caller's context: a server deadline or
+// client disconnect cancels the source fan-out instead of orphaning it.
+// Cancellation surfaces as the context's error; it never trips retries
+// or circuit breakers (it says nothing about source health).
+func (m *Mediator) QueryCtx(ctx context.Context, q string, vars ...string) (*Answer, error) {
 	sp := m.startSpan("mediator.query")
 	defer m.endTrace(sp)
 	psp := sp.Child("parse")
@@ -365,10 +389,26 @@ func (m *Mediator) Query(q string, vars ...string) (*Answer, error) {
 	if len(vars) == 0 {
 		vars = defaultVars(body)
 	}
+	rows, err := m.queryCache(ctx, sp, body, vars)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Vars: vars, Rows: rows, Span: sp}, nil
+}
+
+// queryCache materializes (or reuses) the cached object base and
+// evaluates body over it, holding the read side of evalMu across both
+// steps so a concurrent incremental patch cannot tear the answer.
+func (m *Mediator) queryCache(ctx context.Context, sp *obs.Span, body []datalog.BodyElem, vars []string) ([][]term.Term, error) {
+	m.evalMu.RLock()
+	defer m.evalMu.RUnlock()
 	msp := sp.Child("materialize")
-	res, err := m.materialize(msp)
+	res, err := m.materialize(ctx, msp)
 	msp.End()
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	esp := sp.Child("evaluate")
@@ -378,11 +418,13 @@ func (m *Mediator) Query(q string, vars ...string) (*Answer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mediator: query: %w", err)
 	}
-	return &Answer{Vars: vars, Rows: rows}, nil
+	return rows, nil
 }
 
 // Holds reports whether a ground fact is true in the materialized base.
 func (m *Mediator) Holds(pred string, args ...term.Term) (bool, error) {
+	m.evalMu.RLock()
+	defer m.evalMu.RUnlock()
 	res, err := m.Materialize()
 	if err != nil {
 		return false, err
@@ -421,27 +463,37 @@ func bridgeRules() []datalog.Rule { return parser.MustParseRules(bridgeSrc) }
 // registered views, and evaluates the program. The result is cached
 // until a registration or view definition invalidates it.
 func (m *Mediator) Materialize() (*datalog.Result, error) {
+	return m.MaterializeCtx(context.Background())
+}
+
+// MaterializeCtx is Materialize under the caller's context; see
+// QueryCtx for the cancellation contract.
+func (m *Mediator) MaterializeCtx(ctx context.Context) (*datalog.Result, error) {
 	sp := m.startSpan("mediator.materialize")
-	res, err := m.materialize(sp)
+	res, err := m.materialize(ctx, sp)
 	m.endTrace(sp)
 	return res, err
 }
 
-// materialize is Materialize with the caller's span threaded through
-// (nil when tracing is off; the caller owns ending it).
-func (m *Mediator) materialize(sp *obs.Span) (*datalog.Result, error) {
+// materialize is Materialize with the caller's context and span
+// threaded through (nil span when tracing is off; the caller owns
+// ending it).
+func (m *Mediator) materialize(ctx context.Context, sp *obs.Span) (*datalog.Result, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.materializeLocked(sp)
+	return m.materializeLocked(ctx, sp)
 }
 
 // materializeLocked is materialize for callers already holding m.mu
 // (the incremental-maintenance paths fall back to it when a change
 // cannot be patched in).
-func (m *Mediator) materializeLocked(sp *obs.Span) (*datalog.Result, error) {
+func (m *Mediator) materializeLocked(ctx context.Context, sp *obs.Span) (*datalog.Result, error) {
 	if !m.dirty && m.cache != nil && !(m.cacheDegraded && m.reprobeDue()) {
 		sp.SetStr("cache", "hit")
 		return m.cache, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	eo := m.opts.Engine
 	eo.Trace = sp
@@ -471,7 +523,7 @@ func (m *Mediator) materializeLocked(sp *obs.Span) (*datalog.Result, error) {
 	// is re-pulled through the live wrappers under deadline/retry/
 	// breaker policy (see guardedSourceFacts), and sources that stay
 	// down are dropped from the program instead of failing it.
-	g := m.newGuard()
+	g := m.newGuardCtx(ctx)
 	srcs := m.sortedSources()
 	// Wrapper data versions are read before the pull: a mutation racing
 	// the fan-out leaves the recorded version behind the wrapper's, so
@@ -484,6 +536,11 @@ func (m *Mediator) materializeLocked(sp *obs.Span) (*datalog.Result, error) {
 	}
 	fsp := sp.Child("sources")
 	factSets, errs := translateSources(g, srcs, m.opts.Engine.ResolvedWorkers(), fsp)
+	if err := ctx.Err(); err != nil {
+		// A cancelled fan-out must not be cached as a (partial) result.
+		fsp.End()
+		return nil, err
+	}
 	failed := map[string]bool{}
 	snaps := make(map[string]*srcSnapshot, len(srcs))
 	for i, s := range srcs {
@@ -646,6 +703,8 @@ func (m *Mediator) Invalidate() {
 // materialized mediated object base — the provenance of a view tuple:
 // which rules fired over which source facts.
 func (m *Mediator) Explain(pred string, args ...term.Term) (*datalog.Derivation, error) {
+	m.evalMu.RLock()
+	defer m.evalMu.RUnlock()
 	res, err := m.Materialize()
 	if err != nil {
 		return nil, err

@@ -1,0 +1,115 @@
+package mediator
+
+import (
+	"strings"
+	"testing"
+
+	"modelmed/internal/wrapper"
+)
+
+// The HTTP serving layer feeds Plan/ExecutePlan straight from untrusted
+// client input; every malformed shape below must come back as an error,
+// never a panic and never a silently empty answer.
+
+func TestPlanRejectsUnknownPredicate(t *testing.T) {
+	m := newNeuroMediator(t, 5, 10, 5)
+	for _, q := range []string{
+		"nonexistent_view(X)",
+		"src_obj('NCMIR', O, C), bogus(O)",
+		"N = count{X; phantom(X)}",
+	} {
+		_, err := m.Plan(q)
+		if err == nil {
+			t.Errorf("Plan(%q) accepted a query outside the mediated vocabulary", q)
+			continue
+		}
+		if !strings.Contains(err.Error(), "unknown predicate") {
+			t.Errorf("Plan(%q) error = %v, want unknown-predicate error", q, err)
+		}
+	}
+}
+
+func TestPlanAcceptsViewsAndQueryLocalRules(t *testing.T) {
+	m := newNeuroMediator(t, 5, 10, 5)
+	// Registered standard view heads pass the vocabulary gate.
+	if _, err := m.Plan("protein_distribution(P, C, A)"); err != nil {
+		t.Fatalf("registered view rejected: %v", err)
+	}
+	if err := m.DefineView("my_view(O) :- src_obj('NCMIR', O, protein)."); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Plan("my_view(O)"); err != nil {
+		t.Fatalf("user view rejected: %v", err)
+	}
+}
+
+func TestPlanRejectsEmptyAndMalformedQueries(t *testing.T) {
+	m := newNeuroMediator(t, 5, 10, 5)
+	for _, q := range []string{"", "   ", "src_obj(", ":-", "?!"} {
+		if _, err := m.Plan(q); err == nil {
+			t.Errorf("Plan(%q) should fail", q)
+		}
+	}
+}
+
+// A plan whose pushdown targets a source that is not registered (e.g.
+// the client guessed a name, or the source was unregistered between
+// Plan and ExecutePlan) must fail cleanly.
+func TestExecutePlanUnregisteredSource(t *testing.T) {
+	m := newNeuroMediator(t, 5, 10, 5)
+	p, err := m.Plan("src_obj('GHOST', O, protein), src_val('GHOST', O, name, n)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ExecutePlan(p, []string{"O"}); err == nil {
+		t.Fatal("ExecutePlan over an unregistered source must error")
+	}
+	// Same via the race: the source disappears after planning.
+	p2, err := m.Plan("src_obj('SYNAPSE', O, experiment), src_val('SYNAPSE', O, n_id, x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unregister("SYNAPSE")
+	if _, err := m.ExecutePlan(p2, []string{"O"}); err == nil {
+		t.Fatal("ExecutePlan after Unregister must error")
+	}
+}
+
+// A pushdown step with no selections (empty pushdown) degenerates to a
+// class scan and must execute, not panic — and a hand-built plan with
+// an empty Pushdowns list must likewise run as pure full loads.
+func TestExecutePlanEmptyPushdown(t *testing.T) {
+	m := newNeuroMediator(t, 5, 10, 5)
+	p, err := m.Plan("src_obj('NCMIR', O, protein)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans, err := m.ExecutePlan(p, []string{"O"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Rows) == 0 {
+		t.Fatal("scan-shaped pushdown returned no rows")
+	}
+	p.Pushdowns = nil
+	ans2, err := m.ExecutePlan(p, []string{"O"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans2.Rows) != len(ans.Rows) {
+		t.Fatalf("full-load fallback rows = %d, pushdown rows = %d", len(ans2.Rows), len(ans.Rows))
+	}
+}
+
+// PushSelect against unknown sources/classes is the remaining raw
+// surface the daemon exposes; both must error.
+func TestPushSelectErrors(t *testing.T) {
+	m := newNeuroMediator(t, 5, 10, 5)
+	if _, err := m.PushSelect("GHOST", "protein"); err == nil {
+		t.Fatal("PushSelect on unknown source must error")
+	}
+	if _, err := m.PushSelect("NCMIR", "no_such_class",
+		wrapper.Selection{}); err == nil {
+		t.Fatal("PushSelect on unknown class must error")
+	}
+}

@@ -1,6 +1,8 @@
 package mediator
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -119,11 +121,19 @@ func (m *Mediator) conceptDomains(body []datalog.BodyElem) map[string][]string {
 	return out
 }
 
-// Plan analyzes a query without executing it.
+// Plan analyzes a query without executing it. Queries mentioning
+// predicates outside the mediated vocabulary (source facts, domain-map
+// graph operations, GCM predicates, registered views and the query's
+// own auxiliary rules) are rejected: the serving layer feeds Plan from
+// untrusted clients, and an unknown predicate would otherwise evaluate
+// silently to the empty answer.
 func (m *Mediator) Plan(q string) (*QueryPlan, error) {
 	body, aux, err := parser.ParseQuery(q)
 	if err != nil {
 		return nil, fmt.Errorf("mediator: plan: %w", err)
+	}
+	if err := m.validateVocabulary(body, aux); err != nil {
+		return nil, err
 	}
 	p := &QueryPlan{Body: body, Aux: aux}
 
@@ -272,21 +282,85 @@ func (m *Mediator) Plan(q string) (*QueryPlan, error) {
 	return p, nil
 }
 
+// mediatedVocab is the static query vocabulary: namespaced source
+// facts, GCM predicates, and the domain-map graph operations.
+var mediatedVocab = map[string]bool{
+	PredSrcObj: true, PredSrcVal: true, PredSrcTuple: true, PredAnchor: true,
+	PredSrcSub: true,
+	"instance": true, "subclass": true, "method": true, "methodinst": true,
+	"rel": true, "relattr": true, "relinst": true,
+	domainmap.PredConcept: true, domainmap.PredIsa: true, domainmap.PredEdge: true,
+	"dm_isa_star": true, "dm_tc": true, "dm_dc": true, "dm_dc_down": true,
+	"dm_down": true, "role_star": true, "dm_role": true,
+	"role": true, "role_base": true,
+}
+
+// derivedHeads returns the head predicates a query may additionally
+// reference: the registered views, the views' own derived predicates
+// (views may be layered), and the query's auxiliary rules.
+func (m *Mediator) derivedHeads(aux []datalog.Rule) map[string]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]bool, len(m.views)+len(aux))
+	for _, r := range m.views {
+		out[r.Head.Pred] = true
+	}
+	for _, r := range aux {
+		out[r.Head.Pred] = true
+	}
+	return out
+}
+
+// validateVocabulary rejects body predicates outside the mediated
+// vocabulary, the registered view heads, and the query's auxiliary
+// rules — the untrusted-input gate in front of Plan/ExecutePlan.
+// ErrUnknownPredicate marks vocabulary rejections, so callers feeding
+// Plan from untrusted input (the serving layer) can classify them as
+// client errors.
+var ErrUnknownPredicate = errors.New("unknown predicate")
+
+func (m *Mediator) validateVocabulary(body []datalog.BodyElem, aux []datalog.Rule) error {
+	heads := m.derivedHeads(aux)
+	var bad []string
+	seen := map[string]bool{}
+	var walk func(es []datalog.BodyElem)
+	walk = func(es []datalog.BodyElem) {
+		for _, e := range es {
+			switch x := e.(type) {
+			case datalog.Literal:
+				if datalog.IsBuiltin(x.Pred, len(x.Args)) || mediatedVocab[x.Pred] || heads[x.Pred] || seen[x.Pred] {
+					continue
+				}
+				seen[x.Pred] = true
+				bad = append(bad, x.Pred)
+			case datalog.Aggregate:
+				inner := make([]datalog.BodyElem, len(x.Body))
+				for i, l := range x.Body {
+					inner[i] = l
+				}
+				walk(inner)
+			}
+		}
+	}
+	walk(body)
+	// Auxiliary rule bodies face the same gate: a negated group over an
+	// unknown predicate is just as silently empty.
+	for _, r := range aux {
+		walk(r.Body)
+	}
+	if len(bad) == 0 {
+		return nil
+	}
+	sort.Strings(bad)
+	return fmt.Errorf("mediator: plan: %w(s) %s: not a source/domain-map/GCM predicate, registered view, or query-local rule", ErrUnknownPredicate, strings.Join(bad, ", "))
+}
+
 // firstViewPred returns the first body predicate that is a registered
 // view head (or any derived predicate outside the known mediated
 // vocabulary), or "" if the query stays within the source/DM/GCM
 // vocabulary.
 func (m *Mediator) firstViewPred(body []datalog.BodyElem) string {
-	known := map[string]bool{
-		PredSrcObj: true, PredSrcVal: true, PredSrcTuple: true, PredAnchor: true,
-		PredSrcSub: true,
-		"instance": true, "subclass": true, "method": true, "methodinst": true,
-		"rel": true, "relattr": true, "relinst": true,
-		domainmap.PredConcept: true, domainmap.PredIsa: true, domainmap.PredEdge: true,
-		"dm_isa_star": true, "dm_tc": true, "dm_dc": true, "dm_dc_down": true,
-		"dm_down": true, "role_star": true, "dm_role": true,
-		"role": true, "role_base": true,
-	}
+	known := mediatedVocab
 	var check func(es []datalog.BodyElem) string
 	check = func(es []datalog.BodyElem) string {
 		for _, e := range es {
@@ -414,6 +488,14 @@ func (m *Mediator) extractPushdowns(body []datalog.BodyElem, p *QueryPlan) []Pus
 // are skipped. The residual query then evaluates over the restricted
 // base (with the domain-map graph and views available as usual).
 func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
+	return m.ExecutePlanCtx(context.Background(), p, vars)
+}
+
+// ExecutePlanCtx is ExecutePlan under the caller's context: a server
+// deadline or client disconnect cancels the pushdown and full-load
+// fan-outs instead of orphaning them. Cancellation surfaces as the
+// context's error and never counts against retries or breakers.
+func (m *Mediator) ExecutePlanCtx(ctx context.Context, p *QueryPlan, vars []string) (*Answer, error) {
 	sp := m.startSpan("mediator.execute_plan")
 	defer m.endTrace(sp)
 	p.Span = sp
@@ -460,12 +542,12 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 		candidate[s] = true
 	}
 	workers := m.opts.Engine.ResolvedWorkers()
-	g := m.newGuard()
+	g := m.newGuardCtx(ctx)
 	// degrade reports whether an error is a source failure the plan
 	// should absorb (drop the source, keep the query) rather than
-	// propagate.
+	// propagate. Cancellation is never absorbed.
 	degrade := func(err error) bool {
-		return g != nil && !m.opts.FailFast && sourceDown(err)
+		return g != nil && !m.opts.FailFast && sourceDown(err) && !cancelled(err)
 	}
 	failed := map[string]bool{}
 
@@ -593,6 +675,9 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 	p.Reports = g.Reports()
 	m.mergeReports(p.Reports)
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	res, err := e.Run()
 	if err != nil {
 		return nil, fmt.Errorf("mediator: execute plan: %w", err)
@@ -607,17 +692,23 @@ func (m *Mediator) ExecutePlan(p *QueryPlan, vars []string) (*Answer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mediator: execute plan: %w", err)
 	}
-	return &Answer{Vars: vars, Rows: rows}, nil
+	return &Answer{Vars: vars, Rows: rows, Span: sp}, nil
 }
 
 // PlannedQuery plans and executes a query, returning the answer and the
 // plan (with its trace).
 func (m *Mediator) PlannedQuery(q string, vars ...string) (*Answer, *QueryPlan, error) {
+	return m.PlannedQueryCtx(context.Background(), q, vars...)
+}
+
+// PlannedQueryCtx is PlannedQuery under the caller's context; see
+// ExecutePlanCtx for the cancellation contract.
+func (m *Mediator) PlannedQueryCtx(ctx context.Context, q string, vars ...string) (*Answer, *QueryPlan, error) {
 	p, err := m.Plan(q)
 	if err != nil {
 		return nil, nil, err
 	}
-	ans, err := m.ExecutePlan(p, vars)
+	ans, err := m.ExecutePlanCtx(ctx, p, vars)
 	if err != nil {
 		return nil, p, err
 	}

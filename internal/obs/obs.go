@@ -13,6 +13,7 @@ package obs
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -270,6 +271,48 @@ func (s *Span) render(b *strings.Builder, depth int) {
 	}
 }
 
+// SpanExport is the serialization-friendly form of a span tree, used
+// by the serving layer's /v1/trace endpoint and per-request trace
+// attachment. Attribute slices become maps; durations are nanoseconds.
+type SpanExport struct {
+	Name       string            `json:"name"`
+	DurationNs int64             `json:"duration_ns"`
+	Ints       map[string]int64  `json:"ints,omitempty"`
+	Strs       map[string]string `json:"strs,omitempty"`
+	Children   []*SpanExport     `json:"children,omitempty"`
+}
+
+// Export snapshots the span tree into its serializable form (nil on a
+// nil receiver). An unfinished span exports the time elapsed so far.
+func (s *Span) Export() *SpanExport {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := &SpanExport{Name: s.name, DurationNs: s.dur.Nanoseconds()}
+	if !s.done {
+		out.DurationNs = time.Since(s.start).Nanoseconds()
+	}
+	if len(s.ints) > 0 {
+		out.Ints = make(map[string]int64, len(s.ints))
+		for _, a := range s.ints {
+			out.Ints[a.Key] = a.Val
+		}
+	}
+	if len(s.strs) > 0 {
+		out.Strs = make(map[string]string, len(s.strs))
+		for _, a := range s.strs {
+			out.Strs[a.Key] = a.Val
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		out.Children = append(out.Children, c.Export())
+	}
+	return out
+}
+
 func fmtDuration(d time.Duration) string {
 	switch {
 	case d >= time.Second:
@@ -345,6 +388,46 @@ func (c *Counters) Reset() {
 	c.mu.Lock()
 	c.m = make(map[string]int64)
 	c.mu.Unlock()
+}
+
+// PromName sanitizes a counter name into a Prometheus metric name:
+// every character outside [a-zA-Z0-9_] becomes '_', and a leading
+// digit is prefixed with '_'.
+func PromName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			b.WriteByte('_')
+			continue
+		}
+		if i == 0 && r >= '0' && r <= '9' {
+			b.WriteByte('_')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// WritePrometheus writes every counter in the Prometheus text
+// exposition format (version 0.0.4), sorted by name, each prefixed
+// with namespace + "_". The counters here are monotonic within one
+// tracing session, so they are typed counter; callers with gauges
+// write those themselves. A nil receiver writes nothing.
+func (c *Counters) WritePrometheus(w io.Writer, namespace string) error {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		mn := PromName(namespace + "_" + k)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", mn, mn, snap[k]); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Render returns the counters sorted by name, one "  name  value" line

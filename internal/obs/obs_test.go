@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -212,5 +213,101 @@ func BenchmarkSpanEnabled(b *testing.B) {
 		c := s.Child("round")
 		c.SetInt("delta", int64(i))
 		c.End()
+	}
+}
+
+func TestSpanExport(t *testing.T) {
+	var nilSpan *Span
+	if nilSpan.Export() != nil {
+		t.Fatal("nil span must export nil")
+	}
+	root := New("query")
+	root.SetInt("rows", 42)
+	root.SetStr("status", "ok")
+	c := root.Child("evaluate")
+	c.SetInt("rounds", 3)
+	c.End()
+	root.End()
+
+	ex := root.Export()
+	if ex.Name != "query" {
+		t.Fatalf("name = %q", ex.Name)
+	}
+	if ex.DurationNs <= 0 {
+		t.Fatalf("duration = %d", ex.DurationNs)
+	}
+	if ex.Ints["rows"] != 42 {
+		t.Fatalf("ints = %v", ex.Ints)
+	}
+	if ex.Strs["status"] != "ok" {
+		t.Fatalf("strs = %v", ex.Strs)
+	}
+	if len(ex.Children) != 1 || ex.Children[0].Name != "evaluate" {
+		t.Fatalf("children = %+v", ex.Children)
+	}
+	if ex.Children[0].Ints["rounds"] != 3 {
+		t.Fatalf("child ints = %v", ex.Children[0].Ints)
+	}
+
+	blob, err := json.Marshal(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanExport
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "query" || back.Ints["rows"] != 42 || len(back.Children) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestSpanExportUnfinished(t *testing.T) {
+	s := New("live")
+	time.Sleep(time.Millisecond)
+	ex := s.Export()
+	if ex.DurationNs <= 0 {
+		t.Fatalf("unfinished span must export elapsed time, got %d", ex.DurationNs)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"mediator.delta_applies": "mediator_delta_applies",
+		"ok_name":                "ok_name",
+		"9lives":                 "_9lives",
+		"dash-and.dot":           "dash_and_dot",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var nilC *Counters
+	var b strings.Builder
+	if err := nilC.WritePrometheus(&b, "modelmed"); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("nil counters wrote %q", b.String())
+	}
+
+	c := NewCounters()
+	c.Add("mediator.delta_applies", 2)
+	c.Add("answers", 7)
+	b.Reset()
+	if err := c.WritePrometheus(&b, "modelmed"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	want := "# TYPE modelmed_answers counter\n" +
+		"modelmed_answers 7\n" +
+		"# TYPE modelmed_mediator_delta_applies counter\n" +
+		"modelmed_mediator_delta_applies 2\n"
+	if out != want {
+		t.Fatalf("prometheus output:\n%s\nwant:\n%s", out, want)
 	}
 }

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Admission control: the daemon bounds the number of queries evaluating
+// concurrently (each one costs a fan-out plus a datalog evaluation) and
+// queues a bounded number of waiters in FIFO order behind the in-flight
+// set. When the queue is full too, the request is shed immediately with
+// a Retry-After instead of piling latency onto everyone else.
+
+// errShed is returned by acquire when both the in-flight set and the
+// wait queue are full; the HTTP layer maps it to 503 + Retry-After.
+var errShed = errors.New("serve: overloaded, request shed")
+
+// waiter is one queued request. The slot channel has capacity 1 so a
+// release can hand a slot to a waiter that is concurrently timing out
+// without blocking; the loser of that race returns the slot.
+type waiter struct {
+	slot chan struct{}
+}
+
+// admission is a bounded in-flight semaphore with a FIFO wait queue.
+type admission struct {
+	mu       sync.Mutex
+	inflight int
+	capacity int
+	queue    []*waiter
+	maxQueue int
+}
+
+func newAdmission(capacity, maxQueue int) *admission {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// acquire blocks until a slot is free, the context ends, or the queue
+// is full (errShed). A nil return means the caller holds a slot and
+// must release() it.
+func (a *admission) acquire(ctx context.Context) error {
+	a.mu.Lock()
+	if a.inflight < a.capacity {
+		a.inflight++
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		a.mu.Unlock()
+		return errShed
+	}
+	w := &waiter{slot: make(chan struct{}, 1)}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.slot:
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		for i, q := range a.queue {
+			if q == w {
+				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+				a.mu.Unlock()
+				return ctx.Err()
+			}
+		}
+		a.mu.Unlock()
+		// Not in the queue anymore: a release handed us the slot while
+		// the context was firing. Take it and give it back, so the hand-
+		// off is never lost.
+		<-w.slot
+		a.release()
+		return ctx.Err()
+	}
+}
+
+// release returns a slot: the oldest waiter (if any) inherits it,
+// otherwise the in-flight count drops.
+func (a *admission) release() {
+	a.mu.Lock()
+	if len(a.queue) > 0 {
+		w := a.queue[0]
+		a.queue = a.queue[1:]
+		a.mu.Unlock()
+		w.slot <- struct{}{}
+		return
+	}
+	a.inflight--
+	a.mu.Unlock()
+}
+
+// stats returns the current in-flight and queued counts.
+func (a *admission) stats() (inflight, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight, len(a.queue)
+}

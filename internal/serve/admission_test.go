@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAdmissionAdmitUpToCapacity(t *testing.T) {
+	a := newAdmission(2, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if in, q := a.stats(); in != 2 || q != 0 {
+		t.Fatalf("stats = (%d, %d), want (2, 0)", in, q)
+	}
+	a.release()
+	a.release()
+	if in, q := a.stats(); in != 0 || q != 0 {
+		t.Fatalf("after release stats = (%d, %d), want (0, 0)", in, q)
+	}
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	a := newAdmission(1, 0)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	err := a.acquire(context.Background())
+	if !errors.Is(err, errShed) {
+		t.Fatalf("err = %v, want errShed", err)
+	}
+	a.release()
+}
+
+func TestAdmissionFIFOHandoff(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 3
+	order := make(chan int, waiters)
+	var started sync.WaitGroup
+	var done sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		i := i
+		started.Add(1)
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			// Serialize enqueue order: waiter i queues only after the
+			// previous ones are already in the queue.
+			for {
+				_, q := a.stats()
+				if q == i {
+					break
+				}
+				time.Sleep(time.Millisecond)
+			}
+			started.Done()
+			if err := a.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- i
+			a.release()
+		}()
+	}
+	started.Wait()
+	a.release()
+	done.Wait()
+	close(order)
+	want := 0
+	for got := range order {
+		if got != want {
+			t.Fatalf("handoff order: got waiter %d, want %d", got, want)
+		}
+		want++
+	}
+}
+
+func TestAdmissionQueuedCancel(t *testing.T) {
+	a := newAdmission(1, 4)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.acquire(ctx) }()
+	for {
+		if _, q := a.stats(); q == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued acquire = %v, want context.Canceled", err)
+	}
+	// The cancelled waiter must have left the queue; the slot still
+	// belongs to the first holder and a release frees it cleanly.
+	if in, q := a.stats(); in != 1 || q != 0 {
+		t.Fatalf("stats = (%d, %d), want (1, 0)", in, q)
+	}
+	a.release()
+	if in, _ := a.stats(); in != 0 {
+		t.Fatalf("inflight = %d after release, want 0", in)
+	}
+}
+
+func TestAdmissionCancelReleaseRaceLosesNoSlot(t *testing.T) {
+	// Hammer the release-while-cancelling race: whichever side wins, the
+	// slot must never be lost. If a hand-off leaked, a later acquire on
+	// the drained semaphore would block forever.
+	a := newAdmission(1, 8)
+	for i := 0; i < 200; i++ {
+		if err := a.acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		errCh := make(chan error, 1)
+		go func() {
+			err := a.acquire(ctx)
+			if err == nil {
+				// Won the hand-off despite the cancel: give it back.
+				a.release()
+			}
+			errCh <- err
+		}()
+		for {
+			if _, q := a.stats(); q == 1 {
+				break
+			}
+		}
+		go cancel()
+		a.release()
+		<-errCh
+		cancel()
+		// Whatever happened, exactly the free slot must remain.
+		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := a.acquire(ctx2); err != nil {
+			t.Fatalf("round %d: slot lost: %v", i, err)
+		}
+		cancel2()
+		a.release()
+	}
+}

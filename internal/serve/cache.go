@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"modelmed/internal/mediator"
+)
+
+// The answer cache. Keys are normalized query renderings (parsed body,
+// selected vars, planned flag), so textual variants of one query share
+// an entry. Each entry records which sources the answer was computed
+// from; the incremental bridge (/v1/delta, /v1/sync) invalidates
+// exactly the entries depending on the changed source — queries over
+// derived views or unconstrained source positions depend on everything
+// and are tracked as global.
+//
+// Duplicate concurrent misses collapse into one computation
+// (single-flight): the first request becomes the leader and computes
+// under an admission slot; followers wait on the leader's result
+// without consuming slots. A generation counter guards the insert: a
+// flight that started before an invalidation must not publish its
+// (pre-delta) answer after it, so the leader snapshots the generation
+// at flight start and the insert is skipped if it moved.
+
+// cached is the value the cache stores and the flight produces.
+type cached struct {
+	Ans       *mediator.Answer
+	PlanTrace []string
+}
+
+type cacheEntry struct {
+	key    string
+	val    cached
+	deps   []string
+	global bool
+	elem   *list.Element
+}
+
+type flight struct {
+	done chan struct{}
+	val  cached
+	err  error
+}
+
+type answerCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used
+	flights map[string]*flight
+	gen     uint64 // bumped by every invalidation
+}
+
+func newAnswerCache(capacity int) *answerCache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &answerCache{
+		cap:     capacity,
+		entries: make(map[string]*cacheEntry),
+		lru:     list.New(),
+		flights: make(map[string]*flight),
+	}
+}
+
+// get returns a cached answer and bumps its recency.
+func (c *answerCache) get(key string) (cached, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return cached{}, false
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.val, true
+}
+
+// outcome classifies how do() produced its answer.
+type outcome int
+
+const (
+	outcomeHit outcome = iota
+	outcomeComputed
+	outcomeCollapsed
+)
+
+// do returns the answer for key: from the cache, from an in-flight
+// leader's result, or by computing it (becoming the leader). compute
+// runs without c.mu held; the caller does its own admission inside it.
+func (c *answerCache) do(ctx context.Context, key string, deps []string, global bool,
+	compute func() (cached, error)) (cached, outcome, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		val := e.val
+		c.mu.Unlock()
+		return val, outcomeHit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, outcomeCollapsed, f.err
+		case <-ctx.Done():
+			return cached{}, outcomeCollapsed, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	snap := c.gen
+	c.mu.Unlock()
+
+	f.val, f.err = compute()
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && c.gen == snap {
+		c.insertLocked(key, f.val, deps, global)
+	}
+	c.mu.Unlock()
+	return f.val, outcomeComputed, f.err
+}
+
+// insertLocked adds an entry and evicts past capacity. Called with
+// c.mu held.
+func (c *answerCache) insertLocked(key string, val cached, deps []string, global bool) {
+	if e, ok := c.entries[key]; ok {
+		e.val = val
+		c.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &cacheEntry{key: key, val: val, deps: deps, global: global}
+	e.elem = c.lru.PushFront(e)
+	c.entries[key] = e
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		old := back.Value.(*cacheEntry)
+		c.lru.Remove(back)
+		delete(c.entries, old.key)
+	}
+}
+
+// invalidateSource drops every entry depending on the named source
+// (plus all global entries) and bumps the generation so racing flights
+// cannot re-publish pre-delta answers. Returns how many entries fell.
+func (c *answerCache) invalidateSource(source string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	var dropped int
+	for key, e := range c.entries {
+		hit := e.global
+		for _, d := range e.deps {
+			if d == source {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			c.lru.Remove(e.elem)
+			delete(c.entries, key)
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// invalidateAll clears the cache (full rebuilds, view/knowledge
+// registration).
+func (c *answerCache) invalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	dropped := len(c.entries)
+	c.entries = make(map[string]*cacheEntry)
+	c.lru.Init()
+	return dropped
+}
+
+// size returns the number of cached entries.
+func (c *answerCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,196 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"modelmed/internal/mediator"
+)
+
+func mkcached(n int) cached {
+	return cached{Ans: &mediator.Answer{Vars: []string{"N"}, Rows: nil}, PlanTrace: []string{fmt.Sprint(n)}}
+}
+
+func computeOK(n int) func() (cached, error) {
+	return func() (cached, error) { return mkcached(n), nil }
+}
+
+func TestCacheHitAndLRUEviction(t *testing.T) {
+	c := newAnswerCache(2)
+	ctx := context.Background()
+	mustDo := func(key string, n int) outcome {
+		t.Helper()
+		_, out, err := c.do(ctx, key, nil, false, computeOK(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	if out := mustDo("a", 1); out != outcomeComputed {
+		t.Fatalf("first a: outcome %d, want computed", out)
+	}
+	if out := mustDo("a", 99); out != outcomeHit {
+		t.Fatalf("second a: outcome %d, want hit", out)
+	}
+	mustDo("b", 2)
+	// Touch a so b is the LRU victim when c arrives.
+	mustDo("a", 99)
+	mustDo("c", 3)
+	if c.size() != 2 {
+		t.Fatalf("size = %d, want 2", c.size())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction; LRU order not respected")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite being recently used")
+	}
+}
+
+func TestCacheErrorsAreNotCached(t *testing.T) {
+	c := newAnswerCache(4)
+	boom := errors.New("boom")
+	_, _, err := c.do(context.Background(), "k", nil, false, func() (cached, error) {
+		return cached{}, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.size() != 0 {
+		t.Fatal("failed computation was cached")
+	}
+}
+
+func TestCacheSingleFlightCollapses(t *testing.T) {
+	c := newAnswerCache(4)
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	compute := func() (cached, error) {
+		computes.Add(1)
+		<-gate
+		return mkcached(7), nil
+	}
+
+	const followers = 5
+	var wg sync.WaitGroup
+	outcomes := make(chan outcome, followers+1)
+	for i := 0; i < followers+1; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, out, err := c.do(context.Background(), "k", nil, false, compute)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outcomes <- out
+		}()
+	}
+	// Wait until the leader's flight is registered and all followers can
+	// only be parked on it, then open the gate.
+	for computes.Load() == 0 {
+	}
+	close(gate)
+	wg.Wait()
+	close(outcomes)
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1 (single-flight)", n)
+	}
+	var computed int
+	for out := range outcomes {
+		if out == outcomeComputed {
+			computed++
+		}
+	}
+	// A follower scheduled after the leader published may see a plain
+	// hit instead of a collapse; either way only one compute ran.
+	if computed != 1 {
+		t.Fatalf("outcomes: %d computed, want exactly 1", computed)
+	}
+}
+
+func TestCacheFollowerCancellation(t *testing.T) {
+	c := newAnswerCache(4)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		_, _, _ = c.do(context.Background(), "k", nil, false, func() (cached, error) {
+			close(started)
+			<-gate
+			return mkcached(1), nil
+		})
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := c.do(ctx, "k", nil, false, computeOK(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("follower err = %v, want context.Canceled", err)
+	}
+	close(gate)
+}
+
+func TestCacheInvalidateSource(t *testing.T) {
+	c := newAnswerCache(8)
+	ctx := context.Background()
+	c.do(ctx, "alpha-only", []string{"alpha"}, false, computeOK(1))
+	c.do(ctx, "beta-only", []string{"beta"}, false, computeOK(2))
+	c.do(ctx, "both", []string{"alpha", "beta"}, false, computeOK(3))
+	c.do(ctx, "global", nil, true, computeOK(4))
+
+	dropped := c.invalidateSource("alpha")
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3 (alpha-only, both, global)", dropped)
+	}
+	if _, ok := c.get("beta-only"); !ok {
+		t.Fatal("beta-only was dropped by an alpha invalidation")
+	}
+	if _, ok := c.get("alpha-only"); ok {
+		t.Fatal("alpha-only survived an alpha invalidation")
+	}
+	if _, ok := c.get("global"); ok {
+		t.Fatal("global entry survived a source invalidation")
+	}
+}
+
+func TestCacheInvalidateAll(t *testing.T) {
+	c := newAnswerCache(8)
+	ctx := context.Background()
+	c.do(ctx, "a", []string{"alpha"}, false, computeOK(1))
+	c.do(ctx, "b", nil, true, computeOK(2))
+	if n := c.invalidateAll(); n != 2 {
+		t.Fatalf("invalidateAll = %d, want 2", n)
+	}
+	if c.size() != 0 {
+		t.Fatal("cache not empty after invalidateAll")
+	}
+}
+
+func TestCacheGenerationGuardsStaleInsert(t *testing.T) {
+	// A flight that began before an invalidation must not publish its
+	// (pre-delta) answer after it.
+	c := newAnswerCache(8)
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = c.do(context.Background(), "k", []string{"alpha"}, false, func() (cached, error) {
+			close(started)
+			<-gate
+			return mkcached(1), nil
+		})
+	}()
+	<-started
+	c.invalidateSource("alpha")
+	close(gate)
+	<-done
+	if c.size() != 0 {
+		t.Fatal("stale flight result was cached across an invalidation")
+	}
+}

@@ -1,0 +1,619 @@
+// Package serve is the mediator query service: an HTTP/JSON front door
+// over one shared Mediator, owning the production concerns the library
+// deliberately does not — admission control with FIFO queueing and
+// load-shedding, per-request deadlines propagated as contexts into the
+// source fan-out, a normalized-query answer cache invalidated precisely
+// by the incremental layer's delta reports, graceful drain, and
+// structured request logs with per-request trace attachment.
+//
+// Endpoints:
+//
+//	POST /v1/query   ad-hoc or planned conceptual-level queries
+//	POST /v1/delta   push a stated source delta (bridges ApplySourceDelta)
+//	POST /v1/sync    version-diff every source (bridges SyncSources)
+//	GET  /v1/plan    analyze a query without executing it
+//	GET  /v1/trace   last span tree as JSON (tracing must be enabled)
+//	GET  /healthz    liveness + registered sources
+//	GET  /metrics    counters in Prometheus text format
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/mediator"
+	"modelmed/internal/obs"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+// Config tunes the service. Zero values mean the stated defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently evaluating queries (default 8).
+	MaxInFlight int
+	// MaxQueue bounds the FIFO wait queue behind the in-flight set
+	// (default 64, negative = no queue); beyond it requests are shed
+	// with 503 + Retry-After.
+	MaxQueue int
+	// RequestTimeout caps every request's context (default 30s). A
+	// request's timeout_ms may shorten it, never extend it.
+	RequestTimeout time.Duration
+	// CacheEntries sizes the answer cache (default 256).
+	CacheEntries int
+	// DisableCache turns the answer cache off entirely.
+	DisableCache bool
+	// Log receives one structured line per request (nil = discard).
+	Log *log.Logger
+}
+
+func (c Config) maxInFlight() int {
+	if c.MaxInFlight <= 0 {
+		return 8
+	}
+	return c.MaxInFlight
+}
+
+func (c Config) maxQueue() int {
+	if c.MaxQueue < 0 {
+		return 0
+	}
+	if c.MaxQueue == 0 {
+		return 64
+	}
+	return c.MaxQueue
+}
+
+func (c Config) requestTimeout() time.Duration {
+	if c.RequestTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.RequestTimeout
+}
+
+// Server is the query service over one shared mediator.
+type Server struct {
+	med   *mediator.Mediator
+	cfg   Config
+	adm   *admission
+	cache *answerCache
+	ctr   *obs.Counters
+	mux   *http.ServeMux
+	log   *log.Logger
+
+	// started/finished account every request across its whole handler,
+	// so a drain can prove no in-flight request was dropped.
+	started  atomic.Int64
+	finished atomic.Int64
+}
+
+// New builds a Server over the mediator.
+func New(med *mediator.Mediator, cfg Config) *Server {
+	s := &Server{
+		med:   med,
+		cfg:   cfg,
+		adm:   newAdmission(cfg.maxInFlight(), cfg.maxQueue()),
+		cache: newAnswerCache(cfg.CacheEntries),
+		ctr:   obs.NewCounters(),
+		log:   cfg.Log,
+	}
+	if s.log == nil {
+		s.log = log.New(io.Discard, "", 0)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", s.handleQuery)
+	mux.HandleFunc("/v1/delta", s.handleDelta)
+	mux.HandleFunc("/v1/sync", s.handleSync)
+	mux.HandleFunc("/v1/plan", s.handlePlan)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the HTTP handler (request accounting wraps the mux).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.started.Add(1)
+		defer s.finished.Add(1)
+		s.ctr.Add("serve.requests", 1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Counters returns the service's always-on counter set.
+func (s *Server) Counters() *obs.Counters { return s.ctr }
+
+// Started and Finished expose the drain accounting: after a graceful
+// shutdown the two must be equal or requests were dropped mid-flight.
+func (s *Server) Started() int64  { return s.started.Load() }
+func (s *Server) Finished() int64 { return s.finished.Load() }
+
+// CacheSize returns the number of cached answers (test/ops hook).
+func (s *Server) CacheSize() int { return s.cache.size() }
+
+// --- request/response shapes ---
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	Query string `json:"query"`
+	// Vars selects output columns; empty = all variables in order of
+	// first occurrence.
+	Vars []string `json:"vars,omitempty"`
+	// Planned routes through Plan/ExecutePlan (source pruning +
+	// selection pushdown) instead of the materialized base.
+	Planned bool `json:"planned,omitempty"`
+	// NoCache bypasses the answer cache for this request.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Trace attaches this request's span tree to the response
+	// (tracing must be enabled on the mediator).
+	Trace bool `json:"trace,omitempty"`
+	// TimeoutMs shortens the server's request timeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// QueryResponse is the POST /v1/query reply.
+type QueryResponse struct {
+	Vars      []string        `json:"vars"`
+	Rows      [][]string      `json:"rows"`
+	Count     int             `json:"count"`
+	Cached    bool            `json:"cached"`
+	PlanTrace []string        `json:"plan_trace,omitempty"`
+	Trace     *obs.SpanExport `json:"trace,omitempty"`
+}
+
+// DeltaRequest is the POST /v1/delta body. Adds and Dels are ground
+// facts in the rule language (e.g. "src_val('NCMIR', o1, name, 'x')"),
+// with or without the trailing period.
+type DeltaRequest struct {
+	Source string   `json:"source"`
+	Adds   []string `json:"adds,omitempty"`
+	Dels   []string `json:"dels,omitempty"`
+}
+
+// DeltaResponse reports one applied delta and its cache effect.
+type DeltaResponse struct {
+	Source         string `json:"source"`
+	FactsAdded     int    `json:"facts_added"`
+	FactsRemoved   int    `json:"facts_removed"`
+	AnchorsAdded   int    `json:"anchors_added"`
+	AnchorsRemoved int    `json:"anchors_removed"`
+	Full           bool   `json:"full_rebuild"`
+	CacheDropped   int    `json:"cache_entries_dropped"`
+}
+
+// PlanResponse is the GET /v1/plan reply.
+type PlanResponse struct {
+	Sources    []string   `json:"sources"`
+	Concepts   []string   `json:"concepts,omitempty"`
+	Restricted bool       `json:"restricted"`
+	Pushdowns  []PlanStep `json:"pushdowns,omitempty"`
+	Trace      []string   `json:"trace,omitempty"`
+}
+
+// PlanStep is one planned source access.
+type PlanStep struct {
+	Source     string `json:"source"`
+	Class      string `json:"class"`
+	Selections int    `json:"selections"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// --- handlers ---
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.ctr.Add("serve.bad_requests", 1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.ctr.Add("serve.bad_requests", 1)
+		s.writeError(w, http.StatusBadRequest, errors.New("empty query"))
+		return
+	}
+	// Everything before admission is pure (no mediator locks): parse,
+	// cache key, dependency set. A cache hit is then served without
+	// touching the mediator at all, and an overloaded server sheds
+	// before doing any work — even while a slow materialize holds the
+	// mediator's internals.
+	body, aux, err := parser.ParseQuery(req.Query)
+	if err != nil {
+		s.ctr.Add("serve.bad_requests", 1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	timeout := s.cfg.requestTimeout()
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	deps, global := queryDeps(body, aux)
+	key := cacheKey(body, aux, req.Vars, req.Planned)
+
+	compute := func() (cached, error) {
+		if err := s.adm.acquire(ctx); err != nil {
+			return cached{}, err
+		}
+		defer s.adm.release()
+		// Plan under the admission slot: it validates the vocabulary
+		// (unknown predicates are client errors, not empty answers) and
+		// drives the planned execution path.
+		plan, err := s.med.Plan(req.Query)
+		if err != nil {
+			return cached{}, err
+		}
+		if req.Planned {
+			ans, err := s.med.ExecutePlanCtx(ctx, plan, req.Vars)
+			if err != nil {
+				return cached{}, err
+			}
+			return cached{Ans: ans, PlanTrace: plan.Trace}, nil
+		}
+		ans, err := s.med.QueryCtx(ctx, req.Query, req.Vars...)
+		if err != nil {
+			return cached{}, err
+		}
+		return cached{Ans: ans}, nil
+	}
+
+	var val cached
+	var out outcome
+	if s.cfg.DisableCache || req.NoCache {
+		val, err = compute()
+		out = outcomeComputed
+	} else {
+		val, out, err = s.cache.do(ctx, key, deps, global, compute)
+	}
+	if err != nil {
+		s.ctr.Add("serve.query_errors", 1)
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errShed):
+			s.ctr.Add("serve.shed", 1)
+			w.Header().Set("Retry-After", "1")
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, mediator.ErrUnknownPredicate):
+			s.ctr.Add("serve.bad_requests", 1)
+			status = http.StatusBadRequest
+		case errors.Is(err, context.DeadlineExceeded):
+			s.ctr.Add("serve.timeouts", 1)
+			status = http.StatusGatewayTimeout
+		case errors.Is(err, context.Canceled):
+			status = 499 // client closed request
+		}
+		s.writeError(w, status, err)
+		s.logRequest(r, status, start, 0, out)
+		return
+	}
+	switch out {
+	case outcomeHit:
+		s.ctr.Add("serve.cache_hits", 1)
+	case outcomeCollapsed:
+		s.ctr.Add("serve.cache_collapsed", 1)
+	default:
+		s.ctr.Add("serve.cache_misses", 1)
+	}
+	s.ctr.Add("serve.query_ok", 1)
+
+	resp := &QueryResponse{
+		Vars:      val.Ans.Vars,
+		Rows:      renderRows(val.Ans.Rows),
+		Count:     len(val.Ans.Rows),
+		Cached:    out == outcomeHit,
+		PlanTrace: val.PlanTrace,
+	}
+	if req.Trace {
+		resp.Trace = val.Ans.Span.Export()
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+	s.logRequest(r, http.StatusOK, start, resp.Count, out)
+}
+
+func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req DeltaRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	adds, err := parseFacts(req.Adds)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("adds: %w", err))
+		return
+	}
+	dels, err := parseFacts(req.Dels)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("dels: %w", err))
+		return
+	}
+	rep, err := s.med.ApplySourceDelta(req.Source, adds, dels)
+	if err != nil {
+		s.ctr.Add("serve.delta_errors", 1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.ctr.Add("serve.deltas", 1)
+	dropped := s.invalidateFor(rep)
+	s.writeJSON(w, http.StatusOK, deltaResponse(rep, dropped))
+	s.logRequest(r, http.StatusOK, start, rep.FactsAdded+rep.FactsRemoved, outcomeComputed)
+}
+
+func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	reps, err := s.med.SyncSources()
+	if err != nil {
+		s.ctr.Add("serve.sync_errors", 1)
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.ctr.Add("serve.syncs", 1)
+	out := make([]*DeltaResponse, 0, len(reps))
+	for _, rep := range reps {
+		out = append(out, deltaResponse(rep, s.invalidateFor(rep)))
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"refreshed": out})
+	s.logRequest(r, http.StatusOK, start, len(reps), outcomeComputed)
+}
+
+// invalidateFor applies one delta report's precise cache effect: a
+// patched source drops only the entries depending on it; a full
+// rebuild drops everything.
+func (s *Server) invalidateFor(rep *mediator.DeltaReport) int {
+	var dropped int
+	if rep.Full {
+		dropped = s.cache.invalidateAll()
+		s.ctr.Add("serve.cache_invalidations_full", 1)
+	} else {
+		dropped = s.cache.invalidateSource(rep.Source)
+		s.ctr.Add("serve.cache_invalidations_source", 1)
+	}
+	s.ctr.Add("serve.cache_entries_dropped", int64(dropped))
+	return dropped
+}
+
+func deltaResponse(rep *mediator.DeltaReport, dropped int) *DeltaResponse {
+	return &DeltaResponse{
+		Source:         rep.Source,
+		FactsAdded:     rep.FactsAdded,
+		FactsRemoved:   rep.FactsRemoved,
+		AnchorsAdded:   rep.AnchorsAdded,
+		AnchorsRemoved: rep.AnchorsRemoved,
+		Full:           rep.Full,
+		CacheDropped:   dropped,
+	}
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	q := r.URL.Query().Get("q")
+	if strings.TrimSpace(q) == "" {
+		s.writeError(w, http.StatusBadRequest, errors.New("missing q parameter"))
+		return
+	}
+	p, err := s.med.Plan(q)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.ctr.Add("serve.plans", 1)
+	resp := &PlanResponse{
+		Sources:    p.Sources,
+		Concepts:   p.Concepts,
+		Restricted: p.Restricted,
+		Trace:      p.Trace,
+	}
+	for _, step := range p.Pushdowns {
+		resp.Pushdowns = append(resp.Pushdowns, PlanStep{
+			Source: step.Source, Class: step.Class, Selections: len(step.Selections),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	sp := s.med.LastTrace()
+	if sp == nil {
+		s.writeJSON(w, http.StatusNotFound, errorResponse{Error: "no trace captured (enable tracing and run a query)"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, sp.Export())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	inflight, queued := s.adm.stats()
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"sources":  s.med.Sources(),
+		"inflight": inflight,
+		"queued":   queued,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	inflight, queued := s.adm.stats()
+	s.ctr.Set("serve.inflight", int64(inflight))
+	s.ctr.Set("serve.queued", int64(queued))
+	s.ctr.Set("serve.cache_size", int64(s.cache.size()))
+	s.ctr.Set("serve.requests_started", s.started.Load())
+	s.ctr.Set("serve.requests_finished", s.finished.Load())
+	if err := s.ctr.WritePrometheus(w, "modelmed"); err != nil {
+		return
+	}
+	// The mediator's own counters exist only while tracing is enabled.
+	_ = s.med.ObsCounters().WritePrometheus(w, "modelmed")
+}
+
+// --- helpers ---
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (s *Server) logRequest(r *http.Request, status int, start time.Time, rows int, out outcome) {
+	mode := "miss"
+	switch out {
+	case outcomeHit:
+		mode = "hit"
+	case outcomeCollapsed:
+		mode = "collapsed"
+	}
+	s.log.Printf("method=%s path=%s status=%d dur=%s rows=%d cache=%s",
+		r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), rows, mode)
+}
+
+// renderRows renders term tuples as strings for JSON transport.
+func renderRows(rows [][]term.Term) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for j, t := range row {
+			cells[j] = t.String()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// parseFacts parses ground facts written in the rule language.
+func parseFacts(lines []string) ([]datalog.Rule, error) {
+	var out []datalog.Rule
+	for _, l := range lines {
+		l = strings.TrimSpace(l)
+		if l == "" {
+			continue
+		}
+		if !strings.HasSuffix(l, ".") {
+			l += "."
+		}
+		rules, err := parser.ParseRules(l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rules...)
+	}
+	return out, nil
+}
+
+// srcPreds are the namespaced source-fact predicates whose first
+// argument names the contributing source.
+var srcPreds = map[string]bool{
+	mediator.PredSrcObj: true, mediator.PredSrcVal: true,
+	mediator.PredSrcSub: true, mediator.PredSrcTuple: true,
+	mediator.PredAnchor: true,
+}
+
+// queryDeps derives the cache dependency set of a query: the ground
+// source names its body (and any query-local rule bodies) read. Any
+// variable source position, derived predicate (views, GCM bridge,
+// domain-map operations) or aggregate over one makes the query depend
+// on everything (global), since those derivations can draw on any
+// source.
+func queryDeps(body []datalog.BodyElem, aux []datalog.Rule) (deps []string, global bool) {
+	seen := map[string]bool{}
+	auxHeads := map[string]bool{}
+	for _, r := range aux {
+		auxHeads[r.Head.Pred] = true
+	}
+	var walk func(es []datalog.BodyElem)
+	walk = func(es []datalog.BodyElem) {
+		for _, e := range es {
+			switch x := e.(type) {
+			case datalog.Literal:
+				if datalog.IsBuiltin(x.Pred, len(x.Args)) || auxHeads[x.Pred] {
+					continue
+				}
+				if srcPreds[x.Pred] && len(x.Args) >= 1 && x.Args[0].Kind() == term.KindAtom {
+					name := x.Args[0].Name()
+					if !seen[name] {
+						seen[name] = true
+						deps = append(deps, name)
+					}
+					continue
+				}
+				global = true
+			case datalog.Aggregate:
+				inner := make([]datalog.BodyElem, len(x.Body))
+				for i, l := range x.Body {
+					inner[i] = l
+				}
+				walk(inner)
+			}
+		}
+	}
+	walk(body)
+	for _, r := range aux {
+		walk(r.Body)
+	}
+	if global {
+		return nil, true
+	}
+	return deps, false
+}
+
+// cacheKey renders the normalized form of a query: the parsed body and
+// query-local rules (whitespace of the original text no longer
+// matters), the selected vars, and the execution mode.
+func cacheKey(body []datalog.BodyElem, aux []datalog.Rule, vars []string, planned bool) string {
+	var b strings.Builder
+	for i, e := range body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%v", e)
+	}
+	for _, r := range aux {
+		fmt.Fprintf(&b, " :- %v", r)
+	}
+	b.WriteString("|vars=")
+	b.WriteString(strings.Join(vars, ","))
+	if planned {
+		b.WriteString("|planned")
+	}
+	return b.String()
+}
