@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race chaos bench bench-parallel bench-faults bench-incr bench-serve obs serve loadgen vet cover fuzz-smoke
+.PHONY: all check build test race chaos bench bench-parallel perf-smoke bench-faults bench-incr bench-serve obs serve loadgen vet cover fuzz-smoke
 
 all: build test
 
@@ -33,9 +33,16 @@ chaos:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Serial-vs-parallel speedup report (writes BENCH_parallel.json).
+# Worker-sweep speedup report: compiled vs interpreted serial legs plus
+# Workers in {1,2,4,8} at GOMAXPROCS=NumCPU (writes BENCH_parallel.json).
 bench-parallel:
 	$(GO) run ./cmd/benchrunner -exp parallel
+
+# CI perf smoke: same sweep, plus the speedup gate — fails if the
+# 4-worker leg is slower than serial (skipped on single-CPU hosts; the
+# 2.0x roadmap target prints as advisory).
+perf-smoke:
+	$(GO) run ./cmd/benchrunner -exp parallel -check-speedup
 
 # Fault-rate x retry-budget degradation sweep (writes BENCH_faults.json).
 bench-faults:

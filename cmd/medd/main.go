@@ -13,7 +13,11 @@
 //	     [-source-timeout D -retries N]
 //	     [-max-inflight N] [-max-queue N] [-request-timeout D]
 //	     [-cache-entries N] [-no-cache] [-trace] [-log]
-//	     [-drain-timeout D]
+//	     [-drain-timeout D] [-pprof HOST:PORT]
+//
+// With -pprof the daemon additionally serves net/http/pprof on a
+// separate listener (off by default; the main API listener never
+// exposes the profiling handlers).
 //
 // The daemon prints "medd listening on http://HOST:PORT" once the
 // listener is bound (with -addr :0 the kernel-assigned port appears
@@ -31,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -72,8 +77,21 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	trace := fs.Bool("trace", false, "enable span tracing and counter collection")
 	reqLog := fs.Bool("log", false, "log every request to stderr")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer pln.Close()
+		fmt.Fprintf(stdout, "medd pprof on http://%s/debug/pprof/\n", pln.Addr())
+		// http.DefaultServeMux carries the net/http/pprof handlers
+		// registered by the blank import.
+		go func() { _ = http.Serve(pln, nil) }()
 	}
 
 	med := mediator.New(sources.NeuroDM(), &mediator.Options{

@@ -50,28 +50,12 @@ func EvalArith(t term.Term, s *term.Subst) (term.Term, error) {
 
 func evalArithComp(t term.Term, s *term.Subst) (term.Term, error) {
 	args := t.Args()
-	if t.Name() == "neg" && len(args) == 1 {
+	if (t.Name() == "neg" || t.Name() == "abs") && len(args) == 1 {
 		v, err := EvalArith(args[0], s)
 		if err != nil {
 			return term.Term{}, err
 		}
-		if v.Kind() == term.KindInt {
-			return term.Int(-v.IntVal()), nil
-		}
-		return term.Float(-v.FloatVal()), nil
-	}
-	if t.Name() == "abs" && len(args) == 1 {
-		v, err := EvalArith(args[0], s)
-		if err != nil {
-			return term.Term{}, err
-		}
-		if v.Kind() == term.KindInt {
-			if v.IntVal() < 0 {
-				return term.Int(-v.IntVal()), nil
-			}
-			return v, nil
-		}
-		return term.Float(math.Abs(v.FloatVal())), nil
+		return arithUnary(t.Name(), v)
 	}
 	if len(args) != 2 {
 		return term.Term{}, fmt.Errorf("datalog: unknown arithmetic functor %s/%d", t.Name(), len(args))
@@ -84,10 +68,36 @@ func evalArithComp(t term.Term, s *term.Subst) (term.Term, error) {
 	if err != nil {
 		return term.Term{}, err
 	}
+	return arithBinary(t.Name(), a, b)
+}
+
+// arithUnary applies a unary arithmetic functor to an evaluated operand.
+// Shared by the tree-walking evaluator above and the compiled executor.
+func arithUnary(name string, v term.Term) (term.Term, error) {
+	switch name {
+	case "neg":
+		if v.Kind() == term.KindInt {
+			return term.Int(-v.IntVal()), nil
+		}
+		return term.Float(-v.FloatVal()), nil
+	case "abs":
+		if v.Kind() == term.KindInt {
+			if v.IntVal() < 0 {
+				return term.Int(-v.IntVal()), nil
+			}
+			return v, nil
+		}
+		return term.Float(math.Abs(v.FloatVal())), nil
+	}
+	return term.Term{}, fmt.Errorf("datalog: unknown arithmetic functor %s/1", name)
+}
+
+// arithBinary applies a binary arithmetic functor to evaluated operands.
+func arithBinary(name string, a, b term.Term) (term.Term, error) {
 	bothInt := a.Kind() == term.KindInt && b.Kind() == term.KindInt
 	af, _ := a.Numeric()
 	bf, _ := b.Numeric()
-	switch t.Name() {
+	switch name {
 	case "+":
 		if bothInt {
 			return term.Int(a.IntVal() + b.IntVal()), nil
@@ -141,7 +151,18 @@ func evalArithComp(t term.Term, s *term.Subst) (term.Term, error) {
 		}
 		return term.Float(math.Max(af, bf)), nil
 	}
-	return term.Term{}, fmt.Errorf("datalog: unknown arithmetic functor %s/2", t.Name())
+	return term.Term{}, fmt.Errorf("datalog: unknown arithmetic functor %s/2", name)
+}
+
+// isArithFunctor reports whether name is an arithmetic functor,
+// mirroring the functor list of isArithExpr (arity is not considered,
+// matching the interpreter's classification).
+func isArithFunctor(name string) bool {
+	switch name {
+	case "+", "-", "*", "/", "//", "mod", "min", "max", "neg", "abs":
+		return true
+	}
+	return false
 }
 
 // isArithExpr reports whether t, after walking, could be an arithmetic
@@ -152,10 +173,7 @@ func isArithExpr(t term.Term, s *term.Subst) bool {
 	case term.KindInt, term.KindFloat:
 		return true
 	case term.KindCompound:
-		switch t.Name() {
-		case "+", "-", "*", "/", "//", "mod", "min", "max", "neg", "abs":
-			return true
-		}
+		return isArithFunctor(t.Name())
 	}
 	return false
 }

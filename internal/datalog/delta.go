@@ -259,7 +259,7 @@ func (e *Engine) applyDeltaStratified(prev *Result, scc *sccResult, effAdds, eff
 			stats.RecomputedStrata++
 			continue
 		}
-		prepared, err := prepareRules(stratum)
+		prepared, err := prepareRules(stratum, &e.opts)
 		if err != nil {
 			ssp.End()
 			return res, err
@@ -327,14 +327,15 @@ func (e *Engine) recomputeStratum(stratum []Rule, store, old, cumAdd, cumDel *St
 		heads[r.Head.Key()] = len(r.Head.Args)
 	}
 	for k, ar := range heads {
-		store.rels[k] = NewRelation(ar)
+		nr := NewRelation(ar)
+		store.setRel(k, nr)
 		if er := e.edb.Rel(k); er != nil {
-			for _, row := range er.Rows() {
-				store.rels[k].Insert(row)
+			for i := 0; i < er.Len(); i++ {
+				nr.InsertIDs(er.rowIDs(i))
 			}
 		}
 	}
-	prepared, err := prepareRules(stratum)
+	prepared, err := prepareRules(stratum, &e.opts)
 	if err != nil {
 		return err
 	}
@@ -347,16 +348,16 @@ func (e *Engine) recomputeStratum(stratum []Rule, store, old, cumAdd, cumDel *St
 	for k := range heads {
 		nr, or := store.Rel(k), old.Rel(k)
 		if nr != nil {
-			for _, row := range nr.Rows() {
-				if or == nil || !or.Contains(row) {
-					cumAdd.InsertKey(k, nr.Arity(), row)
+			for i := 0; i < nr.Len(); i++ {
+				if row := nr.rowIDs(i); or == nil || !or.ContainsIDs(row) {
+					cumAdd.InsertKeyIDs(k, nr.Arity(), row)
 				}
 			}
 		}
 		if or != nil {
-			for _, row := range or.Rows() {
-				if nr == nil || !nr.Contains(row) {
-					cumDel.InsertKey(k, or.Arity(), row)
+			for i := 0; i < or.Len(); i++ {
+				if row := or.rowIDs(i); nr == nil || !nr.ContainsIDs(row) {
+					cumDel.InsertKeyIDs(k, or.Arity(), row)
 				}
 			}
 		}
@@ -379,11 +380,11 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 			continue
 		}
 		if opts.Naive {
-			deltaJobs = append(deltaJobs, evalJob{head: pr.rule.Head, ordered: pr.ordered, deltaIdx: -1})
+			deltaJobs = append(deltaJobs, evalJob{headKey: pr.headKey, head: pr.rule.Head, ordered: pr.ordered, deltaIdx: -1, compiled: pr.compiled})
 			continue
 		}
-		for _, va := range pr.variants {
-			deltaJobs = append(deltaJobs, evalJob{head: pr.rule.Head, ordered: va.ordered, deltaIdx: va.deltaIdx})
+		for vi, va := range pr.variants {
+			deltaJobs = append(deltaJobs, evalJob{headKey: pr.headKey, head: pr.rule.Head, ordered: va.ordered, deltaIdx: va.deltaIdx, compiled: pr.compiledVariants[vi]})
 		}
 	}
 
@@ -410,9 +411,8 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 		return err
 	}
 	for _, f := range negDel {
-		key := PredKey(f.pred, len(f.args))
-		if old.ContainsKey(key, f.args) && overdel.InsertKey(key, len(f.args), f.args) {
-			delDelta.InsertKey(key, len(f.args), f.args)
+		if old.ContainsKeyIDs(f.key, f.ids) && overdel.InsertKeyIDs(f.key, len(f.ids), f.ids) {
+			delDelta.InsertKeyIDs(f.key, len(f.ids), f.ids)
 		}
 	}
 	rounds := 0
@@ -428,32 +428,40 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 		stats.Firings += ev.firings
 		next := NewStore()
 		for _, f := range facts {
-			key := PredKey(f.pred, len(f.args))
-			if !old.ContainsKey(key, f.args) {
+			if !old.ContainsKeyIDs(f.key, f.ids) {
 				continue
 			}
-			if overdel.InsertKey(key, len(f.args), f.args) {
-				next.InsertKey(key, len(f.args), f.args)
+			if overdel.InsertKeyIDs(f.key, len(f.ids), f.ids) {
+				next.InsertKeyIDs(f.key, len(f.ids), f.ids)
 			}
 		}
 		delDelta = next
 		rounds++
 	}
 	// Remove the candidates — except facts the (patched) EDB still
-	// asserts, which stand on their own.
+	// asserts, which stand on their own. Removal is batched per
+	// relation: a large overdeletion wave compacts each relation in one
+	// pass instead of paying a per-row index patch (see
+	// Relation.DeleteIDsBatch). The collected rows alias overdel's
+	// storage, which is not mutated while the store's relations are.
 	type removedFact struct {
 		key string
 		row []term.Term
 	}
 	var removed []removedFact
-	overdel.Each(func(key string, arity int, row []term.Term) {
-		if e.edb.ContainsKey(key, row) {
+	perKey := make(map[string][][]uint32)
+	overdel.EachIDs(func(key string, arity int, row []uint32) {
+		if e.edb.ContainsKeyIDs(key, row) {
 			return
 		}
-		if store.DeleteKey(key, row) {
-			removed = append(removed, removedFact{key: key, row: row})
+		if store.ContainsKeyIDs(key, row) {
+			perKey[key] = append(perKey[key], row)
+			removed = append(removed, removedFact{key: key, row: termsOfIDs(row)})
 		}
 	})
+	for key, rows := range perKey {
+		store.DeleteKeyIDsBatch(key, rows)
+	}
 	stats.Overdeleted += len(removed)
 	ssp.SetInt("overdeleted", int64(len(removed)))
 
@@ -495,16 +503,18 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 	cumAdd.Each(func(key string, arity int, row []term.Term) {
 		insDelta.InsertKey(key, arity, row)
 	})
-	var inserted []removedFact
+	// The retained derivedFact ID rows stay valid: each round derives
+	// into a fresh context, so no arena is reset while its rows are
+	// still referenced here.
+	var inserted []derivedFact
 	negIns, err := negDriven(prepared, cumDel, store, store, opts)
 	if err != nil {
 		return err
 	}
 	for _, f := range negIns {
-		if store.Insert(f.pred, f.args) {
-			key := PredKey(f.pred, len(f.args))
-			insDelta.InsertKey(key, len(f.args), f.args)
-			inserted = append(inserted, removedFact{key: key, row: f.args})
+		if store.InsertKeyIDs(f.key, len(f.ids), f.ids) {
+			insDelta.InsertKeyIDs(f.key, len(f.ids), f.ids)
+			inserted = append(inserted, f)
 		}
 	}
 	for insDelta.Size() > 0 {
@@ -519,10 +529,9 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 		stats.Firings += ev.firings
 		next := NewStore()
 		for _, f := range facts {
-			if store.Insert(f.pred, f.args) {
-				key := PredKey(f.pred, len(f.args))
-				next.InsertKey(key, len(f.args), f.args)
-				inserted = append(inserted, removedFact{key: key, row: f.args})
+			if store.InsertKeyIDs(f.key, len(f.ids), f.ids) {
+				next.InsertKeyIDs(f.key, len(f.ids), f.ids)
+				inserted = append(inserted, f)
 			}
 		}
 		insDelta = next
@@ -542,8 +551,8 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 		cumDel.InsertKey(f.key, ar, f.row)
 	}
 	for _, f := range inserted {
-		if !old.ContainsKey(f.key, f.row) {
-			cumAdd.InsertKey(f.key, len(f.row), f.row)
+		if !old.ContainsKeyIDs(f.key, f.ids) {
+			cumAdd.InsertKeyIDs(f.key, len(f.ids), f.ids)
 		}
 	}
 	return nil
@@ -603,7 +612,7 @@ func negDriven(prepared []preparedRule, changed *Store, joinStore, negCtx *Store
 				trail, ok := s.MatchTuple(l.Args, row)
 				if ok {
 					err := ev.match(pr.ordered, 0, -1, s, func(s2 *term.Subst) error {
-						return ev.deriveHead(pr.rule.Head, s2)
+						return ev.deriveHead(pr.headKey, pr.rule.Head, s2)
 					})
 					if err != nil {
 						return nil, err

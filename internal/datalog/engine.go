@@ -22,6 +22,11 @@ type Options struct {
 	// Naive disables semi-naive evaluation (every rule re-evaluated in
 	// full each round). Used by the ablation benchmarks.
 	Naive bool
+	// Interpret disables rule compilation: every rule body runs on the
+	// tree-walking interpreter instead of the compiled register
+	// executor. Used by the ablation benchmarks and the differential
+	// tests that hold the two paths to identical results.
+	Interpret bool
 	// RequireStratified makes Run fail on non-stratified programs instead
 	// of falling back to the well-founded semantics.
 	RequireStratified bool
@@ -215,7 +220,7 @@ func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
 			}
 			continue
 		}
-		prepared, err := prepareRules(stratum)
+		prepared, err := prepareRules(stratum, &e.opts)
 		if err != nil {
 			return nil, err
 		}
@@ -244,7 +249,7 @@ func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
 func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers int, sp *obs.Span) error {
 	prepared := make([][]preparedRule, len(groups))
 	for i, g := range groups {
-		p, err := prepareRules(g)
+		p, err := prepareRules(g, &e.opts)
 		if err != nil {
 			return err
 		}
@@ -268,9 +273,17 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 		err             error
 	}
 	runs := make([]groupRun, len(groups))
+	// Clones are taken serially: Clone marks the parent's relations
+	// copy-on-write, which must not race with another worker's Clone of
+	// the same store. The clones themselves share every relation
+	// read-only, so the group fixpoints run concurrently without copying
+	// the base facts — a group pays only for the relations it derives
+	// into.
+	for i := range groups {
+		runs[i].clone = store.Clone()
+	}
 	par.Do(len(groups), workers, func(i int) {
-		clone := store.Clone()
-		runs[i].clone = clone
+		clone := runs[i].clone
 		runs[i].rounds, runs[i].firings, runs[i].err = fixpoint(prepared[i], clone, clone, &e.opts, spans[i])
 		spans[i].End()
 	})
@@ -288,8 +301,8 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 				continue
 			}
 			dst := store.Ensure(k, r.Arity())
-			for _, row := range r.Rows()[base:] {
-				dst.Insert(row)
+			for ri := base; ri < r.Len(); ri++ {
+				dst.InsertIDs(r.rowIDs(ri))
 			}
 		}
 	}
@@ -303,7 +316,7 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 // and converges because Γ is antimonotone. True = lfp(Γ²); Undefined =
 // Γ(True) − True.
 func (e *Engine) runWellFounded(sp *obs.Span) (*Result, error) {
-	prepared, err := prepareRules(e.rules)
+	prepared, err := prepareRules(e.rules, &e.opts)
 	if err != nil {
 		return nil, err
 	}
@@ -355,9 +368,13 @@ func diffStore(a, b *Store) *Store {
 	for _, k := range a.Keys() {
 		ra := a.Rel(k)
 		rb := b.Rel(k)
-		for _, row := range ra.Rows() {
-			if rb == nil || !rb.Contains(row) {
-				out.Ensure(k, ra.Arity()).Insert(row)
+		if ra == rb {
+			continue // shared via copy-on-write: identical contents
+		}
+		for i := 0; i < ra.Len(); i++ {
+			row := ra.rowIDs(i)
+			if rb == nil || !rb.ContainsIDs(row) {
+				out.Ensure(k, ra.Arity()).InsertIDs(row)
 			}
 		}
 	}

@@ -21,26 +21,38 @@ type deltaVariant struct {
 }
 
 // preparedRule caches the safe evaluation order of a rule body together
-// with its semi-naive delta variants, one per positive stored literal.
+// with its semi-naive delta variants, one per positive stored literal,
+// and the compiled register program for each (nil entries fall back to
+// the interpreter; see compile.go).
 type preparedRule struct {
-	rule     Rule
-	ordered  []BodyElem
+	rule    Rule
+	headKey string
+	ordered []BodyElem
 	variants []deltaVariant
+
+	compiled         *cProg
+	compiledVariants []*cProg // aligned with variants
 }
 
-func prepareRules(rules []Rule) ([]preparedRule, error) {
+// prepareRules orders and compiles the rule bodies. opts may be nil;
+// opts.Interpret skips compilation (every rule runs interpreted).
+func prepareRules(rules []Rule, opts *Options) ([]preparedRule, error) {
+	compile := opts == nil || !opts.Interpret
 	out := make([]preparedRule, 0, len(rules))
 	for _, r := range rules {
 		if err := CheckRule(r); err != nil {
 			return nil, err
 		}
-		pr := preparedRule{rule: r}
+		pr := preparedRule{rule: r, headKey: r.Head.Key()}
 		if len(r.Body) > 0 {
 			ordered, err := OrderBody(r)
 			if err != nil {
 				return nil, err
 			}
 			pr.ordered = ordered
+			if compile {
+				pr.compiled = compileRule(r, ordered, -1)
+			}
 			for i, e := range ordered {
 				l, ok := e.(Literal)
 				if !ok || l.Neg || IsBuiltin(l.Pred, len(l.Args)) {
@@ -53,6 +65,11 @@ func prepareRules(rules []Rule) ([]preparedRule, error) {
 					variant = deltaVariant{ordered: ordered, deltaIdx: i}
 				}
 				pr.variants = append(pr.variants, variant)
+				var cp *cProg
+				if compile {
+					cp = compileRule(r, variant.ordered, variant.deltaIdx)
+				}
+				pr.compiledVariants = append(pr.compiledVariants, cp)
 			}
 		}
 		out = append(out, pr)
@@ -89,16 +106,41 @@ type evalCtx struct {
 	negCtx *Store // facts consulted by negative literals
 	delta  *Store // restriction for the designated delta literal (nil = none)
 	opts   *Options
+	pool   *par.Pool // persistent round workers (nil = spawn per round)
 
 	newFacts   []derivedFact
+	arena      []uint32 // slab backing the ID rows of newFacts
 	rounds     int
 	firings    int // rule body solutions found (for benchmarks)
 	depthDrops int
 }
 
+// derivedFact is one queued derivation: the head predicate key and the
+// interned-ID row. The ids slice points into the deriving context's
+// arena and is only valid until that arena is reset — the fixpoint
+// barrier copies it into the store before the next round.
 type derivedFact struct {
-	pred string
-	args []term.Term
+	key string
+	ids []uint32
+}
+
+// allocIDs hands out an n-ID row from the context's arena. When a slab
+// fills, a fresh one is started; rows already handed out keep pointing
+// into the old slab, so they stay valid.
+func (ev *evalCtx) allocIDs(n int) []uint32 {
+	if len(ev.arena)+n > cap(ev.arena) {
+		c := 2 * cap(ev.arena)
+		if c < 4096 {
+			c = 4096
+		}
+		if c < n {
+			c = n
+		}
+		ev.arena = make([]uint32, 0, c)
+	}
+	off := len(ev.arena)
+	ev.arena = ev.arena[:off+n]
+	return ev.arena[off : off+n : off+n]
 }
 
 // termDepth returns the nesting depth of t (constants and variables have
@@ -117,26 +159,31 @@ func termDepth(t term.Term) int {
 }
 
 // deriveHead instantiates the rule head under s and queues the fact.
-func (ev *evalCtx) deriveHead(head Literal, s *term.Subst) error {
-	args := make([]term.Term, len(head.Args))
+func (ev *evalCtx) deriveHead(headKey string, head Literal, s *term.Subst) error {
+	ids := ev.allocIDs(len(head.Args))
 	for i, a := range head.Args {
-		args[i] = s.Apply(a)
-		if !args[i].IsGround() {
-			return fmt.Errorf("datalog: internal: derived non-ground fact %s(%s)", head.Pred, args[i])
+		t := s.Apply(a)
+		if !t.IsGround() {
+			return fmt.Errorf("datalog: internal: derived non-ground fact %s(%s)", head.Pred, t)
 		}
-		if ev.opts.MaxTermDepth > 0 && termDepth(args[i]) > ev.opts.MaxTermDepth {
+		id := internTerm(t)
+		if ev.opts.MaxTermDepth > 0 && depthOf(id) > int32(ev.opts.MaxTermDepth) {
 			ev.depthDrops++
 			return nil
 		}
+		ids[i] = id
 	}
 	ev.firings++
-	ev.newFacts = append(ev.newFacts, derivedFact{pred: head.Pred, args: args})
+	ev.newFacts = append(ev.newFacts, derivedFact{key: headKey, ids: ids})
 	return nil
 }
 
 // match enumerates all solutions of items[idx:] under s, invoking emit
 // for each complete solution. deltaIdx designates the ordered-body
 // position that must read from ev.delta instead of ev.store (-1 = none).
+// This is the interpreted path; rules inside the compiled fragment run
+// through cProg.run instead (see compile.go) with identical semantics
+// and derivation order.
 func (ev *evalCtx) match(items []BodyElem, idx, deltaIdx int, s *term.Subst, emit func(*term.Subst) error) error {
 	if idx == len(items) {
 		return emit(s)
@@ -180,7 +227,7 @@ func (ev *evalCtx) match(items []BodyElem, idx, deltaIdx int, s *term.Subst, emi
 		// chosen position is not probed a second time.
 		bestPos := -1
 		bestCount := -1
-		var bestRows []int
+		var bestRows []int32
 		for pos, a := range e.Args {
 			w := s.Apply(a)
 			if !w.IsGround() {
@@ -364,36 +411,48 @@ func computeAggregate(op AggOp, values []term.Term) (term.Term, error) {
 // only mutated at the round barrier — so jobs are pure reads and can run
 // on any goroutine.
 type evalJob struct {
+	headKey  string
 	head     Literal
 	ordered  []BodyElem
 	deltaIdx int
+	compiled *cProg // nil: run interpreted
 }
 
-// run enumerates the job's body under a fresh substitution, queueing
-// derived facts on ev.
+// run enumerates the job's body, queueing derived facts on ev. Compiled
+// bodies run on the register executor; the rest on the interpreter.
 func (j evalJob) run(ev *evalCtx) error {
+	if j.compiled != nil {
+		return j.compiled.run(ev)
+	}
 	s := term.NewSubst()
 	return ev.match(j.ordered, 0, j.deltaIdx, s, func(s *term.Subst) error {
-		return ev.deriveHead(j.head, s)
+		return ev.deriveHead(j.headKey, j.head, s)
 	})
 }
+
+// parallelDeltaMin is the smallest round delta worth fanning out: below
+// it the per-round dispatch and merge overhead outweighs the join work,
+// and the round runs serially (the result is identical either way).
+const parallelDeltaMin = 64
 
 // runJobs evaluates one round's jobs against the snapshot held by ev
 // (store, negCtx, opts) with delta as the designated delta store, and
 // returns the derived facts in job order. The serial path reuses
-// ev.newFacts, so the returned slice is only valid until the next call.
-// With workers > 1 and more than one job the round fans out across a
-// bounded pool; each job derives into its own context and the buffers
-// are concatenated in job order — exactly the order the serial loop
-// derives in — with firings/depthDrops folded back into ev. rsp, when
-// non-nil, records the round's job count and worker utilization (summed
-// per-job busy time vs. wall-clock × workers). Both the fixpoint rounds
-// and the incremental phases of ApplyDelta run on this.
+// ev.newFacts and its arena, so the returned facts are only valid until
+// the next call. With workers > 1, more than one job, and a delta large
+// enough to pay for the fan-out, the round runs on ev.pool (or a
+// one-shot par.Do when no pool is attached); each job derives into its
+// own context and the buffers are concatenated in job order — exactly
+// the order the serial loop derives in — with firings/depthDrops folded
+// back into ev. rsp, when non-nil, records the round's job count and
+// worker utilization. Both the fixpoint rounds and the incremental
+// phases of ApplyDelta run on this.
 func runJobs(jobs []evalJob, delta *Store, ev *evalCtx, workers int, rsp *obs.Span) ([]derivedFact, error) {
 	rsp.SetInt("jobs", int64(len(jobs)))
-	if workers <= 1 || len(jobs) <= 1 {
+	if workers <= 1 || len(jobs) <= 1 || (delta != nil && delta.Size() < parallelDeltaMin) {
 		ev.delta = delta
 		ev.newFacts = ev.newFacts[:0]
+		ev.arena = ev.arena[:0]
 		for _, j := range jobs {
 			if err := j.run(ev); err != nil {
 				return nil, err
@@ -409,7 +468,7 @@ func runJobs(jobs []evalJob, delta *Store, ev *evalCtx, workers int, rsp *obs.Sp
 		busy = make([]int64, len(jobs))
 		wallStart = time.Now()
 	}
-	par.Do(len(jobs), workers, func(i int) {
+	task := func(i int) {
 		var t0 time.Time
 		if busy != nil {
 			t0 = time.Now()
@@ -420,7 +479,12 @@ func runJobs(jobs []evalJob, delta *Store, ev *evalCtx, workers int, rsp *obs.Sp
 		if busy != nil {
 			busy[i] = time.Since(t0).Nanoseconds()
 		}
-	})
+	}
+	if ev.pool != nil {
+		ev.pool.Run(len(jobs), task)
+	} else {
+		par.Do(len(jobs), workers, task)
+	}
 	if busy != nil {
 		var total int64
 		for _, b := range busy {
@@ -451,11 +515,12 @@ func runJobs(jobs []evalJob, delta *Store, ev *evalCtx, workers int, rsp *obs.Sp
 // negative literals answered from negCtx. It uses semi-naive evaluation
 // unless opts.Naive is set. Returns the number of evaluation rounds.
 //
-// With opts.Workers > 1 the jobs of each round fan out across a bounded
-// worker pool. Each worker derives into its own buffer; at the round
-// barrier the buffers are concatenated in job order, which is exactly
-// the order the serial loop derives in, so the store's insertion
-// sequence — and therefore the result — is identical to Workers=1.
+// With opts.Workers > 1 the jobs of each round fan out across a
+// persistent worker pool created once per fixpoint. Each worker derives
+// into its own buffer; at the round barrier the buffers are
+// concatenated in job order, which is exactly the order the serial loop
+// derives in, so the store's insertion sequence — and therefore the
+// result — is identical to Workers=1.
 //
 // sp, when non-nil, receives one child span per round (job count, facts
 // derived, delta size, rule firings, and — on the parallel path —
@@ -494,15 +559,19 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs
 		if len(pr.rule.Body) == 0 {
 			continue
 		}
-		fullJobs = append(fullJobs, evalJob{head: pr.rule.Head, ordered: pr.ordered, deltaIdx: -1})
+		fullJobs = append(fullJobs, evalJob{headKey: pr.headKey, head: pr.rule.Head, ordered: pr.ordered, deltaIdx: -1, compiled: pr.compiled})
 		if !opts.Naive {
-			for _, va := range pr.variants {
-				deltaJobs = append(deltaJobs, evalJob{head: pr.rule.Head, ordered: va.ordered, deltaIdx: va.deltaIdx})
+			for vi, va := range pr.variants {
+				deltaJobs = append(deltaJobs, evalJob{headKey: pr.headKey, head: pr.rule.Head, ordered: va.ordered, deltaIdx: va.deltaIdx, compiled: pr.compiledVariants[vi]})
 			}
 		}
 	}
 	if opts.Naive {
 		deltaJobs = fullJobs
+	}
+	if workers > 1 && (len(fullJobs) > 1 || len(deltaJobs) > 1) {
+		ev.pool = par.NewPool(workers)
+		defer ev.pool.Close()
 	}
 
 	// runRound evaluates jobs against the current snapshot and returns
@@ -533,8 +602,8 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs
 	delta := NewStore()
 	derived := 0
 	for _, f := range newFacts {
-		if store.Insert(f.pred, f.args) {
-			delta.Insert(f.pred, f.args)
+		if store.InsertKeyIDs(f.key, len(f.ids), f.ids) {
+			delta.InsertKeyIDs(f.key, len(f.ids), f.ids)
 			derived++
 		}
 	}
@@ -556,8 +625,8 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs
 		next := NewStore()
 		derived = 0
 		for _, f := range newFacts {
-			if store.Insert(f.pred, f.args) {
-				next.Insert(f.pred, f.args)
+			if store.InsertKeyIDs(f.key, len(f.ids), f.ids) {
+				next.InsertKeyIDs(f.key, len(f.ids), f.ids)
 				derived++
 			}
 		}

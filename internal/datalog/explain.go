@@ -68,7 +68,9 @@ func (e *Engine) Explain(res *Result, pred string, args ...term.Term) (*Derivati
 	if !res.Holds(pred, args...) {
 		return nil, fmt.Errorf("datalog: fact %s%s is not true", pred, term.FormatTuple(args))
 	}
-	prepared, err := prepareRules(e.rules)
+	// The explainer only needs the ordered bodies (it walks them with
+	// the interpreter), so skip compilation.
+	prepared, err := prepareRules(e.rules, &Options{Interpret: true})
 	if err != nil {
 		return nil, err
 	}

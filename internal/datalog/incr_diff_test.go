@@ -98,9 +98,15 @@ func diffPrograms() []diffProgram {
 	return []diffProgram{closure, negation, aggregate, wfs}
 }
 
+// edbFact is one mirrored extensional fact.
+type edbFact struct {
+	pred string
+	args []term.Term
+}
+
 // edbMirror tracks the reference EDB contents alongside the engine.
 type edbMirror struct {
-	list []derivedFact
+	list []edbFact
 	pos  map[string]int
 }
 
@@ -116,7 +122,7 @@ func (m *edbMirror) add(pred string, args []term.Term) {
 		return
 	}
 	m.pos[k] = len(m.list)
-	m.list = append(m.list, derivedFact{pred: pred, args: args})
+	m.list = append(m.list, edbFact{pred: pred, args: args})
 }
 
 func (m *edbMirror) del(pred string, args []term.Term) {
@@ -135,9 +141,9 @@ func (m *edbMirror) del(pred string, args []term.Term) {
 }
 
 // pick returns a random current fact, or false when empty.
-func (m *edbMirror) pick(r *rand.Rand) (derivedFact, bool) {
+func (m *edbMirror) pick(r *rand.Rand) (edbFact, bool) {
 	if len(m.list) == 0 {
-		return derivedFact{}, false
+		return edbFact{}, false
 	}
 	return m.list[r.Intn(len(m.list))], true
 }

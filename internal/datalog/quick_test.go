@@ -66,7 +66,7 @@ func TestQuickRelationSelect(t *testing.T) {
 		for pos := 0; pos < 3; pos++ {
 			got := map[int]bool{}
 			for _, ri := range rel.Select(pos, probe) {
-				got[ri] = true
+				got[int(ri)] = true
 				if !rel.Rows()[ri][pos].Equal(probe) {
 					return false
 				}

@@ -1,29 +1,50 @@
 package datalog
 
 import (
+	"maps"
 	"sort"
+	"sync/atomic"
 
 	"modelmed/internal/term"
 )
 
-// Relation stores the ground tuples of one predicate, with a uniqueness
-// index over whole tuples and a per-position value index for joins.
+// Relation stores the ground tuples of one predicate as flat interned
+// term IDs: row i occupies ids[i*arity : (i+1)*arity]. A uniqueness
+// index over the packed ID bytes replaces the old per-tuple term-key
+// concatenation, and the per-position join indexes are integer-keyed
+// maps instead of string-keyed ones. Terms are materialized on demand
+// (Rows, SortedRows) and cached.
 type Relation struct {
-	arity  int
-	rows   [][]term.Term
-	keys   map[string]struct{}
-	posIdx []map[string][]int // position -> value key -> row indices
+	arity   int
+	n       int
+	ids     []uint32            // flat rows, n*arity IDs
+	rowKeys []string            // packed-ID key of each row (shares backing with tupIdx keys)
+	tupIdx  map[string]int32    // packed row → row index
+	posIdx  []map[uint32][]int32 // position → value ID → row indices
+
+	// rowsCache memoizes the term-materialized rows for the current
+	// version. Mutations require exclusive ownership of the relation
+	// (see Store.Clone), so the plain version counter is safe; the
+	// atomic pointer only publishes the cache between concurrent
+	// readers of an immutable relation.
+	rowsCache atomic.Pointer[relRowsCache]
+	version   uint64
+}
+
+type relRowsCache struct {
+	version uint64
+	rows    [][]term.Term
 }
 
 // NewRelation returns an empty relation of the given arity.
 func NewRelation(arity int) *Relation {
 	r := &Relation{
-		arity:  arity,
-		keys:   make(map[string]struct{}),
-		posIdx: make([]map[string][]int, arity),
+		arity:   arity,
+		tupIdx:  make(map[string]int32),
+		posIdx:  make([]map[uint32][]int32, arity),
 	}
 	for i := range r.posIdx {
-		r.posIdx[i] = make(map[string][]int)
+		r.posIdx[i] = make(map[uint32][]int32)
 	}
 	return r
 }
@@ -32,11 +53,13 @@ func NewRelation(arity int) *Relation {
 func (r *Relation) Arity() int { return r.arity }
 
 // Len returns the number of stored tuples.
-func (r *Relation) Len() int { return len(r.rows) }
+func (r *Relation) Len() int { return r.n }
 
+// tupleKey builds the canonical term-key encoding of a tuple. The
+// storage layer no longer keys on it (rows are keyed by packed IDs),
+// but it remains the stable cross-structure tuple encoding used by
+// tests and the aggregate grouping path.
 func tupleKey(ts []term.Term) string {
-	// Term keys are precomputed at construction, so this is pure
-	// concatenation; single-column tuples reuse the term key outright.
 	if len(ts) == 1 {
 		return ts[0].Key()
 	}
@@ -51,87 +74,211 @@ func tupleKey(ts []term.Term) string {
 	return string(b)
 }
 
-// Insert adds the ground tuple ts, returning true if it was new. The
-// tuple is stored by reference; callers must not mutate it afterwards.
+// packRow appends the little-endian byte encoding of the ID row to dst.
+// Map lookups with string(packRow(buf[:0], row)) compile to no-copy
+// probes, so Contains/Insert duplicate checks do not allocate.
+func packRow(dst []byte, row []uint32) []byte {
+	for _, id := range row {
+		dst = append(dst, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return dst
+}
+
+// rowIDs returns the interned ID row at index i (aliases internal
+// storage; valid until the next mutation).
+func (r *Relation) rowIDs(i int) []uint32 {
+	if r.arity == 0 {
+		return nil
+	}
+	return r.ids[i*r.arity : (i+1)*r.arity]
+}
+
+// fillRow materializes row i into dst (len >= arity).
+func (r *Relation) fillRow(i int, dst []term.Term) {
+	base := i * r.arity
+	for k := 0; k < r.arity; k++ {
+		dst[k] = termOf(r.ids[base+k])
+	}
+}
+
+// rowTerms materializes a fresh term slice for row i.
+func (r *Relation) rowTerms(i int) []term.Term {
+	out := make([]term.Term, r.arity)
+	r.fillRow(i, out)
+	return out
+}
+
+// Insert adds the ground tuple ts, returning true if it was new.
 func (r *Relation) Insert(ts []term.Term) bool {
-	k := tupleKey(ts)
-	if _, dup := r.keys[k]; dup {
+	var buf [16]uint32
+	return r.InsertIDs(internRow(ts, buf[:0]))
+}
+
+// InsertIDs adds a tuple given as interned IDs, returning true if new.
+// The row slice is copied, not retained.
+func (r *Relation) InsertIDs(row []uint32) bool {
+	var kb [64]byte
+	packed := packRow(kb[:0], row)
+	if _, dup := r.tupIdx[string(packed)]; dup {
 		return false
 	}
-	r.keys[k] = struct{}{}
-	idx := len(r.rows)
-	r.rows = append(r.rows, ts)
-	for pos, t := range ts {
-		vk := t.Key()
-		r.posIdx[pos][vk] = append(r.posIdx[pos][vk], idx)
+	key := string(packed)
+	idx := int32(r.n)
+	r.tupIdx[key] = idx
+	r.rowKeys = append(r.rowKeys, key)
+	r.ids = append(r.ids, row...)
+	for pos, id := range row {
+		m := r.posIdx[pos]
+		m[id] = append(m[id], idx)
 	}
+	r.n++
+	r.version++
 	return true
 }
 
 // Contains reports whether the ground tuple ts is stored.
 func (r *Relation) Contains(ts []term.Term) bool {
-	_, ok := r.keys[tupleKey(ts)]
+	var buf [16]uint32
+	row, ok := lookupRow(ts, buf[:0])
+	return ok && r.ContainsIDs(row)
+}
+
+// ContainsIDs reports whether the ID tuple is stored.
+func (r *Relation) ContainsIDs(row []uint32) bool {
+	var kb [64]byte
+	_, ok := r.tupIdx[string(packRow(kb[:0], row))]
 	return ok
 }
 
 // Delete removes the ground tuple ts, returning true if it was present.
 // The last row is swapped into the vacated slot and the positional
-// indexes are patched in place, so a deletion costs O(arity + touched
-// index buckets) rather than a rebuild. Row order is therefore not
-// preserved across deletions (set semantics are unaffected; stable
-// output goes through SortedRows).
+// indexes are patched in place. Row order is therefore not preserved
+// across deletions (set semantics are unaffected; stable output goes
+// through SortedRows). Large deletion waves should go through
+// DeleteIDsBatch, which compacts in one pass instead.
 func (r *Relation) Delete(ts []term.Term) bool {
-	k := tupleKey(ts)
-	if _, ok := r.keys[k]; !ok {
+	var buf [16]uint32
+	row, ok := lookupRow(ts, buf[:0])
+	return ok && r.DeleteIDs(row)
+}
+
+// DeleteIDs removes the ID tuple, returning true if it was present.
+func (r *Relation) DeleteIDs(row []uint32) bool {
+	var kb [64]byte
+	idx, ok := r.tupIdx[string(packRow(kb[:0], row))]
+	if !ok {
 		return false
 	}
-	delete(r.keys, k)
-	last := len(r.rows) - 1
-	idx := last
-	if r.arity > 0 {
-		idx = -1
-		for _, ri := range r.posIdx[0][ts[0].Key()] {
-			if tupleKey(r.rows[ri]) == k {
-				idx = ri
-				break
-			}
-		}
-		if idx < 0 { // defensive: index out of sync, fall back to a scan
-			for ri, row := range r.rows {
-				if tupleKey(row) == k {
-					idx = ri
-					break
-				}
-			}
-			if idx < 0 {
-				return false
-			}
-		}
-	}
-	victim := r.rows[idx]
-	for pos, t := range victim {
-		vk := t.Key()
-		bucket := removeIdxValue(r.posIdx[pos][vk], idx)
-		if len(bucket) == 0 {
-			delete(r.posIdx[pos], vk)
-		} else {
-			r.posIdx[pos][vk] = bucket
-		}
-	}
-	if idx != last {
-		moved := r.rows[last]
-		r.rows[idx] = moved
-		for pos, t := range moved {
-			replaceIdxValue(r.posIdx[pos][t.Key()], last, idx)
-		}
-	}
-	r.rows[last] = nil
-	r.rows = r.rows[:last]
+	r.deleteRowAt(int(idx))
 	return true
 }
 
+func (r *Relation) deleteRowAt(idx int) {
+	last := r.n - 1
+	victim := r.rowIDs(idx)
+	for pos, id := range victim {
+		bucket := removeIdxValue(r.posIdx[pos][id], int32(idx))
+		if len(bucket) == 0 {
+			delete(r.posIdx[pos], id)
+		} else {
+			r.posIdx[pos][id] = bucket
+		}
+	}
+	delete(r.tupIdx, r.rowKeys[idx])
+	if idx != last {
+		moved := r.rowIDs(last)
+		copy(r.ids[idx*r.arity:(idx+1)*r.arity], moved)
+		for pos, id := range moved {
+			replaceIdxValue(r.posIdx[pos][id], int32(last), int32(idx))
+		}
+		mk := r.rowKeys[last]
+		r.rowKeys[idx] = mk
+		r.tupIdx[mk] = int32(idx)
+	}
+	r.ids = r.ids[:last*r.arity]
+	r.rowKeys[last] = ""
+	r.rowKeys = r.rowKeys[:last]
+	r.n = last
+	r.version++
+}
+
+// Batch deletions switch from per-row swap deletion to a single
+// compaction pass once the wave is large relative to the relation:
+// swap deletion scans index buckets linearly per row, which turns
+// quadratic when many deleted rows share an index value (the DRed
+// overdeletion pattern).
+const (
+	compactMinWave = 64
+	compactFactor  = 8 // compact when wave*compactFactor >= rows
+)
+
+// DeleteIDsBatch removes the given ID tuples, returning how many were
+// present. Rows absent from the relation are ignored.
+func (r *Relation) DeleteIDsBatch(rows [][]uint32) int {
+	if len(rows) == 0 {
+		return 0
+	}
+	if len(rows) < compactMinWave || len(rows)*compactFactor < r.n {
+		removed := 0
+		for _, row := range rows {
+			if r.DeleteIDs(row) {
+				removed++
+			}
+		}
+		return removed
+	}
+	dead := make([]bool, r.n)
+	removed := 0
+	var kb [64]byte
+	for _, row := range rows {
+		if idx, ok := r.tupIdx[string(packRow(kb[:0], row))]; ok && !dead[idx] {
+			dead[idx] = true
+			removed++
+		}
+	}
+	if removed > 0 {
+		r.compact(dead)
+	}
+	return removed
+}
+
+// compact rewrites the relation without the rows marked dead,
+// rebuilding the positional indexes in one linear pass.
+func (r *Relation) compact(dead []bool) {
+	w := 0
+	for i := 0; i < r.n; i++ {
+		if dead[i] {
+			delete(r.tupIdx, r.rowKeys[i])
+			continue
+		}
+		if w != i {
+			copy(r.ids[w*r.arity:(w+1)*r.arity], r.ids[i*r.arity:(i+1)*r.arity])
+			k := r.rowKeys[i]
+			r.rowKeys[w] = k
+			r.tupIdx[k] = int32(w)
+		}
+		w++
+	}
+	for i := w; i < r.n; i++ {
+		r.rowKeys[i] = ""
+	}
+	r.rowKeys = r.rowKeys[:w]
+	r.ids = r.ids[:w*r.arity]
+	r.n = w
+	for pos := range r.posIdx {
+		r.posIdx[pos] = make(map[uint32][]int32, len(r.posIdx[pos]))
+	}
+	for i := 0; i < r.n; i++ {
+		for pos, id := range r.rowIDs(i) {
+			m := r.posIdx[pos]
+			m[id] = append(m[id], int32(i))
+		}
+	}
+	r.version++
+}
+
 // removeIdxValue removes the element equal to v (unordered).
-func removeIdxValue(s []int, v int) []int {
+func removeIdxValue(s []int32, v int32) []int32 {
 	for i, x := range s {
 		if x == v {
 			s[i] = s[len(s)-1]
@@ -142,7 +289,7 @@ func removeIdxValue(s []int, v int) []int {
 }
 
 // replaceIdxValue rewrites the element equal to from with to.
-func replaceIdxValue(s []int, from, to int) {
+func replaceIdxValue(s []int32, from, to int32) {
 	for i, x := range s {
 		if x == from {
 			s[i] = to
@@ -151,21 +298,45 @@ func replaceIdxValue(s []int, from, to int) {
 	}
 }
 
-// Rows returns the stored tuples. The returned slice and its elements
-// must not be modified.
-func (r *Relation) Rows() [][]term.Term { return r.rows }
+// Rows returns the stored tuples, materialized from IDs and memoized
+// until the next mutation. The returned slice and its elements must
+// not be modified.
+func (r *Relation) Rows() [][]term.Term {
+	if c := r.rowsCache.Load(); c != nil && c.version == r.version {
+		return c.rows
+	}
+	rows := make([][]term.Term, r.n)
+	flat := make([]term.Term, r.n*r.arity)
+	for i := range rows {
+		sub := flat[i*r.arity : (i+1)*r.arity : (i+1)*r.arity]
+		r.fillRow(i, sub)
+		rows[i] = sub
+	}
+	r.rowsCache.Store(&relRowsCache{version: r.version, rows: rows})
+	return rows
+}
 
 // Select returns the indices of rows whose value at position pos equals
 // t. The returned slice must not be modified.
-func (r *Relation) Select(pos int, t term.Term) []int {
-	return r.posIdx[pos][t.Key()]
+func (r *Relation) Select(pos int, t term.Term) []int32 {
+	id, ok := lookupID(t)
+	if !ok {
+		return nil
+	}
+	return r.posIdx[pos][id]
+}
+
+// selectID is the ID-keyed probe used by the evaluation hot paths.
+func (r *Relation) selectID(pos int, id uint32) []int32 {
+	return r.posIdx[pos][id]
 }
 
 // SortedRows returns a copy of the tuples in deterministic order, for
 // stable output in tests and tools.
 func (r *Relation) SortedRows() [][]term.Term {
-	out := make([][]term.Term, len(r.rows))
-	copy(out, r.rows)
+	rows := r.Rows()
+	out := make([][]term.Term, len(rows))
+	copy(out, rows)
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		for k := range a {
@@ -178,25 +349,82 @@ func (r *Relation) SortedRows() [][]term.Term {
 	return out
 }
 
-// Store maps predicate keys ("name/arity") to relations.
+// deepClone copies the relation so the copy can be mutated
+// independently. Row order is preserved.
+func (r *Relation) deepClone() *Relation {
+	nr := &Relation{
+		arity:   r.arity,
+		n:       r.n,
+		ids:     make([]uint32, len(r.ids)),
+		rowKeys: make([]string, len(r.rowKeys)),
+		tupIdx:  maps.Clone(r.tupIdx),
+		posIdx:  make([]map[uint32][]int32, r.arity),
+		version: r.version,
+	}
+	copy(nr.ids, r.ids)
+	copy(nr.rowKeys, r.rowKeys)
+	for pos, idx := range r.posIdx {
+		ni := make(map[uint32][]int32, len(idx))
+		for id, rows := range idx {
+			cp := make([]int32, len(rows))
+			copy(cp, rows)
+			ni[id] = cp
+		}
+		nr.posIdx[pos] = ni
+	}
+	return nr
+}
+
+// Store maps predicate keys ("name/arity") to relations. Clone is
+// copy-on-write at relation granularity: cloned stores share relation
+// objects until one side mutates a shared relation, at which point the
+// mutating store deep-copies just that relation. Shared relations are
+// therefore immutable, which is what makes a clone safe to hand to a
+// concurrently running reader.
 type Store struct {
 	rels map[string]*Relation
+	cow  map[string]struct{} // relations shared with another store
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store { return &Store{rels: make(map[string]*Relation)} }
 
 // Rel returns the relation for the predicate key, or nil if absent.
+// The returned relation is read-only for holders of a cloned store;
+// mutations must go through the Store methods.
 func (s *Store) Rel(key string) *Relation { return s.rels[key] }
 
-// Ensure returns the relation for the key, creating it with the given
-// arity if absent.
-func (s *Store) Ensure(key string, arity int) *Relation {
+// mutable returns the relation for key, deep-copying it first if it is
+// shared with a clone. Returns nil if absent.
+func (s *Store) mutable(key string) *Relation {
 	r := s.rels[key]
 	if r == nil {
-		r = NewRelation(arity)
-		s.rels[key] = r
+		return nil
 	}
+	if _, shared := s.cow[key]; shared {
+		r = r.deepClone()
+		s.rels[key] = r
+		delete(s.cow, key)
+	}
+	return r
+}
+
+// setRel replaces the relation for key outright.
+func (s *Store) setRel(key string, r *Relation) {
+	s.rels[key] = r
+	if s.cow != nil {
+		delete(s.cow, key)
+	}
+}
+
+// Ensure returns a mutable relation for the key, creating it with the
+// given arity if absent.
+func (s *Store) Ensure(key string, arity int) *Relation {
+	if r := s.mutable(key); r != nil {
+		return r
+	}
+	r := NewRelation(arity)
+	s.rels[key] = r
 	return r
 }
 
@@ -219,7 +447,45 @@ func (s *Store) Delete(pred string, args []term.Term) bool {
 // DeleteKey removes a ground tuple addressed by predicate key.
 func (s *Store) DeleteKey(key string, row []term.Term) bool {
 	r := s.rels[key]
-	return r != nil && r.Delete(row)
+	if r == nil {
+		return false
+	}
+	var buf [16]uint32
+	ids, ok := lookupRow(row, buf[:0])
+	if !ok || !r.ContainsIDs(ids) {
+		return false
+	}
+	return s.mutable(key).DeleteIDs(ids)
+}
+
+// DeleteKeyIDs removes an ID tuple addressed by predicate key.
+func (s *Store) DeleteKeyIDs(key string, row []uint32) bool {
+	r := s.rels[key]
+	if r == nil || !r.ContainsIDs(row) {
+		return false
+	}
+	return s.mutable(key).DeleteIDs(row)
+}
+
+// DeleteKeyIDsBatch removes the given ID tuples from the keyed
+// relation, returning how many were present. Large waves compact the
+// relation in one pass (see Relation.DeleteIDsBatch).
+func (s *Store) DeleteKeyIDsBatch(key string, rows [][]uint32) int {
+	r := s.rels[key]
+	if r == nil {
+		return 0
+	}
+	present := false
+	for _, row := range rows {
+		if r.ContainsIDs(row) {
+			present = true
+			break
+		}
+	}
+	if !present {
+		return 0
+	}
+	return s.mutable(key).DeleteIDsBatch(rows)
 }
 
 // ContainsKey reports whether the tuple addressed by predicate key is
@@ -229,10 +495,23 @@ func (s *Store) ContainsKey(key string, row []term.Term) bool {
 	return r != nil && r.Contains(row)
 }
 
+// ContainsKeyIDs reports whether the ID tuple addressed by predicate
+// key is present.
+func (s *Store) ContainsKeyIDs(key string, row []uint32) bool {
+	r := s.rels[key]
+	return r != nil && r.ContainsIDs(row)
+}
+
 // InsertKey adds a ground tuple addressed by predicate key, returning
 // true if new.
 func (s *Store) InsertKey(key string, arity int, row []term.Term) bool {
 	return s.Ensure(key, arity).Insert(row)
+}
+
+// InsertKeyIDs adds an ID tuple addressed by predicate key, returning
+// true if new.
+func (s *Store) InsertKeyIDs(key string, arity int, row []uint32) bool {
+	return s.Ensure(key, arity).InsertIDs(row)
 }
 
 // Each calls fn for every stored fact, predicates in sorted key order
@@ -240,8 +519,20 @@ func (s *Store) InsertKey(key string, arity int, row []term.Term) bool {
 func (s *Store) Each(fn func(key string, arity int, row []term.Term)) {
 	for _, k := range s.Keys() {
 		r := s.rels[k]
-		for _, row := range r.rows {
+		for _, row := range r.Rows() {
 			fn(k, r.arity, row)
+		}
+	}
+}
+
+// EachIDs is Each over interned ID rows. The row slice aliases the
+// relation's storage and is only valid until its next mutation; copy it
+// to retain.
+func (s *Store) EachIDs(fn func(key string, arity int, row []uint32)) {
+	for _, k := range s.Keys() {
+		r := s.rels[k]
+		for i := 0; i < r.n; i++ {
+			fn(k, r.arity, r.rowIDs(i))
 		}
 	}
 }
@@ -260,8 +551,11 @@ func (s *Store) isSubset(t *Store) bool {
 		if tr == nil || tr.Len() < r.Len() {
 			return false
 		}
-		for _, row := range r.rows {
-			if !tr.Contains(row) {
+		if tr == r {
+			continue // shared via copy-on-write
+		}
+		for i := 0; i < r.n; i++ {
+			if !tr.ContainsIDs(r.rowIDs(i)) {
 				return false
 			}
 		}
@@ -296,47 +590,32 @@ func (s *Store) Keys() []string {
 	return out
 }
 
-// Clone returns a deep-enough copy: relations are rebuilt so inserts into
-// the clone do not affect s (tuples themselves are shared, which is safe
-// because tuples are immutable by convention). The uniqueness and
-// positional indexes are copied directly rather than re-hashed through
-// Insert — Clone runs once per Γ step of the well-founded path, per
-// stratum group, and per Materialize, so it is itself a hot path. Row
-// order is preserved, so rows[0:s.Len()] of each cloned relation is
-// exactly the shared base (parallel stratum merging relies on this).
+// Clone returns a copy-on-write clone: both stores share every relation
+// until one of them mutates it, at which point the mutating side
+// deep-copies that one relation. Cloning is therefore O(relations)
+// regardless of fact count — it runs once per Γ step of the
+// well-founded path, per stratum group, per Materialize and per
+// ApplyDelta, all of which mutate only a fraction of the relations they
+// clone. Row order of shared relations is preserved, so rows[0:base]
+// of each cloned relation is exactly the shared base (parallel stratum
+// merging relies on this). Clone must not run concurrently with other
+// operations on s.
 func (s *Store) Clone() *Store {
-	c := NewStore()
-	for k, r := range s.rels {
-		c.rels[k] = r.clone()
+	if s.cow == nil {
+		s.cow = make(map[string]struct{}, len(s.rels))
+	}
+	c := &Store{
+		rels: maps.Clone(s.rels),
+		cow:  make(map[string]struct{}, len(s.rels)),
+	}
+	if c.rels == nil {
+		c.rels = make(map[string]*Relation)
+	}
+	for k := range s.rels {
+		s.cow[k] = struct{}{}
+		c.cow[k] = struct{}{}
 	}
 	return c
-}
-
-// clone deep-copies the relation's indexes and row slice (tuples are
-// shared). Index slices are copied, not aliased: an aliased []int with
-// spare capacity would let an append on the clone scribble into the
-// original's backing array.
-func (r *Relation) clone() *Relation {
-	nr := &Relation{
-		arity:  r.arity,
-		rows:   make([][]term.Term, len(r.rows)),
-		keys:   make(map[string]struct{}, len(r.keys)),
-		posIdx: make([]map[string][]int, r.arity),
-	}
-	copy(nr.rows, r.rows)
-	for k := range r.keys {
-		nr.keys[k] = struct{}{}
-	}
-	for pos, idx := range r.posIdx {
-		ni := make(map[string][]int, len(idx))
-		for vk, rows := range idx {
-			cp := make([]int, len(rows))
-			copy(cp, rows)
-			ni[vk] = cp
-		}
-		nr.posIdx[pos] = ni
-	}
-	return nr
 }
 
 // MergeInto inserts every fact of s into dst, returning the number of
@@ -345,8 +624,8 @@ func (s *Store) MergeInto(dst *Store) int {
 	added := 0
 	for k, r := range s.rels {
 		d := dst.Ensure(k, r.arity)
-		for _, row := range r.rows {
-			if d.Insert(row) {
+		for i := 0; i < r.n; i++ {
+			if d.InsertIDs(r.rowIDs(i)) {
 				added++
 			}
 		}

@@ -61,3 +61,109 @@ func Do(n, workers int, task func(i int)) {
 		panic(fmt.Sprintf("par: task panicked: %v", panicked))
 	}
 }
+
+// Pool is a persistent bounded worker pool. Where Do spawns fresh
+// goroutines per call — fine for one-shot fan-outs, measurable overhead
+// when a fixpoint dispatches hundreds of small rounds — a Pool keeps its
+// workers parked on a channel between rounds, so dispatch cost is one
+// channel send per worker instead of goroutine creation.
+type Pool struct {
+	workers int
+	rounds  chan poolRound
+	wg      sync.WaitGroup
+}
+
+type poolRound struct {
+	n    int
+	next *atomic.Int64
+	task func(i int)
+	done *sync.WaitGroup
+	pan  *poolPanic
+}
+
+type poolPanic struct {
+	once sync.Once
+	val  any
+}
+
+// NewPool starts a pool of the given size. Returns nil when workers <= 1
+// — a nil *Pool is valid and runs everything inline (see Run).
+func NewPool(workers int) *Pool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &Pool{workers: workers, rounds: make(chan poolRound)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for r := range p.rounds {
+				p.work(r)
+			}
+		}()
+	}
+	return p
+}
+
+func (p *Pool) work(r poolRound) {
+	defer r.done.Done()
+	defer func() {
+		if rec := recover(); rec != nil {
+			r.pan.once.Do(func() { r.pan.val = rec })
+			r.next.Store(int64(r.n))
+		}
+	}()
+	for {
+		i := int(r.next.Add(1)) - 1
+		if i >= r.n {
+			return
+		}
+		r.task(i)
+	}
+}
+
+// Workers returns the pool size (1 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes task(0..n-1) on the pool and waits, with the same
+// semantics as Do: inline in index order on a nil pool or n <= 1, and a
+// captured task panic re-raised on the caller after the round drains.
+func (p *Pool) Run(n int, task func(i int)) {
+	if p == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+		return
+	}
+	w := p.workers
+	if w > n {
+		w = n
+	}
+	var next atomic.Int64
+	var done sync.WaitGroup
+	pan := &poolPanic{}
+	done.Add(w)
+	r := poolRound{n: n, next: &next, task: task, done: &done, pan: pan}
+	for i := 0; i < w; i++ {
+		p.rounds <- r
+	}
+	done.Wait()
+	if pan.val != nil {
+		panic(fmt.Sprintf("par: task panicked: %v", pan.val))
+	}
+}
+
+// Close shuts the pool down, waiting for its workers to exit. Run must
+// not be called after Close. Close on a nil pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	close(p.rounds)
+	p.wg.Wait()
+}
