@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race chaos bench bench-parallel perf-smoke bench-faults bench-incr bench-serve obs serve loadgen vet cover fuzz-smoke
+.PHONY: all check build test race chaos bench bench-parallel perf-smoke bench-faults bench-incr bench-serve bench-persist persist-smoke obs serve loadgen vet cover fuzz-smoke
 
 all: build test
 
@@ -63,6 +63,21 @@ bench-incr:
 bench-serve:
 	$(GO) run ./cmd/benchrunner -exp serve
 
+# Durability: cold materialization vs warm restart (snapshot adoption +
+# WAL replay) across fact-volume scales (writes BENCH_persist.json).
+bench-persist:
+	$(GO) run ./cmd/benchrunner -exp persist
+
+# Durability smoke: the crash-recovery harness (sampled WAL offsets
+# under -short), corruption/torn-write/golden/version-skew codec tests,
+# the mediator warm-restore suite, the mid-drain delta regression, and
+# the medd warm-restart round trip — all race-enabled.
+persist-smoke:
+	$(GO) test -race -short -count=1 ./internal/persist
+	$(GO) test -race -count=1 -run 'WarmRestore|RestoreRejections|RestoreFullMarker|SnapshotState|ReplayIdempotence' ./internal/mediator
+	$(GO) test -race -count=1 -run 'DeltaDuringDrain' ./internal/serve
+	$(GO) test -race -count=1 -run 'DaemonWarmRestart' ./cmd/medd
+
 # Run the query service daemon on its default address (127.0.0.1:8344).
 SERVE_ADDR ?= 127.0.0.1:8344
 serve:
@@ -76,10 +91,13 @@ loadgen:
 vet:
 	$(GO) vet ./...
 
-# Ratcheted coverage gate: the suite currently sits at ~78.9% of
+# Ratcheted coverage gate: the suite currently sits at ~76.6% of
 # statements; the threshold trails it so coverage can only move up.
-# Raise the ratchet when the total grows.
+# Raise the ratchet when the total grows. The durability layer carries
+# its own floor: internal/persist (currently ~83%) must stay >= 80%,
+# since a silently-untested recovery path is worse than none.
 COVER_THRESHOLD ?= 76.0
+PERSIST_COVER_THRESHOLD ?= 80.0
 
 cover:
 	$(GO) test -count=1 -coverprofile=coverage.out ./...
@@ -87,6 +105,11 @@ cover:
 	awk -v t=$$total -v min=$(COVER_THRESHOLD) 'BEGIN { \
 		if (t+0 < min+0) { printf "coverage %.1f%% is below the %.1f%% ratchet\n", t, min; exit 1 } \
 		printf "coverage %.1f%% (ratchet %.1f%%)\n", t, min }'
+	$(GO) test -count=1 -coverprofile=coverage_persist.out ./internal/persist
+	@total=$$($(GO) tool cover -func=coverage_persist.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	awk -v t=$$total -v min=$(PERSIST_COVER_THRESHOLD) 'BEGIN { \
+		if (t+0 < min+0) { printf "internal/persist coverage %.1f%% is below the %.1f%% floor\n", t, min; exit 1 } \
+		printf "internal/persist coverage %.1f%% (floor %.1f%%)\n", t, min }'
 
 # Ten-second smoke run of every native fuzz target (corpus seeds plus
 # fresh mutations; a crasher fails the target).
@@ -98,3 +121,4 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReify -fuzztime=$(FUZZTIME) ./internal/xmlio
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeModel -fuzztime=$(FUZZTIME) ./internal/xmlio
 	$(GO) test -run='^$$' -fuzz=FuzzParseAxioms -fuzztime=$(FUZZTIME) ./internal/dl
+	$(GO) test -run='^$$' -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/persist

@@ -3,7 +3,7 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr|serve]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr|serve|persist]
 //
 //	[-workers N]       worker count for the obs experiment (0 = GOMAXPROCS)
 //	[-check-speedup]   after -exp parallel, exit nonzero if the 4-worker
@@ -111,6 +111,7 @@ func main() {
 		{"obs", obsExp, "Observability — stage-level latency breakdown of the Section 5 query"},
 		{"incr", incrExp, "Incremental maintenance — delta patch vs full re-materialization"},
 		{"serve", serveExp, "Query service — answer cache, admission sweep, graceful drain"},
+		{"persist", persistExp, "Durability — cold materialization vs warm restart (snapshot + WAL replay)"},
 	}
 	ran := 0
 	for _, e := range experiments {

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunPersistExpSmall drives the persist experiment end to end at
+// the 1x seed scale: the report must carry a sane entry (warm restore
+// succeeded with matching fact counts, the replay leg saw its 10-record
+// tail) and land on disk as parseable JSON. This is the same code path
+// `benchrunner -exp persist` runs, minus the slow 10x/30x scales.
+func TestRunPersistExpSmall(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_persist.json")
+	if err := runPersistExp([]persistScale{{"1x", 1}}, out); err != nil {
+		t.Fatalf("runPersistExp: %v", err)
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep persistReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(rep.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(rep.Entries))
+	}
+	e := rep.Entries[0]
+	if e.Scale != "1x" || e.Facts == 0 || e.SnapshotBytes == 0 {
+		t.Fatalf("implausible entry: %+v", e)
+	}
+	if e.ColdNs <= 0 || e.WarmNs <= 0 || e.WarmReplayNs <= 0 {
+		t.Fatalf("non-positive timing: %+v", e)
+	}
+	if e.Replayed != 10 {
+		t.Fatalf("replay leg saw %d records, want 10", e.Replayed)
+	}
+	if e.Speedup <= 0 {
+		t.Fatalf("speedup %v not positive", e.Speedup)
+	}
+}

@@ -13,11 +13,17 @@
 //	     [-source-timeout D -retries N]
 //	     [-max-inflight N] [-max-queue N] [-request-timeout D]
 //	     [-cache-entries N] [-no-cache] [-trace] [-log]
-//	     [-drain-timeout D] [-pprof HOST:PORT]
+//	     [-drain-timeout D] [-pprof HOST:PORT] [-data-dir DIR]
 //
 // With -pprof the daemon additionally serves net/http/pprof on a
 // separate listener (off by default; the main API listener never
 // exposes the profiling handlers).
+//
+// With -data-dir the daemon is durable: it boots from the directory's
+// snapshot + write-ahead log when they are valid (warm start — no
+// source fan-out, no fixpoint run; sources whose data version moved
+// are reconciled incrementally via SyncSources), logs every applied
+// delta, and rotates a fresh snapshot when it drains.
 //
 // The daemon prints "medd listening on http://HOST:PORT" once the
 // listener is bound (with -addr :0 the kernel-assigned port appears
@@ -43,6 +49,7 @@ import (
 
 	"modelmed/internal/datalog"
 	"modelmed/internal/mediator"
+	"modelmed/internal/persist"
 	"modelmed/internal/serve"
 	"modelmed/internal/sources"
 )
@@ -78,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	reqLog := fs.Bool("log", false, "log every request to stderr")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; off when empty)")
+	dataDir := fs.String("data-dir", "", "durable store directory (snapshot + WAL): warm start on boot, snapshot on drain (off when empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,6 +121,46 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	}
 	if *trace {
 		med.EnableTracing(true)
+	}
+
+	// With a data directory, boot is warm when the on-disk image is
+	// usable: the materialized store is adopted with no source fan-out
+	// and no fixpoint run, the WAL tail replays, and only sources whose
+	// data version moved since the snapshot are re-pulled. Anything
+	// wrong with the on-disk state (missing, corrupt, version-skewed,
+	// program changed) falls back to a normal cold materialization.
+	var db *persist.DB
+	if *dataDir != "" {
+		db, err = persist.Open(*dataDir, nil)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		rep := med.RestoreFromDB(db)
+		if rep.Restored {
+			if len(rep.StaleSources) > 0 {
+				if _, err := med.SyncSources(); err != nil {
+					return fmt.Errorf("reconcile stale sources: %w", err)
+				}
+			}
+			fmt.Fprintf(stdout, "medd: warm start: %d facts, %d wal records replayed, %d stale sources synced\n",
+				rep.Facts, rep.Replayed, len(rep.StaleSources))
+		} else {
+			fmt.Fprintf(stdout, "medd: cold start (%s)\n", rep.Reason)
+			if _, err := med.Materialize(); err != nil {
+				return err
+			}
+		}
+		// The current state becomes the baseline image; every delta
+		// applied while serving is write-ahead logged on top of it.
+		if err := med.SaveSnapshotTo(db); err != nil {
+			return fmt.Errorf("initial snapshot: %w", err)
+		}
+		med.SetDeltaLogger(func(rec *persist.WALRecord) {
+			if err := db.AppendWAL(rec); err != nil {
+				fmt.Fprintf(stderr, "medd: wal append: %v\n", err)
+			}
+		})
 	}
 
 	cfg := serve.Config{
@@ -155,6 +203,16 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		}
 		if started, finished := srv.Started(), srv.Finished(); started != finished {
 			return fmt.Errorf("drain dropped requests: started %d, finished %d", started, finished)
+		}
+		if db != nil {
+			// Traffic has stopped: rotate a fresh image so the next boot
+			// warm-starts with an empty WAL. Failure is not fatal — the
+			// old snapshot plus the logged deltas still reach this state.
+			if err := med.SaveSnapshotTo(db); err != nil {
+				fmt.Fprintf(stderr, "medd: drain snapshot: %v\n", err)
+			} else {
+				fmt.Fprintf(stdout, "medd: snapshot saved to %s\n", db.Dir())
+			}
 		}
 		fmt.Fprintf(stdout, "medd: drained, served %d requests\n", srv.Finished())
 		return nil

@@ -131,6 +131,25 @@ func (e *Engine) HasFact(pred string, args ...term.Term) bool {
 	return e.edb.Contains(pred, args)
 }
 
+// SeedEDB bulk-loads every fact of s into the extensional database at
+// the interned-ID level, skipping the per-fact groundness check of
+// AddFact. It is the warm-restore fast path: the store comes from a
+// checksummed snapshot this process (or a twin of it) wrote from its
+// own EDB, so the facts are ground by construction.
+func (e *Engine) SeedEDB(s *Store) { s.MergeInto(e.edb) }
+
+// Restore attaches a previously materialized store — typically one
+// loaded from a durable snapshot — to this engine as if Run had
+// produced it. The caller must have loaded the engine with the same
+// rules and the same extensional facts the store was materialized
+// under; the returned result then supports Update/ApplyDelta exactly
+// like a freshly evaluated one. Only stratified materializations are
+// restorable (a well-founded result carries an Undefined store the
+// snapshot format does not).
+func (e *Engine) Restore(store *Store) *Result {
+	return &Result{Store: store, Stratified: true, eng: e}
+}
+
 // SetObs retargets the engine's trace span and counters. Long-lived
 // engines (the mediator's materialization cache) use this to attach
 // each incremental update's spans to the span tree of the operation

@@ -31,6 +31,7 @@ import (
 
 	"modelmed/internal/datalog"
 	"modelmed/internal/obs"
+	"modelmed/internal/persist"
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
 )
@@ -145,6 +146,11 @@ func (m *Mediator) fullRebuildLocked(rep *DeltaReport, sp *obs.Span) (*DeltaRepo
 	if _, err := m.materializeLocked(context.Background(), sp); err != nil {
 		return nil, err
 	}
+	// A rebuild re-pulled live sources: the state on disk no longer
+	// leads to the in-memory state by replay. The Full marker tells
+	// recovery to stop trusting the snapshot (the caller is expected to
+	// rotate a fresh one when it sees rep.Full).
+	m.logDeltaLocked(&persist.WALRecord{Source: rep.Source, Full: true})
 	return rep, nil
 }
 
@@ -190,12 +196,14 @@ func (m *Mediator) ApplySourceDelta(source string, adds, dels []datalog.Rule) (*
 	}
 	snap := m.snaps[source]
 	d := datalog.NewDelta()
+	var effAdds, effDels []datalog.Rule
 	for _, r := range dels {
 		key := datalog.PredKey(r.Head.Pred, len(r.Head.Args))
 		if !snap.facts.DeleteKey(key, r.Head.Args) {
 			continue // the source never contributed it
 		}
 		rep.FactsRemoved++
+		effDels = append(effDels, r)
 		if m.sharedElsewhere(source, key, r.Head.Args) {
 			continue // another source still asserts it
 		}
@@ -209,6 +217,7 @@ func (m *Mediator) ApplySourceDelta(source string, adds, dels []datalog.Rule) (*
 			continue // already contributed
 		}
 		rep.FactsAdded++
+		effAdds = append(effAdds, r)
 		if err := d.Add(r.Head.Pred, r.Head.Args...); err != nil {
 			m.dirty = true
 			return nil, err
@@ -220,6 +229,12 @@ func (m *Mediator) ApplySourceDelta(source string, adds, dels []datalog.Rule) (*
 	}
 	rep.Stats = stats
 	m.noteDeltaLocked(rep, sp)
+	m.logDeltaLocked(&persist.WALRecord{
+		Source:  source,
+		Version: snap.version,
+		Adds:    effAdds,
+		Dels:    effDels,
+	})
 	return rep, nil
 }
 
@@ -307,11 +322,13 @@ func (m *Mediator) refreshSourceLocked(source string, sp *obs.Span) (*DeltaRepor
 		return m.fullRebuildLocked(rep, sp)
 	}
 	d := datalog.NewDelta()
+	wal := &persist.WALRecord{Source: source, Version: version}
 	snap.facts.Each(func(key string, arity int, row []term.Term) {
 		if newFacts.ContainsKey(key, row) {
 			return
 		}
 		rep.FactsRemoved++
+		wal.Dels = append(wal.Dels, factForKey(key, row))
 		if m.sharedElsewhere(source, key, row) {
 			return
 		}
@@ -322,6 +339,7 @@ func (m *Mediator) refreshSourceLocked(source string, sp *obs.Span) (*DeltaRepor
 			return
 		}
 		rep.FactsAdded++
+		wal.Adds = append(wal.Adds, factForKey(key, row))
 		_ = d.AddFact(factForKey(key, row))
 	})
 	if newAnchors != nil {
@@ -330,12 +348,14 @@ func (m *Mediator) refreshSourceLocked(source string, sp *obs.Span) (*DeltaRepor
 		snap.anchors.Each(func(key string, arity int, row []term.Term) {
 			if !newAnchors.ContainsKey(key, row) {
 				rep.AnchorsRemoved++
+				wal.AnchorDels = append(wal.AnchorDels, factForKey(key, row))
 				_ = d.DelFact(factForKey(key, row))
 			}
 		})
 		newAnchors.Each(func(key string, arity int, row []term.Term) {
 			if !snap.anchors.ContainsKey(key, row) {
 				rep.AnchorsAdded++
+				wal.AnchorAdds = append(wal.AnchorAdds, factForKey(key, row))
 				_ = d.AddFact(factForKey(key, row))
 			}
 		})
@@ -349,6 +369,7 @@ func (m *Mediator) refreshSourceLocked(source string, sp *obs.Span) (*DeltaRepor
 	}
 	rep.Stats = stats
 	m.noteDeltaLocked(rep, sp)
+	m.logDeltaLocked(wal)
 	return rep, nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"modelmed/internal/obs"
 	"modelmed/internal/par"
 	"modelmed/internal/parser"
+	"modelmed/internal/persist"
 	"modelmed/internal/term"
 	"modelmed/internal/wrapper"
 	"modelmed/internal/xmlio"
@@ -129,6 +130,14 @@ type Mediator struct {
 	// one source; such a cache is only served while re-probing the
 	// failed sources is not yet due (see reprobeDue).
 	cacheDegraded bool
+
+	// deltaLog, when set, receives a WAL record for every applied
+	// incremental patch (and a Full marker for every fallback rebuild)
+	// while m.mu is held, so records are appended in exactly the order
+	// the patches landed. replaying suppresses it during WAL replay so
+	// recovery does not re-log its own input (see persist.go).
+	deltaLog  func(*persist.WALRecord)
+	replaying bool
 
 	// lastReports is the mediator-level merge-by-source view of the
 	// guarded fan-outs' SourceReports: each guarded query (Materialize,
@@ -495,26 +504,9 @@ func (m *Mediator) materializeLocked(ctx context.Context, sp *obs.Span) (*datalo
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	eo := m.opts.Engine
-	eo.Trace = sp
-	eo.Counters = m.counters()
-	e := datalog.NewEngine(&eo)
-	var ruleSets [][]datalog.Rule
-	ruleSets = append(ruleSets,
-		flogic.Axioms(),
-		bridgeRules(),
-		m.dm.Facts(),
-		m.dm.RoleFacts(),
-		domainmap.ClosureRules(),
-		m.views,
-	)
-	if m.opts.ExecuteDMInstances {
-		ruleSets = append(ruleSets, dl.SupportRules(), m.dm.InstanceRules(dl.ModeAssertion).Rules)
-	}
-	for _, rs := range ruleSets {
-		if err := e.AddRules(rs...); err != nil {
-			return nil, fmt.Errorf("mediator: materialize: %w", err)
-		}
+	e, err := m.newProgramEngineLocked(sp)
+	if err != nil {
+		return nil, err
 	}
 	// Translate every source's data concurrently, then collect into the
 	// engine in name order, so the materialized program is independent
@@ -604,6 +596,42 @@ func (m *Mediator) materializeLocked(ctx context.Context, sp *obs.Span) (*datalo
 	m.mergeReportsLocked(g.Reports())
 	m.dirty = false
 	return res, nil
+}
+
+// ruleSetsLocked assembles the mediator-level rule program: F-logic
+// axioms, the GCM bridge, the domain map (concept and role facts plus
+// transitive closure), the integrated views, and — when enabled — the
+// DL instance-expansion rules. Source semantic rules are not included;
+// they join the program per source. Called with m.mu held.
+func (m *Mediator) ruleSetsLocked() [][]datalog.Rule {
+	ruleSets := [][]datalog.Rule{
+		flogic.Axioms(),
+		bridgeRules(),
+		m.dm.Facts(),
+		m.dm.RoleFacts(),
+		domainmap.ClosureRules(),
+		m.views,
+	}
+	if m.opts.ExecuteDMInstances {
+		ruleSets = append(ruleSets, dl.SupportRules(), m.dm.InstanceRules(dl.ModeAssertion).Rules)
+	}
+	return ruleSets
+}
+
+// newProgramEngineLocked builds a fresh engine loaded with the
+// mediator-level rule program (no source rules, no facts). Called with
+// m.mu held.
+func (m *Mediator) newProgramEngineLocked(sp *obs.Span) (*datalog.Engine, error) {
+	eo := m.opts.Engine
+	eo.Trace = sp
+	eo.Counters = m.counters()
+	e := datalog.NewEngine(&eo)
+	for _, rs := range m.ruleSetsLocked() {
+		if err := e.AddRules(rs...); err != nil {
+			return nil, fmt.Errorf("mediator: materialize: %w", err)
+		}
+	}
+	return e, nil
 }
 
 // isGroundFact reports whether r is an empty-body rule with a fully

@@ -1,0 +1,367 @@
+package mediator
+
+// Durability: snapshotting the materialized cache and restoring it on
+// a later boot (warm start), with the incremental-maintenance paths
+// write-ahead logged in between so recovery replays the tail instead
+// of re-pulling sources.
+//
+// The division of labor with internal/persist: persist owns the bytes
+// (format, checksums, atomic rotation, torn-tail repair); this file
+// owns the semantics — what state a snapshot must capture for the
+// cache to be adoptable without a fixpoint run, and how a logged delta
+// is re-applied so the recovered state is byte-for-byte the state the
+// dying process had.
+//
+// Recovery invariants:
+//
+//  1. EDB fidelity: the restored engine's extensional store is exactly
+//     the union of the per-source snapshot facts and anchors, so later
+//     ApplyDelta calls see the same EDB the live process had.
+//  2. Program fidelity: the snapshot records a fingerprint of the
+//     mediator-level rule program and each source's semantic-rule
+//     signature; any mismatch with the booting process rejects the
+//     snapshot (the derived facts were computed under another program).
+//  3. Replay determinism: a WAL record stores the effective
+//     source-level change; replay re-runs the same dedup and
+//     shared-fact refcounting the live path ran against the same
+//     snapshot state, so the engine-level delta — and hence the
+//     patched store — comes out identical.
+//  4. Idempotence: replaying a change that the snapshot already
+//     contains (possible when a crash lands between snapshot rotation
+//     and WAL reset) no-ops at the source-fact level, so recovery
+//     converges regardless.
+//
+// Staleness is the caller's move: RestoreFromDB reports the sources
+// whose live wrapper versions differ from the snapshot, and the caller
+// reconciles them with SyncSources — an incremental patch, not a
+// rebuild.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/obs"
+	"modelmed/internal/persist"
+	"modelmed/internal/wrapper"
+)
+
+// SetDeltaLogger installs fn as the write-ahead sink for incremental
+// maintenance: every applied patch (ApplySourceDelta, RefreshSource,
+// SyncSources) emits one record, and every fallback full rebuild
+// emits a Full marker. fn runs with the mediator's locks held — it
+// must be fast and must not call back into the mediator. A nil fn
+// disables logging.
+func (m *Mediator) SetDeltaLogger(fn func(*persist.WALRecord)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.deltaLog = fn
+}
+
+// logDeltaLocked hands a record to the installed logger. Called with
+// m.mu held; suppressed during WAL replay.
+func (m *Mediator) logDeltaLocked(rec *persist.WALRecord) {
+	if m.deltaLog == nil || m.replaying {
+		return
+	}
+	m.deltaLog(rec)
+}
+
+// programSigLocked fingerprints the mediator-level rule program. Two
+// mediators with the same signature derive the same facts from the
+// same EDB, which is what makes a snapshot transferable across
+// processes. Called with m.mu held.
+func (m *Mediator) programSigLocked() string {
+	h := sha256.New()
+	for _, rs := range m.ruleSetsLocked() {
+		for _, r := range rs {
+			h.Write([]byte(r.String()))
+			h.Write([]byte{'\n'})
+		}
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// sourceRules returns the semantic rules a source contributes to the
+// program — the non-ground entries of its translation — without
+// rendering its instance data.
+func sourceRules(s *Source) []datalog.Rule {
+	var out []datalog.Rule
+	if s.Model != nil {
+		for _, r := range s.Model.SchemaFacts() {
+			if !isGroundFact(r) {
+				out = append(out, r)
+			}
+		}
+		out = append(out, s.Model.Rules...)
+		return out
+	}
+	for _, f := range s.Facts {
+		if !isGroundFact(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// SnapshotState captures the current materialization as a durable
+// snapshot: the full store plus each source's facts, rule signature,
+// anchors, and data version. It fails when there is nothing sound to
+// persist — a dirty or degraded cache, or a non-stratified
+// materialization. The returned snapshot shares no mutable state with
+// the live cache (stores are COW clones), so it can be encoded after
+// the locks are released.
+func (m *Mediator) SnapshotState() (*persist.Snapshot, error) {
+	m.evalMu.RLock()
+	defer m.evalMu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case m.dirty || m.cache == nil:
+		return nil, fmt.Errorf("mediator: snapshot: no materialized cache")
+	case m.cacheDegraded:
+		return nil, fmt.Errorf("mediator: snapshot: cache is degraded (a source was dropped)")
+	case !m.cache.Stratified || m.cache.Undefined != nil:
+		return nil, fmt.Errorf("mediator: snapshot: non-stratified materialization is not persistable")
+	}
+	snap := &persist.Snapshot{
+		ProgramSig: m.programSigLocked(),
+		Store:      m.cache.Store.Clone(),
+	}
+	names := make([]string, 0, len(m.snaps))
+	for name := range m.snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ss := m.snaps[name]
+		snap.Sources = append(snap.Sources, persist.SourceState{
+			Name:    name,
+			Version: ss.version,
+			RuleSig: append([]string(nil), ss.ruleSig...),
+			Facts:   ss.facts.Clone(),
+			Anchors: ss.anchors.Clone(),
+		})
+	}
+	return snap, nil
+}
+
+// SaveSnapshotTo captures the current materialization and writes it
+// through db (atomically rotating the snapshot and resetting the WAL).
+func (m *Mediator) SaveSnapshotTo(db *persist.DB) error {
+	snap, err := m.SnapshotState()
+	if err != nil {
+		return err
+	}
+	return db.SaveSnapshot(snap)
+}
+
+// RestoreReport describes one warm-start attempt.
+type RestoreReport struct {
+	// Restored reports whether the cache was adopted from disk. When
+	// false, Reason says why and the mediator is untouched (or
+	// invalidated, if replay failed midway) — the caller falls back to
+	// a normal Materialize.
+	Restored bool
+	Reason   string
+	// Replayed counts WAL records applied on top of the snapshot.
+	Replayed int
+	// WALTruncated reports that a torn or corrupt WAL tail was
+	// discarded during replay.
+	WALTruncated bool
+	// Facts is the size of the restored store.
+	Facts int
+	// StaleSources lists versioned sources whose live data version
+	// differs from the restored snapshot; reconcile with SyncSources.
+	StaleSources []string
+}
+
+// RestoreFromDB attempts a warm start: load the snapshot, validate it
+// against the registered program and sources, adopt the materialized
+// store without re-running the fixpoint, and replay the WAL tail.
+// Failure is not an error — the report says what happened and the
+// caller re-materializes from live sources as usual.
+func (m *Mediator) RestoreFromDB(db *persist.DB) *RestoreReport {
+	sp := m.startSpan("mediator.restore")
+	defer m.endTrace(sp)
+	rep := &RestoreReport{}
+	snap, err := db.LoadSnapshot()
+	if err != nil {
+		rep.Reason = err.Error()
+		sp.SetStr("outcome", "no-snapshot")
+		return rep
+	}
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.restoreStateLocked(snap, sp); err != nil {
+		rep.Reason = err.Error()
+		sp.SetStr("outcome", "rejected")
+		return rep
+	}
+	m.replaying = true
+	res, rerr := db.ReplayWAL(func(rec *persist.WALRecord) error {
+		return m.replayDeltaLocked(rec, sp)
+	})
+	m.replaying = false
+	if res != nil {
+		rep.Replayed = res.Records
+		rep.WALTruncated = res.Truncated
+	}
+	if rerr != nil {
+		// A Full-rebuild marker or a failed patch: the log cannot
+		// reproduce the dying process's state. Drop the half-restored
+		// cache wholesale.
+		m.dirty = true
+		m.cache, m.cacheEngine, m.snaps = nil, nil, nil
+		rep.Restored = false
+		rep.Reason = rerr.Error()
+		sp.SetStr("outcome", "replay-failed")
+		return rep
+	}
+	rep.Restored = true
+	rep.Facts = m.cache.Store.Size()
+	rep.StaleSources = m.staleSourcesLocked()
+	m.counters().Add("mediator.warm_restores", 1)
+	sp.SetStr("outcome", "restored")
+	sp.SetInt("replayed", int64(rep.Replayed))
+	sp.SetInt("facts", int64(rep.Facts))
+	return rep
+}
+
+// restoreStateLocked validates snap against the registered program and
+// adopts it: a fresh engine gets the program rules and the snapshot's
+// EDB, and the snapshot's store becomes the cache with no fixpoint
+// run. Called with evalMu and m.mu held.
+func (m *Mediator) restoreStateLocked(snap *persist.Snapshot, sp *obs.Span) error {
+	if sig := m.programSigLocked(); snap.ProgramSig != sig {
+		return fmt.Errorf("mediator: restore: program changed (snapshot %.12s…, current %.12s…)",
+			snap.ProgramSig, sig)
+	}
+	if len(snap.Sources) != len(m.srcs) {
+		return fmt.Errorf("mediator: restore: snapshot has %d sources, %d registered",
+			len(snap.Sources), len(m.srcs))
+	}
+	for _, st := range snap.Sources {
+		s, ok := m.srcs[st.Name]
+		if !ok {
+			return fmt.Errorf("mediator: restore: snapshot source %s is not registered", st.Name)
+		}
+		var curSig []string
+		for _, r := range sourceRules(s) {
+			curSig = append(curSig, r.String())
+		}
+		if !sameSig(st.RuleSig, curSig) {
+			return fmt.Errorf("mediator: restore: semantic rules of %s changed", st.Name)
+		}
+	}
+	e, err := m.newProgramEngineLocked(sp)
+	if err != nil {
+		return err
+	}
+	snaps := make(map[string]*srcSnapshot, len(snap.Sources))
+	for i := range snap.Sources {
+		st := &snap.Sources[i]
+		s := m.srcs[st.Name]
+		for _, r := range sourceRules(s) {
+			if err := e.AddRule(r); err != nil {
+				return fmt.Errorf("mediator: restore %s: %w", st.Name, err)
+			}
+		}
+		e.SeedEDB(st.Facts)
+		e.SeedEDB(st.Anchors)
+		snaps[st.Name] = &srcSnapshot{
+			facts:   st.Facts,
+			ruleSig: st.RuleSig,
+			anchors: st.Anchors,
+			version: st.Version,
+		}
+	}
+	m.cache = e.Restore(snap.Store)
+	m.cacheEngine = e
+	m.snaps = snaps
+	m.cacheDegraded = false
+	m.dirty = false
+	return nil
+}
+
+// replayDeltaLocked re-applies one logged change: the source-level
+// adds/dels land in the source's snapshot, the same shared-fact
+// refcounting the live path ran decides the engine-level delta, and
+// the cache is patched. Called with evalMu and m.mu held.
+func (m *Mediator) replayDeltaLocked(rec *persist.WALRecord, sp *obs.Span) error {
+	if rec.Full {
+		return fmt.Errorf("mediator: replay: wal has a full-rebuild marker for %s; snapshot is stale", rec.Source)
+	}
+	snap := m.snaps[rec.Source]
+	if snap == nil {
+		return fmt.Errorf("mediator: replay: record for unknown source %s", rec.Source)
+	}
+	d := datalog.NewDelta()
+	for _, r := range rec.Dels {
+		key := datalog.PredKey(r.Head.Pred, len(r.Head.Args))
+		if !snap.facts.DeleteKey(key, r.Head.Args) {
+			continue
+		}
+		if m.sharedElsewhere(rec.Source, key, r.Head.Args) {
+			continue
+		}
+		if err := d.Del(r.Head.Pred, r.Head.Args...); err != nil {
+			return err
+		}
+	}
+	for _, r := range rec.Adds {
+		if !snap.facts.Insert(r.Head.Pred, r.Head.Args) {
+			continue
+		}
+		if err := d.Add(r.Head.Pred, r.Head.Args...); err != nil {
+			return err
+		}
+	}
+	for _, r := range rec.AnchorDels {
+		if !snap.anchors.Delete(r.Head.Pred, r.Head.Args) {
+			continue
+		}
+		if err := d.DelFact(r); err != nil {
+			return err
+		}
+	}
+	for _, r := range rec.AnchorAdds {
+		if !snap.anchors.Insert(r.Head.Pred, r.Head.Args) {
+			continue
+		}
+		if err := d.AddFact(r); err != nil {
+			return err
+		}
+	}
+	snap.version = rec.Version
+	if _, err := m.patchCacheLocked(d, sp); err != nil {
+		return err
+	}
+	return nil
+}
+
+// staleSourcesLocked lists versioned sources whose live wrapper data
+// version differs from the snapshot the cache was restored (or built)
+// from, in name order. Called with m.mu held.
+func (m *Mediator) staleSourcesLocked() []string {
+	var stale []string
+	for _, s := range m.sortedSources() {
+		v, ok := s.W.(wrapper.Versioned)
+		if !ok {
+			continue
+		}
+		ver := v.DataVersion()
+		if ver == 0 {
+			continue
+		}
+		if snap := m.snaps[s.Name]; snap != nil && snap.version != ver {
+			stale = append(stale, s.Name)
+		}
+	}
+	return stale
+}

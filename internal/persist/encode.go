@@ -1,0 +1,496 @@
+package persist
+
+// Binary codec primitives for the durable store layer. Two encodings
+// share one vocabulary of term tags:
+//
+//   - Table mode (snapshots): every distinct term is written once into
+//     a term table, children before parents, and store rows reference
+//     terms by table index. Interned uint32 IDs are process-local (the
+//     intern table is rebuilt on every boot), so the table is the
+//     portable stand-in for the intern space: load re-interns each
+//     table entry once and rows remap through it.
+//
+//   - Inline mode (WAL records): terms are written recursively in
+//     place. Records are small and self-contained, so sharing buys
+//     nothing and independence from any table keeps each record
+//     individually decodable.
+//
+// Every decoder is total: malformed input of any shape yields an error
+// wrapping ErrCorrupt, never a panic and never a silently wrong value.
+// All counts are validated against the bytes that remain, so a flipped
+// length byte cannot force a huge allocation.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/term"
+)
+
+// Term tags. The tag set mirrors term.Kind but is part of the on-disk
+// format: do not renumber without bumping the format version.
+const (
+	tagAtom     = 0
+	tagInt      = 1
+	tagFloat    = 2
+	tagString   = 3
+	tagVar      = 4
+	tagCompound = 5
+)
+
+const (
+	// maxArity bounds relation and compound arities read from disk.
+	maxArity = 1 << 12
+	// maxInlineDepth bounds recursive inline term decoding (the engine
+	// itself caps term depth far below this).
+	maxInlineDepth = 512
+)
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrCorrupt)
+}
+
+// wr accumulates an encoded payload.
+type wr struct {
+	b []byte
+}
+
+func (w *wr) uvarint(v uint64)  { w.b = binary.AppendUvarint(w.b, v) }
+func (w *wr) varint(v int64)    { w.b = binary.AppendVarint(w.b, v) }
+func (w *wr) u64(v uint64)      { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wr) byte(v byte)       { w.b = append(w.b, v) }
+func (w *wr) raw(p []byte)      { w.b = append(w.b, p...) }
+func (w *wr) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// rd is a bounds-checked reader over an encoded payload.
+type rd struct {
+	b   []byte
+	off int
+}
+
+func (r *rd) remain() int { return len(r.b) - r.off }
+
+func (r *rd) bytes(n int) ([]byte, error) {
+	if n < 0 || n > r.remain() {
+		return nil, corruptf("persist: %d bytes wanted, %d remain", n, r.remain())
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p, nil
+}
+
+func (r *rd) byteVal() (byte, error) {
+	p, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return p[0], nil
+}
+
+func (r *rd) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, corruptf("persist: bad uvarint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *rd) varint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, corruptf("persist: bad varint at offset %d", r.off)
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *rd) u64() (uint64, error) {
+	p, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+func (r *rd) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(r.remain()) {
+		return "", corruptf("persist: string length %d exceeds %d remaining bytes", n, r.remain())
+	}
+	p, err := r.bytes(int(n))
+	if err != nil {
+		return "", err
+	}
+	return string(p), nil
+}
+
+// count reads an element count and validates it against the minimum
+// encoded size of one element, so corrupt counts cannot drive huge
+// allocations or long loops.
+func (r *rd) count(minBytesPer int) (int, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if minBytesPer < 1 {
+		minBytesPer = 1
+	}
+	if n > uint64(r.remain()/minBytesPer) {
+		return 0, corruptf("persist: count %d exceeds remaining input", n)
+	}
+	return int(n), nil
+}
+
+// termTable assigns dense indices to distinct terms during encoding.
+// Compound arguments are emitted before the compound itself, so a
+// decoder can resolve children by index as it goes.
+type termTable struct {
+	idx map[string]uint64
+	enc wr
+	n   uint64
+}
+
+func newTermTable() *termTable {
+	return &termTable{idx: make(map[string]uint64)}
+}
+
+func (t *termTable) add(tm term.Term) uint64 {
+	key := tm.Key()
+	if i, ok := t.idx[key]; ok {
+		return i
+	}
+	switch tm.Kind() {
+	case term.KindAtom:
+		t.enc.byte(tagAtom)
+		t.enc.str(tm.Name())
+	case term.KindInt:
+		t.enc.byte(tagInt)
+		t.enc.varint(tm.IntVal())
+	case term.KindFloat:
+		t.enc.byte(tagFloat)
+		t.enc.u64(math.Float64bits(tm.FloatVal()))
+	case term.KindString:
+		t.enc.byte(tagString)
+		t.enc.str(tm.Name())
+	case term.KindVar:
+		t.enc.byte(tagVar)
+		t.enc.str(tm.Name())
+	default: // compound: children first
+		args := tm.Args()
+		argIdx := make([]uint64, len(args))
+		for i, a := range args {
+			argIdx[i] = t.add(a)
+		}
+		t.enc.byte(tagCompound)
+		t.enc.str(tm.Name())
+		t.enc.uvarint(uint64(len(argIdx)))
+		for _, ai := range argIdx {
+			t.enc.uvarint(ai)
+		}
+	}
+	i := t.n
+	t.idx[key] = i
+	t.n++
+	return i
+}
+
+// write emits the completed table (count + entries) into w.
+func (t *termTable) write(w *wr) {
+	w.uvarint(t.n)
+	w.raw(t.enc.b)
+}
+
+// readTermTable decodes a term table into a dense slice of terms.
+func readTermTable(r *rd) ([]term.Term, error) {
+	n, err := r.count(2) // smallest entry: tag + 1-byte payload
+	if err != nil {
+		return nil, err
+	}
+	tbl := make([]term.Term, 0, n)
+	for i := 0; i < n; i++ {
+		tag, err := r.byteVal()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case tagAtom:
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			tbl = append(tbl, term.Atom(s))
+		case tagInt:
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			tbl = append(tbl, term.Int(v))
+		case tagFloat:
+			v, err := r.u64()
+			if err != nil {
+				return nil, err
+			}
+			tbl = append(tbl, term.Float(math.Float64frombits(v)))
+		case tagString:
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			tbl = append(tbl, term.Str(s))
+		case tagVar:
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			tbl = append(tbl, term.Var(s))
+		case tagCompound:
+			functor, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			argc, err := r.count(1)
+			if err != nil {
+				return nil, err
+			}
+			if argc == 0 || argc > maxArity {
+				return nil, corruptf("persist: compound arity %d out of range", argc)
+			}
+			args := make([]term.Term, argc)
+			for j := range args {
+				ai, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if ai >= uint64(len(tbl)) {
+					return nil, corruptf("persist: term table entry %d references forward index %d", i, ai)
+				}
+				args[j] = tbl[ai]
+			}
+			tbl = append(tbl, term.Comp(functor, args...))
+		default:
+			return nil, corruptf("persist: unknown term tag %d", tag)
+		}
+	}
+	return tbl, nil
+}
+
+// writeInlineTerm encodes one term recursively (WAL mode).
+func writeInlineTerm(w *wr, tm term.Term) {
+	switch tm.Kind() {
+	case term.KindAtom:
+		w.byte(tagAtom)
+		w.str(tm.Name())
+	case term.KindInt:
+		w.byte(tagInt)
+		w.varint(tm.IntVal())
+	case term.KindFloat:
+		w.byte(tagFloat)
+		w.u64(math.Float64bits(tm.FloatVal()))
+	case term.KindString:
+		w.byte(tagString)
+		w.str(tm.Name())
+	case term.KindVar:
+		w.byte(tagVar)
+		w.str(tm.Name())
+	default:
+		w.byte(tagCompound)
+		w.str(tm.Name())
+		w.uvarint(uint64(len(tm.Args())))
+		for _, a := range tm.Args() {
+			writeInlineTerm(w, a)
+		}
+	}
+}
+
+func readInlineTerm(r *rd, depth int) (term.Term, error) {
+	if depth > maxInlineDepth {
+		return term.Term{}, corruptf("persist: term nesting exceeds %d", maxInlineDepth)
+	}
+	tag, err := r.byteVal()
+	if err != nil {
+		return term.Term{}, err
+	}
+	switch tag {
+	case tagAtom:
+		s, err := r.str()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.Atom(s), nil
+	case tagInt:
+		v, err := r.varint()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.Int(v), nil
+	case tagFloat:
+		v, err := r.u64()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.Float(math.Float64frombits(v)), nil
+	case tagString:
+		s, err := r.str()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.Str(s), nil
+	case tagVar:
+		s, err := r.str()
+		if err != nil {
+			return term.Term{}, err
+		}
+		return term.Var(s), nil
+	case tagCompound:
+		functor, err := r.str()
+		if err != nil {
+			return term.Term{}, err
+		}
+		argc, err := r.count(1)
+		if err != nil {
+			return term.Term{}, err
+		}
+		if argc == 0 || argc > maxArity {
+			return term.Term{}, corruptf("persist: compound arity %d out of range", argc)
+		}
+		args := make([]term.Term, argc)
+		for i := range args {
+			args[i], err = readInlineTerm(r, depth+1)
+			if err != nil {
+				return term.Term{}, err
+			}
+		}
+		return term.Comp(functor, args...), nil
+	default:
+		return term.Term{}, corruptf("persist: unknown term tag %d", tag)
+	}
+}
+
+// writeStore encodes a fact store in table mode: relations in sorted
+// key order, rows in insertion order, cells as term-table indices.
+func writeStore(w *wr, tbl *termTable, s *datalog.Store) {
+	keys := s.Keys()
+	w.uvarint(uint64(len(keys)))
+	for _, key := range keys {
+		rel := s.Rel(key)
+		w.str(key)
+		w.uvarint(uint64(rel.Arity()))
+		w.uvarint(uint64(rel.Len()))
+	}
+	// Rows follow the directory so arities are known up front.
+	for _, key := range keys {
+		rel := s.Rel(key)
+		for _, row := range rel.Rows() {
+			for _, cell := range row {
+				w.uvarint(tbl.add(cell))
+			}
+		}
+	}
+}
+
+func readStore(r *rd, tbl []term.Term) (*datalog.Store, error) {
+	nRels, err := r.count(3) // key len + arity + row count
+	if err != nil {
+		return nil, err
+	}
+	type relDir struct {
+		key   string
+		arity int
+		rows  int
+	}
+	dirs := make([]relDir, nRels)
+	for i := range dirs {
+		key, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		arity, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if arity == 0 || arity > maxArity {
+			return nil, corruptf("persist: relation %s arity %d out of range", key, arity)
+		}
+		rows, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		// Each cell takes at least one byte.
+		if rows > uint64(r.remain())/arity {
+			return nil, corruptf("persist: relation %s row count %d exceeds remaining input", key, rows)
+		}
+		dirs[i] = relDir{key: key, arity: int(arity), rows: int(rows)}
+	}
+	out := datalog.NewStore()
+	row := make([]term.Term, 0, 8)
+	for _, d := range dirs {
+		out.Ensure(d.key, d.arity)
+		for i := 0; i < d.rows; i++ {
+			row = row[:0]
+			for j := 0; j < d.arity; j++ {
+				ti, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if ti >= uint64(len(tbl)) {
+					return nil, corruptf("persist: relation %s cell references term %d of %d", d.key, ti, len(tbl))
+				}
+				row = append(row, tbl[ti])
+			}
+			out.InsertKey(d.key, d.arity, row)
+		}
+	}
+	return out, nil
+}
+
+// writeFacts encodes a fact list inline (WAL mode): each fact is a
+// predicate name plus its ground argument terms.
+func writeFacts(w *wr, facts []datalog.Rule) {
+	w.uvarint(uint64(len(facts)))
+	for _, f := range facts {
+		w.str(f.Head.Pred)
+		w.uvarint(uint64(len(f.Head.Args)))
+		for _, a := range f.Head.Args {
+			writeInlineTerm(w, a)
+		}
+	}
+}
+
+func readFacts(r *rd) ([]datalog.Rule, error) {
+	n, err := r.count(2) // pred len + argc
+	if err != nil {
+		return nil, err
+	}
+	var out []datalog.Rule
+	for i := 0; i < n; i++ {
+		pred, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		argc, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		if argc > maxArity {
+			return nil, corruptf("persist: fact arity %d exceeds %d", argc, maxArity)
+		}
+		args := make([]term.Term, argc)
+		for j := range args {
+			args[j], err = readInlineTerm(r, 0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, datalog.Fact(pred, args...))
+	}
+	return out, nil
+}

@@ -1,0 +1,304 @@
+// Package persist is the durable store layer under the mediator: it
+// snapshots a materialized store (plus the per-source states it was
+// built from) to disk in a versioned, checksummed binary format, and
+// keeps a write-ahead log of the incremental deltas applied since, so
+// recovery is load-snapshot + replay-WAL-tail instead of re-pulling
+// every source and re-running the fixpoint.
+//
+// Layout of a data directory:
+//
+//	snapshot.bin  the last full image (see snapshot.go for the format)
+//	wal.bin       deltas applied since that image (see wal.go)
+//
+// Invariants:
+//
+//   - A snapshot is written to a temp file and renamed into place, so
+//     snapshot.bin is always either the old or the new image, never a
+//     torn mix.
+//   - The WAL is reset only after the rename lands. A crash between
+//     the two leaves WAL records whose changes the new snapshot
+//     already contains; replay is idempotent at the source-fact level
+//     (inserts and deletes of already-applied changes are no-ops), so
+//     the double application converges to the same state.
+//   - Replay trusts exactly the longest prefix of complete, CRC-valid
+//     records and truncates the file to it, so a torn tail from a
+//     crash mid-append is discarded once and appends continue from a
+//     clean boundary.
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+var (
+	// ErrCorrupt marks on-disk state that failed structural or checksum
+	// validation. Callers fall back to a full re-materialization.
+	ErrCorrupt = errors.New("persist: corrupt data")
+	// ErrVersion marks a well-formed header written by a different
+	// format version.
+	ErrVersion = errors.New("persist: unsupported format version")
+	// ErrNoSnapshot reports that the data directory has no snapshot yet.
+	ErrNoSnapshot = errors.New("persist: no snapshot")
+)
+
+const (
+	snapFile    = "snapshot.bin"
+	snapTmpFile = "snapshot.tmp"
+	walFile     = "wal.bin"
+)
+
+// Options configures a DB.
+type Options struct {
+	// NoSync skips fsync on WAL appends and snapshot writes. Only for
+	// benchmarks and tests; a crash can then lose the unsynced tail
+	// (but never corrupt the prefix framing).
+	NoSync bool
+}
+
+// DB manages one data directory: a snapshot file plus a WAL.
+type DB struct {
+	mu     sync.Mutex
+	dir    string
+	noSync bool
+	wal    *os.File // append-only handle, positioned at end
+}
+
+// Open prepares dir (creating it if needed) and opens the WAL for
+// appending. An existing WAL is kept as-is — Replay decides how much
+// of it to trust. A stale snapshot temp file from an interrupted save
+// is removed.
+func Open(dir string, opts *Options) (*DB, error) {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: open %s: %w", dir, err)
+	}
+	_ = os.Remove(filepath.Join(dir, snapTmpFile))
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persist: open wal: %w", err)
+	}
+	db := &DB{dir: dir, noSync: o.NoSync, wal: wal}
+	st, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("persist: stat wal: %w", err)
+	}
+	if st.Size() == 0 {
+		if err := db.resetWALLocked(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	} else if _, err := wal.Seek(0, 2); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("persist: seek wal: %w", err)
+	}
+	return db, nil
+}
+
+// Dir returns the data directory path.
+func (db *DB) Dir() string { return db.dir }
+
+// Close releases the WAL handle.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	err := db.wal.Close()
+	db.wal = nil
+	return err
+}
+
+// LoadSnapshot reads and validates the snapshot file. ErrNoSnapshot
+// (wrapped) means the directory has no image yet; ErrCorrupt or
+// ErrVersion (wrapped) mean the file cannot be trusted.
+func (db *DB) LoadSnapshot() (*Snapshot, error) {
+	b, err := os.ReadFile(filepath.Join(db.dir, snapFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("persist: %s: %w", db.dir, ErrNoSnapshot)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: read snapshot: %w", err)
+	}
+	return DecodeSnapshot(b)
+}
+
+// SaveSnapshot atomically replaces the snapshot file with s and then
+// resets the WAL: the new image subsumes every logged delta.
+func (db *DB) SaveSnapshot(s *Snapshot) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	b := EncodeSnapshot(s)
+	tmp := filepath.Join(db.dir, snapTmpFile)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: save snapshot: %w", err)
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("persist: save snapshot: %w", err)
+	}
+	if !db.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return fmt.Errorf("persist: save snapshot: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: save snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(db.dir, snapFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("persist: save snapshot: %w", err)
+	}
+	db.syncDir()
+	return db.resetWALLocked()
+}
+
+// SnapshotSize reports the byte size of the current snapshot file (0
+// if none exists).
+func (db *DB) SnapshotSize() int64 {
+	st, err := os.Stat(filepath.Join(db.dir, snapFile))
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+// AppendWAL frames rec, appends it to the log, and (unless NoSync)
+// syncs the file so the record survives a crash.
+func (db *DB) AppendWAL(rec *WALRecord) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return fmt.Errorf("persist: append wal: db closed")
+	}
+	if _, err := db.wal.Write(frameWALRecord(rec)); err != nil {
+		return fmt.Errorf("persist: append wal: %w", err)
+	}
+	if !db.noSync {
+		if err := db.wal.Sync(); err != nil {
+			return fmt.Errorf("persist: append wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReplayResult describes one WAL recovery pass.
+type ReplayResult struct {
+	// Records is the number of valid records replayed.
+	Records int
+	// Truncated reports that a torn or corrupt tail was discarded; the
+	// file was cut back to the last valid record boundary. TailErr
+	// says why (wrapping ErrCorrupt).
+	Truncated bool
+	TailErr   error
+}
+
+// ReplayWAL decodes the longest valid prefix of the log, invokes fn on
+// each record in order, and truncates the file past the prefix so
+// future appends continue from a clean boundary. An invalid or
+// version-skewed header is treated as an empty log (total torn write)
+// and reset. If fn returns an error, replay stops and that error is
+// returned; the file is still repaired.
+func (db *DB) ReplayWAL(fn func(*WALRecord) error) (*ReplayResult, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	path := filepath.Join(db.dir, walFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: read wal: %w", err)
+	}
+	res := &ReplayResult{}
+	var recs []*WALRecord
+	goodOff := 0
+	if err := checkWALHeader(b); err != nil {
+		res.Truncated = true
+		res.TailErr = err
+		if err := db.resetWALLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		var tailErr error
+		recs, goodOff, tailErr = scanWALRecords(b[walHeaderLen:])
+		if tailErr != nil {
+			res.Truncated = true
+			res.TailErr = tailErr
+			if err := db.truncateWALLocked(int64(walHeaderLen + goodOff)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, rec := range recs {
+		if err := fn(rec); err != nil {
+			return res, err
+		}
+		res.Records++
+	}
+	return res, nil
+}
+
+// resetWALLocked rewrites the log as empty (header only). Called with
+// db.mu held.
+func (db *DB) resetWALLocked() error {
+	if db.wal == nil {
+		return fmt.Errorf("persist: reset wal: db closed")
+	}
+	if err := db.wal.Truncate(0); err != nil {
+		return fmt.Errorf("persist: reset wal: %w", err)
+	}
+	if _, err := db.wal.Seek(0, 0); err != nil {
+		return fmt.Errorf("persist: reset wal: %w", err)
+	}
+	if _, err := db.wal.Write(walHeader()); err != nil {
+		return fmt.Errorf("persist: reset wal: %w", err)
+	}
+	if !db.noSync {
+		if err := db.wal.Sync(); err != nil {
+			return fmt.Errorf("persist: reset wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// truncateWALLocked cuts the log back to off bytes (a record
+// boundary), discarding a torn tail. Called with db.mu held.
+func (db *DB) truncateWALLocked(off int64) error {
+	if db.wal == nil {
+		return fmt.Errorf("persist: truncate wal: db closed")
+	}
+	if err := db.wal.Truncate(off); err != nil {
+		return fmt.Errorf("persist: truncate wal: %w", err)
+	}
+	if _, err := db.wal.Seek(off, 0); err != nil {
+		return fmt.Errorf("persist: truncate wal: %w", err)
+	}
+	if !db.noSync {
+		if err := db.wal.Sync(); err != nil {
+			return fmt.Errorf("persist: truncate wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// syncDir best-effort fsyncs the directory so a rename is durable.
+func (db *DB) syncDir() {
+	if db.noSync {
+		return
+	}
+	if d, err := os.Open(db.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}

@@ -1,0 +1,306 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/term"
+)
+
+// testStore builds a store covering every term kind, including shared
+// compound structure.
+func testStore() *datalog.Store {
+	s := datalog.NewStore()
+	loc := term.Comp("loc", term.Atom("cerebellum"), term.Int(3))
+	s.Insert("src_obj", []term.Term{term.Atom("alpha"), term.Atom("o1"), term.Atom("record")})
+	s.Insert("src_val", []term.Term{term.Atom("alpha"), term.Atom("o1"), term.Atom("value"), term.Float(4.25)})
+	s.Insert("src_val", []term.Term{term.Atom("alpha"), term.Atom("o1"), term.Atom("note"), term.Str("hi there")})
+	s.Insert("src_val", []term.Term{term.Atom("alpha"), term.Atom("o1"), term.Atom("where"), loc})
+	s.Insert("src_val", []term.Term{term.Atom("alpha"), term.Atom("o2"), term.Atom("where"), loc})
+	s.Insert("big", []term.Term{term.Int(-9007199254740993), term.Int(1 << 40)})
+	return s
+}
+
+func testSnapshot() *Snapshot {
+	facts := datalog.NewStore()
+	facts.Insert("src_obj", []term.Term{term.Atom("alpha"), term.Atom("o1"), term.Atom("record")})
+	anchors := datalog.NewStore()
+	anchors.Insert("anchor", []term.Term{term.Atom("alpha"), term.Atom("o1"), term.Atom("spine")})
+	return &Snapshot{
+		ProgramSig: "sig-1234",
+		Store:      testStore(),
+		Sources: []SourceState{
+			{Name: "alpha", Version: 7, RuleSig: []string{"r(X) :- s(X)."}, Facts: facts, Anchors: anchors},
+			{Name: "beta", Version: 0, RuleSig: nil, Facts: datalog.NewStore(), Anchors: datalog.NewStore()},
+		},
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	want := testSnapshot()
+	got, err := DecodeSnapshot(EncodeSnapshot(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProgramSig != want.ProgramSig {
+		t.Fatalf("program sig %q != %q", got.ProgramSig, want.ProgramSig)
+	}
+	if !got.Store.Equal(want.Store) {
+		t.Fatal("store did not round-trip")
+	}
+	if len(got.Sources) != len(want.Sources) {
+		t.Fatalf("%d sources != %d", len(got.Sources), len(want.Sources))
+	}
+	for i, w := range want.Sources {
+		g := got.Sources[i]
+		if g.Name != w.Name || g.Version != w.Version {
+			t.Fatalf("source %d: %s/%d != %s/%d", i, g.Name, g.Version, w.Name, w.Version)
+		}
+		if len(g.RuleSig) != len(w.RuleSig) {
+			t.Fatalf("source %d rule sig %v != %v", i, g.RuleSig, w.RuleSig)
+		}
+		for j := range w.RuleSig {
+			if g.RuleSig[j] != w.RuleSig[j] {
+				t.Fatalf("source %d rule sig %v != %v", i, g.RuleSig, w.RuleSig)
+			}
+		}
+		if !g.Facts.Equal(w.Facts) || !g.Anchors.Equal(w.Anchors) {
+			t.Fatalf("source %d stores did not round-trip", i)
+		}
+	}
+}
+
+func testRecord(n int) *WALRecord {
+	return &WALRecord{
+		Source:  "alpha",
+		Version: uint64(n),
+		Adds: []datalog.Rule{
+			datalog.Fact("src_val", term.Atom("alpha"), term.Atom("o1"), term.Atom("value"), term.Int(int64(n))),
+		},
+		Dels: []datalog.Rule{
+			datalog.Fact("src_val", term.Atom("alpha"), term.Atom("o1"), term.Atom("value"), term.Int(int64(n-1))),
+		},
+		AnchorAdds: []datalog.Rule{
+			datalog.Fact("anchor", term.Atom("alpha"), term.Comp("id", term.Int(int64(n))), term.Atom("spine")),
+		},
+	}
+}
+
+func sameFacts(a, b []datalog.Rule) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWALRecordRoundTrip(t *testing.T) {
+	want := testRecord(3)
+	got, err := decodeWALPayload(encodeWALPayload(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Source != want.Source || got.Version != want.Version || got.Full != want.Full {
+		t.Fatalf("header fields: %+v != %+v", got, want)
+	}
+	if !sameFacts(got.Adds, want.Adds) || !sameFacts(got.Dels, want.Dels) ||
+		!sameFacts(got.AnchorAdds, want.AnchorAdds) || !sameFacts(got.AnchorDels, want.AnchorDels) {
+		t.Fatalf("fact lists: %+v != %+v", got, want)
+	}
+
+	full := &WALRecord{Source: "beta", Full: true}
+	got, err = decodeWALPayload(encodeWALPayload(full))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Full || got.Source != "beta" {
+		t.Fatalf("full record: %+v", got)
+	}
+}
+
+func TestDBLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.LoadSnapshot(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty dir: %v, want ErrNoSnapshot", err)
+	}
+	if err := db.SaveSnapshot(testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := db.LoadSnapshot(); err != nil || got.ProgramSig != "sig-1234" {
+		t.Fatalf("load after save: %v / %+v", err, got)
+	}
+	if db.SnapshotSize() <= 0 {
+		t.Fatal("snapshot size not reported")
+	}
+	for i := 1; i <= 3; i++ {
+		if err := db.AppendWAL(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	res, err := db.ReplayWAL(func(rec *WALRecord) error {
+		got = append(got, rec.Version)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 3 || res.Truncated {
+		t.Fatalf("replay: %+v", res)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("replayed versions %v", got)
+	}
+	// Saving a snapshot resets the log.
+	if err := db.SaveSnapshot(testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.ReplayWAL(func(*WALRecord) error { return nil })
+	if err != nil || res.Records != 0 {
+		t.Fatalf("replay after snapshot: %v %+v", err, res)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendWAL(testRecord(9)); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+}
+
+// TestDBReopenKeepsWAL checks that Open neither truncates nor rewrites
+// an existing log, and that appends after a reopen extend it.
+func TestDBReopenKeepsWAL(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendWAL(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	db, err = Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.AppendWAL(testRecord(2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ReplayWAL(func(*WALRecord) error { return nil })
+	if err != nil || res.Records != 2 || res.Truncated {
+		t.Fatalf("replay after reopen: %v %+v", err, res)
+	}
+}
+
+// TestTornTailRepair cuts the log mid-record and checks that replay
+// trusts the prefix, truncates the tail, and accepts new appends.
+func TestTornTailRepair(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := db.AppendWAL(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+	path := filepath.Join(dir, "wal.bin")
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.ReplayWAL(func(*WALRecord) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 2 || !res.Truncated || !errors.Is(res.TailErr, ErrCorrupt) {
+		t.Fatalf("torn replay: %+v (tail err %v)", res, res.TailErr)
+	}
+	// The tail is gone; the log accepts and retains a fresh record.
+	if err := db.AppendWAL(testRecord(4)); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.ReplayWAL(func(*WALRecord) error { return nil })
+	if err != nil || res.Records != 3 || res.Truncated {
+		t.Fatalf("replay after repair: %v %+v", err, res)
+	}
+}
+
+// TestStaleTempSnapshotIgnored simulates a crash mid-save: a partial
+// temp file next to a valid snapshot must be discarded, not adopted.
+func TestStaleTempSnapshotIgnored(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SaveSnapshot(testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.tmp"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.tmp")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("stale snapshot.tmp survived Open")
+	}
+	if got, err := db.LoadSnapshot(); err != nil || got.ProgramSig != "sig-1234" {
+		t.Fatalf("snapshot after crash-mid-save: %v", err)
+	}
+}
+
+// TestReplayFnError checks that a callback error aborts replay and is
+// returned (the Full-marker path in recovery rides this).
+func TestReplayFnError(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := 1; i <= 2; i++ {
+		if err := db.AppendWAL(testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := errors.New("stop")
+	res, err := db.ReplayWAL(func(rec *WALRecord) error {
+		if rec.Version == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("replay error: %v", err)
+	}
+	if res.Records != 1 {
+		t.Fatalf("records before abort: %d", res.Records)
+	}
+}

@@ -1,0 +1,180 @@
+package persist
+
+// Snapshot file format (snapshot.bin), version 1:
+//
+//	magic   [6]byte  "MMSNAP"
+//	version uint16   little-endian, currently 1
+//	crc     uint32   little-endian, IEEE CRC-32 of the payload
+//	length  uint64   little-endian payload length in bytes
+//	payload [length]byte
+//
+// Payload layout (all integers varint unless noted):
+//
+//	programSig string          fingerprint of the rule program the
+//	                           store was materialized under
+//	termTable                  count + entries, children before parents
+//	store                      the materialized store (EDB + derived)
+//	sourceCount uvarint
+//	per source, in name order:
+//	  name     string
+//	  version  uvarint         wrapper data version at pull time
+//	  ruleSig  count + strings
+//	  facts    store           ground facts the source contributed
+//	  anchors  store           its anchor/3 facts
+//
+// The header is fixed-size so a version-skew check never depends on
+// being able to parse a newer payload: readers reject any version
+// other than 1 with ErrVersion before touching the payload.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"modelmed/internal/datalog"
+)
+
+// FormatVersion is the snapshot and WAL format version this package
+// reads and writes.
+const FormatVersion = 1
+
+var snapMagic = [6]byte{'M', 'M', 'S', 'N', 'A', 'P'}
+
+const snapHeaderLen = 6 + 2 + 4 + 8
+
+// SourceState is the serializable image of one source's contribution
+// to the materialization (the mediator's per-source snapshot).
+type SourceState struct {
+	Name    string
+	Version uint64
+	RuleSig []string
+	Facts   *datalog.Store
+	Anchors *datalog.Store
+}
+
+// Snapshot is the durable image of a materialized mediator: the full
+// store plus the per-source states it was built from.
+type Snapshot struct {
+	// ProgramSig fingerprints the mediator-level rule program (domain
+	// map, views, axioms). A reader whose program differs must discard
+	// the snapshot: the derived facts in Store were computed under the
+	// recorded program.
+	ProgramSig string
+	// Store holds every fact of the materialization, extensional and
+	// derived.
+	Store *datalog.Store
+	// Sources holds the per-source states, sorted by name.
+	Sources []SourceState
+}
+
+// EncodeSnapshot renders s into the version-1 file format, header
+// included.
+func EncodeSnapshot(s *Snapshot) []byte {
+	tbl := newTermTable()
+	var sig, stores wr
+	sig.str(s.ProgramSig)
+	writeStore(&stores, tbl, s.Store)
+	stores.uvarint(uint64(len(s.Sources)))
+	for _, src := range s.Sources {
+		stores.str(src.Name)
+		stores.uvarint(src.Version)
+		stores.uvarint(uint64(len(src.RuleSig)))
+		for _, r := range src.RuleSig {
+			stores.str(r)
+		}
+		writeStore(&stores, tbl, src.Facts)
+		writeStore(&stores, tbl, src.Anchors)
+	}
+	// Assemble: the term table is complete only after every store has
+	// been walked, but decodes first.
+	var payload wr
+	payload.raw(sig.b)
+	tbl.write(&payload)
+	payload.raw(stores.b)
+
+	out := make([]byte, 0, snapHeaderLen+len(payload.b))
+	out = append(out, snapMagic[:]...)
+	out = binary.LittleEndian.AppendUint16(out, FormatVersion)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload.b))
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload.b)))
+	out = append(out, payload.b...)
+	return out
+}
+
+// DecodeSnapshot parses a version-1 snapshot file. It returns
+// ErrVersion (wrapped) for a well-formed header carrying a different
+// format version, and ErrCorrupt (wrapped) for anything else that is
+// not a byte-exact valid file: short header, bad magic, length or
+// checksum mismatch, or a malformed payload.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < snapHeaderLen {
+		return nil, corruptf("persist: snapshot header truncated (%d bytes)", len(b))
+	}
+	if string(b[:6]) != string(snapMagic[:]) {
+		return nil, corruptf("persist: bad snapshot magic %q", b[:6])
+	}
+	ver := binary.LittleEndian.Uint16(b[6:8])
+	if ver != FormatVersion {
+		return nil, fmt.Errorf("persist: snapshot format version %d (reader supports %d): %w",
+			ver, FormatVersion, ErrVersion)
+	}
+	crc := binary.LittleEndian.Uint32(b[8:12])
+	plen := binary.LittleEndian.Uint64(b[12:20])
+	if plen != uint64(len(b)-snapHeaderLen) {
+		return nil, corruptf("persist: snapshot payload length %d, %d bytes present",
+			plen, len(b)-snapHeaderLen)
+	}
+	payload := b[snapHeaderLen:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, corruptf("persist: snapshot checksum mismatch")
+	}
+	r := &rd{b: payload}
+	sig, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := readTermTable(r)
+	if err != nil {
+		return nil, err
+	}
+	store, err := readStore(r, tbl)
+	if err != nil {
+		return nil, err
+	}
+	nSrc, err := r.count(3)
+	if err != nil {
+		return nil, err
+	}
+	srcs := make([]SourceState, 0, nSrc)
+	for i := 0; i < nSrc; i++ {
+		var st SourceState
+		if st.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if st.Version, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		nSig, err := r.count(1)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < nSig; j++ {
+			s, err := r.str()
+			if err != nil {
+				return nil, err
+			}
+			st.RuleSig = append(st.RuleSig, s)
+		}
+		if st.Facts, err = readStore(r, tbl); err != nil {
+			return nil, err
+		}
+		if st.Anchors, err = readStore(r, tbl); err != nil {
+			return nil, err
+		}
+		srcs = append(srcs, st)
+	}
+	if r.remain() != 0 {
+		return nil, corruptf("persist: %d trailing bytes after snapshot payload", r.remain())
+	}
+	return &Snapshot{ProgramSig: sig, Store: store, Sources: srcs}, nil
+}

@@ -1,0 +1,182 @@
+package persist
+
+// Write-ahead log format (wal.bin), version 1:
+//
+//	header:
+//	  magic   [6]byte "MMWAL\x00"
+//	  version uint16  little-endian, currently 1
+//	records, back to back:
+//	  length  uint32  little-endian payload length
+//	  crc     uint32  little-endian, IEEE CRC-32 of the payload
+//	  payload [length]byte
+//
+// Record payload (varints unless noted):
+//
+//	flags      byte    bit 0: Full (cache was rebuilt, not patched)
+//	source     string
+//	version    uvarint source data version after the change
+//	adds       facts   effective source-level fact additions
+//	dels       facts   effective source-level fact removals
+//	anchorAdds facts
+//	anchorDels facts
+//
+// Records are self-contained (terms inline, no shared table), so the
+// log can be cut at any byte and the prefix of complete, checksummed
+// records before the cut remains decodable. That is the recovery
+// contract: a torn tail — a partial record written when the process
+// died — is detected by the length/CRC frame and discarded; everything
+// before it replays.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"modelmed/internal/datalog"
+)
+
+var walMagic = [6]byte{'M', 'M', 'W', 'A', 'L', 0}
+
+const (
+	walHeaderLen = 6 + 2
+	walFrameLen  = 4 + 4
+	// maxWALRecord bounds a single record payload; a corrupt length
+	// field cannot force a larger allocation.
+	maxWALRecord = 1 << 28
+)
+
+// WALRecord is one logged incremental-maintenance step: the effective
+// source-level change that was applied to the mediator's snapshot and
+// patched into the cache. Replaying the records of a log in order onto
+// the snapshot they follow reproduces the exact store the process had
+// when it died.
+type WALRecord struct {
+	Source  string
+	Version uint64
+	// Full marks a step that rebuilt the cache from live sources
+	// instead of patching it. A Full record cannot be replayed — the
+	// rebuilt state was never written to disk — so recovery stops and
+	// reports the snapshot stale.
+	Full bool
+	// Adds and Dels are the effective ground-fact changes recorded in
+	// the source's snapshot (post-dedup, pre-refcount: replay re-runs
+	// the same shared-fact refcounting the live path ran).
+	Adds, Dels []datalog.Rule
+	// AnchorAdds and AnchorDels are anchor/3 changes from a refresh.
+	AnchorAdds, AnchorDels []datalog.Rule
+}
+
+func walHeader() []byte {
+	h := make([]byte, 0, walHeaderLen)
+	h = append(h, walMagic[:]...)
+	h = binary.LittleEndian.AppendUint16(h, FormatVersion)
+	return h
+}
+
+// checkWALHeader validates the fixed header, returning ErrVersion for
+// a well-formed header of another version and ErrCorrupt otherwise.
+func checkWALHeader(b []byte) error {
+	if len(b) < walHeaderLen {
+		return corruptf("persist: wal header truncated (%d bytes)", len(b))
+	}
+	if string(b[:6]) != string(walMagic[:]) {
+		return corruptf("persist: bad wal magic %q", b[:6])
+	}
+	if ver := binary.LittleEndian.Uint16(b[6:8]); ver != FormatVersion {
+		return fmt.Errorf("persist: wal format version %d (reader supports %d): %w",
+			ver, FormatVersion, ErrVersion)
+	}
+	return nil
+}
+
+func encodeWALPayload(rec *WALRecord) []byte {
+	var w wr
+	var flags byte
+	if rec.Full {
+		flags |= 1
+	}
+	w.byte(flags)
+	w.str(rec.Source)
+	w.uvarint(rec.Version)
+	writeFacts(&w, rec.Adds)
+	writeFacts(&w, rec.Dels)
+	writeFacts(&w, rec.AnchorAdds)
+	writeFacts(&w, rec.AnchorDels)
+	return w.b
+}
+
+func decodeWALPayload(b []byte) (*WALRecord, error) {
+	r := &rd{b: b}
+	flags, err := r.byteVal()
+	if err != nil {
+		return nil, err
+	}
+	if flags&^1 != 0 {
+		return nil, corruptf("persist: unknown wal record flags %#x", flags)
+	}
+	rec := &WALRecord{Full: flags&1 != 0}
+	if rec.Source, err = r.str(); err != nil {
+		return nil, err
+	}
+	if rec.Version, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	if rec.Adds, err = readFacts(r); err != nil {
+		return nil, err
+	}
+	if rec.Dels, err = readFacts(r); err != nil {
+		return nil, err
+	}
+	if rec.AnchorAdds, err = readFacts(r); err != nil {
+		return nil, err
+	}
+	if rec.AnchorDels, err = readFacts(r); err != nil {
+		return nil, err
+	}
+	if r.remain() != 0 {
+		return nil, corruptf("persist: %d trailing bytes in wal record", r.remain())
+	}
+	return rec, nil
+}
+
+// frameWALRecord renders a record with its length+CRC frame.
+func frameWALRecord(rec *WALRecord) []byte {
+	payload := encodeWALPayload(rec)
+	out := make([]byte, 0, walFrameLen+len(payload))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// scanWALRecords walks the framed records in b (which excludes the
+// file header). It returns the decoded records of the longest valid
+// prefix and the byte offset just past the last valid record; a
+// non-nil tailErr describes why scanning stopped early (nil when every
+// byte was consumed by valid records).
+func scanWALRecords(b []byte) (recs []*WALRecord, goodOff int, tailErr error) {
+	off := 0
+	for off < len(b) {
+		if len(b)-off < walFrameLen {
+			return recs, off, corruptf("persist: torn wal frame at offset %d", off)
+		}
+		plen := int(binary.LittleEndian.Uint32(b[off : off+4]))
+		crc := binary.LittleEndian.Uint32(b[off+4 : off+8])
+		if plen > maxWALRecord {
+			return recs, off, corruptf("persist: wal record length %d exceeds limit", plen)
+		}
+		if len(b)-off-walFrameLen < plen {
+			return recs, off, corruptf("persist: torn wal record at offset %d", off)
+		}
+		payload := b[off+walFrameLen : off+walFrameLen+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return recs, off, corruptf("persist: wal record checksum mismatch at offset %d", off)
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return recs, off, err
+		}
+		recs = append(recs, rec)
+		off += walFrameLen + plen
+	}
+	return recs, off, nil
+}

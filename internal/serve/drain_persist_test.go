@@ -1,0 +1,146 @@
+package serve
+
+// Regression: a delta that is in flight when shutdown starts draining
+// must be applied-and-logged (it got in before the listener closed) or
+// refused at the connection level (it did not) — never accepted and
+// then lost. The durable daemon relies on this ordering: medd saves
+// its final snapshot only after Shutdown returns, so every delta the
+// HTTP layer accepted must by then be in the WAL.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"modelmed/internal/persist"
+	"modelmed/internal/term"
+)
+
+func jsonBody(t *testing.T, v any) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+func TestDeltaDuringDrainIsLoggedNotLost(t *testing.T) {
+	srv, med, _ := newServeFixture(t, Config{})
+	if _, err := med.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+	db, err := persist.Open(t.TempDir(), &persist.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := med.SaveSnapshotTo(db); err != nil {
+		t.Fatal(err)
+	}
+
+	// The logger stalls the first record until released, holding the
+	// delta handler in flight while shutdown begins.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var logged int
+	med.SetDeltaLogger(func(rec *persist.WALRecord) {
+		if logged == 0 {
+			close(entered)
+			<-release
+		}
+		logged++
+		if err := db.AppendWAL(rec); err != nil {
+			t.Errorf("wal append: %v", err)
+		}
+	})
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	type deltaResult struct {
+		code int
+		err  error
+	}
+	resCh := make(chan deltaResult, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/delta", "application/json",
+			jsonBody(t, DeltaRequest{
+				Source: "alpha",
+				Adds:   []string{"src_val('alpha', 'alpha_o0', note, 1)"},
+			}))
+		if err != nil {
+			resCh <- deltaResult{err: err}
+			return
+		}
+		resp.Body.Close()
+		resCh <- deltaResult{code: resp.StatusCode}
+	}()
+
+	<-entered // the delta is past admission, inside ApplySourceDelta
+
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- ts.Config.Shutdown(ctx) }()
+
+	// Drain has started (Shutdown closes the listener synchronously
+	// before waiting on in-flight connections); the delta is still
+	// blocked inside the mediator. Release it mid-drain.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight delta during drain: %v", res.err)
+	}
+	if res.code != http.StatusOK {
+		t.Fatalf("in-flight delta during drain: status %d", res.code)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// Applied: the store holds the pushed fact. Logged: the WAL holds
+	// exactly the one record.
+	resMat, err := med.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resMat.Holds("src_val", term.Atom("alpha"), term.Atom("alpha_o0"), term.Atom("note"), term.Int(1)) {
+		t.Fatal("delta accepted during drain is not in the store")
+	}
+	rr, err := db.ReplayWAL(func(*persist.WALRecord) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Records != 1 || rr.Truncated {
+		t.Fatalf("wal after drain: %+v, want exactly the accepted delta", rr)
+	}
+
+	// After drain, a new delta is refused at the connection level — the
+	// listener is closed — so nothing can be accepted-but-unlogged. (The
+	// exact errno varies by platform; any transport error is a clean
+	// refusal, a 200 would be the regression.)
+	if resp, err := http.Post(ts.URL+"/v1/delta", "application/json",
+		jsonBody(t, DeltaRequest{Source: "alpha", Adds: []string{"src_val('alpha', 'alpha_o0', note, 2)"}})); err == nil {
+		resp.Body.Close()
+		t.Fatalf("delta after drain was accepted: status %d", resp.StatusCode)
+	}
+
+	// The medd drain sequence ends by rotating a snapshot that subsumes
+	// the logged delta; after it the WAL is empty and a restore of the
+	// snapshot alone reproduces the post-delta store.
+	if err := med.SaveSnapshotTo(db); err != nil {
+		t.Fatal(err)
+	}
+	rr, err = db.ReplayWAL(func(*persist.WALRecord) error { return nil })
+	if err != nil || rr.Records != 0 {
+		t.Fatalf("wal after final snapshot: %v %+v", err, rr)
+	}
+}
