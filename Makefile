@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race chaos bench bench-parallel perf-smoke bench-faults bench-incr bench-serve bench-persist persist-smoke obs serve loadgen vet cover fuzz-smoke
+.PHONY: all check build test race chaos bench bench-parallel perf-smoke bench-faults bench-incr bench-serve bench-tenant tenant-smoke bench-persist persist-smoke obs serve loadgen vet cover fuzz-smoke
 
 all: build test
 
@@ -62,6 +62,22 @@ bench-incr:
 # with shed rates, zero-drop SIGTERM drain (writes BENCH_serve.json).
 bench-serve:
 	$(GO) run ./cmd/benchrunner -exp serve
+
+# Multi-tenant resource governance: honest-tenant p99 alone vs under an
+# abusive tenant flooding deadline-free runaway queries through the
+# deficit round-robin gate, plus the armed-vs-disarmed cost of the
+# engine's gas checks (writes BENCH_tenant.json).
+bench-tenant:
+	$(GO) run ./cmd/benchrunner -exp tenant
+
+# Resource-governance smoke, race-enabled: the DRR grant-order unit
+# test, the single-flight leader-cancel and 504-slot-release
+# regressions, the budget->422 mapping, cache partition isolation, the
+# early-400 logging fix, the abusive-tenant chaos test, and the
+# engine-level budget/cancellation suite.
+tenant-smoke:
+	$(GO) test -race -count=1 -run 'TestDRRWeightedOrder|TestSingleFlightLeaderCancelRecovery|TestTenantCachePartitionIsolation|TestTimeoutFreesAdmissionSlot|TestBudgetExceededReturns422|TestEarlyBadRequestLogged|TestAbusiveTenantFairness' ./internal/serve
+	$(GO) test -race -count=1 -run 'Budget|StopsFixpoint|StopsRun|SpendsGas|ChargesGas|HonoursCancelled' ./internal/datalog
 
 # Durability: cold materialization vs warm restart (snapshot adoption +
 # WAL replay) across fact-volume scales (writes BENCH_persist.json).

@@ -7,13 +7,23 @@
 //
 //	loadgen [-addr URL] [-c N] [-duration D]
 //	        [-q QUERY] [-vars V1,V2] [-planned] [-no-cache]
-//	        [-timeout-ms N]
+//	        [-timeout-ms N] [-api-key KEY]
+//	        [-abuse-q QUERY] [-abuse-c N] [-abuse-key KEY]
+//
+// With -abuse-q the run becomes a two-tenant fairness probe: the
+// honest tenant (-api-key) issues the main query while an abusive
+// tenant (-abuse-key) concurrently hammers the abuse query at
+// -abuse-c workers with the cache bypassed and no client deadline —
+// the worst neighbour the admission gate must contain. Both tenants'
+// stats are reported side by side; compare the honest p99 against a
+// solo run to see what the noisy neighbour cost.
 //
 // Example:
 //
-//	medd -addr :8344 &
-//	loadgen -addr http://127.0.0.1:8344 -c 16 -duration 5s \
-//	        -q "src_obj('SYNAPSE', O, C)" -vars O,C
+//	medd -addr :8344 -tenants honest:1,abuser:1 -fact-limit 200000 &
+//	loadgen -addr http://127.0.0.1:8344 -c 8 -duration 5s \
+//	        -q "src_obj('SYNAPSE', O, C)" -vars O,C -api-key honest \
+//	        -abuse-q "expensive(X, Y)" -abuse-c 64 -abuse-key abuser
 package main
 
 import (
@@ -22,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"modelmed/internal/load"
@@ -36,6 +47,10 @@ func main() {
 	planned := flag.Bool("planned", false, "route through the planner (pruning + pushdown)")
 	noCache := flag.Bool("no-cache", false, "bypass the answer cache")
 	timeoutMs := flag.Int("timeout-ms", 0, "per-request timeout override in milliseconds")
+	apiKey := flag.String("api-key", "", "X-API-Key identifying this run's tenant")
+	abuseQ := flag.String("abuse-q", "", "abusive tenant's query; enables the two-tenant fairness probe")
+	abuseC := flag.Int("abuse-c", 64, "abusive tenant's concurrency")
+	abuseKey := flag.String("abuse-key", "abuser", "abusive tenant's X-API-Key")
 	flag.Parse()
 
 	req := load.Request{Query: *q, Planned: *planned, NoCache: *noCache, TimeoutMs: *timeoutMs}
@@ -45,20 +60,58 @@ func main() {
 		}
 	}
 
-	stats, err := load.Run(load.Config{
-		BaseURL:     strings.TrimRight(*addr, "/"),
+	base := strings.TrimRight(*addr, "/")
+	honestCfg := load.Config{
+		BaseURL:     base,
 		Requests:    []load.Request{req},
 		Concurrency: *c,
 		Duration:    *dur,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		os.Exit(1)
+		APIKey:      *apiKey,
 	}
-	fmt.Fprintln(os.Stderr, stats.String())
+
+	if *abuseQ == "" {
+		stats, err := load.Run(honestCfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, stats.String())
+		emit(stats)
+		return
+	}
+
+	// Fairness probe: the abusive tenant issues a cache-bypassing,
+	// deadline-free planned query — every request burns a full
+	// evaluation until the server's own limits stop it.
+	abuseCfg := load.Config{
+		BaseURL:     base,
+		Requests:    []load.Request{{Query: *abuseQ, Planned: true, NoCache: true}},
+		Concurrency: *abuseC,
+		Duration:    *dur,
+		APIKey:      *abuseKey,
+	}
+	var wg sync.WaitGroup
+	var honest, abusive load.Stats
+	var honestErr, abusiveErr error
+	wg.Add(2)
+	go func() { defer wg.Done(); honest, honestErr = load.Run(honestCfg) }()
+	go func() { defer wg.Done(); abusive, abusiveErr = load.Run(abuseCfg) }()
+	wg.Wait()
+	for _, err := range []error{honestErr, abusiveErr} {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "honest  "+honest.String())
+	fmt.Fprintln(os.Stderr, "abusive "+abusive.String())
+	emit(map[string]load.Stats{"honest": honest, "abusive": abusive})
+}
+
+func emit(v any) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(stats); err != nil {
+	if err := enc.Encode(v); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}

@@ -12,8 +12,16 @@
 //	     [-synapse N -ncmir N -senselab N] [-seed S] [-workers W]
 //	     [-source-timeout D -retries N]
 //	     [-max-inflight N] [-max-queue N] [-request-timeout D]
+//	     [-fact-limit N] [-round-limit N] [-tenants KEY:W,KEY:W]
 //	     [-cache-entries N] [-no-cache] [-trace] [-log]
 //	     [-drain-timeout D] [-pprof HOST:PORT] [-data-dir DIR]
+//
+// -fact-limit and -round-limit arm the engine's cooperative gas meter:
+// any single evaluation deriving more facts (or running more fixpoint
+// rounds) than the budget stops with a typed budget error, which the
+// service maps to HTTP 422. -tenants lists the recognized API keys
+// with their admission weights (e.g. "gold:3,free:1"); requests
+// carrying an unlisted or missing X-API-Key share the default tenant.
 //
 // With -pprof the daemon additionally serves net/http/pprof on a
 // separate listener (off by default; the main API listener never
@@ -44,6 +52,8 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,6 +89,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	maxInflight := fs.Int("max-inflight", 0, "concurrently evaluating queries (0 = default 8)")
 	maxQueue := fs.Int("max-queue", 0, "admission wait-queue length (0 = default 64, negative = no queue)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = default 30s)")
+	factLimit := fs.Int("fact-limit", 0, "max derived facts per evaluation (0 = unlimited); exceeding returns HTTP 422")
+	roundLimit := fs.Int("round-limit", 0, "max fixpoint rounds per evaluation (0 = unlimited); exceeding returns HTTP 422")
+	tenants := fs.String("tenants", "", "recognized tenants as KEY:WEIGHT pairs, comma-separated (e.g. gold:3,free:1)")
 	cacheEntries := fs.Int("cache-entries", 0, "answer cache capacity (0 = default 256)")
 	noCache := fs.Bool("no-cache", false, "disable the answer cache")
 	trace := fs.Bool("trace", false, "enable span tracing and counter collection")
@@ -102,8 +115,19 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		go func() { _ = http.Serve(pln, nil) }()
 	}
 
+	weights, err := parseTenants(*tenants)
+	if err != nil {
+		return err
+	}
+
 	med := mediator.New(sources.NeuroDM(), &mediator.Options{
-		Engine:        datalog.Options{Workers: *workers},
+		Engine: datalog.Options{
+			Workers: *workers,
+			Limits: datalog.Limits{
+				MaxDerivedFacts: *factLimit,
+				MaxRounds:       *roundLimit,
+			},
+		},
 		SourceTimeout: *srcTimeout,
 		MaxRetries:    *retries,
 	})
@@ -169,6 +193,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		RequestTimeout: *reqTimeout,
 		CacheEntries:   *cacheEntries,
 		DisableCache:   *noCache,
+		TenantWeights:  weights,
 	}
 	if *reqLog {
 		cfg.Log = log.New(stderr, "medd: ", log.LstdFlags|log.Lmicroseconds)
@@ -217,4 +242,34 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		fmt.Fprintf(stdout, "medd: drained, served %d requests\n", srv.Finished())
 		return nil
 	}
+}
+
+// parseTenants parses the -tenants flag: comma-separated KEY:WEIGHT
+// pairs (weight optional, default 1).
+func parseTenants(spec string) (map[string]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := make(map[string]int)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, wstr, found := strings.Cut(part, ":")
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return nil, fmt.Errorf("tenants: empty key in %q", part)
+		}
+		w := 1
+		if found {
+			var err error
+			w, err = strconv.Atoi(strings.TrimSpace(wstr))
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("tenants: bad weight in %q (want a positive integer)", part)
+			}
+		}
+		out[key] = w
+	}
+	return out, nil
 }

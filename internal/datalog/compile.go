@@ -819,6 +819,9 @@ func (ex *cExec) sideArith(s *cSide) (term.Term, error) {
 // emit instantiates the head from the registers and queues the fact.
 func (ex *cExec) emit() error {
 	ev := ex.ev
+	if err := ev.spendGas(); err != nil {
+		return err
+	}
 	maxDepth := int32(ev.opts.MaxTermDepth)
 	for i := range ex.prog.head {
 		id := ex.internBuild(&ex.prog.head[i])

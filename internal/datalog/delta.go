@@ -14,6 +14,7 @@ package datalog
 // stratified negation. See DESIGN.md, "Incremental maintenance".
 
 import (
+	"context"
 	"fmt"
 
 	"modelmed/internal/obs"
@@ -117,6 +118,17 @@ type DeltaStats struct {
 // engine re-runs from scratch (DeltaStats.Full). The EDB changes stick
 // either way.
 func (e *Engine) ApplyDelta(prev *Result, d *Delta) (*Result, error) {
+	return e.ApplyDeltaCtx(context.Background(), prev, d)
+}
+
+// ApplyDeltaCtx is ApplyDelta under the caller's context and the
+// engine's Limits: the DRed overdeletion and insertion waves and any
+// recomputed strata charge the same gas meter as a full run, so a
+// hostile or oversized delta degrades into a typed error instead of an
+// unbounded patch. The EDB changes stick even on error; the previous
+// result is never mutated, and a failed patch leaves the caller free to
+// fall back to a full rebuild.
+func (e *Engine) ApplyDeltaCtx(ctx context.Context, prev *Result, d *Delta) (*Result, error) {
 	if d == nil {
 		d = NewDelta()
 	}
@@ -136,7 +148,7 @@ func (e *Engine) ApplyDelta(prev *Result, d *Delta) (*Result, error) {
 	stats.DelsApplied = effDels.Size()
 
 	if prev == nil || prev.Store == nil || !prev.Stratified || prev.Undefined != nil || e.opts.Naive {
-		return e.deltaFullRun(stats)
+		return e.deltaFullRun(ctx, stats)
 	}
 	if effAdds.Size() == 0 && effDels.Size() == 0 {
 		return prev, nil
@@ -148,9 +160,9 @@ func (e *Engine) ApplyDelta(prev *Result, d *Delta) (*Result, error) {
 		return nil, fmt.Errorf("datalog: aggregation through recursion is not supported")
 	}
 	if !stratified {
-		return e.deltaFullRun(stats)
+		return e.deltaFullRun(ctx, stats)
 	}
-	return e.applyDeltaStratified(prev, scc, effAdds, effDels, stats)
+	return e.applyDeltaStratified(ctx, prev, scc, effAdds, effDels, stats)
 }
 
 // Update applies the batch through the engine that produced r.
@@ -163,9 +175,9 @@ func (r *Result) Update(d *Delta) (*Result, error) {
 
 // deltaFullRun is the fallback: the EDB is already patched, so a full
 // evaluation yields the post-delta model.
-func (e *Engine) deltaFullRun(stats *DeltaStats) (*Result, error) {
+func (e *Engine) deltaFullRun(ctx context.Context, stats *DeltaStats) (*Result, error) {
 	stats.Full = true
-	res, err := e.Run()
+	res, err := e.RunCtx(ctx)
 	if res != nil {
 		stats.Rounds = res.Rounds
 		stats.Firings = res.Firings
@@ -177,11 +189,12 @@ func (e *Engine) deltaFullRun(stats *DeltaStats) (*Result, error) {
 	return res, err
 }
 
-func (e *Engine) applyDeltaStratified(prev *Result, scc *sccResult, effAdds, effDels *Store, stats *DeltaStats) (*Result, error) {
+func (e *Engine) applyDeltaStratified(ctx context.Context, prev *Result, scc *sccResult, effAdds, effDels *Store, stats *DeltaStats) (*Result, error) {
 	sp := e.opts.Trace.Child("datalog.apply_delta")
 	defer sp.End()
 	sp.SetInt("edb_adds", int64(effAdds.Size()))
 	sp.SetInt("edb_dels", int64(effDels.Size()))
+	lim := newLimiter(ctx, e.opts.Limits)
 
 	old := prev.Store
 	store := old.Clone()
@@ -251,7 +264,7 @@ func (e *Engine) applyDeltaStratified(prev *Result, scc *sccResult, effAdds, eff
 			// Aggregate values cannot be patched from tuple deltas;
 			// recompute the whole stratum against the (final) lower
 			// strata and diff against the old model.
-			err := e.recomputeStratum(stratum, store, old, cumAdd, cumDel, stats, ssp)
+			err := e.recomputeStratum(stratum, store, old, cumAdd, cumDel, stats, lim, ssp)
 			ssp.End()
 			if err != nil {
 				return res, err
@@ -264,7 +277,7 @@ func (e *Engine) applyDeltaStratified(prev *Result, scc *sccResult, effAdds, eff
 			ssp.End()
 			return res, err
 		}
-		err = e.dredStratum(prepared, store, old, cumAdd, cumDel, pend, stats, workers, ssp)
+		err = e.dredStratum(prepared, store, old, cumAdd, cumDel, pend, stats, workers, lim, ssp)
 		ssp.End()
 		if err != nil {
 			return res, err
@@ -321,7 +334,7 @@ func stratumReads(stratum []Rule) (reads map[string]struct{}, hasAgg bool) {
 // from the (already patched) EDB and re-runs the stratum fixpoint, then
 // folds the old-vs-new diff of those predicates into the cumulative
 // deltas.
-func (e *Engine) recomputeStratum(stratum []Rule, store, old, cumAdd, cumDel *Store, stats *DeltaStats, ssp *obs.Span) error {
+func (e *Engine) recomputeStratum(stratum []Rule, store, old, cumAdd, cumDel *Store, stats *DeltaStats, lim *limiter, ssp *obs.Span) error {
 	heads := make(map[string]int)
 	for _, r := range stratum {
 		heads[r.Head.Key()] = len(r.Head.Args)
@@ -339,7 +352,7 @@ func (e *Engine) recomputeStratum(stratum []Rule, store, old, cumAdd, cumDel *St
 	if err != nil {
 		return err
 	}
-	rounds, firings, err := fixpoint(prepared, store, store, &e.opts, ssp)
+	rounds, firings, err := fixpoint(prepared, store, store, &e.opts, lim, ssp)
 	stats.Rounds += rounds
 	stats.Firings += firings
 	if err != nil {
@@ -372,7 +385,7 @@ var errStopMatch = fmt.Errorf("datalog: internal: stop match")
 // one aggregate-free stratum. store holds the new model below this
 // stratum (final) and the old model at and above it; old is the full
 // previous model and is never written.
-func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel, pend *Store, stats *DeltaStats, workers int, ssp *obs.Span) error {
+func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel, pend *Store, stats *DeltaStats, workers int, lim *limiter, ssp *obs.Span) error {
 	opts := &e.opts
 	var deltaJobs []evalJob
 	for _, pr := range prepared {
@@ -406,7 +419,7 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 	}
 	// Negation-driven candidates: a lower-stratum fact was added, so
 	// old derivations that relied on its absence die.
-	negDel, err := negDriven(prepared, cumAdd, old, old, opts)
+	negDel, err := negDriven(prepared, cumAdd, old, old, opts, lim)
 	if err != nil {
 		return err
 	}
@@ -420,7 +433,10 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 		if opts.MaxIterations > 0 && rounds > opts.MaxIterations {
 			return fmt.Errorf("datalog: overdeletion exceeded %d rounds", opts.MaxIterations)
 		}
-		ev := &evalCtx{store: old, negCtx: old, opts: opts}
+		if err := lim.round(); err != nil {
+			return err
+		}
+		ev := &evalCtx{store: old, negCtx: old, opts: opts, lim: lim}
 		facts, err := runJobs(deltaJobs, delDelta, ev, workers, nil)
 		if err != nil {
 			return err
@@ -476,6 +492,11 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 	rederived := 0
 	for changed := true; changed; {
 		changed = false
+		// Rederivation is bounded by the overdeleted set, but each
+		// one-step check is a join; honor a fired context between passes.
+		if err := lim.ctxErr(); err != nil {
+			return err
+		}
 		for i := range removed {
 			f := &removed[i]
 			if f.row == nil {
@@ -507,7 +528,7 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 	// into a fresh context, so no arena is reset while its rows are
 	// still referenced here.
 	var inserted []derivedFact
-	negIns, err := negDriven(prepared, cumDel, store, store, opts)
+	negIns, err := negDriven(prepared, cumDel, store, store, opts, lim)
 	if err != nil {
 		return err
 	}
@@ -521,7 +542,10 @@ func (e *Engine) dredStratum(prepared []preparedRule, store, old, cumAdd, cumDel
 		if opts.MaxIterations > 0 && rounds > opts.MaxIterations {
 			return fmt.Errorf("datalog: incremental insertion exceeded %d rounds", opts.MaxIterations)
 		}
-		ev := &evalCtx{store: store, negCtx: store, opts: opts}
+		if err := lim.round(); err != nil {
+			return err
+		}
+		ev := &evalCtx{store: store, negCtx: store, opts: opts, lim: lim}
 		facts, err := runJobs(deltaJobs, insDelta, ev, workers, nil)
 		if err != nil {
 			return err
@@ -594,7 +618,7 @@ func derivableOneStep(rules []preparedRule, row []term.Term, store *Store, opts 
 // additions the body is evaluated in the old model (where the tuple was
 // absent, so the negation holds), for insertions driven by deletions in
 // the new one.
-func negDriven(prepared []preparedRule, changed *Store, joinStore, negCtx *Store, opts *Options) ([]derivedFact, error) {
+func negDriven(prepared []preparedRule, changed *Store, joinStore, negCtx *Store, opts *Options, lim *limiter) ([]derivedFact, error) {
 	var out []derivedFact
 	for _, pr := range prepared {
 		for _, el := range pr.ordered {
@@ -606,7 +630,7 @@ func negDriven(prepared []preparedRule, changed *Store, joinStore, negCtx *Store
 			if rel == nil || rel.Len() == 0 {
 				continue
 			}
-			ev := &evalCtx{store: joinStore, negCtx: negCtx, opts: opts}
+			ev := &evalCtx{store: joinStore, negCtx: negCtx, opts: opts, lim: lim}
 			for _, row := range rel.Rows() {
 				s := term.NewSubst()
 				trail, ok := s.MatchTuple(l.Args, row)

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -19,6 +20,13 @@ type Options struct {
 	// MaxTermDepth drops derived facts whose terms nest deeper than this,
 	// bounding Skolem-term growth. 0 means the default (24).
 	MaxTermDepth int
+	// Limits is the per-evaluation gas budget (max derived facts, max
+	// rounds), enforced cooperatively inside the evaluation loops
+	// together with the context passed to RunCtx/ApplyDeltaCtx/QueryCtx.
+	// The zero value is unlimited. A tripped budget returns
+	// *ErrBudgetExceeded; a fired context returns the context's error.
+	// See limits.go.
+	Limits Limits
 	// Naive disables semi-naive evaluation (every rule re-evaluated in
 	// full each round). Used by the ablation benchmarks.
 	Naive bool
@@ -185,10 +193,23 @@ type Result struct {
 
 // Run evaluates the program.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunCtx(context.Background())
+}
+
+// RunCtx evaluates the program under the caller's context and the
+// engine's Limits: the budget and the context are checked once per
+// semi-naive round plus every gasStride derived facts inside a round,
+// on both the compiled and interpreted paths, so a cancelled request
+// stops the fixpoint mid-stratum instead of running it to completion.
+// A tripped budget returns *ErrBudgetExceeded, a fired context the
+// context's own error; the engine's EDB is untouched either way (the
+// evaluation derives into a clone), so the engine stays usable.
+func (e *Engine) RunCtx(ctx context.Context) (*Result, error) {
 	sp := e.opts.Trace.Child("datalog.run")
 	defer sp.End()
 	sp.SetInt("rules", int64(len(e.rules)))
 	sp.SetInt("edb_facts", int64(e.edb.Size()))
+	lim := newLimiter(ctx, e.opts.Limits)
 	g := buildDepGraph(e.rules)
 	scc := tarjanSCC(g)
 	stratified, aggCycle := scc.stratify(e.rules)
@@ -197,7 +218,7 @@ func (e *Engine) Run() (*Result, error) {
 	}
 	if stratified {
 		sp.SetStr("mode", "stratified")
-		return e.runStratified(scc, sp)
+		return e.runStratified(scc, lim, sp)
 	}
 	if e.opts.RequireStratified {
 		return nil, fmt.Errorf("%w and RequireStratified is set", ErrNotStratified)
@@ -206,7 +227,7 @@ func (e *Engine) Run() (*Result, error) {
 		return nil, fmt.Errorf("%w: well-founded fallback does not support aggregation", ErrNotStratified)
 	}
 	sp.SetStr("mode", "well-founded")
-	return e.runWellFounded(sp)
+	return e.runWellFounded(lim, sp)
 }
 
 func hasAggregates(rules []Rule) bool {
@@ -220,7 +241,7 @@ func hasAggregates(rules []Rule) bool {
 	return false
 }
 
-func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
+func (e *Engine) runStratified(scc *sccResult, lim *limiter, sp *obs.Span) (*Result, error) {
 	store := e.edb.Clone()
 	res := &Result{Store: store, Stratified: true, eng: e}
 	workers := e.opts.ResolvedWorkers()
@@ -232,7 +253,7 @@ func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
 		ssp := sp.Childf("stratum %d", lvl)
 		ssp.SetInt("rules", int64(len(stratum)))
 		if workers > 1 && len(groups[lvl]) > 1 {
-			err := e.runGroups(groups[lvl], store, res, workers, ssp)
+			err := e.runGroups(groups[lvl], store, res, workers, lim, ssp)
 			ssp.End()
 			if err != nil {
 				return res, err
@@ -246,7 +267,7 @@ func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
 		// Within a stratum, negated and aggregated predicates are fully
 		// computed (they live in strictly lower strata), so negation is
 		// answered from the same store.
-		rounds, firings, err := fixpoint(prepared, store, store, &e.opts, ssp)
+		rounds, firings, err := fixpoint(prepared, store, store, &e.opts, lim, ssp)
 		ssp.End()
 		res.Rounds += rounds
 		res.Firings += firings
@@ -265,7 +286,7 @@ func (e *Engine) runStratified(scc *sccResult, sp *obs.Span) (*Result, error) {
 // everything past the shared base prefix that Clone preserves — are then
 // merged into the store in group order, keeping the result deterministic
 // for a fixed Workers setting and set-identical to the serial run.
-func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers int, sp *obs.Span) error {
+func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers int, lim *limiter, sp *obs.Span) error {
 	prepared := make([][]preparedRule, len(groups))
 	for i, g := range groups {
 		p, err := prepareRules(g, &e.opts)
@@ -301,9 +322,12 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 	for i := range groups {
 		runs[i].clone = store.Clone()
 	}
+	// The limiter is shared across the concurrent group fixpoints: its
+	// counters are atomics, so the combined budget of the stratum level
+	// matches the serial run's.
 	par.Do(len(groups), workers, func(i int) {
 		clone := runs[i].clone
-		runs[i].rounds, runs[i].firings, runs[i].err = fixpoint(prepared[i], clone, clone, &e.opts, spans[i])
+		runs[i].rounds, runs[i].firings, runs[i].err = fixpoint(prepared[i], clone, clone, &e.opts, lim, spans[i])
 		spans[i].End()
 	})
 	for i := range runs {
@@ -334,7 +358,7 @@ func (e *Engine) runGroups(groups [][]Rule, store *Store, res *Result, workers i
 // between underestimates (true facts) and overestimates (possible facts)
 // and converges because Γ is antimonotone. True = lfp(Γ²); Undefined =
 // Γ(True) − True.
-func (e *Engine) runWellFounded(sp *obs.Span) (*Result, error) {
+func (e *Engine) runWellFounded(lim *limiter, sp *obs.Span) (*Result, error) {
 	prepared, err := prepareRules(e.rules, &e.opts)
 	if err != nil {
 		return nil, err
@@ -345,7 +369,7 @@ func (e *Engine) runWellFounded(sp *obs.Span) (*Result, error) {
 		gsp := sp.Childf("gamma %d", nGamma)
 		nGamma++
 		store := e.edb.Clone()
-		rounds, firings, err := fixpoint(prepared, store, negCtx, &e.opts, gsp)
+		rounds, firings, err := fixpoint(prepared, store, negCtx, &e.opts, lim, gsp)
 		gsp.End()
 		res.Rounds += rounds
 		res.Firings += firings
@@ -360,6 +384,11 @@ func (e *Engine) runWellFounded(sp *obs.Span) (*Result, error) {
 	for i := 0; ; i++ {
 		if i > e.opts.MaxIterations {
 			return res, fmt.Errorf("datalog: alternating fixpoint exceeded %d steps", e.opts.MaxIterations)
+		}
+		// The Γ runs charge their own rounds; this only catches a context
+		// firing between them.
+		if err := lim.ctxErr(); err != nil {
+			return res, err
 		}
 		newUnder, err := gamma(over)
 		if err != nil {
@@ -404,6 +433,15 @@ func diffStore(a, b *Store) *Store {
 // returns the distinct bindings of vars, sorted. The body may contain
 // negation, builtins and aggregates; it must be safe.
 func (r *Result) Query(body []BodyElem, vars []string) ([][]term.Term, error) {
+	return r.QueryCtx(context.Background(), body, vars)
+}
+
+// QueryCtx is Query under the caller's context and the producing
+// engine's Limits: each enumerated solution (pre-deduplication) spends
+// one unit of the fact budget, and the context is checked at the same
+// stride, so a cross-product query body is stopped cooperatively
+// instead of enumerating to completion.
+func (r *Result) QueryCtx(ctx context.Context, body []BodyElem, vars []string) ([][]term.Term, error) {
 	headArgs := make([]term.Term, len(vars))
 	for i, v := range vars {
 		headArgs[i] = term.Var(v)
@@ -413,11 +451,23 @@ func (r *Result) Query(body []BodyElem, vars []string) ([][]term.Term, error) {
 	if err != nil {
 		return nil, err
 	}
-	ev := &evalCtx{store: r.Store, negCtx: r.Store, opts: &Options{MaxTermDepth: 64, MaxIterations: 1}}
+	var lims Limits
+	if r.eng != nil {
+		lims = r.eng.opts.Limits
+	}
+	ev := &evalCtx{
+		store:  r.Store,
+		negCtx: r.Store,
+		opts:   &Options{MaxTermDepth: 64, MaxIterations: 1},
+		lim:    newLimiter(ctx, lims),
+	}
 	seen := make(map[string]struct{})
 	var out [][]term.Term
 	s := term.NewSubst()
 	err = ev.match(ordered, 0, -1, s, func(s *term.Subst) error {
+		if err := ev.spendGas(); err != nil {
+			return err
+		}
 		row := make([]term.Term, len(vars))
 		var key string
 		for i, v := range vars {

@@ -107,6 +107,8 @@ type evalCtx struct {
 	delta  *Store // restriction for the designated delta literal (nil = none)
 	opts   *Options
 	pool   *par.Pool // persistent round workers (nil = spawn per round)
+	lim    *limiter  // shared gas meter of the evaluation (nil = unlimited)
+	gas    int       // head instantiations left in the local allotment
 
 	newFacts   []derivedFact
 	arena      []uint32 // slab backing the ID rows of newFacts
@@ -160,6 +162,9 @@ func termDepth(t term.Term) int {
 
 // deriveHead instantiates the rule head under s and queues the fact.
 func (ev *evalCtx) deriveHead(headKey string, head Literal, s *term.Subst) error {
+	if err := ev.spendGas(); err != nil {
+		return err
+	}
 	ids := ev.allocIDs(len(head.Args))
 	for i, a := range head.Args {
 		t := s.Apply(a)
@@ -473,7 +478,7 @@ func runJobs(jobs []evalJob, delta *Store, ev *evalCtx, workers int, rsp *obs.Sp
 		if busy != nil {
 			t0 = time.Now()
 		}
-		c := &evalCtx{store: ev.store, negCtx: ev.negCtx, delta: delta, opts: ev.opts}
+		c := &evalCtx{store: ev.store, negCtx: ev.negCtx, delta: delta, opts: ev.opts, lim: ev.lim}
 		ctxs[i] = c
 		errs[i] = jobs[i].run(c)
 		if busy != nil {
@@ -526,8 +531,15 @@ func runJobs(jobs []evalJob, delta *Store, ev *evalCtx, workers int, rsp *obs.Sp
 // derived, delta size, rule firings, and — on the parallel path —
 // summed worker busy time and utilization). All instrumentation sits
 // behind nil checks so a nil sp costs one branch per round.
-func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs.Span) (rounds int, firings int, err error) {
-	ev := &evalCtx{store: store, negCtx: negCtx, opts: opts}
+//
+// lim, when non-nil, is the evaluation's shared gas meter: every round
+// is charged against it before it runs (MaxRounds + context), and the
+// per-job contexts draw fact gas from it in strides (MaxDerivedFacts +
+// context), so a cancelled request stops mid-stratum and a budget trip
+// surfaces as *ErrBudgetExceeded. A nil lim costs one nil check per
+// round and per derivation.
+func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, lim *limiter, sp *obs.Span) (rounds int, firings int, err error) {
+	ev := &evalCtx{store: store, negCtx: negCtx, opts: opts, lim: lim}
 	workers := opts.ResolvedWorkers()
 	derivedTotal := 0
 	if sp != nil || opts.Counters != nil {
@@ -593,6 +605,9 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs
 
 	// Round 0: evaluate every rule once against the full store (no delta
 	// restriction).
+	if err := lim.round(); err != nil {
+		return 0, 0, err
+	}
 	rsp := sp.Child("round 0")
 	newFacts, err := runRound(fullJobs, nil, rsp)
 	if err != nil {
@@ -614,6 +629,9 @@ func fixpoint(rules []preparedRule, store, negCtx *Store, opts *Options, sp *obs
 	for delta.Size() > 0 {
 		if opts.MaxIterations > 0 && ev.rounds > opts.MaxIterations {
 			return ev.rounds, ev.firings, fmt.Errorf("datalog: fixpoint exceeded %d rounds (possible non-termination via function symbols)", opts.MaxIterations)
+		}
+		if err := lim.round(); err != nil {
+			return ev.rounds, ev.firings, err
 		}
 		prevFirings := ev.firings
 		rsp := sp.Childf("round %d", ev.rounds)

@@ -155,7 +155,7 @@ func TestWFSAgreesOnStratified(t *testing.T) {
 		if !strat.Stratified {
 			t.Fatal("program should be stratified")
 		}
-		wfs, err := e2.runWellFounded(nil)
+		wfs, err := e2.runWellFounded(nil, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

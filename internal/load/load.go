@@ -48,6 +48,10 @@ type Config struct {
 	Client *http.Client
 	// Ctx optionally bounds the run externally.
 	Ctx context.Context
+	// APIKey is sent as the X-API-Key header on every request,
+	// identifying the run's tenant to the service (empty = none, i.e.
+	// the default tenant).
+	APIKey string
 }
 
 // Stats is the merged outcome of one run.
@@ -59,6 +63,7 @@ type Stats struct {
 	CacheHits   int64
 	Shed        int64   // 503
 	Timeouts    int64   // 504
+	Budget      int64   // 422, evaluation budget exceeded
 	ClientErrs  int64   // transport-level failures
 	OtherHTTP   int64   // any remaining status
 	Throughput  float64 // completed (OK) per second
@@ -123,7 +128,7 @@ func Run(cfg Config) (Stats, error) {
 				}
 				body := bodies[i%len(bodies)]
 				t0 := time.Now()
-				status, hit, err := oneRequest(ctx, client, url, body)
+				status, hit, err := oneRequest(ctx, client, url, cfg.APIKey, body)
 				lat := time.Since(t0)
 				res.stats.Requests++
 				switch {
@@ -145,6 +150,8 @@ func Run(cfg Config) (Stats, error) {
 					res.stats.Shed++
 				case status == http.StatusGatewayTimeout:
 					res.stats.Timeouts++
+				case status == http.StatusUnprocessableEntity:
+					res.stats.Budget++
 				default:
 					res.stats.OtherHTTP++
 				}
@@ -163,6 +170,7 @@ func Run(cfg Config) (Stats, error) {
 		out.CacheHits += s.CacheHits
 		out.Shed += s.Shed
 		out.Timeouts += s.Timeouts
+		out.Budget += s.Budget
 		out.ClientErrs += s.ClientErrs
 		out.OtherHTTP += s.OtherHTTP
 		lats = append(lats, results[i].lats...)
@@ -184,12 +192,15 @@ func Run(cfg Config) (Stats, error) {
 }
 
 // oneRequest issues one query and reports (status, cache-hit, err).
-func oneRequest(ctx context.Context, client *http.Client, url string, body []byte) (int, bool, error) {
+func oneRequest(ctx context.Context, client *http.Client, url, apiKey string, body []byte) (int, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
 	if err != nil {
 		return 0, false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if apiKey != "" {
+		req.Header.Set("X-API-Key", apiKey)
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return 0, false, err
@@ -220,7 +231,7 @@ func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
 // String renders the stats as one report line.
 func (s Stats) String() string {
-	return fmt.Sprintf("c=%d: %d req in %dms, %.0f ok/s, hits %d, shed %d (%.1f%%), timeouts %d, errs %d, p50 %.2fms p90 %.2fms p99 %.2fms",
+	return fmt.Sprintf("c=%d: %d req in %dms, %.0f ok/s, hits %d, shed %d (%.1f%%), timeouts %d, budget %d, errs %d, p50 %.2fms p90 %.2fms p99 %.2fms",
 		s.Concurrency, s.Requests, s.DurationMs, s.Throughput, s.CacheHits,
-		s.Shed, s.ShedRate*100, s.Timeouts, s.ClientErrs, s.P50Ms, s.P90Ms, s.P99Ms)
+		s.Shed, s.ShedRate*100, s.Timeouts, s.Budget, s.ClientErrs, s.P50Ms, s.P90Ms, s.P99Ms)
 }

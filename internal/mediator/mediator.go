@@ -421,7 +421,7 @@ func (m *Mediator) queryCache(ctx context.Context, sp *obs.Span, body []datalog.
 		return nil, err
 	}
 	esp := sp.Child("evaluate")
-	rows, err := res.Query(body, vars)
+	rows, err := res.QueryCtx(ctx, body, vars)
 	esp.SetInt("rows", int64(len(rows)))
 	esp.End()
 	if err != nil {
@@ -585,7 +585,12 @@ func (m *Mediator) materializeLocked(ctx context.Context, sp *obs.Span) (*datalo
 			}
 		}
 	}
-	res, err := e.Run()
+	// RunCtx makes the request deadline real inside the fixpoint: the
+	// budget/context checks run once per round plus every few thousand
+	// derived facts, so a cancelled or over-budget materialization stops
+	// mid-stratum. The cache stays dirty on error and the next query
+	// rebuilds from scratch.
+	res, err := e.RunCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("mediator: materialize: %w", err)
 	}

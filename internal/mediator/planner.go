@@ -678,7 +678,10 @@ func (m *Mediator) ExecutePlanCtx(ctx context.Context, p *QueryPlan, vars []stri
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := e.Run()
+	// The per-query engine inherits the mediator's Limits; RunCtx checks
+	// budget and context inside the fixpoint, so a runaway planned query
+	// dies mid-stratum instead of holding its admission slot to the end.
+	res, err := e.RunCtx(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("mediator: execute plan: %w", err)
 	}
@@ -686,7 +689,7 @@ func (m *Mediator) ExecutePlanCtx(ctx context.Context, p *QueryPlan, vars []stri
 		vars = defaultVars(p.Body)
 	}
 	esp := sp.Child("evaluate")
-	rows, err := res.Query(p.Body, vars)
+	rows, err := res.QueryCtx(ctx, p.Body, vars)
 	esp.SetInt("rows", int64(len(rows)))
 	esp.End()
 	if err != nil {

@@ -8,13 +8,25 @@ import (
 
 // Admission control: the daemon bounds the number of queries evaluating
 // concurrently (each one costs a fan-out plus a datalog evaluation) and
-// queues a bounded number of waiters in FIFO order behind the in-flight
-// set. When the queue is full too, the request is shed immediately with
-// a Retry-After instead of piling latency onto everyone else.
+// queues a bounded number of waiters per tenant behind the in-flight
+// set. Freed slots are handed out by deficit round-robin across the
+// tenant queues, so one tenant flooding the server with slow queries
+// cannot starve the others: over a full rotation each backlogged
+// tenant is granted slots in proportion to its configured weight,
+// regardless of how many requests it has parked. When a tenant's own
+// queue is full, its requests are shed immediately with a Retry-After
+// instead of piling latency onto everyone else.
 
 // errShed is returned by acquire when both the in-flight set and the
-// wait queue are full; the HTTP layer maps it to 503 + Retry-After.
+// caller's tenant queue are full; the HTTP layer maps it to 503 +
+// Retry-After.
 var errShed = errors.New("serve: overloaded, request shed")
+
+// defaultTenant buckets requests that carry no API key, plus any key
+// the operator has not listed: tenant identity is operator-defined, so
+// arbitrary header values cannot mint unbounded queues, cache
+// partitions, or metric series.
+const defaultTenant = "default"
 
 // waiter is one queued request. The slot channel has capacity 1 so a
 // release can hand a slot to a waiter that is concurrently timing out
@@ -23,41 +35,75 @@ type waiter struct {
 	slot chan struct{}
 }
 
-// admission is a bounded in-flight semaphore with a FIFO wait queue.
+// tenantQueue is one tenant's FIFO of waiters plus its deficit
+// round-robin state. It lives in the ring exactly while it has
+// waiters.
+type tenantQueue struct {
+	name    string
+	waiters []*waiter
+	weight  int
+	deficit int
+}
+
+// admission is a bounded in-flight semaphore whose wait queue is
+// partitioned per tenant and drained by deficit round-robin.
 type admission struct {
 	mu       sync.Mutex
 	inflight int
 	capacity int
-	queue    []*waiter
-	maxQueue int
+	maxQueue int // per-tenant queue bound
+	weights  map[string]int
+	queues   map[string]*tenantQueue
+	ring     []*tenantQueue // tenants with waiters, in service order
+	cur      int            // ring index currently being drained
 }
 
-func newAdmission(capacity, maxQueue int) *admission {
+func newAdmission(capacity, maxQueue int, weights map[string]int) *admission {
 	if capacity <= 0 {
 		capacity = 1
 	}
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &admission{capacity: capacity, maxQueue: maxQueue}
+	return &admission{
+		capacity: capacity,
+		maxQueue: maxQueue,
+		weights:  weights,
+		queues:   make(map[string]*tenantQueue),
+	}
 }
 
-// acquire blocks until a slot is free, the context ends, or the queue
-// is full (errShed). A nil return means the caller holds a slot and
-// must release() it.
-func (a *admission) acquire(ctx context.Context) error {
+func (a *admission) weightOf(tenant string) int {
+	if w, ok := a.weights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// acquire blocks until a slot is free, the context ends, or the
+// tenant's queue is full (errShed). A nil return means the caller
+// holds a slot and must release() it.
+func (a *admission) acquire(ctx context.Context, tenant string) error {
 	a.mu.Lock()
 	if a.inflight < a.capacity {
 		a.inflight++
 		a.mu.Unlock()
 		return nil
 	}
-	if len(a.queue) >= a.maxQueue {
+	q := a.queues[tenant]
+	if q == nil {
+		q = &tenantQueue{name: tenant, weight: a.weightOf(tenant)}
+		a.queues[tenant] = q
+	}
+	if len(q.waiters) >= a.maxQueue {
 		a.mu.Unlock()
 		return errShed
 	}
+	if len(q.waiters) == 0 {
+		a.ring = append(a.ring, q)
+	}
 	w := &waiter{slot: make(chan struct{}, 1)}
-	a.queue = append(a.queue, w)
+	q.waiters = append(q.waiters, w)
 	a.mu.Unlock()
 
 	select {
@@ -65,9 +111,12 @@ func (a *admission) acquire(ctx context.Context) error {
 		return nil
 	case <-ctx.Done():
 		a.mu.Lock()
-		for i, q := range a.queue {
-			if q == w {
-				a.queue = append(a.queue[:i], a.queue[i+1:]...)
+		for i, queued := range q.waiters {
+			if queued == w {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				if len(q.waiters) == 0 {
+					a.dropFromRingLocked(q)
+				}
 				a.mu.Unlock()
 				return ctx.Err()
 			}
@@ -82,13 +131,12 @@ func (a *admission) acquire(ctx context.Context) error {
 	}
 }
 
-// release returns a slot: the oldest waiter (if any) inherits it,
-// otherwise the in-flight count drops.
+// release returns a slot: the deficit round-robin scheduler picks the
+// next waiter (if any) to inherit it, otherwise the in-flight count
+// drops.
 func (a *admission) release() {
 	a.mu.Lock()
-	if len(a.queue) > 0 {
-		w := a.queue[0]
-		a.queue = a.queue[1:]
+	if w := a.nextLocked(); w != nil {
 		a.mu.Unlock()
 		w.slot <- struct{}{}
 		return
@@ -97,9 +145,82 @@ func (a *admission) release() {
 	a.mu.Unlock()
 }
 
-// stats returns the current in-flight and queued counts.
+// nextLocked pops the next waiter by deficit round-robin with unit
+// cost per slot. The pointer stays on a tenant while it has both
+// deficit and waiters, then moves on; arriving at a tenant with an
+// exhausted deficit refills it from the tenant's weight. Over a full
+// rotation a backlogged tenant of weight w is therefore granted w
+// slots — weighted fair sharing at the admission gate. Called with
+// a.mu held.
+func (a *admission) nextLocked() *waiter {
+	if len(a.ring) == 0 {
+		return nil
+	}
+	if a.cur >= len(a.ring) {
+		a.cur = 0
+	}
+	q := a.ring[a.cur]
+	if q.deficit <= 0 {
+		q.deficit = q.weight
+	}
+	q.deficit--
+	w := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	if len(q.waiters) == 0 {
+		// Empty queues leave the ring so idle tenants cost nothing;
+		// the deficit resets, preventing a returning tenant from
+		// carrying over credit it never spent.
+		a.ring = append(a.ring[:a.cur], a.ring[a.cur+1:]...)
+		q.deficit = 0
+		if a.cur >= len(a.ring) {
+			a.cur = 0
+		}
+	} else if q.deficit <= 0 {
+		a.cur++
+		if a.cur >= len(a.ring) {
+			a.cur = 0
+		}
+	}
+	return w
+}
+
+// dropFromRingLocked removes a (now empty) tenant queue from the ring,
+// keeping the round-robin pointer on the same neighbour. Called with
+// a.mu held.
+func (a *admission) dropFromRingLocked(q *tenantQueue) {
+	for i, rq := range a.ring {
+		if rq == q {
+			a.ring = append(a.ring[:i], a.ring[i+1:]...)
+			q.deficit = 0
+			if i < a.cur {
+				a.cur--
+			}
+			if a.cur >= len(a.ring) {
+				a.cur = 0
+			}
+			return
+		}
+	}
+}
+
+// stats returns the current in-flight and total queued counts.
 func (a *admission) stats() (inflight, queued int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.inflight, len(a.queue)
+	for _, q := range a.ring {
+		queued += len(q.waiters)
+	}
+	return a.inflight, queued
+}
+
+// tenantQueued returns the per-tenant queue depths (backlogged tenants
+// only), for the metrics endpoint.
+func (a *admission) tenantQueued() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.ring))
+	for _, q := range a.ring {
+		out[q.name] = len(q.waiters)
+	}
+	return out
 }

@@ -9,12 +9,12 @@ import (
 )
 
 func TestAdmissionAdmitUpToCapacity(t *testing.T) {
-	a := newAdmission(2, 4)
+	a := newAdmission(2, 4, nil)
 	ctx := context.Background()
-	if err := a.acquire(ctx); err != nil {
+	if err := a.acquire(ctx, defaultTenant); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.acquire(ctx); err != nil {
+	if err := a.acquire(ctx, defaultTenant); err != nil {
 		t.Fatal(err)
 	}
 	if in, q := a.stats(); in != 2 || q != 0 {
@@ -28,11 +28,11 @@ func TestAdmissionAdmitUpToCapacity(t *testing.T) {
 }
 
 func TestAdmissionShedsWhenQueueFull(t *testing.T) {
-	a := newAdmission(1, 0)
-	if err := a.acquire(context.Background()); err != nil {
+	a := newAdmission(1, 0, nil)
+	if err := a.acquire(context.Background(), defaultTenant); err != nil {
 		t.Fatal(err)
 	}
-	err := a.acquire(context.Background())
+	err := a.acquire(context.Background(), defaultTenant)
 	if !errors.Is(err, errShed) {
 		t.Fatalf("err = %v, want errShed", err)
 	}
@@ -40,8 +40,8 @@ func TestAdmissionShedsWhenQueueFull(t *testing.T) {
 }
 
 func TestAdmissionFIFOHandoff(t *testing.T) {
-	a := newAdmission(1, 4)
-	if err := a.acquire(context.Background()); err != nil {
+	a := newAdmission(1, 4, nil)
+	if err := a.acquire(context.Background(), defaultTenant); err != nil {
 		t.Fatal(err)
 	}
 
@@ -65,7 +65,7 @@ func TestAdmissionFIFOHandoff(t *testing.T) {
 				time.Sleep(time.Millisecond)
 			}
 			started.Done()
-			if err := a.acquire(context.Background()); err != nil {
+			if err := a.acquire(context.Background(), defaultTenant); err != nil {
 				t.Error(err)
 				return
 			}
@@ -87,13 +87,13 @@ func TestAdmissionFIFOHandoff(t *testing.T) {
 }
 
 func TestAdmissionQueuedCancel(t *testing.T) {
-	a := newAdmission(1, 4)
-	if err := a.acquire(context.Background()); err != nil {
+	a := newAdmission(1, 4, nil)
+	if err := a.acquire(context.Background(), defaultTenant); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errCh := make(chan error, 1)
-	go func() { errCh <- a.acquire(ctx) }()
+	go func() { errCh <- a.acquire(ctx, defaultTenant) }()
 	for {
 		if _, q := a.stats(); q == 1 {
 			break
@@ -119,15 +119,15 @@ func TestAdmissionCancelReleaseRaceLosesNoSlot(t *testing.T) {
 	// Hammer the release-while-cancelling race: whichever side wins, the
 	// slot must never be lost. If a hand-off leaked, a later acquire on
 	// the drained semaphore would block forever.
-	a := newAdmission(1, 8)
+	a := newAdmission(1, 8, nil)
 	for i := 0; i < 200; i++ {
-		if err := a.acquire(context.Background()); err != nil {
+		if err := a.acquire(context.Background(), defaultTenant); err != nil {
 			t.Fatal(err)
 		}
 		ctx, cancel := context.WithCancel(context.Background())
 		errCh := make(chan error, 1)
 		go func() {
-			err := a.acquire(ctx)
+			err := a.acquire(ctx, defaultTenant)
 			if err == nil {
 				// Won the hand-off despite the cancel: give it back.
 				a.release()
@@ -145,7 +145,7 @@ func TestAdmissionCancelReleaseRaceLosesNoSlot(t *testing.T) {
 		cancel()
 		// Whatever happened, exactly the free slot must remain.
 		ctx2, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
-		if err := a.acquire(ctx2); err != nil {
+		if err := a.acquire(ctx2, defaultTenant); err != nil {
 			t.Fatalf("round %d: slot lost: %v", i, err)
 		}
 		cancel2()

@@ -3,6 +3,7 @@ package serve
 import (
 	"container/list"
 	"context"
+	"errors"
 	"sync"
 
 	"modelmed/internal/mediator"
@@ -10,19 +11,29 @@ import (
 
 // The answer cache. Keys are normalized query renderings (parsed body,
 // selected vars, planned flag), so textual variants of one query share
-// an entry. Each entry records which sources the answer was computed
-// from; the incremental bridge (/v1/delta, /v1/sync) invalidates
-// exactly the entries depending on the changed source — queries over
-// derived views or unconstrained source positions depend on everything
-// and are tracked as global.
+// an entry. Entries live in per-tenant partitions: a tenant can only
+// hit answers its own traffic computed, and one tenant's churn cannot
+// evict another's working set (tenant identity is operator-defined, so
+// the partition count is bounded — see defaultTenant). Each entry
+// records which sources the answer was computed from; the incremental
+// bridge (/v1/delta, /v1/sync) invalidates exactly the entries
+// depending on the changed source across every partition — queries
+// over derived views or unconstrained source positions depend on
+// everything and are tracked as global.
 //
 // Duplicate concurrent misses collapse into one computation
 // (single-flight): the first request becomes the leader and computes
 // under an admission slot; followers wait on the leader's result
-// without consuming slots. A generation counter guards the insert: a
-// flight that started before an invalidation must not publish its
-// (pre-delta) answer after it, so the leader snapshots the generation
-// at flight start and the insert is skipped if it moved.
+// without consuming slots. Flights are scoped per tenant, so
+// collapsing never leaks an answer (or a failure) across tenants. If
+// the leader dies of its *own* context — client gone, per-request
+// deadline — a follower whose context is still live does not inherit
+// that death: it retries, finding the published answer, joining a
+// newer flight, or becoming the new leader under its own context.
+// A generation counter guards the insert: a flight that started
+// before an invalidation must not publish its (pre-delta) answer
+// after it, so the leader snapshots the generation at flight start
+// and the insert is skipped if it moved.
 
 // cached is the value the cache stores and the flight produces.
 type cached struct {
@@ -44,13 +55,19 @@ type flight struct {
 	err  error
 }
 
+// cachePart is one tenant's entry map + LRU list. Every partition gets
+// the full configured capacity.
+type cachePart struct {
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recently used
+}
+
 type answerCache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[string]*cacheEntry
-	lru     *list.List // front = most recently used
-	flights map[string]*flight
-	gen     uint64 // bumped by every invalidation
+	parts   map[string]*cachePart
+	flights map[string]*flight // keyed tenant + "\x00" + query key
+	gen     uint64             // bumped by every invalidation
 }
 
 func newAnswerCache(capacity int) *answerCache {
@@ -59,21 +76,34 @@ func newAnswerCache(capacity int) *answerCache {
 	}
 	return &answerCache{
 		cap:     capacity,
-		entries: make(map[string]*cacheEntry),
-		lru:     list.New(),
+		parts:   make(map[string]*cachePart),
 		flights: make(map[string]*flight),
 	}
 }
 
-// get returns a cached answer and bumps its recency.
-func (c *answerCache) get(key string) (cached, bool) {
+func (c *answerCache) partLocked(tenant string) *cachePart {
+	p := c.parts[tenant]
+	if p == nil {
+		p = &cachePart{entries: make(map[string]*cacheEntry), lru: list.New()}
+		c.parts[tenant] = p
+	}
+	return p
+}
+
+// get returns a cached answer from the tenant's partition and bumps
+// its recency.
+func (c *answerCache) get(tenant, key string) (cached, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	p := c.parts[tenant]
+	if p == nil {
+		return cached{}, false
+	}
+	e, ok := p.entries[key]
 	if !ok {
 		return cached{}, false
 	}
-	c.lru.MoveToFront(e.elem)
+	p.lru.MoveToFront(e.elem)
 	return e.val, true
 }
 
@@ -86,103 +116,141 @@ const (
 	outcomeCollapsed
 )
 
-// do returns the answer for key: from the cache, from an in-flight
-// leader's result, or by computing it (becoming the leader). compute
-// runs without c.mu held; the caller does its own admission inside it.
-func (c *answerCache) do(ctx context.Context, key string, deps []string, global bool,
-	compute func() (cached, error)) (cached, outcome, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.lru.MoveToFront(e.elem)
-		val := e.val
-		c.mu.Unlock()
-		return val, outcomeHit, nil
-	}
-	if f, ok := c.flights[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-f.done:
-			return f.val, outcomeCollapsed, f.err
-		case <-ctx.Done():
-			return cached{}, outcomeCollapsed, ctx.Err()
-		}
-	}
-	f := &flight{done: make(chan struct{})}
-	c.flights[key] = f
-	snap := c.gen
-	c.mu.Unlock()
-
-	f.val, f.err = compute()
-	close(f.done)
-
-	c.mu.Lock()
-	delete(c.flights, key)
-	if f.err == nil && c.gen == snap {
-		c.insertLocked(key, f.val, deps, global)
-	}
-	c.mu.Unlock()
-	return f.val, outcomeComputed, f.err
+// isCtxError reports whether err is the death of some context — the
+// only errors a follower must not inherit from a cancelled leader,
+// since they describe the leader's request, not the query.
+func isCtxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-// insertLocked adds an entry and evicts past capacity. Called with
-// c.mu held.
-func (c *answerCache) insertLocked(key string, val cached, deps []string, global bool) {
-	if e, ok := c.entries[key]; ok {
+// do returns the answer for (tenant, key): from the tenant's cache
+// partition, from an in-flight leader's result, or by computing it
+// (becoming the leader). compute runs without c.mu held; the caller
+// does its own admission inside it.
+//
+// The loop is the leader-cancellation fix: a follower that watched the
+// leader fail with the leader's own context error retries while its
+// own context is live, instead of propagating a failure that says
+// nothing about the query. By the time the follower re-enters, the
+// dead flight is already unlinked (the leader closes done only after
+// removing itself), so the retry finds the cache, a newer flight, or
+// leadership — it cannot spin on the corpse.
+func (c *answerCache) do(ctx context.Context, tenant, key string, deps []string, global bool,
+	compute func() (cached, error)) (cached, outcome, error) {
+	fk := tenant + "\x00" + key
+	for {
+		c.mu.Lock()
+		if p := c.parts[tenant]; p != nil {
+			if e, ok := p.entries[key]; ok {
+				p.lru.MoveToFront(e.elem)
+				val := e.val
+				c.mu.Unlock()
+				return val, outcomeHit, nil
+			}
+		}
+		if f, ok := c.flights[fk]; ok {
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				if isCtxError(f.err) && ctx.Err() == nil {
+					continue
+				}
+				return f.val, outcomeCollapsed, f.err
+			case <-ctx.Done():
+				return cached{}, outcomeCollapsed, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[fk] = f
+		snap := c.gen
+		c.mu.Unlock()
+
+		f.val, f.err = compute()
+
+		// Unlink the flight and publish the answer before waking the
+		// followers: a follower that retries after done must observe
+		// the world post-flight, or it could rejoin this same corpse
+		// forever.
+		c.mu.Lock()
+		delete(c.flights, fk)
+		if f.err == nil && c.gen == snap {
+			c.insertLocked(tenant, key, f.val, deps, global)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		return f.val, outcomeComputed, f.err
+	}
+}
+
+// insertLocked adds an entry to the tenant's partition and evicts past
+// capacity. Called with c.mu held.
+func (c *answerCache) insertLocked(tenant, key string, val cached, deps []string, global bool) {
+	p := c.partLocked(tenant)
+	if e, ok := p.entries[key]; ok {
 		e.val = val
-		c.lru.MoveToFront(e.elem)
+		p.lru.MoveToFront(e.elem)
 		return
 	}
 	e := &cacheEntry{key: key, val: val, deps: deps, global: global}
-	e.elem = c.lru.PushFront(e)
-	c.entries[key] = e
-	for c.lru.Len() > c.cap {
-		back := c.lru.Back()
+	e.elem = p.lru.PushFront(e)
+	p.entries[key] = e
+	for p.lru.Len() > c.cap {
+		back := p.lru.Back()
 		old := back.Value.(*cacheEntry)
-		c.lru.Remove(back)
-		delete(c.entries, old.key)
+		p.lru.Remove(back)
+		delete(p.entries, old.key)
 	}
 }
 
 // invalidateSource drops every entry depending on the named source
-// (plus all global entries) and bumps the generation so racing flights
-// cannot re-publish pre-delta answers. Returns how many entries fell.
+// (plus all global entries) in every partition and bumps the
+// generation so racing flights cannot re-publish pre-delta answers.
+// Returns how many entries fell.
 func (c *answerCache) invalidateSource(source string) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
 	var dropped int
-	for key, e := range c.entries {
-		hit := e.global
-		for _, d := range e.deps {
-			if d == source {
-				hit = true
-				break
+	for _, p := range c.parts {
+		for key, e := range p.entries {
+			hit := e.global
+			for _, d := range e.deps {
+				if d == source {
+					hit = true
+					break
+				}
 			}
-		}
-		if hit {
-			c.lru.Remove(e.elem)
-			delete(c.entries, key)
-			dropped++
+			if hit {
+				p.lru.Remove(e.elem)
+				delete(p.entries, key)
+				dropped++
+			}
 		}
 	}
 	return dropped
 }
 
-// invalidateAll clears the cache (full rebuilds, view/knowledge
+// invalidateAll clears every partition (full rebuilds, view/knowledge
 // registration).
 func (c *answerCache) invalidateAll() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.gen++
-	dropped := len(c.entries)
-	c.entries = make(map[string]*cacheEntry)
-	c.lru.Init()
+	var dropped int
+	for _, p := range c.parts {
+		dropped += len(p.entries)
+	}
+	c.parts = make(map[string]*cachePart)
 	return dropped
 }
 
-// size returns the number of cached entries.
+// size returns the number of cached entries across all partitions.
 func (c *answerCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.entries)
+	var n int
+	for _, p := range c.parts {
+		n += len(p.entries)
+	}
+	return n
 }

@@ -24,7 +24,7 @@ func TestCacheHitAndLRUEviction(t *testing.T) {
 	ctx := context.Background()
 	mustDo := func(key string, n int) outcome {
 		t.Helper()
-		_, out, err := c.do(ctx, key, nil, false, computeOK(n))
+		_, out, err := c.do(ctx, defaultTenant, key, nil, false, computeOK(n))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -43,10 +43,10 @@ func TestCacheHitAndLRUEviction(t *testing.T) {
 	if c.size() != 2 {
 		t.Fatalf("size = %d, want 2", c.size())
 	}
-	if _, ok := c.get("b"); ok {
+	if _, ok := c.get(defaultTenant, "b"); ok {
 		t.Fatal("b survived eviction; LRU order not respected")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, ok := c.get(defaultTenant, "a"); !ok {
 		t.Fatal("a evicted despite being recently used")
 	}
 }
@@ -54,7 +54,7 @@ func TestCacheHitAndLRUEviction(t *testing.T) {
 func TestCacheErrorsAreNotCached(t *testing.T) {
 	c := newAnswerCache(4)
 	boom := errors.New("boom")
-	_, _, err := c.do(context.Background(), "k", nil, false, func() (cached, error) {
+	_, _, err := c.do(context.Background(), defaultTenant, "k", nil, false, func() (cached, error) {
 		return cached{}, boom
 	})
 	if !errors.Is(err, boom) {
@@ -82,7 +82,7 @@ func TestCacheSingleFlightCollapses(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, out, err := c.do(context.Background(), "k", nil, false, compute)
+			_, out, err := c.do(context.Background(), defaultTenant, "k", nil, false, compute)
 			if err != nil {
 				t.Error(err)
 				return
@@ -119,7 +119,7 @@ func TestCacheFollowerCancellation(t *testing.T) {
 	gate := make(chan struct{})
 	started := make(chan struct{})
 	go func() {
-		_, _, _ = c.do(context.Background(), "k", nil, false, func() (cached, error) {
+		_, _, _ = c.do(context.Background(), defaultTenant, "k", nil, false, func() (cached, error) {
 			close(started)
 			<-gate
 			return mkcached(1), nil
@@ -128,7 +128,7 @@ func TestCacheFollowerCancellation(t *testing.T) {
 	<-started
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, _, err := c.do(ctx, "k", nil, false, computeOK(2))
+	_, _, err := c.do(ctx, defaultTenant, "k", nil, false, computeOK(2))
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("follower err = %v, want context.Canceled", err)
 	}
@@ -138,22 +138,22 @@ func TestCacheFollowerCancellation(t *testing.T) {
 func TestCacheInvalidateSource(t *testing.T) {
 	c := newAnswerCache(8)
 	ctx := context.Background()
-	c.do(ctx, "alpha-only", []string{"alpha"}, false, computeOK(1))
-	c.do(ctx, "beta-only", []string{"beta"}, false, computeOK(2))
-	c.do(ctx, "both", []string{"alpha", "beta"}, false, computeOK(3))
-	c.do(ctx, "global", nil, true, computeOK(4))
+	c.do(ctx, defaultTenant, "alpha-only", []string{"alpha"}, false, computeOK(1))
+	c.do(ctx, defaultTenant, "beta-only", []string{"beta"}, false, computeOK(2))
+	c.do(ctx, defaultTenant, "both", []string{"alpha", "beta"}, false, computeOK(3))
+	c.do(ctx, defaultTenant, "global", nil, true, computeOK(4))
 
 	dropped := c.invalidateSource("alpha")
 	if dropped != 3 {
 		t.Fatalf("dropped = %d, want 3 (alpha-only, both, global)", dropped)
 	}
-	if _, ok := c.get("beta-only"); !ok {
+	if _, ok := c.get(defaultTenant, "beta-only"); !ok {
 		t.Fatal("beta-only was dropped by an alpha invalidation")
 	}
-	if _, ok := c.get("alpha-only"); ok {
+	if _, ok := c.get(defaultTenant, "alpha-only"); ok {
 		t.Fatal("alpha-only survived an alpha invalidation")
 	}
-	if _, ok := c.get("global"); ok {
+	if _, ok := c.get(defaultTenant, "global"); ok {
 		t.Fatal("global entry survived a source invalidation")
 	}
 }
@@ -161,8 +161,8 @@ func TestCacheInvalidateSource(t *testing.T) {
 func TestCacheInvalidateAll(t *testing.T) {
 	c := newAnswerCache(8)
 	ctx := context.Background()
-	c.do(ctx, "a", []string{"alpha"}, false, computeOK(1))
-	c.do(ctx, "b", nil, true, computeOK(2))
+	c.do(ctx, defaultTenant, "a", []string{"alpha"}, false, computeOK(1))
+	c.do(ctx, defaultTenant, "b", nil, true, computeOK(2))
 	if n := c.invalidateAll(); n != 2 {
 		t.Fatalf("invalidateAll = %d, want 2", n)
 	}
@@ -180,7 +180,7 @@ func TestCacheGenerationGuardsStaleInsert(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, _, _ = c.do(context.Background(), "k", []string{"alpha"}, false, func() (cached, error) {
+		_, _, _ = c.do(context.Background(), defaultTenant, "k", []string{"alpha"}, false, func() (cached, error) {
 			close(started)
 			<-gate
 			return mkcached(1), nil

@@ -1,10 +1,19 @@
 // Package serve is the mediator query service: an HTTP/JSON front door
 // over one shared Mediator, owning the production concerns the library
-// deliberately does not — admission control with FIFO queueing and
-// load-shedding, per-request deadlines propagated as contexts into the
-// source fan-out, a normalized-query answer cache invalidated precisely
-// by the incremental layer's delta reports, graceful drain, and
-// structured request logs with per-request trace attachment.
+// deliberately does not — admission control with per-tenant queues
+// drained by deficit round-robin and per-tenant load-shedding,
+// per-request deadlines propagated as contexts into the source fan-out
+// and enforced inside the datalog fixpoint by cooperative gas checks,
+// a normalized-query answer cache partitioned per tenant and
+// invalidated precisely by the incremental layer's delta reports,
+// graceful drain, and structured request logs with per-request trace
+// attachment.
+//
+// Tenancy: a request's tenant is its X-API-Key header when that key is
+// listed in Config.TenantWeights; requests with no key, or an unlisted
+// key, belong to the default tenant. Tenants get their own admission
+// queue (weighted fairly against the others), their own answer-cache
+// partition, and their own shed/timeout/budget counters on /metrics.
 //
 // Endpoints:
 //
@@ -40,10 +49,16 @@ import (
 type Config struct {
 	// MaxInFlight bounds concurrently evaluating queries (default 8).
 	MaxInFlight int
-	// MaxQueue bounds the FIFO wait queue behind the in-flight set
-	// (default 64, negative = no queue); beyond it requests are shed
-	// with 503 + Retry-After.
+	// MaxQueue bounds each tenant's wait queue behind the in-flight
+	// set (default 64, negative = no queue); beyond it that tenant's
+	// requests are shed with 503 + Retry-After.
 	MaxQueue int
+	// TenantWeights names the recognized tenants (API keys) and their
+	// deficit round-robin weights at the admission gate; a backlogged
+	// tenant of weight w is granted w slots per rotation. Unlisted
+	// keys and key-less requests share the built-in "default" tenant
+	// (weight 1 unless listed).
+	TenantWeights map[string]int
 	// RequestTimeout caps every request's context (default 30s). A
 	// request's timeout_ms may shorten it, never extend it.
 	RequestTimeout time.Duration
@@ -100,7 +115,7 @@ func New(med *mediator.Mediator, cfg Config) *Server {
 	s := &Server{
 		med:   med,
 		cfg:   cfg,
-		adm:   newAdmission(cfg.maxInFlight(), cfg.maxQueue()),
+		adm:   newAdmission(cfg.maxInFlight(), cfg.maxQueue(), cfg.TenantWeights),
 		cache: newAnswerCache(cfg.CacheEntries),
 		ctr:   obs.NewCounters(),
 		log:   cfg.Log,
@@ -215,19 +230,23 @@ type errorResponse struct {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
+	tenant := s.tenantOf(r)
 	if r.Method != http.MethodPost {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
+	s.ctr.Add("serve.tenant."+tenant+".requests", 1)
 	var req QueryRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
 		s.ctr.Add("serve.bad_requests", 1)
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		s.logRequest(r, tenant, http.StatusBadRequest, start, 0, outcomeComputed)
 		return
 	}
 	if strings.TrimSpace(req.Query) == "" {
 		s.ctr.Add("serve.bad_requests", 1)
 		s.writeError(w, http.StatusBadRequest, errors.New("empty query"))
+		s.logRequest(r, tenant, http.StatusBadRequest, start, 0, outcomeComputed)
 		return
 	}
 	// Everything before admission is pure (no mediator locks): parse,
@@ -239,6 +258,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.ctr.Add("serve.bad_requests", 1)
 		s.writeError(w, http.StatusBadRequest, err)
+		s.logRequest(r, tenant, http.StatusBadRequest, start, 0, outcomeComputed)
 		return
 	}
 
@@ -255,7 +275,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	key := cacheKey(body, aux, req.Vars, req.Planned)
 
 	compute := func() (cached, error) {
-		if err := s.adm.acquire(ctx); err != nil {
+		if err := s.adm.acquire(ctx, tenant); err != nil {
 			return cached{}, err
 		}
 		defer s.adm.release()
@@ -286,27 +306,38 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		val, err = compute()
 		out = outcomeComputed
 	} else {
-		val, out, err = s.cache.do(ctx, key, deps, global, compute)
+		val, out, err = s.cache.do(ctx, tenant, key, deps, global, compute)
 	}
 	if err != nil {
 		s.ctr.Add("serve.query_errors", 1)
 		status := http.StatusInternalServerError
+		var be *datalog.ErrBudgetExceeded
 		switch {
 		case errors.Is(err, errShed):
 			s.ctr.Add("serve.shed", 1)
+			s.ctr.Add("serve.tenant."+tenant+".shed", 1)
 			w.Header().Set("Retry-After", "1")
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, mediator.ErrUnknownPredicate):
 			s.ctr.Add("serve.bad_requests", 1)
 			status = http.StatusBadRequest
+		case errors.As(err, &be):
+			// The engine's gas meter stopped a runaway evaluation: the
+			// query is well-formed but too expensive under the server's
+			// limits, which no retry will change — a client error, not
+			// an outage.
+			s.ctr.Add("serve.budget_exceeded", 1)
+			s.ctr.Add("serve.tenant."+tenant+".budget_exceeded", 1)
+			status = http.StatusUnprocessableEntity
 		case errors.Is(err, context.DeadlineExceeded):
 			s.ctr.Add("serve.timeouts", 1)
+			s.ctr.Add("serve.tenant."+tenant+".timeouts", 1)
 			status = http.StatusGatewayTimeout
 		case errors.Is(err, context.Canceled):
 			status = 499 // client closed request
 		}
 		s.writeError(w, status, err)
-		s.logRequest(r, status, start, 0, out)
+		s.logRequest(r, tenant, status, start, 0, out)
 		return
 	}
 	switch out {
@@ -330,7 +361,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp.Trace = val.Ans.Span.Export()
 	}
 	s.writeJSON(w, http.StatusOK, resp)
-	s.logRequest(r, http.StatusOK, start, resp.Count, out)
+	s.logRequest(r, tenant, http.StatusOK, start, resp.Count, out)
 }
 
 func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
@@ -363,7 +394,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	s.ctr.Add("serve.deltas", 1)
 	dropped := s.invalidateFor(rep)
 	s.writeJSON(w, http.StatusOK, deltaResponse(rep, dropped))
-	s.logRequest(r, http.StatusOK, start, rep.FactsAdded+rep.FactsRemoved, outcomeComputed)
+	s.logRequest(r, defaultTenant, http.StatusOK, start, rep.FactsAdded+rep.FactsRemoved, outcomeComputed)
 }
 
 func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
@@ -384,7 +415,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 		out = append(out, deltaResponse(rep, s.invalidateFor(rep)))
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"refreshed": out})
-	s.logRequest(r, http.StatusOK, start, len(reps), outcomeComputed)
+	s.logRequest(r, defaultTenant, http.StatusOK, start, len(reps), outcomeComputed)
 }
 
 // invalidateFor applies one delta report's precise cache effect: a
@@ -473,6 +504,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	inflight, queued := s.adm.stats()
 	s.ctr.Set("serve.inflight", int64(inflight))
 	s.ctr.Set("serve.queued", int64(queued))
+	for t, n := range s.adm.tenantQueued() {
+		s.ctr.Set("serve.tenant."+t+".queued", int64(n))
+	}
 	s.ctr.Set("serve.cache_size", int64(s.cache.size()))
 	s.ctr.Set("serve.requests_started", s.started.Load())
 	s.ctr.Set("serve.requests_finished", s.finished.Load())
@@ -495,7 +529,7 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	s.writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-func (s *Server) logRequest(r *http.Request, status int, start time.Time, rows int, out outcome) {
+func (s *Server) logRequest(r *http.Request, tenant string, status int, start time.Time, rows int, out outcome) {
 	mode := "miss"
 	switch out {
 	case outcomeHit:
@@ -503,8 +537,23 @@ func (s *Server) logRequest(r *http.Request, status int, start time.Time, rows i
 	case outcomeCollapsed:
 		mode = "collapsed"
 	}
-	s.log.Printf("method=%s path=%s status=%d dur=%s rows=%d cache=%s",
-		r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), rows, mode)
+	s.log.Printf("method=%s path=%s tenant=%s status=%d dur=%s rows=%d cache=%s",
+		r.Method, r.URL.Path, tenant, status, time.Since(start).Round(time.Microsecond), rows, mode)
+}
+
+// tenantOf maps a request to its tenant: the X-API-Key header when
+// the operator listed that key in TenantWeights, the default tenant
+// otherwise. Collapsing unknown keys keeps tenant cardinality (queues,
+// cache partitions, metric series) operator-bounded.
+func (s *Server) tenantOf(r *http.Request) string {
+	k := r.Header.Get("X-API-Key")
+	if k == "" {
+		return defaultTenant
+	}
+	if _, ok := s.cfg.TenantWeights[k]; ok {
+		return k
+	}
+	return defaultTenant
 }
 
 // renderRows renders term tuples as strings for JSON transport.
