@@ -3,7 +3,7 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr|serve|tenant|persist]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr|serve|stream|tenant|persist]
 //
 //	[-workers N]       worker count for the obs experiment (0 = GOMAXPROCS)
 //	[-check-speedup]   after -exp parallel, exit nonzero if the 4-worker
@@ -29,7 +29,11 @@
 // writes BENCH_serve.json: the query service's answer-cache speedup,
 // a closed-loop concurrency sweep (throughput / p50 / p99 / shed
 // rate), and zero-drop graceful drain under SIGTERM while load is
-// running. The tenant experiment writes BENCH_tenant.json: the honest
+// running. The stream experiment writes BENCH_stream.json: the
+// live-federation push path's change-to-notification latency (source
+// wrapper mutation → streamed delta batch → incremental patch →
+// pushed SSE answer delta) at 1/16/64 concurrent subscribers. The
+// tenant experiment writes BENCH_tenant.json: the honest
 // tenant's p99 alone vs contended by an abusive tenant flooding
 // deadline-free runaway queries (contained by deficit round-robin
 // admission plus the engine's gas meter), and the gas-check overhead
@@ -115,6 +119,7 @@ func main() {
 		{"obs", obsExp, "Observability — stage-level latency breakdown of the Section 5 query"},
 		{"incr", incrExp, "Incremental maintenance — delta patch vs full re-materialization"},
 		{"serve", serveExp, "Query service — answer cache, admission sweep, graceful drain"},
+		{"stream", streamExp, "Live federation — change-to-notification latency of pushed answer deltas"},
 		{"tenant", tenantExp, "Multi-tenant fairness — DRR admission vs an abusive tenant, gas-check overhead"},
 		{"persist", persistExp, "Durability — cold materialization vs warm restart (snapshot + WAL replay)"},
 	}

@@ -7,8 +7,15 @@
 //
 //	loadgen [-addr URL] [-c N] [-duration D]
 //	        [-q QUERY] [-vars V1,V2] [-planned] [-no-cache]
-//	        [-timeout-ms N] [-api-key KEY]
+//	        [-timeout-ms N] [-api-key KEY] [-subscribe]
 //	        [-abuse-q QUERY] [-abuse-c N] [-abuse-key KEY]
+//
+// With -subscribe the run switches from closed-loop polling to the
+// push path: -c standing queries are registered over POST
+// /v1/subscribe and held open for -duration while another process (or
+// a concurrent loadgen) mutates the federation; the report counts the
+// snapshot/delta events each subscriber was pushed. Nothing polls —
+// every row movement arrives as an SSE event.
 //
 // With -abuse-q the run becomes a two-tenant fairness probe: the
 // honest tenant (-api-key) issues the main query while an abusive
@@ -27,9 +34,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -48,6 +57,7 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "bypass the answer cache")
 	timeoutMs := flag.Int("timeout-ms", 0, "per-request timeout override in milliseconds")
 	apiKey := flag.String("api-key", "", "X-API-Key identifying this run's tenant")
+	subscribe := flag.Bool("subscribe", false, "hold -c standing queries open over SSE for -duration instead of polling")
 	abuseQ := flag.String("abuse-q", "", "abusive tenant's query; enables the two-tenant fairness probe")
 	abuseC := flag.Int("abuse-c", 64, "abusive tenant's concurrency")
 	abuseKey := flag.String("abuse-key", "abuser", "abusive tenant's X-API-Key")
@@ -61,6 +71,10 @@ func main() {
 	}
 
 	base := strings.TrimRight(*addr, "/")
+	if *subscribe {
+		runSubscribe(base, *apiKey, req, *c, *dur)
+		return
+	}
 	honestCfg := load.Config{
 		BaseURL:     base,
 		Requests:    []load.Request{req},
@@ -106,6 +120,80 @@ func main() {
 	fmt.Fprintln(os.Stderr, "honest  "+honest.String())
 	fmt.Fprintln(os.Stderr, "abusive "+abusive.String())
 	emit(map[string]load.Stats{"honest": honest, "abusive": abusive})
+}
+
+// subStats is the -subscribe mode report: pushed events merged across
+// all subscribers.
+type subStats struct {
+	Subscribers int
+	DurationMs  int64
+	Snapshots   int64
+	Deltas      int64
+	RowsAdded   int64
+	RowsRemoved int64
+	Heartbeats  int64
+	Errors      int64
+}
+
+// runSubscribe holds n standing queries open for dur and reports what
+// the server pushed.
+func runSubscribe(base, apiKey string, req load.Request, n int, dur time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), dur)
+	defer cancel()
+	client := &http.Client{}
+	stats := subStats{Subscribers: n}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sub, err := load.Subscribe(ctx, client, base, apiKey, load.SubscribeRequest{
+				Query: req.Query, Vars: req.Vars,
+			})
+			if err != nil {
+				mu.Lock()
+				stats.Errors++
+				mu.Unlock()
+				fmt.Fprintln(os.Stderr, "loadgen:", err)
+				return
+			}
+			defer sub.Close()
+			var local subStats
+			for ev := range sub.Events {
+				switch ev.Type {
+				case "snapshot":
+					local.Snapshots++
+				case "delta":
+					var d load.AnswerDelta
+					if json.Unmarshal(ev.Data, &d) == nil {
+						local.RowsAdded += int64(len(d.Added))
+						local.RowsRemoved += int64(len(d.Removed))
+					}
+					local.Deltas++
+				case "comment":
+					local.Heartbeats++
+				}
+			}
+			mu.Lock()
+			stats.Snapshots += local.Snapshots
+			stats.Deltas += local.Deltas
+			stats.RowsAdded += local.RowsAdded
+			stats.RowsRemoved += local.RowsRemoved
+			stats.Heartbeats += local.Heartbeats
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	stats.DurationMs = time.Since(start).Milliseconds()
+	fmt.Fprintf(os.Stderr, "subscribe c=%d: %d snapshots, %d deltas (+%d/-%d rows), %d heartbeats, %d errors in %dms\n",
+		stats.Subscribers, stats.Snapshots, stats.Deltas, stats.RowsAdded,
+		stats.RowsRemoved, stats.Heartbeats, stats.Errors, stats.DurationMs)
+	emit(stats)
+	if stats.Errors > 0 {
+		os.Exit(1)
+	}
 }
 
 func emit(v any) {

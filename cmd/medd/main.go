@@ -12,16 +12,29 @@
 //	     [-synapse N -ncmir N -senselab N] [-seed S] [-workers W]
 //	     [-source-timeout D -retries N]
 //	     [-max-inflight N] [-max-queue N] [-request-timeout D]
-//	     [-fact-limit N] [-round-limit N] [-tenants KEY:W,KEY:W]
+//	     [-fact-limit N] [-round-limit N] [-wall-limit D]
+//	     [-tenants KEY:W,KEY:W]
 //	     [-cache-entries N] [-no-cache] [-trace] [-log]
+//	     [-stream] [-max-subs N]
 //	     [-drain-timeout D] [-pprof HOST:PORT] [-data-dir DIR]
 //
-// -fact-limit and -round-limit arm the engine's cooperative gas meter:
-// any single evaluation deriving more facts (or running more fixpoint
-// rounds) than the budget stops with a typed budget error, which the
-// service maps to HTTP 422. -tenants lists the recognized API keys
-// with their admission weights (e.g. "gold:3,free:1"); requests
-// carrying an unlisted or missing X-API-Key share the default tenant.
+// -fact-limit, -round-limit and -wall-limit arm the engine's
+// cooperative gas meter: any single evaluation deriving more facts,
+// running more fixpoint rounds, or burning more wall time than the
+// budget stops with a typed budget error, which the service maps to
+// HTTP 422. -tenants lists the recognized API keys with their
+// admission weights (e.g. "gold:3,free:1"); requests carrying an
+// unlisted or missing X-API-Key share the default tenant.
+//
+// -stream starts the live-federation feed loop: every source's
+// versioned delta stream is consumed continuously and applied through
+// the incremental maintenance machinery (with gap detection and
+// targeted resync), and each applied batch invalidates the answer
+// cache and wakes the standing queries registered over POST
+// /v1/subscribe. -max-subs caps open subscriptions per tenant.
+// Subscriptions work without -stream too — /v1/delta and /v1/sync
+// wake them — but only -stream pushes source-side mutations without
+// any client call.
 //
 // With -pprof the daemon additionally serves net/http/pprof on a
 // separate listener (off by default; the main API listener never
@@ -91,6 +104,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request deadline (0 = default 30s)")
 	factLimit := fs.Int("fact-limit", 0, "max derived facts per evaluation (0 = unlimited); exceeding returns HTTP 422")
 	roundLimit := fs.Int("round-limit", 0, "max fixpoint rounds per evaluation (0 = unlimited); exceeding returns HTTP 422")
+	wallLimit := fs.Duration("wall-limit", 0, "max wall-clock time per evaluation (0 = unlimited); exceeding returns HTTP 422")
+	stream := fs.Bool("stream", false, "consume every source's live delta feed (push-based incremental maintenance)")
+	maxSubs := fs.Int("max-subs", 0, "open /v1/subscribe streams per tenant (0 = default 64, negative = none)")
 	tenants := fs.String("tenants", "", "recognized tenants as KEY:WEIGHT pairs, comma-separated (e.g. gold:3,free:1)")
 	cacheEntries := fs.Int("cache-entries", 0, "answer cache capacity (0 = default 256)")
 	noCache := fs.Bool("no-cache", false, "disable the answer cache")
@@ -126,6 +142,7 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 			Limits: datalog.Limits{
 				MaxDerivedFacts: *factLimit,
 				MaxRounds:       *roundLimit,
+				MaxWallClock:    *wallLimit,
 			},
 		},
 		SourceTimeout: *srcTimeout,
@@ -188,17 +205,37 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	}
 
 	cfg := serve.Config{
-		MaxInFlight:    *maxInflight,
-		MaxQueue:       *maxQueue,
-		RequestTimeout: *reqTimeout,
-		CacheEntries:   *cacheEntries,
-		DisableCache:   *noCache,
-		TenantWeights:  weights,
+		MaxInFlight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		RequestTimeout:   *reqTimeout,
+		CacheEntries:     *cacheEntries,
+		DisableCache:     *noCache,
+		TenantWeights:    weights,
+		MaxSubsPerTenant: *maxSubs,
 	}
 	if *reqLog {
 		cfg.Log = log.New(stderr, "medd: ", log.LstdFlags|log.Lmicroseconds)
 	}
 	srv := serve.New(med, cfg)
+
+	// The feed loop turns source-side mutations into maintenance
+	// reports; ApplyReport invalidates the answer cache and wakes the
+	// standing queries, so a subscriber hears about a wrapper Mutate
+	// without anyone calling /v1/delta or /v1/sync.
+	var feeds *mediator.Feeds
+	if *stream {
+		if _, err := med.Materialize(); err != nil {
+			return err
+		}
+		feeds = med.StartFeeds(context.Background(), mediator.FeedOptions{
+			OnReport: func(rep *mediator.DeltaReport) { srv.ApplyReport(rep) },
+			OnError: func(source string, err error) {
+				fmt.Fprintf(stderr, "medd: feed %s: %v\n", source, err)
+			},
+		})
+		defer feeds.Stop()
+		fmt.Fprintf(stdout, "medd: streaming feeds on %d sources\n", len(feeds.Sources))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -218,6 +255,13 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	case s := <-sig:
 		fmt.Fprintf(stdout, "medd: %v: draining (%d in flight)\n",
 			s, srv.Started()-srv.Finished())
+		// Feeds stop before the HTTP drain so no new reports race the
+		// snapshot; subscriptions close next or Shutdown would wait on
+		// their open SSE connections forever.
+		if feeds != nil {
+			feeds.Stop()
+		}
+		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {

@@ -2,15 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
 	"syscall"
 	"testing"
 	"time"
+
+	"modelmed/internal/load"
 )
 
 // syncBuffer is a goroutine-safe stdout sink for the daemon under test.
@@ -180,4 +185,160 @@ func TestDaemonWarmRestart(t *testing.T) {
 	case <-time.After(15 * time.Second):
 		t.Fatal("second daemon did not drain within 15s")
 	}
+}
+
+// copyDataDir duplicates a persist data directory's regular files —
+// the crash image of a running daemon, taken without stopping it.
+func copyDataDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// stopDaemon drains a running daemon and fails the test if it won't.
+func stopDaemon(t *testing.T, sig chan os.Signal, done chan error, out *syncBuffer) {
+	t.Helper()
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain failed: %v\noutput: %s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not drain within 15s")
+	}
+}
+
+// awaitEvent reads the subscription until an event of the wanted type
+// arrives, skipping heartbeat comments.
+func awaitEvent(t *testing.T, sub *load.Subscription, want string, timeout time.Duration) load.Event {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-sub.Events:
+			if !ok {
+				t.Fatalf("stream closed waiting for %s (%v)", want, sub.Err())
+			}
+			if ev.Type == "comment" {
+				continue
+			}
+			if ev.Type != want {
+				t.Fatalf("got %s event waiting for %s", ev.Type, want)
+			}
+			return ev
+		case <-deadline:
+			t.Fatalf("no %s event within %v", want, timeout)
+		}
+	}
+}
+
+// TestDaemonCrashMidStreamWarmRestart is the crash-interplay
+// regression: a pushed delta becomes durable at the WAL append —
+// before the standing query's subscriber is notified — so a daemon
+// that dies in that window must come back serving the post-delta
+// answer, exactly once. The crash is simulated by imaging the data
+// directory immediately after /v1/delta returns (delta applied and
+// logged) and before the subscriber's event is read.
+func TestDaemonCrashMidStreamWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	crash := t.TempDir()
+
+	base, sig, done, out := startDaemon(t, "-data-dir", dir, "-stream")
+	if !strings.Contains(out.String(), "streaming feeds on 3 sources") {
+		t.Fatalf("feeds did not start: %s", out.String())
+	}
+
+	// A standing query watches SYNAPSE objects over SSE.
+	sub, err := load.Subscribe(context.Background(), nil, base, "", load.SubscribeRequest{
+		Query: "src_obj('SYNAPSE', O, C)", Vars: []string{"O", "C"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	awaitEvent(t, sub, "snapshot", 10*time.Second)
+
+	body := strings.NewReader(`{"source": "SYNAPSE", "adds": ["src_obj('SYNAPSE', crash_obj_1, record)"]}`)
+	resp, err := http.Post(base+"/v1/delta", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta status %d", resp.StatusCode)
+	}
+	// The delta is applied and WAL-logged, but the subscriber's event
+	// has not been read: this copy is the mid-stream crash image.
+	copyDataDir(t, dir, crash)
+	// Sanity on the live path — the push does reach the subscriber.
+	awaitEvent(t, sub, "delta", 10*time.Second)
+	sub.Close()
+	stopDaemon(t, sig, done, out)
+
+	// Reboot over the crash image. No -stream here: the feed loop's
+	// catch-up refresh would re-pull the synthetic wrappers, which (being
+	// rebuilt from the seed) never held the pushed fact; a real external
+	// source would still hold it. The restore path is what's under test.
+	base2, sig2, done2, out2 := startDaemon(t, "-data-dir", crash)
+	if !strings.Contains(out2.String(), "warm start") {
+		t.Fatalf("crash image should warm start: %s", out2.String())
+	}
+	m := regexp.MustCompile(`(\d+) wal records replayed`).FindStringSubmatch(out2.String())
+	if m == nil || m[1] == "0" {
+		t.Fatalf("no wal replay on warm start: %s", out2.String())
+	}
+
+	// The replayed delta is served — and served exactly once.
+	qbody := strings.NewReader(`{"query": "src_obj('SYNAPSE', crash_obj_1, C)", "vars": ["C"]}`)
+	resp, err = http.Post(base2+"/v1/query", "application/json", qbody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Count int        `json:"count"`
+		Rows  [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || qr.Count != 1 {
+		t.Fatalf("post-crash query: status %d, count %d (want exactly 1)", resp.StatusCode, qr.Count)
+	}
+
+	// A fresh subscriber's very first snapshot already carries the row —
+	// the notification lost in the crash is not lost state.
+	sub2, err := load.Subscribe(context.Background(), nil, base2, "", load.SubscribeRequest{
+		Query: "src_obj('SYNAPSE', crash_obj_1, C)", Vars: []string{"C"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	ev := awaitEvent(t, sub2, "snapshot", 10*time.Second)
+	var snap load.Snapshot
+	if err := json.Unmarshal(ev.Data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Count != 1 {
+		t.Fatalf("post-crash subscription snapshot has %d rows, want 1", snap.Count)
+	}
+	sub2.Close()
+	stopDaemon(t, sig2, done2, out2)
 }

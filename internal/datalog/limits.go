@@ -19,6 +19,7 @@ import (
 	"context"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Limits bounds the resource spend of one evaluation (a full Run, an
@@ -36,14 +37,24 @@ type Limits struct {
 	// DRed phases. 0 = unlimited (MaxIterations still bounds each
 	// individual fixpoint).
 	MaxRounds int
+	// MaxWallClock caps one evaluation's elapsed wall time, checked on
+	// the same cooperative cadence as the gas meter (per round and per
+	// gasStride derivations). Unlike a context deadline it needs no
+	// caller plumbing and surfaces as *ErrBudgetExceeded (a client
+	// error), not context.DeadlineExceeded (an outage); a context
+	// passed alongside still wins with its own error. 0 = unlimited.
+	MaxWallClock time.Duration
 }
 
-func (l Limits) enabled() bool { return l.MaxDerivedFacts > 0 || l.MaxRounds > 0 }
+func (l Limits) enabled() bool {
+	return l.MaxDerivedFacts > 0 || l.MaxRounds > 0 || l.MaxWallClock > 0
+}
 
 // Budget kinds reported by ErrBudgetExceeded.
 const (
 	BudgetFacts  = "derived-facts"
 	BudgetRounds = "rounds"
+	BudgetWall   = "wall-clock"
 )
 
 // ErrBudgetExceeded reports that an evaluation ran out of gas. Spent is
@@ -51,9 +62,9 @@ const (
 // to one gasStride per concurrent worker, since workers reserve gas in
 // strides).
 type ErrBudgetExceeded struct {
-	Kind  string // BudgetFacts or BudgetRounds
-	Spent int
-	Limit int
+	Kind  string // BudgetFacts, BudgetRounds or BudgetWall
+	Spent int    // for BudgetWall: elapsed milliseconds
+	Limit int    // for BudgetWall: the cap in milliseconds
 }
 
 func (e *ErrBudgetExceeded) Error() string {
@@ -76,6 +87,8 @@ type limiter struct {
 	done      <-chan struct{} // ctx.Done(), cached; nil when never cancellable
 	maxFacts  int64
 	maxRounds int64
+	maxWall   time.Duration
+	start     time.Time    // evaluation start; zero when maxWall is unset
 	facts     atomic.Int64 // gas reserved so far (includes unspent stride tails)
 	rounds    atomic.Int64
 }
@@ -91,12 +104,17 @@ func newLimiter(ctx context.Context, l Limits) *limiter {
 	if done == nil && !l.enabled() {
 		return nil
 	}
-	return &limiter{
+	lim := &limiter{
 		ctx:       ctx,
 		done:      done,
 		maxFacts:  int64(l.MaxDerivedFacts),
 		maxRounds: int64(l.MaxRounds),
+		maxWall:   l.MaxWallClock,
 	}
+	if l.MaxWallClock > 0 {
+		lim.start = time.Now()
+	}
+	return lim
 }
 
 // ctxErr returns the context's error once it has fired. Nil-receiver
@@ -113,6 +131,23 @@ func (l *limiter) ctxErr() error {
 	}
 }
 
+// wallErr checks the wall-clock budget. It shares the gas cadence
+// (per round plus per stride), so one time.Now() call amortizes over
+// gasStride derivations. Nil-receiver safe.
+func (l *limiter) wallErr() error {
+	if l == nil || l.maxWall <= 0 {
+		return nil
+	}
+	if elapsed := time.Since(l.start); elapsed > l.maxWall {
+		return &ErrBudgetExceeded{
+			Kind:  BudgetWall,
+			Spent: int(elapsed / time.Millisecond),
+			Limit: int(l.maxWall / time.Millisecond),
+		}
+	}
+	return nil
+}
+
 // grant reserves up to gasStride head instantiations from the shared
 // fact budget and returns how many the caller may spend before asking
 // again. Near the cap the grant shrinks to the exact remainder, so a
@@ -120,6 +155,9 @@ func (l *limiter) ctxErr() error {
 // counted, an overestimate bounded by one stride per worker.
 func (l *limiter) grant() (int, error) {
 	if err := l.ctxErr(); err != nil {
+		return 0, err
+	}
+	if err := l.wallErr(); err != nil {
 		return 0, err
 	}
 	if l.maxFacts <= 0 {
@@ -149,6 +187,9 @@ func (l *limiter) round() error {
 		return nil
 	}
 	if err := l.ctxErr(); err != nil {
+		return err
+	}
+	if err := l.wallErr(); err != nil {
 		return err
 	}
 	n := l.rounds.Add(1)

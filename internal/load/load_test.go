@@ -1,0 +1,183 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// queryStub answers /v1/query with a scripted rotation of outcomes so
+// every Stats bucket fills: ok, cached ok, shed, timeout, budget, and
+// an unclassified status.
+func queryStub(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/query" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		var req Request
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Query == "" {
+			t.Errorf("bad request body: %v", err)
+		}
+		switch n.Add(1) % 6 {
+		case 0:
+			w.WriteHeader(http.StatusServiceUnavailable)
+		case 1:
+			w.WriteHeader(http.StatusGatewayTimeout)
+		case 2:
+			w.WriteHeader(http.StatusUnprocessableEntity)
+		case 3:
+			w.WriteHeader(http.StatusTeapot)
+		case 4:
+			fmt.Fprint(w, `{"count": 1, "cached": true}`)
+		default:
+			fmt.Fprint(w, `{"count": 1}`)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &n
+}
+
+func TestRunFillsEveryBucket(t *testing.T) {
+	ts, _ := queryStub(t)
+	stats, err := Run(Config{
+		BaseURL:     ts.URL,
+		Requests:    []Request{{Query: "src_obj('SYNAPSE', O, C)", Vars: []string{"O", "C"}}},
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		APIKey:      "acme",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Concurrency != 4 || stats.Requests == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	for name, v := range map[string]int64{
+		"ok": stats.OK, "hits": stats.CacheHits, "shed": stats.Shed,
+		"timeouts": stats.Timeouts, "budget": stats.Budget, "other": stats.OtherHTTP,
+	} {
+		if v == 0 {
+			t.Errorf("%s bucket stayed empty: %+v", name, stats)
+		}
+	}
+	if stats.Throughput <= 0 || stats.ShedRate <= 0 || stats.P99Ms < stats.P50Ms {
+		t.Errorf("derived stats are off: %+v", stats)
+	}
+	if line := stats.String(); !strings.Contains(line, "c=4") {
+		t.Errorf("String() = %q", line)
+	}
+}
+
+func TestRunNoRequests(t *testing.T) {
+	if _, err := Run(Config{BaseURL: "http://127.0.0.1:0"}); err == nil {
+		t.Fatal("a run with no requests should fail")
+	}
+}
+
+func TestRunCountsClientErrors(t *testing.T) {
+	// A closed server: every dial fails at the transport level. The
+	// zero Concurrency also exercises the 1-worker default.
+	ts, _ := queryStub(t)
+	ts.Close()
+	stats, err := Run(Config{
+		BaseURL:  ts.URL,
+		Requests: []Request{{Query: "q(X)"}},
+		Duration: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Concurrency != 1 || stats.ClientErrs == 0 || stats.OK != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// sseStub answers /v1/subscribe with a fixed event script and then
+// holds the stream open until the client disconnects.
+func sseStub(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/subscribe" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		var req SubscribeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Query == "" {
+			t.Errorf("bad subscribe body: %v", err)
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		fmt.Fprint(w, "event: snapshot\ndata: {\"vars\": [\"O\"], \"rows\": [[\"a\"]], \"count\": 1, \"seq\": 1}\n\n")
+		fl.Flush()
+		fmt.Fprint(w, ": hb\n")
+		fl.Flush()
+		fmt.Fprint(w, "event: delta\ndata: {\"added\": [[\"b\"]], \"count\": 2, \"seq\": 2}\n\n")
+		fl.Flush()
+		<-r.Context().Done()
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSubscribeParsesEventStream(t *testing.T) {
+	ts := sseStub(t)
+	sub, err := Subscribe(nil, nil, ts.URL, "acme", SubscribeRequest{Query: "q(O)", Vars: []string{"O"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"snapshot", "comment", "delta"}
+	for i, typ := range want {
+		select {
+		case ev := <-sub.Events:
+			if ev.Type != typ {
+				t.Fatalf("event %d: type %q, want %q", i, ev.Type, typ)
+			}
+			if ev.At.IsZero() {
+				t.Errorf("event %d has no arrival time", i)
+			}
+			switch typ {
+			case "snapshot":
+				var s Snapshot
+				if err := json.Unmarshal(ev.Data, &s); err != nil || s.Count != 1 || s.Seq != 1 {
+					t.Errorf("snapshot payload %s: %+v err=%v", ev.Data, s, err)
+				}
+			case "comment":
+				if string(ev.Data) != "hb" {
+					t.Errorf("comment payload %q", ev.Data)
+				}
+			case "delta":
+				var d AnswerDelta
+				if err := json.Unmarshal(ev.Data, &d); err != nil || len(d.Added) != 1 || d.Seq != 2 {
+					t.Errorf("delta payload %s: %+v err=%v", ev.Data, d, err)
+				}
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no %s event", typ)
+		}
+	}
+	// A deliberate close is not a stream failure.
+	sub.Close()
+	if err := sub.Err(); err != nil {
+		t.Fatalf("Err after deliberate close = %v", err)
+	}
+	if _, ok := <-sub.Events; ok {
+		t.Fatal("Events should be closed after Close")
+	}
+}
+
+func TestSubscribeNon200IsAnError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "subscription cap reached", http.StatusTooManyRequests)
+	}))
+	t.Cleanup(ts.Close)
+	_, err := Subscribe(nil, nil, ts.URL, "", SubscribeRequest{Query: "q(O)"})
+	if err == nil || !strings.Contains(err.Error(), "429") || !strings.Contains(err.Error(), "cap reached") {
+		t.Fatalf("err = %v, want status and body", err)
+	}
+}

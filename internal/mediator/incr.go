@@ -196,32 +196,9 @@ func (m *Mediator) ApplySourceDelta(source string, adds, dels []datalog.Rule) (*
 	}
 	snap := m.snaps[source]
 	d := datalog.NewDelta()
-	var effAdds, effDels []datalog.Rule
-	for _, r := range dels {
-		key := datalog.PredKey(r.Head.Pred, len(r.Head.Args))
-		if !snap.facts.DeleteKey(key, r.Head.Args) {
-			continue // the source never contributed it
-		}
-		rep.FactsRemoved++
-		effDels = append(effDels, r)
-		if m.sharedElsewhere(source, key, r.Head.Args) {
-			continue // another source still asserts it
-		}
-		if err := d.Del(r.Head.Pred, r.Head.Args...); err != nil {
-			m.dirty = true
-			return nil, err
-		}
-	}
-	for _, r := range adds {
-		if !snap.facts.Insert(r.Head.Pred, r.Head.Args) {
-			continue // already contributed
-		}
-		rep.FactsAdded++
-		effAdds = append(effAdds, r)
-		if err := d.Add(r.Head.Pred, r.Head.Args...); err != nil {
-			m.dirty = true
-			return nil, err
-		}
+	effAdds, effDels, err := m.applyFactDeltaLocked(source, snap, rep, d, adds, dels)
+	if err != nil {
+		return nil, err
 	}
 	stats, err := m.patchCacheLocked(d, sp)
 	if err != nil {
@@ -236,6 +213,44 @@ func (m *Mediator) ApplySourceDelta(source string, adds, dels []datalog.Rule) (*
 		Dels:    effDels,
 	})
 	return rep, nil
+}
+
+// applyFactDeltaLocked folds stated fact changes into the source
+// snapshot and the engine delta: deletions the source never
+// contributed and additions it already holds are skipped, and a
+// deletion another source still asserts updates the snapshot but not
+// the engine (shared-fact refcounting). Returns the effective
+// (snapshot-changing) adds/dels for the WAL. Shared by the push path
+// (ApplySourceDelta) and the streaming path (ApplyStreamBatch); called
+// with m.mu held.
+func (m *Mediator) applyFactDeltaLocked(source string, snap *srcSnapshot, rep *DeltaReport, d *datalog.Delta, adds, dels []datalog.Rule) (effAdds, effDels []datalog.Rule, err error) {
+	for _, r := range dels {
+		key := datalog.PredKey(r.Head.Pred, len(r.Head.Args))
+		if !snap.facts.DeleteKey(key, r.Head.Args) {
+			continue // the source never contributed it
+		}
+		rep.FactsRemoved++
+		effDels = append(effDels, r)
+		if m.sharedElsewhere(source, key, r.Head.Args) {
+			continue // another source still asserts it
+		}
+		if err := d.Del(r.Head.Pred, r.Head.Args...); err != nil {
+			m.dirty = true
+			return nil, nil, err
+		}
+	}
+	for _, r := range adds {
+		if !snap.facts.Insert(r.Head.Pred, r.Head.Args) {
+			continue // already contributed
+		}
+		rep.FactsAdded++
+		effAdds = append(effAdds, r)
+		if err := d.Add(r.Head.Pred, r.Head.Args...); err != nil {
+			m.dirty = true
+			return nil, nil, err
+		}
+	}
+	return effAdds, effDels, nil
 }
 
 // RefreshSource re-pulls one source and patches the difference into

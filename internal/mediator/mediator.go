@@ -32,13 +32,16 @@ import (
 
 // Fact vocabulary of the materialized mediator object base. Source data
 // is namespaced by source name, so views can address a specific source
-// the way the paper writes 'NCMIR'.protein.name.
+// the way the paper writes 'NCMIR'.protein.name. The canonical
+// definitions live in the wrapper package (streaming wrappers render
+// their own deltas in this vocabulary); these aliases keep the
+// mediator-side names working.
 const (
-	PredSrcObj   = "src_obj"   // src_obj(Source, Obj, Class)
-	PredSrcVal   = "src_val"   // src_val(Source, Obj, Method, Value)
-	PredSrcSub   = "src_sub"   // src_sub(Source, Sub, Super)
-	PredSrcTuple = "src_tuple" // src_tuple(Source, Rel, Args...)
-	PredAnchor   = "anchor"    // anchor(Source, Obj, Concept)
+	PredSrcObj   = wrapper.PredSrcObj   // src_obj(Source, Obj, Class)
+	PredSrcVal   = wrapper.PredSrcVal   // src_val(Source, Obj, Method, Value)
+	PredSrcSub   = wrapper.PredSrcSub   // src_sub(Source, Sub, Super)
+	PredSrcTuple = wrapper.PredSrcTuple // src_tuple(Source, Rel, Args...)
+	PredAnchor   = wrapper.PredAnchor   // anchor(Source, Obj, Concept)
 )
 
 // Options configure a mediator.
@@ -782,48 +785,13 @@ func sourceFacts(s *Source) ([]datalog.Rule, error) {
 	sn := term.Atom(s.Name)
 	var out []datalog.Rule
 	if s.Model != nil {
-		model := s.Model
-		// Schema facts (method signatures, scalar/anchor declarations,
-		// relation schemas, constraint declarations) are global: the
-		// constraint library and schema-level reasoning need them.
-		out = append(out, model.SchemaFacts()...)
-		names := make([]string, 0, len(model.Classes))
-		for n := range model.Classes {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, cn := range names {
-			for _, sup := range model.Classes[cn].Super {
-				out = append(out, datalog.Fact(PredSrcSub, sn, term.Atom(cn), term.Atom(sup)))
-			}
-		}
-		for _, o := range model.Objects {
-			out = append(out, datalog.Fact(PredSrcObj, sn, o.ID, term.Atom(o.Class)))
-			methods := make([]string, 0, len(o.Values))
-			for mn := range o.Values {
-				methods = append(methods, mn)
-			}
-			sort.Strings(methods)
-			for _, mn := range methods {
-				for _, v := range o.Values[mn] {
-					out = append(out, datalog.Fact(PredSrcVal, sn, o.ID, term.Atom(mn), v))
-				}
-			}
-		}
-		rels := make([]string, 0, len(model.Tuples))
-		for rn := range model.Tuples {
-			rels = append(rels, rn)
-		}
-		sort.Strings(rels)
-		for _, rn := range rels {
-			for _, tp := range model.Tuples[rn] {
-				args := append([]term.Term{sn, term.Atom(rn)}, tp...)
-				out = append(out, datalog.Fact(PredSrcTuple, args...))
-			}
-		}
+		// Schema facts, subclass links, instances, and tuples come from
+		// the shared renderer — the same one streaming wrappers diff
+		// against, so the pull and push paths cannot disagree.
+		out = append(out, wrapper.ModelFacts(s.Name, s.Model)...)
 		// Source semantic rules run as-is at the mediator ("semantic
 		// rules that are evaluable at the mediator").
-		out = append(out, model.Rules...)
+		out = append(out, s.Model.Rules...)
 		return out, nil
 	}
 	// Fact-level source: namespace the plug-in output.

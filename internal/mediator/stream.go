@@ -1,0 +1,339 @@
+package mediator
+
+// Live federation: the mediator side of streaming source deltas. A
+// feed loop (StartFeeds) subscribes to every registered source that
+// implements wrapper.Streaming and applies each versioned DeltaBatch
+// through the incremental-maintenance machinery (ApplyStreamBatch).
+// Sequencing is strict: a batch applies only when its FromVersion
+// extends the source snapshot exactly. Duplicates and late reordered
+// batches (ToVersion already reached) are dropped; gaps (a skipped
+// version) and inexpressible changes (rule/context moves, anchors at
+// unknown concepts) trigger a targeted RefreshSource — the mediator
+// never diverges silently, it resynchronizes observably
+// (mediator.stream_resync).
+//
+// Backpressure is disconnection: wrappers drop subscribers that fall
+// behind their bounded buffer, the feed loop sees the closed channel,
+// resubscribes, and resynchronizes with one targeted refresh.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/persist"
+	"modelmed/internal/term"
+	"modelmed/internal/wrapper"
+)
+
+// StreamOutcome says what ApplyStreamBatch did with a batch.
+type StreamOutcome int
+
+const (
+	// StreamApplied: the batch extended the snapshot version exactly
+	// and was patched into the cache.
+	StreamApplied StreamOutcome = iota
+	// StreamStale: the batch's ToVersion was already reached
+	// (duplicate or late reordered delivery); dropped.
+	StreamStale
+	// StreamResynced: the batch could not be applied (version gap,
+	// Resync marker, unknown anchor concept, or no patchable cache)
+	// and the source was re-pulled instead.
+	StreamResynced
+)
+
+func (o StreamOutcome) String() string {
+	switch o {
+	case StreamApplied:
+		return "applied"
+	case StreamStale:
+		return "stale"
+	case StreamResynced:
+		return "resynced"
+	}
+	return "invalid"
+}
+
+// ApplyStreamBatch applies one versioned delta batch from a streaming
+// source. Exact version continuation patches incrementally; a stale
+// batch is dropped; anything else falls back to a targeted refresh of
+// that source (never a silent drop). The returned report is the
+// refresh's report on the resync path.
+func (m *Mediator) ApplyStreamBatch(b wrapper.DeltaBatch) (*DeltaReport, StreamOutcome, error) {
+	sp := m.startSpan("mediator.apply_stream_batch")
+	defer m.endTrace(sp)
+	sp.SetStr("source", b.Source)
+	sp.SetInt("to_version", int64(b.ToVersion))
+	for _, rs := range [][]datalog.Rule{b.Adds, b.Dels, b.AnchorAdds, b.AnchorDels} {
+		for _, r := range rs {
+			if !isGroundFact(r) {
+				return nil, StreamResynced, fmt.Errorf("mediator: stream batch for %s: %s is not a ground fact", b.Source, r)
+			}
+		}
+	}
+	m.evalMu.Lock()
+	defer m.evalMu.Unlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.srcs[b.Source]
+	if !ok {
+		return nil, StreamResynced, fmt.Errorf("mediator: source %s not registered", b.Source)
+	}
+	m.counters().Add("mediator.stream_batches", 1)
+	resync := func(why string) (*DeltaReport, StreamOutcome, error) {
+		sp.SetStr("resync", why)
+		m.counters().Add("mediator.stream_resync", 1)
+		rep, err := m.refreshSourceLocked(b.Source, sp.Child("resync "+b.Source))
+		return rep, StreamResynced, err
+	}
+	if b.Resync {
+		return resync("source-marked")
+	}
+	if !m.canPatchLocked(b.Source) {
+		return resync("no-patchable-cache")
+	}
+	snap := m.snaps[b.Source]
+	if b.ToVersion <= snap.version {
+		sp.SetStr("outcome", "stale")
+		m.counters().Add("mediator.stream_stale", 1)
+		return &DeltaReport{Source: b.Source}, StreamStale, nil
+	}
+	if b.FromVersion != snap.version {
+		return resync("version-gap")
+	}
+	for _, r := range b.AnchorAdds {
+		// anchor(Source, Obj, Concept): a concept the domain map does
+		// not know grows the map, which a delta cannot express.
+		if len(r.Head.Args) == 3 && !m.dm.HasConcept(r.Head.Args[2].Name()) {
+			return resync("unknown-concept")
+		}
+	}
+	rep := &DeltaReport{Source: b.Source}
+	d := datalog.NewDelta()
+	effAdds, effDels, err := m.applyFactDeltaLocked(b.Source, snap, rep, d, b.Adds, b.Dels)
+	if err != nil {
+		return nil, StreamResynced, err
+	}
+	var effAnchorAdds, effAnchorDels []datalog.Rule
+	for _, r := range b.AnchorDels {
+		if !snap.anchors.Delete(r.Head.Pred, r.Head.Args) {
+			continue
+		}
+		rep.AnchorsRemoved++
+		effAnchorDels = append(effAnchorDels, r)
+		// Anchor facts carry the source atom in position 0, so they are
+		// unique per source: no refcounting needed.
+		if err := d.DelFact(r); err != nil {
+			m.dirty = true
+			return nil, StreamResynced, err
+		}
+	}
+	for _, r := range b.AnchorAdds {
+		if !snap.anchors.Insert(r.Head.Pred, r.Head.Args) {
+			continue
+		}
+		rep.AnchorsAdded++
+		effAnchorAdds = append(effAnchorAdds, r)
+		if err := d.AddFact(r); err != nil {
+			m.dirty = true
+			return nil, StreamResynced, err
+		}
+	}
+	if rep.AnchorsAdded+rep.AnchorsRemoved > 0 {
+		if err := m.reindexAnchorsLocked(s, snap); err != nil {
+			return resync("reindex: " + err.Error())
+		}
+	}
+	stats, err := m.patchCacheLocked(d, sp)
+	if err != nil {
+		return nil, StreamResynced, err
+	}
+	rep.Stats = stats
+	snap.version = b.ToVersion
+	m.noteDeltaLocked(rep, sp)
+	m.counters().Add("mediator.stream_applied", 1)
+	sp.SetStr("outcome", "applied")
+	m.logDeltaLocked(&persist.WALRecord{
+		Source:     b.Source,
+		Version:    b.ToVersion,
+		Adds:       effAdds,
+		Dels:       effDels,
+		AnchorAdds: effAnchorAdds,
+		AnchorDels: effAnchorDels,
+	})
+	return rep, StreamApplied, nil
+}
+
+// reindexAnchorsLocked rebuilds one source's semantic-index entries
+// from its (already patched) anchor snapshot. Unregister drops the
+// source's contexts too, so they are re-read and re-registered
+// alongside. Called with m.mu held.
+func (m *Mediator) reindexAnchorsLocked(s *Source, snap *srcSnapshot) error {
+	contexts, err := s.W.Contexts()
+	if err != nil {
+		return fmt.Errorf("contexts: %w", err)
+	}
+	m.index.Unregister(s.Name)
+	snap.anchors.Each(func(key string, arity int, row []term.Term) {
+		if len(row) == 3 {
+			m.index.Register(s.Name, row[2].Name(), row[1])
+		}
+	})
+	for key, vals := range contexts {
+		for _, v := range vals {
+			m.index.RegisterContext(s.Name, key, v)
+		}
+	}
+	return nil
+}
+
+// FeedOptions configure StartFeeds. The zero value is usable.
+type FeedOptions struct {
+	// Buffer is the per-source subscription buffer (default 64). A
+	// source that outruns the feed loop by more than this disconnects
+	// the subscription, which costs one refresh on reconnection.
+	Buffer int
+	// ResubscribeDelay is the pause before reconnecting a closed or
+	// failed feed (default 50ms).
+	ResubscribeDelay time.Duration
+	// OnReport is called (from the feed goroutine) after every batch
+	// or resync that changed the materialization — the hook the serving
+	// layer uses to invalidate caches and wake subscribers.
+	OnReport func(*DeltaReport)
+	// OnError is called with feed-level errors (subscription failures,
+	// failed refreshes). The feed keeps running; the next batch's
+	// sequencing check repairs whatever the error left behind.
+	OnError func(source string, err error)
+}
+
+func (o FeedOptions) buffer() int {
+	if o.Buffer <= 0 {
+		return 64
+	}
+	return o.Buffer
+}
+
+func (o FeedOptions) resubscribeDelay() time.Duration {
+	if o.ResubscribeDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.ResubscribeDelay
+}
+
+// Feeds is a handle on the running feed loops.
+type Feeds struct {
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	Sources []string // sources with a running feed, in start order
+}
+
+// Stop cancels every feed loop and waits for the goroutines to exit.
+func (f *Feeds) Stop() {
+	f.cancel()
+	f.wg.Wait()
+}
+
+// StartFeeds subscribes to every registered source that implements
+// wrapper.Streaming and pumps its delta batches through
+// ApplyStreamBatch until ctx is cancelled or Stop is called. Closed
+// feeds (including wrapper-side disconnects of slow subscribers) are
+// resubscribed after ResubscribeDelay with a catch-up RefreshSource,
+// so a disconnection window never loses changes.
+func (m *Mediator) StartFeeds(ctx context.Context, opts FeedOptions) *Feeds {
+	ctx, cancel := context.WithCancel(ctx)
+	f := &Feeds{cancel: cancel}
+	m.mu.Lock()
+	type feedSrc struct {
+		name string
+		s    wrapper.Streaming
+	}
+	var srcs []feedSrc
+	for _, s := range m.sortedSources() {
+		if st, ok := s.W.(wrapper.Streaming); ok {
+			srcs = append(srcs, feedSrc{s.Name, st})
+			f.Sources = append(f.Sources, s.Name)
+		}
+	}
+	m.mu.Unlock()
+	for _, fs := range srcs {
+		f.wg.Add(1)
+		go func(name string, s wrapper.Streaming) {
+			defer f.wg.Done()
+			m.runFeed(ctx, name, s, opts)
+		}(fs.name, fs.s)
+	}
+	return f
+}
+
+// runFeed is one source's subscribe/apply/resubscribe loop.
+func (m *Mediator) runFeed(ctx context.Context, name string, s wrapper.Streaming, opts FeedOptions) {
+	notable := func(rep *DeltaReport) bool {
+		return rep != nil && (rep.Full || rep.Stats != nil ||
+			rep.FactsAdded+rep.FactsRemoved+rep.AnchorsAdded+rep.AnchorsRemoved > 0)
+	}
+	report := func(rep *DeltaReport) {
+		if opts.OnReport != nil && notable(rep) {
+			opts.OnReport(rep)
+		}
+	}
+	fail := func(err error) {
+		m.counters().Add("mediator.stream_feed_errors", 1)
+		if opts.OnError != nil {
+			opts.OnError(name, err)
+		}
+	}
+	pause := func() bool {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-time.After(opts.resubscribeDelay()):
+			return true
+		}
+	}
+	for ctx.Err() == nil {
+		ch, cancel, err := s.SubscribeDeltas(opts.buffer())
+		if err != nil {
+			fail(err)
+			if !pause() {
+				return
+			}
+			continue
+		}
+		// Catch up on anything that changed while not subscribed.
+		// Batches already queued behind the refresh arrive stale and
+		// are dropped by the sequencing check; a refresh failure (a
+		// source mid-fault) leaves the stale snapshot standing, and the
+		// next batch's gap check retries the refresh.
+		if rep, err := m.RefreshSource(name); err != nil {
+			fail(err)
+		} else {
+			report(rep)
+		}
+		alive := true
+		for alive {
+			select {
+			case <-ctx.Done():
+				cancel()
+				return
+			case b, ok := <-ch:
+				if !ok {
+					m.counters().Add("mediator.stream_disconnects", 1)
+					cancel()
+					alive = false
+					break
+				}
+				rep, _, err := m.ApplyStreamBatch(b)
+				if err != nil {
+					fail(err)
+					break
+				}
+				report(rep)
+			}
+		}
+		if !pause() {
+			return
+		}
+	}
+}

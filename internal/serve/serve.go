@@ -17,13 +17,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/query   ad-hoc or planned conceptual-level queries
-//	POST /v1/delta   push a stated source delta (bridges ApplySourceDelta)
-//	POST /v1/sync    version-diff every source (bridges SyncSources)
-//	GET  /v1/plan    analyze a query without executing it
-//	GET  /v1/trace   last span tree as JSON (tracing must be enabled)
-//	GET  /healthz    liveness + registered sources
-//	GET  /metrics    counters in Prometheus text format
+//	POST /v1/query      ad-hoc or planned conceptual-level queries
+//	POST /v1/delta      push a stated source delta (bridges ApplySourceDelta)
+//	POST /v1/sync       version-diff every source (bridges SyncSources)
+//	POST /v1/subscribe  standing query: answer deltas pushed over SSE
+//	GET  /v1/plan       analyze a query without executing it
+//	GET  /v1/trace      last span tree as JSON (tracing must be enabled)
+//	GET  /healthz       liveness + registered sources
+//	GET  /metrics       counters in Prometheus text format
 package serve
 
 import (
@@ -35,6 +36,7 @@ import (
 	"log"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -66,6 +68,10 @@ type Config struct {
 	CacheEntries int
 	// DisableCache turns the answer cache off entirely.
 	DisableCache bool
+	// MaxSubsPerTenant caps concurrently open /v1/subscribe streams
+	// per tenant (default 64, negative = none allowed); beyond it the
+	// tenant's subscribe requests get 429 + Retry-After.
+	MaxSubsPerTenant int
 	// Log receives one structured line per request (nil = discard).
 	Log *log.Logger
 }
@@ -85,6 +91,16 @@ func (c Config) maxQueue() int {
 		return 64
 	}
 	return c.MaxQueue
+}
+
+func (c Config) maxSubsPerTenant() int {
+	if c.MaxSubsPerTenant < 0 {
+		return 0
+	}
+	if c.MaxSubsPerTenant == 0 {
+		return 64
+	}
+	return c.MaxSubsPerTenant
 }
 
 func (c Config) requestTimeout() time.Duration {
@@ -108,17 +124,29 @@ type Server struct {
 	// so a drain can prove no in-flight request was dropped.
 	started  atomic.Int64
 	finished atomic.Int64
+
+	// Standing-query state (subscribe.go): open SSE subscriptions and
+	// their per-tenant counts, plus the drain signal that tells every
+	// stream to finish before Shutdown.
+	subMu       sync.Mutex
+	subscribers map[*subscriber]struct{}
+	subTenants  map[string]int
+	drain       chan struct{}
+	drainOnce   sync.Once
 }
 
 // New builds a Server over the mediator.
 func New(med *mediator.Mediator, cfg Config) *Server {
 	s := &Server{
-		med:   med,
-		cfg:   cfg,
-		adm:   newAdmission(cfg.maxInFlight(), cfg.maxQueue(), cfg.TenantWeights),
-		cache: newAnswerCache(cfg.CacheEntries),
-		ctr:   obs.NewCounters(),
-		log:   cfg.Log,
+		med:         med,
+		cfg:         cfg,
+		adm:         newAdmission(cfg.maxInFlight(), cfg.maxQueue(), cfg.TenantWeights),
+		cache:       newAnswerCache(cfg.CacheEntries),
+		ctr:         obs.NewCounters(),
+		log:         cfg.Log,
+		subscribers: map[*subscriber]struct{}{},
+		subTenants:  map[string]int{},
+		drain:       make(chan struct{}),
 	}
 	if s.log == nil {
 		s.log = log.New(io.Discard, "", 0)
@@ -127,6 +155,7 @@ func New(med *mediator.Mediator, cfg Config) *Server {
 	mux.HandleFunc("/v1/query", s.handleQuery)
 	mux.HandleFunc("/v1/delta", s.handleDelta)
 	mux.HandleFunc("/v1/sync", s.handleSync)
+	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -392,7 +421,7 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.ctr.Add("serve.deltas", 1)
-	dropped := s.invalidateFor(rep)
+	dropped := s.ApplyReport(rep)
 	s.writeJSON(w, http.StatusOK, deltaResponse(rep, dropped))
 	s.logRequest(r, defaultTenant, http.StatusOK, start, rep.FactsAdded+rep.FactsRemoved, outcomeComputed)
 }
@@ -412,7 +441,7 @@ func (s *Server) handleSync(w http.ResponseWriter, r *http.Request) {
 	s.ctr.Add("serve.syncs", 1)
 	out := make([]*DeltaResponse, 0, len(reps))
 	for _, rep := range reps {
-		out = append(out, deltaResponse(rep, s.invalidateFor(rep)))
+		out = append(out, deltaResponse(rep, s.ApplyReport(rep)))
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"refreshed": out})
 	s.logRequest(r, defaultTenant, http.StatusOK, start, len(reps), outcomeComputed)
@@ -508,6 +537,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		s.ctr.Set("serve.tenant."+t+".queued", int64(n))
 	}
 	s.ctr.Set("serve.cache_size", int64(s.cache.size()))
+	s.ctr.Set("serve.subscribers", int64(s.subscriberCount()))
 	s.ctr.Set("serve.requests_started", s.started.Load())
 	s.ctr.Set("serve.requests_finished", s.finished.Load())
 	if err := s.ctr.WritePrometheus(w, "modelmed"); err != nil {

@@ -29,11 +29,12 @@ type Faulty struct {
 	inner Wrapper
 	cfg   FaultConfig
 
-	mu     sync.Mutex
-	calls  map[string]int // call site -> total calls issued
-	consec map[string]int // call site -> consecutive injected errors
-	stats  FaultStats
-	obsC   *obs.Counters
+	mu          sync.Mutex
+	calls       map[string]int // call site -> total calls issued
+	consec      map[string]int // call site -> consecutive injected errors
+	stats       FaultStats
+	streamStats StreamFaultStats
+	obsC        *obs.Counters
 }
 
 // SetObsCounters implements CounterSink. The sink is attached to the
@@ -90,6 +91,8 @@ type FaultConfig struct {
 	TruncateProb float64
 	// Down makes every query call fail: a permanently dead source.
 	Down bool
+	// Stream configures faults on forwarded delta batches (Streaming).
+	Stream StreamFaults
 }
 
 // FaultStats counts what the schedule actually injected.
@@ -175,7 +178,7 @@ func (f *Faulty) decide(op, site string) verdict {
 		ctr.Add("wrapper."+f.inner.Name()+".injected_hangs", 1)
 		return verdict{hang: true, truncate: 1}
 	}
-	r := rand.New(rand.NewSource(f.cfg.Seed ^ int64(siteHash(site)) + int64(n)*1099511628211))
+	r := newSiteRand(f.cfg.Seed, site, n)
 	if f.cfg.ErrorProb > 0 && r.Float64() < f.cfg.ErrorProb {
 		if f.cfg.MaxConsecutive == 0 || f.consec[site] < f.cfg.MaxConsecutive {
 			return fail()
@@ -204,6 +207,12 @@ func (f *Faulty) apply(v verdict) {
 	if f.cfg.Latency > 0 {
 		time.Sleep(f.cfg.Latency)
 	}
+}
+
+// newSiteRand seeds the (seed, site, ordinal) draw shared by the query
+// and streaming fault schedules.
+func newSiteRand(seed int64, site string, n int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(siteHash(site)) + int64(n)*1099511628211))
 }
 
 func siteHash(s string) uint32 {

@@ -1,0 +1,343 @@
+package wrapper
+
+import (
+	"testing"
+	"time"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/gcm"
+	"modelmed/internal/parser"
+	"modelmed/internal/term"
+)
+
+// collect drains up to n batches from ch, failing after a timeout.
+func collect(t *testing.T, ch <-chan DeltaBatch, n int) []DeltaBatch {
+	t.Helper()
+	var out []DeltaBatch
+	for len(out) < n {
+		select {
+		case b, ok := <-ch:
+			if !ok {
+				t.Fatalf("feed closed after %d of %d batches", len(out), n)
+			}
+			out = append(out, b)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out after %d of %d batches", len(out), n)
+		}
+	}
+	return out
+}
+
+func hasFact(rules []datalog.Rule, pred string, args ...term.Term) bool {
+	for _, r := range rules {
+		if r.Head.Pred != pred || len(r.Head.Args) != len(args) {
+			continue
+		}
+		ok := true
+		for i := range args {
+			if !r.Head.Args[i].Equal(args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func addObj(id string) func(*gcm.Model) {
+	return func(m *gcm.Model) {
+		m.AddObject(gcm.Object{ID: a(id), Class: "neuron", Values: map[string][]term.Term{
+			"organism": {term.Str("rat")}, "location": {a("dendrite")}}})
+	}
+}
+
+func TestStreamEmitsVersionedBatches(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	ch, cancel, err := w.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	v0 := w.DataVersion()
+	w.Mutate(addObj("n9"))
+	b := collect(t, ch, 1)[0]
+	if b.Source != "SYNAPSE" {
+		t.Errorf("source = %q", b.Source)
+	}
+	if b.FromVersion != v0 || b.ToVersion != v0+1 {
+		t.Errorf("versions = %d->%d, want %d->%d", b.FromVersion, b.ToVersion, v0, v0+1)
+	}
+	if !hasFact(b.Adds, PredSrcObj, a("SYNAPSE"), a("n9"), a("neuron")) {
+		t.Errorf("missing src_obj add in %v", b.Adds)
+	}
+	if !hasFact(b.Adds, PredSrcVal, a("SYNAPSE"), a("n9"), a("location"), a("dendrite")) {
+		t.Errorf("missing src_val add in %v", b.Adds)
+	}
+	if !hasFact(b.AnchorAdds, PredAnchor, a("SYNAPSE"), a("n9"), a("dendrite")) {
+		t.Errorf("missing anchor add in %v", b.AnchorAdds)
+	}
+	if len(b.Dels) != 0 || len(b.AnchorDels) != 0 || b.Resync {
+		t.Errorf("unexpected dels/resync: %+v", b)
+	}
+	// Removal chains the versions and inverts the payload.
+	w.Mutate(func(m *gcm.Model) {
+		for i, o := range m.Objects {
+			if o.ID.Equal(a("n9")) {
+				m.Objects = append(m.Objects[:i], m.Objects[i+1:]...)
+				break
+			}
+		}
+	})
+	b2 := collect(t, ch, 1)[0]
+	if b2.FromVersion != b.ToVersion || b2.ToVersion != b.ToVersion+1 {
+		t.Errorf("versions do not chain: %d->%d after %d->%d",
+			b2.FromVersion, b2.ToVersion, b.FromVersion, b.ToVersion)
+	}
+	if !hasFact(b2.Dels, PredSrcObj, a("SYNAPSE"), a("n9"), a("neuron")) {
+		t.Errorf("missing src_obj del in %v", b2.Dels)
+	}
+	if !hasFact(b2.AnchorDels, PredAnchor, a("SYNAPSE"), a("n9"), a("dendrite")) {
+		t.Errorf("missing anchor del in %v", b2.AnchorDels)
+	}
+}
+
+func TestStreamResyncOnRuleChange(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	ch, cancel, err := w.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	rules, err := parser.ParseRules("big(X) :- src_obj('SYNAPSE', X, neuron).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Mutate(func(m *gcm.Model) { m.Rules = append(m.Rules, rules...) })
+	b := collect(t, ch, 1)[0]
+	if !b.Resync {
+		t.Errorf("rule change must mark Resync: %+v", b)
+	}
+	if b.FromVersion+1 != b.ToVersion {
+		t.Errorf("resync batch versions = %d->%d", b.FromVersion, b.ToVersion)
+	}
+}
+
+func TestStreamSlowSubscriberDropped(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	ch, cancel, err := w.SubscribeDeltas(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	w.Mutate(addObj("s1")) // fills the buffer
+	w.Mutate(addObj("s2")) // overflows: subscriber dropped
+	if b := collect(t, ch, 1)[0]; !hasFact(b.Adds, PredSrcObj, a("SYNAPSE"), a("s1"), a("neuron")) {
+		t.Errorf("first batch should survive: %v", b.Adds)
+	}
+	if _, ok := <-ch; ok {
+		t.Error("overflowed subscriber should see a closed channel")
+	}
+	// The producer keeps going for future subscribers.
+	ch2, cancel2, _ := w.SubscribeDeltas(4)
+	defer cancel2()
+	w.Mutate(addObj("s3"))
+	if b := collect(t, ch2, 1)[0]; !hasFact(b.Adds, PredSrcObj, a("SYNAPSE"), a("s3"), a("neuron")) {
+		t.Errorf("new subscriber should stream: %v", b.Adds)
+	}
+}
+
+func TestStreamCancelIdempotent(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	ch, cancel, err := w.SubscribeDeltas(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	cancel() // second cancel must not double-close
+	if _, ok := <-ch; ok {
+		t.Error("cancelled subscription should close the channel")
+	}
+	w.Mutate(addObj("c1")) // no live subscribers: must not panic
+}
+
+// noStream hides the Streaming capability of an inner wrapper.
+type noStream struct{ Wrapper }
+
+func TestFaultyStreamRequiresStreamingInner(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	f := NewFaulty(noStream{w}, FaultConfig{})
+	if _, _, err := f.SubscribeDeltas(4); err == nil {
+		t.Fatal("expected error for non-streaming inner wrapper")
+	}
+}
+
+func TestFaultyStreamForwardsFaithfullyByDefault(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	f := NewFaulty(w, FaultConfig{Seed: 1})
+	ch, cancel, err := f.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	w.Mutate(addObj("f1"))
+	w.Mutate(addObj("f2"))
+	bs := collect(t, ch, 2)
+	if bs[0].ToVersion != bs[1].FromVersion {
+		t.Errorf("batches out of order: %+v", bs)
+	}
+}
+
+func TestFaultyStreamDrop(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	f := NewFaulty(w, FaultConfig{Seed: 7, Stream: StreamFaults{DropProb: 1}})
+	ch, cancel, err := f.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	w.Mutate(addObj("d1"))
+	select {
+	case b, ok := <-ch:
+		if ok {
+			t.Errorf("DropProb=1 must swallow every batch, got %+v", b)
+		}
+	case <-time.After(100 * time.Millisecond):
+	}
+	if st := f.StreamFaultStats(); st.Drops == 0 {
+		t.Errorf("drop not counted: %+v", st)
+	}
+}
+
+func TestFaultyStreamDuplicate(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	f := NewFaulty(w, FaultConfig{Seed: 7, Stream: StreamFaults{DuplicateProb: 1}})
+	ch, cancel, err := f.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	w.Mutate(addObj("u1"))
+	w.Mutate(addObj("u2"))
+	bs := collect(t, ch, 3)
+	// Second source batch is preceded by a re-send of the first: the
+	// duplicate arrives with a stale ToVersion.
+	if bs[1].ToVersion != bs[0].ToVersion {
+		t.Errorf("expected duplicate of first batch, got %+v", bs[1])
+	}
+	if bs[2].FromVersion != bs[0].ToVersion {
+		t.Errorf("expected real second batch last, got %+v", bs[2])
+	}
+	if st := f.StreamFaultStats(); st.Duplicates == 0 {
+		t.Errorf("duplicate not counted: %+v", st)
+	}
+}
+
+func TestFaultyStreamReorderSwapsPairs(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	f := NewFaulty(w, FaultConfig{Seed: 7, Stream: StreamFaults{ReorderProb: 1}})
+	ch, cancel, err := f.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	w.Mutate(addObj("r1"))
+	w.Mutate(addObj("r2"))
+	bs := collect(t, ch, 2)
+	// Batch 1 is held, batch 2 delivered first, then the held batch 1.
+	if bs[0].FromVersion <= bs[1].FromVersion {
+		t.Errorf("expected swapped pair, got %d->%d then %d->%d",
+			bs[0].FromVersion, bs[0].ToVersion, bs[1].FromVersion, bs[1].ToVersion)
+	}
+	if st := f.StreamFaultStats(); st.Reorders == 0 {
+		t.Errorf("reorder not counted: %+v", st)
+	}
+}
+
+func TestFaultyStreamDisconnectEvery(t *testing.T) {
+	w, _ := NewInMemory(testModel())
+	f := NewFaulty(w, FaultConfig{Seed: 7, Stream: StreamFaults{DisconnectEvery: 2}})
+	ch, _, err := f.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Mutate(addObj("k1"))
+	w.Mutate(addObj("k2"))
+	bs := collect(t, ch, 2)
+	if len(bs) != 2 {
+		t.Fatalf("got %d batches", len(bs))
+	}
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Error("feed should disconnect after 2 batches")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("feed did not close")
+	}
+	if st := f.StreamFaultStats(); st.Disconnects != 1 {
+		t.Errorf("disconnect not counted: %+v", st)
+	}
+	// A resubscribe continues the ordinal schedule: the next two
+	// batches disconnect the feed again.
+	ch2, cancel2, err := f.SubscribeDeltas(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel2()
+	w.Mutate(addObj("k3"))
+	w.Mutate(addObj("k4"))
+	collect(t, ch2, 2)
+	select {
+	case _, ok := <-ch2:
+		if ok {
+			t.Error("resubscribed feed should disconnect again")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("resubscribed feed did not close")
+	}
+}
+
+func TestFaultyStreamDeterministicSchedule(t *testing.T) {
+	run := func() []uint64 {
+		w, _ := NewInMemory(testModel())
+		f := NewFaulty(w, FaultConfig{Seed: 42, Stream: StreamFaults{
+			DropProb: 0.3, DuplicateProb: 0.3, ReorderProb: 0.3}})
+		ch, cancel, err := f.SubscribeDeltas(64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cancel()
+		for i := 0; i < 12; i++ {
+			w.Mutate(addObj("x" + string(rune('a'+i))))
+		}
+		// Drain until the forwarder has been idle long enough to have
+		// caught up with the 12 queued batches.
+		var got []uint64
+		for {
+			select {
+			case b, ok := <-ch:
+				if !ok {
+					return got
+				}
+				got = append(got, b.ToVersion)
+			case <-time.After(500 * time.Millisecond):
+				return got
+			}
+		}
+	}
+	first, second := run(), run()
+	if len(first) == 0 || len(first) == 12 {
+		t.Fatalf("schedule injected nothing interesting: %v", first)
+	}
+	if len(first) != len(second) {
+		t.Fatalf("non-deterministic schedule: %v vs %v", first, second)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("non-deterministic schedule at %d: %v vs %v", i, first, second)
+		}
+	}
+}

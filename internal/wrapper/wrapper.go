@@ -162,6 +162,8 @@ type InMemory struct {
 	stats     Stats
 	obsC      *obs.Counters
 	version   uint64
+	subs      map[int]chan DeltaBatch // live streaming subscribers
+	nextSub   int
 }
 
 // SetObsCounters implements CounterSink.
@@ -255,12 +257,13 @@ func (w *InMemory) QueryTemplate(name string, params map[string]term.Term) ([]gc
 			return nil, err
 		}
 	}
+	w.mu.Lock()
 	objs, err := fn(w.model, params)
 	if err != nil {
+		w.mu.Unlock()
 		obsEnd(ctr, w.model.Name, start, "", 0, err)
 		return nil, err
 	}
-	w.mu.Lock()
 	w.stats.Queries++
 	w.stats.ObjectsReturned += len(objs)
 	w.mu.Unlock()
@@ -285,20 +288,32 @@ func (w *InMemory) DataVersion() uint64 {
 // reads; callers remain responsible for not mutating the model while a
 // query fan-out is reading it (the mediator's Refresh/Sync path pulls a
 // consistent snapshot after the mutation, so mutate-then-sync is the
-// intended sequence).
+// intended sequence). When streaming subscribers are attached
+// (SubscribeDeltas), the pre-mutation state is snapshotted, diffed
+// against the result, and the versioned delta batch pushed to every
+// subscriber.
 func (w *InMemory) Mutate(fn func(m *gcm.Model)) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	var pre *streamState
+	if len(w.subs) > 0 {
+		pre = newStreamState(w.model)
+	}
 	fn(w.model)
 	w.version++
+	w.emitLocked(pre)
 }
 
 // Model exposes the wrapped model (for in-process tooling; the mediator
 // uses ExportCM).
 func (w *InMemory) Model() *gcm.Model { return w.model }
 
-// ExportCM implements Wrapper using the GCMX codec.
+// ExportCM implements Wrapper using the GCMX codec. The encode runs
+// under the wrapper mutex so a concurrent Mutate (a live streaming
+// source) cannot tear the snapshot.
 func (w *InMemory) ExportCM() (string, []byte, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	doc, err := xmlio.EncodeModel(w.model)
 	return "gcmx", doc, err
 }
@@ -314,11 +329,15 @@ func (w *InMemory) Capabilities() []Capability {
 
 // Anchors implements Wrapper from the model's anchor-marked methods.
 func (w *InMemory) Anchors() (map[string][]term.Term, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.model.AnchorValues(), nil
 }
 
 // Contexts implements Wrapper from the model's context-marked methods.
 func (w *InMemory) Contexts() (map[string][]term.Term, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
 	return w.model.ContextValues(), nil
 }
 
@@ -391,13 +410,17 @@ func (w *InMemory) classAndDescendants(class string) map[string]bool {
 	return out
 }
 
-// QueryObjects implements Wrapper.
+// QueryObjects implements Wrapper. The scan runs under the wrapper
+// mutex and copies each object's value map, so callers keep a
+// consistent result while concurrent Mutate calls (live streaming
+// sources) change the model underneath.
 func (w *InMemory) QueryObjects(q Query) ([]gcm.Object, error) {
 	ctr, start := w.obsStart()
 	if _, err := w.capabilityFor(q, true); err != nil {
 		obsEnd(ctr, w.model.Name, start, "", 0, err)
 		return nil, err
 	}
+	w.mu.Lock()
 	classes := w.classAndDescendants(q.Target)
 	var out []gcm.Object
 	for _, o := range w.model.Objects {
@@ -407,13 +430,17 @@ func (w *InMemory) QueryObjects(q Query) ([]gcm.Object, error) {
 		if !matchSelections(o.Values, q.Selections) {
 			continue
 		}
+		vals := make(map[string][]term.Term, len(o.Values))
+		for k, v := range o.Values {
+			vals[k] = v
+		}
+		o.Values = vals
 		out = append(out, o)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID.Compare(out[j].ID) < 0 })
-	w.mu.Lock()
 	w.stats.Queries++
 	w.stats.ObjectsReturned += len(out)
 	w.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Compare(out[j].ID) < 0 })
 	obsEnd(ctr, w.model.Name, start, "objects", len(out), nil)
 	return out, nil
 }
@@ -442,8 +469,10 @@ func (w *InMemory) QueryTuples(q Query) ([][]term.Term, error) {
 		obsEnd(ctr, w.model.Name, start, "", 0, err)
 		return nil, err
 	}
+	w.mu.Lock()
 	rel := w.model.Relations[q.Target]
 	if rel == nil {
+		w.mu.Unlock()
 		err := fmt.Errorf("wrapper %s: unknown relation %s", w.model.Name, q.Target)
 		obsEnd(ctr, w.model.Name, start, "", 0, err)
 		return nil, err
@@ -466,7 +495,6 @@ func (w *InMemory) QueryTuples(q Query) ([][]term.Term, error) {
 			out = append(out, tp)
 		}
 	}
-	w.mu.Lock()
 	w.stats.Queries++
 	w.stats.TuplesReturned += len(out)
 	w.mu.Unlock()
