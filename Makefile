@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all check build test race chaos bench bench-parallel perf-smoke bench-faults bench-incr bench-serve bench-tenant tenant-smoke bench-persist persist-smoke bench-stream stream-smoke obs serve loadgen vet cover fuzz-smoke
+.PHONY: all check build test race chaos bench bench-parallel perf-smoke bench-faults bench-incr bench-serve bench-tenant tenant-smoke bench-persist persist-smoke bench-stream stream-smoke bench-cluster cluster-smoke obs serve loadgen medrouter vet cover fuzz-smoke
 
 all: build test
 
@@ -111,6 +111,24 @@ stream-smoke:
 	$(GO) test -race -count=1 -run 'Stream|Subscribe|Feed' ./internal/wrapper ./internal/mediator ./internal/serve ./cmd/medd
 	$(GO) test -race -count=1 -run 'Wall' ./internal/datalog
 
+# Sharded-cluster overhead report: the Section 5 serving mix through
+# the query router over 1, 2 and 4 in-process shards vs a direct
+# single-mediator baseline, sourceful (proxy/scatter) and gather mixes
+# reported separately (writes BENCH_cluster.json).
+bench-cluster:
+	$(GO) run ./cmd/benchrunner -exp cluster
+
+# Sharded-cluster smoke, race-enabled: the whole internal/cluster
+# suite — decomposition modes, shard-spec parsing, router cache and
+# precise delta invalidation, the 2-/4-shard differential against a
+# monolithic reference (Section 5 workload + 50 seeded query/delta
+# sequences + a concurrent leg), the downed-shard chaos test, and the
+# client-cancel breaker regression — plus the medrouter and medd
+# flag/daemon tests.
+cluster-smoke:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -race -count=1 ./cmd/medrouter ./cmd/medd
+
 # Run the query service daemon on its default address (127.0.0.1:8344).
 SERVE_ADDR ?= 127.0.0.1:8344
 serve:
@@ -120,6 +138,13 @@ serve:
 # terminal first).
 loadgen:
 	$(GO) run ./cmd/loadgen -addr http://$(SERVE_ADDR)
+
+# Run the cluster query router on its default address (127.0.0.1:8345).
+# Point ROUTER_SHARDS at running medd shards, e.g.
+#   make medrouter ROUTER_SHARDS=http://127.0.0.1:8344,http://127.0.0.1:8346
+ROUTER_SHARDS ?= http://127.0.0.1:8344
+medrouter:
+	$(GO) run ./cmd/medrouter -shards $(ROUTER_SHARDS)
 
 vet:
 	$(GO) vet ./...

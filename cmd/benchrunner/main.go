@@ -3,7 +3,7 @@
 // implementation, printing for each experiment what the paper shows and
 // what this build measures. EXPERIMENTS.md records a reference run.
 //
-// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr|serve|stream|tenant|persist]
+// Usage: benchrunner [-exp all|fig1|fig2|fig3|table1|ex2|ex3|ex4|sec5|plan|compare|scale|parallel|faults|obs|incr|serve|stream|tenant|persist|cluster]
 //
 //	[-workers N]       worker count for the obs experiment (0 = GOMAXPROCS)
 //	[-check-speedup]   after -exp parallel, exit nonzero if the 4-worker
@@ -38,6 +38,11 @@
 // deadline-free runaway queries (contained by deficit round-robin
 // admission plus the engine's gas meter), and the gas-check overhead
 // on the axiom-closure fixpoint with budgets far from exhaustion. All
+// The cluster experiment writes BENCH_cluster.json: the Section 5
+// serving mix driven through the query router over 1, 2 and 4 shards
+// (throughput and p99 per shard count) against a direct
+// single-mediator baseline, with simulated source latency so the
+// per-shard fan-out parallelism is what the sweep measures. All
 // BENCH_*.json reports are written atomically (temp file + rename).
 package main
 
@@ -122,6 +127,7 @@ func main() {
 		{"stream", streamExp, "Live federation — change-to-notification latency of pushed answer deltas"},
 		{"tenant", tenantExp, "Multi-tenant fairness — DRR admission vs an abusive tenant, gas-check overhead"},
 		{"persist", persistExp, "Durability — cold materialization vs warm restart (snapshot + WAL replay)"},
+		{"cluster", clusterExp, "Sharded cluster — router throughput/p99 over 1, 2 and 4 shards vs direct"},
 	}
 	ran := 0
 	for _, e := range experiments {

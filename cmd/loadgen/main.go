@@ -5,10 +5,16 @@
 //
 // Usage:
 //
-//	loadgen [-addr URL] [-c N] [-duration D]
+//	loadgen [-addr URL | -addrs URL,URL,...] [-c N] [-duration D]
 //	        [-q QUERY] [-vars V1,V2] [-planned] [-no-cache]
 //	        [-timeout-ms N] [-api-key KEY] [-subscribe]
 //	        [-abuse-q QUERY] [-abuse-c N] [-abuse-key KEY]
+//
+// With -addrs the same closed-loop load is driven against several
+// targets at once — e.g. a medrouter next to the medd shards behind
+// it, or each shard individually — with -c workers per target, and
+// the report splits throughput and latency per target so the router's
+// overhead and each shard's share are visible side by side.
 //
 // With -subscribe the run switches from closed-loop polling to the
 // push path: -c standing queries are registered over POST
@@ -49,6 +55,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8344", "base URL of the medd service")
+	addrs := flag.String("addrs", "", "comma-separated base URLs to load concurrently with a per-target report (overrides -addr)")
 	c := flag.Int("c", 8, "closed-loop workers (concurrency)")
 	dur := flag.Duration("duration", 5*time.Second, "run duration")
 	q := flag.String("q", "src_obj('SYNAPSE', O, C)", "query to issue")
@@ -68,6 +75,11 @@ func main() {
 		if v = strings.TrimSpace(v); v != "" {
 			req.Vars = append(req.Vars, v)
 		}
+	}
+
+	if *addrs != "" {
+		runMulti(*addrs, *apiKey, req, *c, *dur)
+		return
 	}
 
 	base := strings.TrimRight(*addr, "/")
@@ -120,6 +132,49 @@ func main() {
 	fmt.Fprintln(os.Stderr, "honest  "+honest.String())
 	fmt.Fprintln(os.Stderr, "abusive "+abusive.String())
 	emit(map[string]load.Stats{"honest": honest, "abusive": abusive})
+}
+
+// runMulti drives the same closed loop against every target at once
+// (-c workers each) and reports stats per target, so a router and its
+// shards — or several shards — can be compared in one run.
+func runMulti(addrs, apiKey string, req load.Request, c int, dur time.Duration) {
+	var targets []string
+	for _, a := range strings.Split(addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			targets = append(targets, strings.TrimRight(a, "/"))
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "loadgen: -addrs lists no targets")
+		os.Exit(1)
+	}
+	stats := make([]load.Stats, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			stats[i], errs[i] = load.Run(load.Config{
+				BaseURL:     target,
+				Requests:    []load.Request{req},
+				Concurrency: c,
+				Duration:    dur,
+				APIKey:      apiKey,
+			})
+		}(i, target)
+	}
+	wg.Wait()
+	report := make(map[string]load.Stats, len(targets))
+	for i, target := range targets {
+		if errs[i] != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: %s: %v\n", target, errs[i])
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "%-40s %s\n", target, stats[i].String())
+		report[target] = stats[i]
+	}
+	emit(report)
 }
 
 // subStats is the -subscribe mode report: pushed events merged across

@@ -13,7 +13,8 @@
 //	     [-source-timeout D -retries N]
 //	     [-max-inflight N] [-max-queue N] [-request-timeout D]
 //	     [-fact-limit N] [-round-limit N] [-wall-limit D]
-//	     [-tenants KEY:W,KEY:W]
+//	     [-tenants KEY:W,KEY:W] [-rate KEY:RPS,KEY:RPS]
+//	     [-shard-id ID] [-sources SYNAPSE,NCMIR]
 //	     [-cache-entries N] [-no-cache] [-trace] [-log]
 //	     [-stream] [-max-subs N]
 //	     [-drain-timeout D] [-pprof HOST:PORT] [-data-dir DIR]
@@ -24,7 +25,16 @@
 // budget stops with a typed budget error, which the service maps to
 // HTTP 422. -tenants lists the recognized API keys with their
 // admission weights (e.g. "gold:3,free:1"); requests carrying an
-// unlisted or missing X-API-Key share the default tenant.
+// unlisted or missing X-API-Key share the default tenant. -rate adds
+// a token-bucket limit per tenant key in requests/second (the special
+// key "default" covers unlisted tenants); a drained bucket returns
+// HTTP 429 before admission.
+//
+// -shard-id and -sources configure the daemon as one shard of a
+// medrouter cluster: -sources restricts registration to a subset of
+// the scenario's sources (the shard's partition) and -shard-id is the
+// identity the daemon reports on /v1/healthz, which the router's
+// discovery uses to build its source-to-shard map.
 //
 // -stream starts the live-federation feed loop: every source's
 // versioned delta stream is consumed continuously and applied through
@@ -108,6 +118,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	stream := fs.Bool("stream", false, "consume every source's live delta feed (push-based incremental maintenance)")
 	maxSubs := fs.Int("max-subs", 0, "open /v1/subscribe streams per tenant (0 = default 64, negative = none)")
 	tenants := fs.String("tenants", "", "recognized tenants as KEY:WEIGHT pairs, comma-separated (e.g. gold:3,free:1)")
+	rate := fs.String("rate", "", "per-tenant rate limits as KEY:RPS pairs, comma-separated (e.g. gold:100,default:10); exceeding returns HTTP 429")
+	shardID := fs.String("shard-id", "", "shard identity reported on /v1/healthz (set when this daemon is one shard of a medrouter cluster)")
+	srcNames := fs.String("sources", "", "comma-separated subset of SYNAPSE,NCMIR,SENSELAB to register (empty = all three)")
 	cacheEntries := fs.Int("cache-entries", 0, "answer cache capacity (0 = default 256)")
 	noCache := fs.Bool("no-cache", false, "disable the answer cache")
 	trace := fs.Bool("trace", false, "enable span tracing and counter collection")
@@ -135,6 +148,14 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 	if err != nil {
 		return err
 	}
+	rates, err := serve.ParseRateSpec(*rate)
+	if err != nil {
+		return err
+	}
+	keep, err := parseSources(*srcNames)
+	if err != nil {
+		return err
+	}
 
 	med := mediator.New(sources.NeuroDM(), &mediator.Options{
 		Engine: datalog.Options{
@@ -153,6 +174,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	for _, w := range ws {
+		if keep != nil && !keep[w.Name()] {
+			continue
+		}
 		if err := med.Register(w); err != nil {
 			return err
 		}
@@ -212,6 +236,8 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		DisableCache:     *noCache,
 		TenantWeights:    weights,
 		MaxSubsPerTenant: *maxSubs,
+		RateLimits:       rates,
+		ShardID:          *shardID,
 	}
 	if *reqLog {
 		cfg.Log = log.New(stderr, "medd: ", log.LstdFlags|log.Lmicroseconds)
@@ -286,6 +312,30 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) error {
 		fmt.Fprintf(stdout, "medd: drained, served %d requests\n", srv.Finished())
 		return nil
 	}
+}
+
+// parseSources parses the -sources flag: a comma-separated subset of
+// the scenario's source names. nil means "all".
+func parseSources(spec string) (map[string]bool, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	known := map[string]bool{"SYNAPSE": true, "NCMIR": true, "SENSELAB": true}
+	out := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		name := strings.ToUpper(strings.TrimSpace(part))
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("sources: unknown source %q (want a subset of SYNAPSE,NCMIR,SENSELAB)", part)
+		}
+		out[name] = true
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sources: no source names in %q", spec)
+	}
+	return out, nil
 }
 
 // parseTenants parses the -tenants flag: comma-separated KEY:WEIGHT

@@ -342,3 +342,107 @@ func TestDaemonCrashMidStreamWarmRestart(t *testing.T) {
 	sub2.Close()
 	stopDaemon(t, sig2, done2, out2)
 }
+
+// TestDaemonBadSpecs: malformed -tenants, -rate, and -sources specs
+// must fail at startup with a diagnostic, not panic or silently
+// collapse into the default tenant / full source set.
+func TestDaemonBadSpecs(t *testing.T) {
+	cases := [][]string{
+		{"-tenants", "gold:"},
+		{"-tenants", "gold:zero"},
+		{"-tenants", "gold:0"},
+		{"-tenants", "gold:-2"},
+		{"-tenants", ":3"},
+		{"-rate", "gold:"},
+		{"-rate", "gold:nope"},
+		{"-rate", "gold:0"},
+		{"-rate", "gold:-1"},
+		{"-rate", ":5"},
+		{"-rate", "gold"},
+		{"-sources", "SYNAPSE,ORACLE"},
+		{"-sources", ","},
+	}
+	for _, args := range cases {
+		var out syncBuffer
+		err := run(append([]string{"-addr", "127.0.0.1:0"}, args...), &out, &out, make(chan os.Signal))
+		if err == nil {
+			t.Errorf("args %v: accepted, want a startup error", args)
+		}
+	}
+}
+
+// TestDaemonShardFlags: -sources restricts registration to the named
+// partition and -shard-id shows up on /v1/healthz, the contract the
+// router's discovery relies on.
+func TestDaemonShardFlags(t *testing.T) {
+	base, sig, done, _ := startDaemon(t, "-shard-id", "shard7", "-sources", "synapse,SENSELAB")
+	defer func() {
+		sig <- syscall.SIGTERM
+		<-done
+	}()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		ShardID string   `json:"shard_id"`
+		Sources []string `json:"sources"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.ShardID != "shard7" {
+		t.Errorf("shard_id = %q, want shard7", hz.ShardID)
+	}
+	if len(hz.Sources) != 2 || hz.Sources[0] != "SENSELAB" || hz.Sources[1] != "SYNAPSE" {
+		t.Errorf("sources = %v, want [SENSELAB SYNAPSE]", hz.Sources)
+	}
+}
+
+// TestDaemonRateLimit: a tenant with -rate runs dry and gets 429; the
+// rejection is visible on /metrics.
+func TestDaemonRateLimit(t *testing.T) {
+	base, sig, done, _ := startDaemon(t, "-rate", "probe:1")
+	defer func() {
+		sig <- syscall.SIGTERM
+		<-done
+	}()
+
+	body := bytes.NewBufferString(`{"query": "dm_isa_star(C, neuron)", "vars": ["C"]}`)
+	var saw429 bool
+	for i := 0; i < 5; i++ {
+		req, err := http.NewRequest("POST", base+"/v1/query", bytes.NewReader(body.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", "probe")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			saw429 = true
+			break
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if !saw429 {
+		t.Fatal("5 rapid requests at 1 rps never hit 429")
+	}
+
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "rate_limited") {
+		t.Fatalf("metrics missing rate_limited counter:\n%s", metrics)
+	}
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe stdout sink for the daemons under
+// test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startProc boots a daemon run function on a kernel-assigned port and
+// waits for its listening line.
+func startProc(t *testing.T, name string, runFn func([]string, io.Writer, io.Writer, <-chan os.Signal) error, args []string) (string, chan os.Signal, chan error, *syncBuffer) {
+	t.Helper()
+	out := &syncBuffer{}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	go func() { done <- runFn(args, out, out, sig) }()
+
+	re := regexp.MustCompile(name + ` listening on (http://[\d.:]+)`)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(out.String()); m != nil {
+			return m[1], sig, done, out
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("%s exited before binding: %v\noutput: %s", name, err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never printed its address; output: %s", name, out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func stopProc(t *testing.T, sig chan os.Signal, done chan error) {
+	t.Helper()
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drain failed: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Error("daemon did not drain within 15s")
+	}
+}
+
+func TestRouterFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{},                        // -shards required
+		{"-shards", "ftp://nope"}, // bad scheme
+		{"-shards", "a=x,a=y"},    // not URLs
+		{"-rate", "k:-1", "-shards", "http://127.0.0.1:1"},
+		{"-definitely-not-a-flag"},
+	}
+	for _, args := range cases {
+		var out syncBuffer
+		if err := run(args, &out, &out, make(chan os.Signal)); err == nil {
+			t.Errorf("args %v: accepted, want a startup error", args)
+		}
+	}
+}
+
+// TestRouterDegradedStart: a router pointed at an unreachable shard
+// still boots (degraded), serves replicated-knowledge queries from
+// its own replica, and 5xxes queries that need the missing shard.
+func TestRouterDegradedStart(t *testing.T) {
+	base, sig, done, out := startProc(t, "medrouter", run,
+		[]string{"-addr", "127.0.0.1:0", "-shards", "http://127.0.0.1:1", "-cooldown", "10m"})
+	defer stopProc(t, sig, done)
+
+	if !strings.Contains(out.String(), "degraded start") {
+		t.Errorf("no degraded-start warning in output: %s", out.String())
+	}
+
+	post := func(path, body string) (int, []byte) {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	status, body := post("/v1/query", `{"query": "dm_isa_star(C, neuron)", "vars": ["C"]}`)
+	if status != http.StatusOK {
+		t.Fatalf("replicated query on degraded cluster: status %d: %s", status, body)
+	}
+	var qr struct {
+		Count int    `json:"count"`
+		Mode  string `json:"mode"`
+	}
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Count == 0 || qr.Mode != "replicated" {
+		t.Fatalf("replicated query: count %d mode %q", qr.Count, qr.Mode)
+	}
+
+	// Scatter with every shard down cannot produce any answer.
+	if status, _ := post("/v1/query", `{"query": "src_obj(S, O, C)", "vars": ["S", "O", "C"]}`); status < 500 {
+		t.Fatalf("scatter with all shards down: status %d, want 5xx", status)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hz struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hz.Status != "degraded" {
+		t.Errorf("healthz status = %q, want degraded", hz.Status)
+	}
+}

@@ -1,0 +1,174 @@
+package cluster
+
+// Router-side caches. The answer cache mirrors the serving layer's
+// invalidation contract (per-source dependency sets, global entries,
+// a generation counter guarding stale inserts) in a simpler single-
+// partition LRU: the router has no per-tenant isolation duty (each
+// shard enforces its own) and no single-flight (the shards behind it
+// already collapse duplicate work). The facts cache keeps one fact
+// dump per shard so consecutive gather queries don't re-pull an
+// unchanged federation; a delta routed to a shard drops exactly that
+// shard's dump.
+
+import (
+	"container/list"
+	"sync"
+
+	"modelmed/internal/mediator"
+)
+
+type cacheEntry struct {
+	key    string
+	resp   QueryResponse
+	deps   map[string]bool // source names; nil+!global = never invalidated
+	global bool
+}
+
+type answerCache struct {
+	mu      sync.Mutex
+	max     int
+	gen     uint64
+	ll      *list.List // front = most recent
+	entries map[string]*list.Element
+}
+
+func newAnswerCache(max int) *answerCache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &answerCache{max: max, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+// get returns the cached response and the generation observed, for a
+// later generation-guarded put.
+func (c *answerCache) get(key string) (QueryResponse, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return QueryResponse{}, c.gen, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, c.gen, true
+}
+
+// gen returns the current generation without a lookup.
+func (c *answerCache) generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
+}
+
+// put inserts unless an invalidation ran since gen was observed — an
+// answer computed against pre-delta shards must not outlive the delta.
+func (c *answerCache) put(key string, resp QueryResponse, deps []string, global bool, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		e := el.Value.(*cacheEntry)
+		e.resp = resp
+		return
+	}
+	e := &cacheEntry{key: key, resp: resp, global: global}
+	if len(deps) > 0 {
+		e.deps = make(map[string]bool, len(deps))
+		for _, d := range deps {
+			e.deps[d] = true
+		}
+	}
+	c.entries[key] = c.ll.PushFront(e)
+	for len(c.entries) > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.entries, last.Value.(*cacheEntry).key)
+	}
+}
+
+// invalidateSource drops entries depending on the source (and global
+// ones) and bumps the generation.
+func (c *answerCache) invalidateSource(source string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	var dropped int
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		e := el.Value.(*cacheEntry)
+		if e.global || e.deps[source] {
+			c.ll.Remove(el)
+			delete(c.entries, e.key)
+			dropped++
+		}
+		el = next
+	}
+	return dropped
+}
+
+// invalidateAll drops everything and bumps the generation.
+func (c *answerCache) invalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	dropped := len(c.entries)
+	c.ll.Init()
+	c.entries = map[string]*list.Element{}
+	return dropped
+}
+
+func (c *answerCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// factsCache holds at most one fact dump per shard, generation-guarded
+// per shard so a fetch racing a delta cannot reinstall the pre-delta
+// dump.
+type factsCache struct {
+	mu    sync.Mutex
+	dumps map[string][]mediator.SourceDump
+	gens  map[string]uint64
+}
+
+func newFactsCache() *factsCache {
+	return &factsCache{dumps: map[string][]mediator.SourceDump{}, gens: map[string]uint64{}}
+}
+
+func (c *factsCache) get(shard string) ([]mediator.SourceDump, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d, ok := c.dumps[shard]
+	return d, c.gens[shard], ok
+}
+
+func (c *factsCache) put(shard string, dumps []mediator.SourceDump, gen uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.gens[shard] != gen {
+		return
+	}
+	c.dumps[shard] = dumps
+}
+
+func (c *factsCache) drop(shard string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[shard]++
+	delete(c.dumps, shard)
+}
+
+func (c *factsCache) dropAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for s := range c.gens {
+		c.gens[s]++
+	}
+	for s := range c.dumps {
+		c.gens[s]++
+		delete(c.dumps, s)
+	}
+}

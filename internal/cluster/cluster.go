@@ -1,0 +1,313 @@
+// Package cluster is the horizontal scale-out layer: a sharded
+// mediator cluster. Registered sources are partitioned across N shard
+// mediators (each an ordinary medd serving the subset of sources it
+// owns; the domain map and views are small and replicated to every
+// shard), and a thin router in front accepts the same /v1/query,
+// /v1/delta and /v1/sync API, decomposes each query into per-shard
+// subplans, executes them concurrently over HTTP, and merges the
+// per-shard answer sets.
+//
+// The decomposition (decompose.go) classifies every query by how its
+// answer relates to the per-shard answers:
+//
+//   - proxy: every source fact the query reads lives on one shard (or
+//     the query reads only replicated knowledge) — forward verbatim.
+//   - scatter: the union of per-shard answers is provably the global
+//     answer — fan out, union, dedup.
+//   - gather: cross-shard joins, aggregates or negation over source
+//     facts make per-shard answers insufficient — pull each shard's
+//     fact dump (GET /v1/facts) and evaluate at the router over the
+//     replicated static knowledge.
+//
+// Delta propagation is precise: a source delta posted to the router
+// goes to the owning shard only, and on success invalidates exactly
+// the router-level answer-cache entries depending on that source plus
+// that shard's cached fact dump — the same DeltaReport-shaped
+// invalidation contract the single-node service uses.
+//
+// Degraded shards degrade gracefully, never silently: scatter and
+// non-aggregated gather answers over a down shard are flagged partial
+// with per-shard reports (sound by monotonicity — every returned row
+// is a true answer); aggregated gathers refuse (a partial sum is a
+// wrong answer, not a partial one); proxies to a down shard fail with
+// the shard's report attached.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ShardConfig names one shard and its base URL.
+type ShardConfig struct {
+	ID  string
+	URL string
+}
+
+// ParseShardSpec parses the -shards flag syntax: comma-separated
+// entries, each either a bare base URL (IDs default to shard0,
+// shard1, ...) or ID=URL.
+func ParseShardSpec(spec string) ([]ShardConfig, error) {
+	var out []ShardConfig
+	seen := map[string]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		sc := ShardConfig{ID: fmt.Sprintf("shard%d", len(out)), URL: part}
+		if id, url, found := strings.Cut(part, "="); found && !strings.Contains(id, "/") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				return nil, fmt.Errorf("shards: empty id in %q", part)
+			}
+			sc.ID, sc.URL = id, strings.TrimSpace(url)
+		}
+		if !strings.HasPrefix(sc.URL, "http://") && !strings.HasPrefix(sc.URL, "https://") {
+			return nil, fmt.Errorf("shards: %q: want http(s) base URL", part)
+		}
+		sc.URL = strings.TrimRight(sc.URL, "/")
+		if seen[sc.ID] {
+			return nil, fmt.Errorf("shards: duplicate id %q", sc.ID)
+		}
+		seen[sc.ID] = true
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("shards: no shards configured")
+	}
+	return out, nil
+}
+
+// Shard is one mediator shard as the manager sees it: its address, the
+// sources it owns (discovered from /healthz), and its health state.
+type Shard struct {
+	ID  string
+	URL string
+
+	mu       sync.Mutex
+	sources  []string
+	failures int
+	down     bool
+	since    time.Time
+	lastErr  string
+}
+
+// Sources returns the shard's discovered source names.
+func (sh *Shard) Sources() []string {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]string(nil), sh.sources...)
+}
+
+// ShardReport is one shard's outcome attached to a router response —
+// the cluster-level analogue of mediator.SourceReport.
+type ShardReport struct {
+	ID      string   `json:"shard"`
+	Sources []string `json:"sources,omitempty"`
+	// Status is "ok", "down" (skipped: breaker open) or "failed" (this
+	// request's call to the shard failed).
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+	Rows   int    `json:"rows,omitempty"`
+}
+
+// ManagerConfig tunes shard lifecycle and health tracking.
+type ManagerConfig struct {
+	Shards []ShardConfig
+	// FailThreshold is the consecutive-failure count that marks a shard
+	// down (default 1: the first transport failure opens the breaker —
+	// shards are single processes, not flaky WANs; Cooldown paces the
+	// re-probes).
+	FailThreshold int
+	// Cooldown is how long a down shard is skipped before the next
+	// request is allowed to re-probe it (default 500ms).
+	Cooldown time.Duration
+	// Client issues the HTTP calls (default: 10s-timeout client).
+	Client *http.Client
+	// now is a test hook for the health clock.
+	now func() time.Time
+}
+
+func (c ManagerConfig) failThreshold() int {
+	if c.FailThreshold <= 0 {
+		return 1
+	}
+	return c.FailThreshold
+}
+
+func (c ManagerConfig) cooldown() time.Duration {
+	if c.Cooldown <= 0 {
+		return 500 * time.Millisecond
+	}
+	return c.Cooldown
+}
+
+// Manager owns the shard set: source->shard assignment (discovered
+// from each shard's /healthz), health tracking with a breaker-shaped
+// consecutive-failure counter and cooldown-paced re-probes, and the
+// shard HTTP client.
+type Manager struct {
+	cfg    ManagerConfig
+	client *http.Client
+	now    func() time.Time
+
+	mu       sync.Mutex
+	shards   []*Shard // stable configuration order
+	bySource map[string]*Shard
+}
+
+// NewManager builds a manager over the configured shards. Call
+// Discover to learn the source assignment before routing.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	m := &Manager{
+		cfg:      cfg,
+		client:   cfg.Client,
+		now:      cfg.now,
+		bySource: map[string]*Shard{},
+	}
+	if m.client == nil {
+		m.client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if m.now == nil {
+		m.now = time.Now
+	}
+	seen := map[string]bool{}
+	for _, sc := range cfg.Shards {
+		if seen[sc.ID] {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", sc.ID)
+		}
+		seen[sc.ID] = true
+		m.shards = append(m.shards, &Shard{ID: sc.ID, URL: strings.TrimRight(sc.URL, "/")})
+	}
+	return m, nil
+}
+
+// Shards returns the shards in configuration order.
+func (m *Manager) Shards() []*Shard {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Shard(nil), m.shards...)
+}
+
+// Owner returns the shard owning the named source, if discovered.
+func (m *Manager) Owner(source string) (*Shard, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sh, ok := m.bySource[source]
+	return sh, ok
+}
+
+// Discover probes every shard's /healthz and rebuilds the
+// source->shard assignment. A shard that cannot be reached keeps its
+// previous source list (it may be restarting) and is marked failed;
+// reaching it again refreshes its list. Two shards claiming the same
+// source is a deployment error.
+func (m *Manager) Discover(ctx context.Context) error {
+	shards := m.Shards()
+	type probe struct {
+		sources []string
+		err     error
+	}
+	probes := make([]probe, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			probes[i].sources, probes[i].err = m.healthz(ctx, sh)
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, sh := range shards {
+		if probes[i].err != nil {
+			m.MarkFailure(sh, probes[i].err)
+			continue
+		}
+		m.MarkSuccess(sh)
+		sh.mu.Lock()
+		sh.sources = probes[i].sources
+		sh.mu.Unlock()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bySource := map[string]*Shard{}
+	for _, sh := range m.shards {
+		for _, src := range sh.Sources() {
+			if other, dup := bySource[src]; dup && other != sh {
+				return fmt.Errorf("cluster: source %s claimed by shards %s and %s", src, other.ID, sh.ID)
+			}
+			bySource[src] = sh
+		}
+	}
+	m.bySource = bySource
+	return nil
+}
+
+// Sources returns every discovered source name, sorted.
+func (m *Manager) Sources() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.bySource))
+	for s := range m.bySource {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Available reports whether a request may be sent to the shard now:
+// healthy, or down with the cooldown elapsed (the request doubles as
+// the half-open probe; its outcome re-marks the shard).
+func (m *Manager) Available(sh *Shard) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.down {
+		return true
+	}
+	return m.now().Sub(sh.since) >= m.cfg.cooldown()
+}
+
+// MarkSuccess records a successful shard call, closing its breaker.
+func (m *Manager) MarkSuccess(sh *Shard) {
+	sh.mu.Lock()
+	sh.failures = 0
+	sh.down = false
+	sh.lastErr = ""
+	sh.mu.Unlock()
+}
+
+// MarkFailure records a failed shard call; at the threshold the shard
+// goes down and is skipped until the cooldown elapses.
+func (m *Manager) MarkFailure(sh *Shard, err error) {
+	sh.mu.Lock()
+	sh.failures++
+	if err != nil {
+		sh.lastErr = err.Error()
+	}
+	if sh.failures >= m.cfg.failThreshold() {
+		sh.down = true
+		sh.since = m.now()
+	}
+	sh.mu.Unlock()
+}
+
+// Report renders the shard's current health as a ShardReport.
+func (m *Manager) Report(sh *Shard) ShardReport {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r := ShardReport{ID: sh.ID, Sources: append([]string(nil), sh.sources...), Status: "ok"}
+	if sh.down {
+		r.Status = "down"
+		r.Error = sh.lastErr
+	}
+	return r
+}

@@ -1,0 +1,336 @@
+package cluster
+
+// Query decomposition: when is the union of per-shard answers the
+// global answer?
+//
+// The federation's EDB is partitioned by source (src_obj/src_val/
+// src_tuple/src_sub/anchor all carry the source in argument 0) while
+// the static knowledge — F-logic axioms, domain map + closure rules,
+// view definitions — is replicated to every shard. For a *monotone*
+// query, a derivation that only reads facts of one source exists
+// entirely on that source's shard, so:
+//
+//   - If every sourceful access in the query's dependency cone shares
+//     one source variable (or one ground source), each answer tuple
+//     has a single-source derivation → evaluating the query on every
+//     shard and unioning the answers is exact (scatter), and with a
+//     ground source the one owning shard suffices (proxy).
+//
+//   - Joins across *distinct* source groups, aggregates over sourceful
+//     subgoals, negation over sourceful subgoals, and the GCM bridge
+//     predicates (which erase the source argument, so a join through
+//     them can silently cross shards) all admit derivations spanning
+//     shards → per-shard answers are insufficient and the router must
+//     gather the shards' fact dumps and evaluate globally (gather).
+//
+// The analysis assigns every predicate a signature by walking the
+// view/aux rule graph: replicated (level 0), single-source (level 1,
+// with the ground source when fixed), or multi-source (level 2);
+// cycles and anything unrecognized degrade conservatively to multi.
+// Wrong-direction errors differ in kind: misclassifying toward gather
+// costs performance, toward scatter costs correctness — every
+// conservative default here points at gather.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/mediator"
+	"modelmed/internal/term"
+)
+
+// Mode says how the router executes a query.
+type Mode int
+
+const (
+	// ModeReplicated: the query reads no source facts; the router's own
+	// replica of the static knowledge answers it without any shard call.
+	ModeReplicated Mode = iota
+	// ModeSources: the query needs exactly the listed ground sources.
+	// One owning shard → proxy; owners spanning shards → gather
+	// restricted to the owners.
+	ModeSources
+	// ModeScatter: fan out to every shard, union and dedup the answers.
+	ModeScatter
+	// ModeGather: pull every shard's fact dump and evaluate at the
+	// router.
+	ModeGather
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeReplicated:
+		return "replicated"
+	case ModeSources:
+		return "sources"
+	case ModeScatter:
+		return "scatter"
+	}
+	return "gather"
+}
+
+// Decomposition is the classification result for one query.
+type Decomposition struct {
+	Mode Mode
+	// Sources are the ground sources the query depends on (ModeSources).
+	Sources []string
+	// NoPartial marks queries whose gathered answer may not be degraded
+	// to a subset: an aggregate or negation over sourceful subgoals
+	// means an answer computed without a down shard's facts can be
+	// *wrong*, not merely incomplete, so the router must refuse instead.
+	NoPartial bool
+	// Reason is the one-line classification trace.
+	Reason string
+}
+
+// replicatedPreds is the static knowledge vocabulary: true on every
+// shard and on the router's replica, carrying no source facts.
+var replicatedPreds = map[string]bool{
+	"dm_concept": true, "dm_isa": true, "dm_edge": true,
+	"dm_isa_star": true, "dm_tc": true, "dm_dc": true, "dm_dc_down": true,
+	"dm_down": true, "role_star": true, "dm_role": true,
+	"role": true, "role_base": true,
+}
+
+// sourcefulPreds carry the owning source in argument 0 — the
+// partitioned EDB.
+var sourcefulPreds = map[string]bool{
+	mediator.PredSrcObj: true, mediator.PredSrcVal: true,
+	mediator.PredSrcTuple: true, mediator.PredSrcSub: true,
+	mediator.PredAnchor: true,
+}
+
+// bridgePreds are the GCM bridge: derived from source facts with the
+// source argument erased, so joins through them can cross shards
+// invisibly. Conservatively multi-source.
+var bridgePreds = map[string]bool{
+	"instance": true, "subclass": true, "method": true,
+	"methodinst": true, "rel": true, "relattr": true, "relinst": true,
+}
+
+// predSig is the per-predicate summary of the rule-graph walk.
+type predSig struct {
+	level int // 0 replicated, 1 single-source, 2 multi-source
+	// src is the fixed ground source when level 1 derivations all read
+	// it; "" means "one source per tuple, but which varies".
+	src       string
+	noPartial bool
+}
+
+type analyzer struct {
+	rules    map[string][]datalog.Rule // derived pred -> defining rules
+	sigs     map[string]predSig
+	visiting map[string]bool
+	anon     int // fresh-token counter for anonymous single-source refs
+}
+
+// bodyInfo summarizes one body's sourceful accesses. tokens holds one
+// entry per distinct source group: "src:NAME" for ground sources,
+// "var:V" for a shared source variable, "anon:N" for each reference to
+// an anonymous single-source derived predicate.
+type bodyInfo struct {
+	tokens    map[string]bool
+	multi     bool
+	noPartial bool
+}
+
+func (b *bodyInfo) token(t string) {
+	if b.tokens == nil {
+		b.tokens = map[string]bool{}
+	}
+	b.tokens[t] = true
+}
+
+// Classify decomposes a parsed query against the registered views and
+// the query's own auxiliary rules.
+func Classify(body []datalog.BodyElem, aux, views []datalog.Rule) Decomposition {
+	a := &analyzer{
+		rules:    map[string][]datalog.Rule{},
+		sigs:     map[string]predSig{},
+		visiting: map[string]bool{},
+	}
+	for _, r := range views {
+		a.rules[r.Head.Pred] = append(a.rules[r.Head.Pred], r)
+	}
+	for _, r := range aux {
+		a.rules[r.Head.Pred] = append(a.rules[r.Head.Pred], r)
+	}
+	info := a.body(body)
+
+	var ground, open []string
+	for t := range info.tokens {
+		if name, ok := strings.CutPrefix(t, "src:"); ok {
+			ground = append(ground, name)
+		} else {
+			open = append(open, t)
+		}
+	}
+	sort.Strings(ground)
+
+	d := Decomposition{NoPartial: info.noPartial}
+	switch {
+	case info.multi:
+		d.Mode = ModeGather
+		d.Reason = "multi-source dependency (cross-group join, bridge predicate, aggregate or negation over source facts)"
+	case len(info.tokens) == 0:
+		d.Mode = ModeReplicated
+		d.Reason = "reads only replicated knowledge"
+	case len(info.tokens) == 1 && len(ground) == 1:
+		d.Mode = ModeSources
+		d.Sources = ground
+		d.Reason = fmt.Sprintf("single ground source %s", ground[0])
+	case len(open) == 0:
+		// Several ground sources, no open group: the router needs
+		// exactly these sources' facts.
+		d.Mode = ModeSources
+		d.Sources = ground
+		d.Reason = fmt.Sprintf("ground sources %s", strings.Join(ground, ","))
+	case len(info.tokens) == 1:
+		d.Mode = ModeScatter
+		d.Reason = "single source group per derivation; per-shard union is exact"
+	default:
+		d.Mode = ModeGather
+		d.Reason = fmt.Sprintf("%d distinct source groups join", len(info.tokens))
+	}
+	return d
+}
+
+// body analyzes one rule or query body.
+func (a *analyzer) body(body []datalog.BodyElem) bodyInfo {
+	var info bodyInfo
+	for _, e := range body {
+		switch x := e.(type) {
+		case datalog.Literal:
+			a.literal(x, &info)
+		case datalog.Aggregate:
+			var inner bodyInfo
+			for _, l := range x.Body {
+				a.literal(l, &inner)
+			}
+			// Aggregating over sourceful subgoals sums/counts a
+			// partitioned relation: never union-sound, and a missing
+			// shard changes the value rather than shrinking the set.
+			if inner.multi || len(inner.tokens) > 0 {
+				info.multi = true
+				info.noPartial = true
+			}
+			if inner.noPartial {
+				info.noPartial = true
+			}
+		}
+	}
+	return info
+}
+
+func (a *analyzer) literal(l datalog.Literal, info *bodyInfo) {
+	switch {
+	case datalog.IsBuiltin(l.Pred, len(l.Args)) || replicatedPreds[l.Pred]:
+		return
+	case sourcefulPreds[l.Pred]:
+		if l.Neg {
+			// not src_val(...) over a partitioned relation: a shard
+			// missing the fact would wrongly satisfy the negation.
+			info.multi = true
+			info.noPartial = true
+			return
+		}
+		if len(l.Args) == 0 {
+			info.multi = true
+			return
+		}
+		switch src := l.Args[0]; src.Kind() {
+		case term.KindAtom:
+			info.token("src:" + src.Name())
+		case term.KindVar:
+			info.token("var:" + src.Name())
+		default:
+			info.multi = true
+		}
+	case bridgePreds[l.Pred]:
+		info.multi = true
+		if l.Neg {
+			info.noPartial = true
+		}
+	default:
+		sig := a.sig(l.Pred)
+		if l.Neg && sig.level > 0 {
+			info.multi = true
+			info.noPartial = true
+			return
+		}
+		switch sig.level {
+		case 0:
+			// replicated-only derivation
+		case 1:
+			if sig.src != "" {
+				info.token("src:" + sig.src)
+			} else {
+				// Anonymous single-source: each reference may bind a
+				// different source, so each gets a fresh group.
+				a.anon++
+				info.token(fmt.Sprintf("anon:%d", a.anon))
+			}
+		default:
+			info.multi = true
+		}
+		if sig.noPartial {
+			info.noPartial = true
+		}
+	}
+}
+
+// sig computes (and memoizes) a derived predicate's signature.
+// Unknown predicates and cycles degrade to multi-source.
+func (a *analyzer) sig(pred string) predSig {
+	if s, ok := a.sigs[pred]; ok {
+		return s
+	}
+	rules := a.rules[pred]
+	if len(rules) == 0 || a.visiting[pred] {
+		return predSig{level: 2}
+	}
+	a.visiting[pred] = true
+	defer delete(a.visiting, pred)
+
+	s := predSig{}
+	first := true
+	for _, r := range rules {
+		info := a.body(r.Body)
+		var level int
+		var src string
+		switch {
+		case info.multi || len(info.tokens) > 1:
+			level = 2
+		case len(info.tokens) == 1:
+			level = 1
+			for t := range info.tokens {
+				if name, ok := strings.CutPrefix(t, "src:"); ok {
+					src = name
+				}
+			}
+		}
+		if level > s.level {
+			s.level = level
+		}
+		if info.noPartial {
+			s.noPartial = true
+		}
+		// The pred's fixed source survives only if every single-source
+		// rule reads the same ground source.
+		if level == 1 {
+			if first {
+				s.src = src
+				first = false
+			} else if s.src != src {
+				s.src = ""
+			}
+			if src == "" {
+				s.src = ""
+			}
+		}
+	}
+	a.sigs[pred] = s
+	return s
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"testing"
+
+	"modelmed/internal/datalog"
+	"modelmed/internal/mediator"
+	"modelmed/internal/parser"
+)
+
+// standardViews parses the repo's registered view set, the rule graph
+// the classifier walks in production.
+func standardViews(t *testing.T) []datalog.Rule {
+	t.Helper()
+	var out []datalog.Rule
+	for _, src := range []string{mediator.ProteinDistributionView, mediator.NeurotransmissionView} {
+		rules, err := parser.ParseRules(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, rules...)
+	}
+	return out
+}
+
+func classify(t *testing.T, q string, views []datalog.Rule) Decomposition {
+	t.Helper()
+	body, aux, err := parser.ParseQuery(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	return Classify(body, aux, views)
+}
+
+func TestClassifyModes(t *testing.T) {
+	views := standardViews(t)
+	cases := []struct {
+		q         string
+		mode      Mode
+		sources   string
+		noPartial bool
+	}{
+		// Replicated knowledge only: no shard involvement at all.
+		{q: `dm_isa_star(C, neuron)`, mode: ModeReplicated},
+		{q: `dm_down(has_a, purkinje_cell, C), dm_isa_star(C, dendrite)`, mode: ModeReplicated},
+		// Aggregates over replicated facts are still replicated.
+		{q: `N = count{C; dm_isa_star(C, neuron)}`, mode: ModeReplicated},
+
+		// All sourceful accesses pinned to one ground source.
+		{q: `src_obj('SENSELAB', N, neurotransmission), src_val('SENSELAB', N, organism, "rat")`,
+			mode: ModeSources, sources: "SENSELAB"},
+		{q: `src_obj('SENSELAB', N, neurotransmission), ` +
+			`src_val('SENSELAB', N, organism, "rat"), ` +
+			`src_val('SENSELAB', N, transmitting_compartment, parallel_fiber), ` +
+			`anchor('SENSELAB', N, C)`,
+			mode: ModeSources, sources: "SENSELAB"},
+		// Two ground sources: the router needs exactly these two fact
+		// sets (one shard -> proxy, two shards -> restricted gather).
+		{q: `src_val('SYNAPSE', O, neurotransmitter, V), src_val('NCMIR', P, protein_name, V)`,
+			mode: ModeSources, sources: "NCMIR,SYNAPSE"},
+
+		// One shared source variable: every answer tuple has a single-
+		// source derivation, so the per-shard union is exact.
+		{q: `src_obj(S, O, C)`, mode: ModeScatter},
+		{q: `anchor(S, O, C), dm_isa_star(C, dendrite)`, mode: ModeScatter},
+		{q: `anchor(S, O, C), src_val(S, O, organism, Org)`, mode: ModeScatter},
+		// A single reference to a single-source view is scatter too.
+		{q: `neurotransmission(O, Org, TN, TC, RN, RC, NT)`, mode: ModeScatter},
+
+		// Distinct source groups join: derivations can span shards.
+		{q: `anchor(S1, O1, C), anchor(S2, O2, C)`, mode: ModeGather},
+		{q: `anchor(S, O, C), src_val('NCMIR', P, protein_name, V)`, mode: ModeGather},
+		// Two references to a single-source view may bind different
+		// sources, so they are distinct groups.
+		{q: `neurotransmission(O, Org, TN, TC, RN, RC, NT), neurotransmission(O2, Org, TN2, TC2, RN2, RC2, NT)`,
+			mode: ModeGather},
+		// The GCM bridge erases the source argument; joins through it
+		// cross shards invisibly.
+		{q: `instance(O, C)`, mode: ModeGather},
+		// Aggregation over a partitioned relation: gather, and a missing
+		// shard would change the value — refuse partial answers.
+		{q: `protein_distribution(Root, P, Org, T, N)`, mode: ModeGather, noPartial: true},
+		{q: `N = count{O; anchor(S, O, C)}`, mode: ModeGather, noPartial: true},
+		// Negation over source facts: a shard missing the fact would
+		// wrongly satisfy it.
+		{q: `anchor(S, O, C), not src_val(S, O, organism, "rat")`, mode: ModeGather, noPartial: true},
+	}
+	for _, tc := range cases {
+		d := classify(t, tc.q, views)
+		if d.Mode != tc.mode {
+			t.Errorf("%s:\n  mode = %v (%s), want %v", tc.q, d.Mode, d.Reason, tc.mode)
+			continue
+		}
+		if tc.sources != "" {
+			got := ""
+			for i, s := range d.Sources {
+				if i > 0 {
+					got += ","
+				}
+				got += s
+			}
+			if got != tc.sources {
+				t.Errorf("%s: sources = %q, want %q", tc.q, got, tc.sources)
+			}
+		}
+		if d.NoPartial != tc.noPartial {
+			t.Errorf("%s: NoPartial = %v, want %v (%s)", tc.q, d.NoPartial, tc.noPartial, d.Reason)
+		}
+	}
+}
+
+// classifyAux classifies a query body plus explicit auxiliary rules —
+// the shape Classify sees when the parser folds negated conjunctions,
+// and the same rule-graph mechanism views go through.
+func classifyAux(t *testing.T, q, auxSrc string, views []datalog.Rule) Decomposition {
+	t.Helper()
+	body, aux, err := parser.ParseQuery(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	if auxSrc != "" {
+		rules, err := parser.ParseRules(auxSrc)
+		if err != nil {
+			t.Fatalf("parse aux %q: %v", auxSrc, err)
+		}
+		aux = append(aux, rules...)
+	}
+	return Classify(body, aux, views)
+}
+
+func TestClassifyAuxRules(t *testing.T) {
+	views := standardViews(t)
+	// An aux rule pinned to one ground source keeps the query pinned.
+	d := classifyAux(t, `q(O)`, `q(O) :- src_obj('SYNAPSE', O, C).`, views)
+	if d.Mode != ModeSources || len(d.Sources) != 1 || d.Sources[0] != "SYNAPSE" {
+		t.Fatalf("aux ground rule: got %v %v (%s)", d.Mode, d.Sources, d.Reason)
+	}
+	// Aux rules over different ground sources referenced together: the
+	// query needs exactly those two fact sets (proxy if one shard owns
+	// both, restricted gather otherwise).
+	d = classifyAux(t, `a(O), b(O)`,
+		`a(O) :- src_obj('SYNAPSE', O, C). b(O) :- src_obj('NCMIR', O, C).`, views)
+	if d.Mode != ModeSources || len(d.Sources) != 2 {
+		t.Fatalf("cross-source aux join: got %v %v (%s)", d.Mode, d.Sources, d.Reason)
+	}
+	// An anonymous single-source aux rule referenced once: scatter.
+	d = classifyAux(t, `q(S, O)`,
+		`q(S, O) :- anchor(S, O, C), src_val(S, O, organism, Org).`, views)
+	if d.Mode != ModeScatter {
+		t.Fatalf("anonymous aux: got %v (%s)", d.Mode, d.Reason)
+	}
+	// A negated conjunction over source facts (the parser folds it into
+	// an aux rule itself): gather, no partials.
+	d = classify(t, `src_obj(S, O, D), not (src_val(S, O, organism, "rat"), anchor(S, O, C))`, views)
+	if d.Mode != ModeGather || !d.NoPartial {
+		t.Fatalf("negated sourceful conjunction: got %v noPartial=%v (%s)", d.Mode, d.NoPartial, d.Reason)
+	}
+	// Unknown predicates degrade conservatively to gather (the replica
+	// rejects them later with ErrUnknownPredicate).
+	d = classify(t, `mystery(X)`, views)
+	if d.Mode != ModeGather {
+		t.Fatalf("unknown pred: got %v (%s)", d.Mode, d.Reason)
+	}
+	// Recursive aux rules degrade conservatively to gather.
+	d = classifyAux(t, `r(a, B)`,
+		`r(X, Y) :- src_val('SYNAPSE', X, links_to, Y). r(X, Z) :- r(X, Y), r(Y, Z).`, views)
+	if d.Mode != ModeGather {
+		t.Fatalf("recursive aux: got %v (%s)", d.Mode, d.Reason)
+	}
+}
+
+func TestParseShardSpec(t *testing.T) {
+	got, err := ParseShardSpec("http://a:1, b=http://b:2/,c = http://c:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []ShardConfig{
+		{ID: "shard0", URL: "http://a:1"},
+		{ID: "b", URL: "http://b:2"},
+		{ID: "c", URL: "http://c:3"},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "ftp://x", "a=http://x,a=http://y", "=http://x"} {
+		if _, err := ParseShardSpec(bad); err == nil {
+			t.Errorf("spec %q: expected error", bad)
+		}
+	}
+}

@@ -1,0 +1,669 @@
+package cluster
+
+// The router: the cluster's front door, speaking the same /v1/query,
+// /v1/delta and /v1/sync API as a single medd. Each query is parsed,
+// classified (decompose.go) and executed in the cheapest sound mode;
+// each delta is forwarded to the one shard owning its source and its
+// cache effect applied precisely. The router holds a *replica*
+// mediator carrying only the static knowledge (domain map, views, no
+// sources): it answers replicated-only queries locally and evaluates
+// gathered fact dumps.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"modelmed/internal/mediator"
+	"modelmed/internal/obs"
+	"modelmed/internal/parser"
+	"modelmed/internal/serve"
+	"modelmed/internal/term"
+)
+
+// RouterConfig configures a Router.
+type RouterConfig struct {
+	// Shards is the cluster topology (required).
+	Shards []ShardConfig
+	// Replica is a mediator holding the replicated static knowledge —
+	// same domain map and views as every shard, no registered sources
+	// (required).
+	Replica *mediator.Mediator
+	// RequestTimeout bounds each client request end to end, shard calls
+	// included (default 30s; a request's timeout_ms can shorten it).
+	RequestTimeout time.Duration
+	// CacheEntries bounds the answer cache (default 1024).
+	CacheEntries int
+	// DisableCache turns the answer cache off.
+	DisableCache bool
+	// RateLimits is the front-door per-key token bucket set
+	// (KEY -> requests/second), as in the single-node service.
+	RateLimits map[string]float64
+	// FailThreshold / Cooldown / Client tune shard health tracking; see
+	// ManagerConfig.
+	FailThreshold int
+	Cooldown      time.Duration
+	Client        *http.Client
+	// Log receives request lines (default: discard into log.Default?
+	// no — nil disables request logging).
+	Log *log.Logger
+}
+
+func (c RouterConfig) requestTimeout() time.Duration {
+	if c.RequestTimeout <= 0 {
+		return 30 * time.Second
+	}
+	return c.RequestTimeout
+}
+
+// Router is the HTTP front end over a Manager.
+type Router struct {
+	cfg   RouterConfig
+	man   *Manager
+	rep   *mediator.Mediator
+	rl    *serve.RateLimiter
+	ctr   *obs.Counters
+	log   *log.Logger
+	mux   *http.ServeMux
+	cache *answerCache
+	facts *factsCache
+}
+
+// NewRouter builds the router. Call Discover (usually at daemon boot)
+// to learn the source assignment.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if cfg.Replica == nil {
+		return nil, fmt.Errorf("cluster: router needs a replica mediator")
+	}
+	man, err := NewManager(ManagerConfig{
+		Shards:        cfg.Shards,
+		FailThreshold: cfg.FailThreshold,
+		Cooldown:      cfg.Cooldown,
+		Client:        cfg.Client,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:   cfg,
+		man:   man,
+		rep:   cfg.Replica,
+		rl:    serve.NewRateLimiter(cfg.RateLimits),
+		ctr:   obs.NewCounters(),
+		log:   cfg.Log,
+		cache: newAnswerCache(cfg.CacheEntries),
+		facts: newFactsCache(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/query", rt.handleQuery)
+	mux.HandleFunc("/v1/delta", rt.handleDelta)
+	mux.HandleFunc("/v1/sync", rt.handleSync)
+	mux.HandleFunc("/healthz", rt.handleHealthz)
+	mux.HandleFunc("/metrics", rt.handleMetrics)
+	rt.mux = mux
+	return rt, nil
+}
+
+// Manager exposes the shard manager (ops/test hook).
+func (rt *Router) Manager() *Manager { return rt.man }
+
+// Counters exposes the router's counter set.
+func (rt *Router) Counters() *obs.Counters { return rt.ctr }
+
+// CacheSize returns the number of cached answers (test/ops hook).
+func (rt *Router) CacheSize() int { return rt.cache.size() }
+
+// Discover probes the shards and builds the source assignment.
+func (rt *Router) Discover(ctx context.Context) error { return rt.man.Discover(ctx) }
+
+// Handler returns the HTTP handler (front-door rate limiter wraps the
+// mux; health and metrics stay reachable regardless).
+func (rt *Router) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rt.ctr.Add("router.requests", 1)
+		if strings.HasPrefix(r.URL.Path, "/v1/") && !rt.rl.Allow(r.Header.Get("X-API-Key")) {
+			rt.ctr.Add("router.rate_limited", 1)
+			w.Header().Set("Retry-After", "1")
+			rt.writeError(w, http.StatusTooManyRequests, errors.New("rate limit exceeded"))
+			return
+		}
+		rt.mux.ServeHTTP(w, r)
+	})
+}
+
+// QueryResponse is the router's POST /v1/query reply: the single-node
+// shape plus the execution mode, the partial flag, and the per-shard
+// reports.
+type QueryResponse struct {
+	Vars   []string   `json:"vars"`
+	Rows   [][]string `json:"rows"`
+	Count  int        `json:"count"`
+	Cached bool       `json:"cached"`
+	// Partial marks an answer computed without one or more down shards:
+	// every row is a true answer (the query class is monotone) but rows
+	// owned by the missing shards may be absent. Never set silently —
+	// Shards names the culprits.
+	Partial bool `json:"partial,omitempty"`
+	// Mode is the decomposition class: replicated, proxy, scatter or
+	// gather.
+	Mode   string        `json:"mode"`
+	Shards []ShardReport `json:"shards,omitempty"`
+}
+
+// DeltaResponse is the router's POST /v1/delta reply: the owning
+// shard's report plus the router-level cache effect.
+type DeltaResponse struct {
+	serve.DeltaResponse
+	Shard              string `json:"shard"`
+	RouterCacheDropped int    `json:"router_cache_dropped"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, err error) {
+	rt.writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.log != nil {
+		rt.log.Printf(format, args...)
+	}
+}
+
+// --- query ---
+
+func (rt *Router) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		rt.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req serve.QueryRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	body, aux, err := parser.ParseQuery(req.Query)
+	if err != nil {
+		rt.ctr.Add("router.query_errors", 1)
+		rt.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout := rt.cfg.requestTimeout()
+	if req.TimeoutMs > 0 {
+		if d := time.Duration(req.TimeoutMs) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	dec := Classify(body, aux, rt.rep.ViewRules())
+	key := serve.CacheKey(body, aux, req.Vars, req.Planned)
+	useCache := !rt.cfg.DisableCache && !req.NoCache && !req.Trace
+	var gen uint64
+	if useCache {
+		cached, g, ok := rt.cache.get(key)
+		if ok {
+			cached.Cached = true
+			rt.ctr.Add("router.cache_hits", 1)
+			rt.writeJSON(w, http.StatusOK, &cached)
+			rt.logf("method=POST path=/v1/query mode=%s status=200 dur=%s rows=%d cache=hit", cached.Mode, time.Since(start), cached.Count)
+			return
+		}
+		gen = g
+		rt.ctr.Add("router.cache_misses", 1)
+	}
+
+	apiKey := r.Header.Get("X-API-Key")
+	var resp *QueryResponse
+	var status int
+	switch dec.Mode {
+	case ModeReplicated:
+		resp, status, err = rt.replicatedQuery(ctx, &req)
+	case ModeSources:
+		resp, status, err = rt.sourcesQuery(ctx, apiKey, &req, &dec)
+	case ModeScatter:
+		resp, status, err = rt.scatterQuery(ctx, apiKey, &req)
+	default:
+		resp, status, err = rt.gatherQuery(ctx, apiKey, &req, &dec, rt.man.Shards())
+	}
+	if err != nil {
+		rt.ctr.Add("router.query_errors", 1)
+		rt.writeError(w, status, err)
+		rt.logf("method=POST path=/v1/query mode=%s status=%d dur=%s err=%v", dec.Mode, status, time.Since(start), err)
+		return
+	}
+	rt.ctr.Add("router.queries", 1)
+	rt.ctr.Add("router."+dec.Mode.String(), 1)
+	if resp.Partial {
+		rt.ctr.Add("router.partial_answers", 1)
+	} else if useCache {
+		deps := dec.Sources
+		global := dec.Mode == ModeScatter || dec.Mode == ModeGather
+		rt.cache.put(key, *resp, deps, global, gen)
+	}
+	rt.writeJSON(w, http.StatusOK, resp)
+	rt.logf("method=POST path=/v1/query mode=%s status=200 dur=%s rows=%d cache=miss partial=%v",
+		resp.Mode, time.Since(start), resp.Count, resp.Partial)
+}
+
+// replicatedQuery answers from the router's own static knowledge —
+// zero shard calls.
+func (rt *Router) replicatedQuery(ctx context.Context, req *serve.QueryRequest) (*QueryResponse, int, error) {
+	ans, err := rt.rep.QueryOverFacts(ctx, nil, req.Query, req.Vars)
+	if err != nil {
+		if errors.Is(err, mediator.ErrUnknownPredicate) {
+			return nil, http.StatusBadRequest, err
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	rows := renderRows(ans.Rows)
+	return &QueryResponse{Vars: ans.Vars, Rows: rows, Count: len(rows), Mode: ModeReplicated.String()}, 0, nil
+}
+
+// sourcesQuery handles queries pinned to ground sources: proxy when
+// one shard owns them all, restricted gather when they span shards.
+// Sources no shard owns contribute no facts anywhere, matching what an
+// unregistered source yields on a single mediator.
+func (rt *Router) sourcesQuery(ctx context.Context, apiKey string, req *serve.QueryRequest, dec *Decomposition) (*QueryResponse, int, error) {
+	owners := map[*Shard]bool{}
+	for _, src := range dec.Sources {
+		if sh, ok := rt.man.Owner(src); ok {
+			owners[sh] = true
+		}
+	}
+	switch len(owners) {
+	case 0:
+		// No owned facts: evaluate over static knowledge alone.
+		resp, status, err := rt.replicatedQuery(ctx, req)
+		if resp != nil {
+			resp.Mode = "proxy"
+		}
+		return resp, status, err
+	case 1:
+		for sh := range owners {
+			return rt.proxyQuery(ctx, apiKey, req, sh)
+		}
+	}
+	shards := make([]*Shard, 0, len(owners))
+	for sh := range owners {
+		shards = append(shards, sh)
+	}
+	sort.Slice(shards, func(i, j int) bool { return shards[i].ID < shards[j].ID })
+	return rt.gatherQuery(ctx, apiKey, req, dec, shards)
+}
+
+// proxyQuery forwards the request verbatim to one shard.
+func (rt *Router) proxyQuery(ctx context.Context, apiKey string, req *serve.QueryRequest, sh *Shard) (*QueryResponse, int, error) {
+	if !rt.man.Available(sh) {
+		return nil, http.StatusServiceUnavailable, fmt.Errorf("shard %s is down: %s", sh.ID, rt.man.Report(sh).Error)
+	}
+	sr, err := rt.man.Query(ctx, sh, apiKey, req)
+	if err != nil {
+		if ShardDown(err) {
+			if shardFault(ctx, err) {
+				rt.man.MarkFailure(sh, err)
+			}
+			return nil, http.StatusBadGateway, fmt.Errorf("shard %s: %w", sh.ID, err)
+		}
+		var se *StatusError
+		errors.As(err, &se)
+		return nil, se.Status, fmt.Errorf("shard %s: %s", sh.ID, se.Message)
+	}
+	rt.man.MarkSuccess(sh)
+	rep := rt.man.Report(sh)
+	rep.Rows = len(sr.Rows)
+	return &QueryResponse{
+		Vars: sr.Vars, Rows: sr.Rows, Count: len(sr.Rows),
+		Mode: "proxy", Shards: []ShardReport{rep},
+	}, 0, nil
+}
+
+// scatterQuery fans the request out to every shard and unions the
+// answers. Down shards yield a flagged partial answer; a deterministic
+// client rejection (4xx) from any shard is relayed as-is.
+func (rt *Router) scatterQuery(ctx context.Context, apiKey string, req *serve.QueryRequest) (*QueryResponse, int, error) {
+	shards := rt.man.Shards()
+	answers := make([]*serve.QueryResponse, len(shards))
+	errs := make([]error, len(shards))
+	skipped := make([]bool, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		if !rt.man.Available(sh) {
+			skipped[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			answers[i], errs[i] = rt.man.Query(ctx, sh, apiKey, req)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	resp := &QueryResponse{Mode: ModeScatter.String()}
+	seen := map[string]bool{}
+	var okCount int
+	for i, sh := range shards {
+		rep := rt.man.Report(sh)
+		switch {
+		case skipped[i]:
+			resp.Partial = true
+		case errs[i] != nil:
+			if !ShardDown(errs[i]) {
+				var se *StatusError
+				errors.As(errs[i], &se)
+				return nil, se.Status, fmt.Errorf("shard %s: %s", sh.ID, se.Message)
+			}
+			if shardFault(ctx, errs[i]) {
+				rt.man.MarkFailure(sh, errs[i])
+			}
+			rep = rt.man.Report(sh)
+			rep.Status = "failed"
+			rep.Error = errs[i].Error()
+			resp.Partial = true
+		default:
+			rt.man.MarkSuccess(sh)
+			rep = rt.man.Report(sh)
+			okCount++
+			a := answers[i]
+			if resp.Vars == nil {
+				resp.Vars = a.Vars
+			}
+			rep.Rows = len(a.Rows)
+			for _, row := range a.Rows {
+				k := strings.Join(row, "\x00")
+				if !seen[k] {
+					seen[k] = true
+					resp.Rows = append(resp.Rows, row)
+				}
+			}
+		}
+		resp.Shards = append(resp.Shards, rep)
+	}
+	if okCount == 0 {
+		return nil, http.StatusServiceUnavailable, errors.New("all shards down")
+	}
+	resp.Count = len(resp.Rows)
+	return resp, 0, nil
+}
+
+// gatherQuery pulls the fact dumps of the given shards and evaluates
+// the query at the router over the replicated static knowledge.
+func (rt *Router) gatherQuery(ctx context.Context, apiKey string, req *serve.QueryRequest, dec *Decomposition, shards []*Shard) (*QueryResponse, int, error) {
+	dumps := make([][]mediator.SourceDump, len(shards))
+	errs := make([]error, len(shards))
+	gens := make([]uint64, len(shards))
+	cached := make([]bool, len(shards))
+	skipped := make([]bool, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		if d, g, ok := rt.facts.get(sh.ID); ok {
+			dumps[i], cached[i] = d, true
+			rt.ctr.Add("router.facts_cache_hits", 1)
+			continue
+		} else {
+			gens[i] = g
+		}
+		if !rt.man.Available(sh) {
+			skipped[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			fr, err := rt.man.Facts(ctx, sh)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			dumps[i] = fr.Sources
+			rt.ctr.Add("router.facts_fetches", 1)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	resp := &QueryResponse{Mode: ModeGather.String()}
+	var all []mediator.SourceDump
+	for i, sh := range shards {
+		rep := rt.man.Report(sh)
+		switch {
+		case skipped[i]:
+			resp.Partial = true
+		case errs[i] != nil:
+			if shardFault(ctx, errs[i]) {
+				rt.man.MarkFailure(sh, errs[i])
+			}
+			rep = rt.man.Report(sh)
+			rep.Status = "failed"
+			rep.Error = errs[i].Error()
+			resp.Partial = true
+		default:
+			if !cached[i] {
+				rt.man.MarkSuccess(sh)
+				rep = rt.man.Report(sh)
+				rt.facts.put(sh.ID, dumps[i], gens[i])
+			}
+			all = append(all, dumps[i]...)
+		}
+		resp.Shards = append(resp.Shards, rep)
+	}
+	if resp.Partial && dec.NoPartial {
+		// An aggregate or negation over source facts evaluated without a
+		// shard's contribution is wrong, not partial — refuse.
+		return nil, http.StatusServiceUnavailable,
+			errors.New("shard down and query aggregates/negates over source facts; partial answer would be wrong")
+	}
+	ans, err := rt.rep.QueryOverFacts(ctx, all, req.Query, req.Vars)
+	if err != nil {
+		if errors.Is(err, mediator.ErrUnknownPredicate) {
+			return nil, http.StatusBadRequest, err
+		}
+		return nil, http.StatusInternalServerError, err
+	}
+	resp.Vars, resp.Rows = ans.Vars, renderRows(ans.Rows)
+	resp.Count = len(resp.Rows)
+	return resp, 0, nil
+}
+
+// renderRows renders term tuples as strings for JSON transport,
+// matching the single-node service's rendering so per-shard and
+// router-evaluated rows compare and dedup textually.
+func renderRows(rows [][]term.Term) [][]string {
+	out := make([][]string, len(rows))
+	for i, row := range rows {
+		cells := make([]string, len(row))
+		for j, t := range row {
+			cells[j] = t.String()
+		}
+		out[i] = cells
+	}
+	return out
+}
+
+// --- delta / sync ---
+
+func (rt *Router) handleDelta(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if r.Method != http.MethodPost {
+		rt.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	var req serve.DeltaRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		rt.writeError(w, http.StatusBadRequest, fmt.Errorf("decode: %w", err))
+		return
+	}
+	if req.Source == "" {
+		rt.writeError(w, http.StatusBadRequest, errors.New("missing source"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.requestTimeout())
+	defer cancel()
+	sh, ok := rt.man.Owner(req.Source)
+	if !ok {
+		// The topology may have changed under us (a shard restarted with
+		// new sources): re-discover once before rejecting.
+		if err := rt.man.Discover(ctx); err == nil {
+			sh, ok = rt.man.Owner(req.Source)
+		}
+		if !ok {
+			rt.ctr.Add("router.delta_errors", 1)
+			rt.writeError(w, http.StatusBadRequest, fmt.Errorf("no shard owns source %s", req.Source))
+			return
+		}
+	}
+	if !rt.man.Available(sh) {
+		rt.ctr.Add("router.delta_errors", 1)
+		rt.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("shard %s is down: %s", sh.ID, rt.man.Report(sh).Error))
+		return
+	}
+	sr, err := rt.man.Delta(ctx, sh, r.Header.Get("X-API-Key"), &req)
+	if err != nil {
+		rt.ctr.Add("router.delta_errors", 1)
+		if ShardDown(err) {
+			if shardFault(ctx, err) {
+				rt.man.MarkFailure(sh, err)
+			}
+			rt.writeError(w, http.StatusBadGateway, fmt.Errorf("shard %s: %w", sh.ID, err))
+			return
+		}
+		var se *StatusError
+		errors.As(err, &se)
+		rt.writeError(w, se.Status, fmt.Errorf("shard %s: %s", sh.ID, se.Message))
+		return
+	}
+	rt.man.MarkSuccess(sh)
+	dropped := rt.applyShardDelta(sh.ID, sr)
+	rt.ctr.Add("router.deltas", 1)
+	rt.writeJSON(w, http.StatusOK, &DeltaResponse{DeltaResponse: *sr, Shard: sh.ID, RouterCacheDropped: dropped})
+	rt.logf("method=POST path=/v1/delta source=%s shard=%s status=200 dur=%s dropped=%d",
+		req.Source, sh.ID, time.Since(start), dropped)
+}
+
+// applyShardDelta applies one shard delta report's precise router-side
+// cache effect: drop the answer-cache entries depending on the source
+// (everything on a full rebuild) and that shard's cached fact dump.
+func (rt *Router) applyShardDelta(shardID string, sr *serve.DeltaResponse) int {
+	rt.facts.drop(shardID)
+	var dropped int
+	if sr.Full {
+		dropped = rt.cache.invalidateAll()
+		rt.ctr.Add("router.cache_invalidations_full", 1)
+	} else {
+		dropped = rt.cache.invalidateSource(sr.Source)
+		rt.ctr.Add("router.cache_invalidations_source", 1)
+	}
+	rt.ctr.Add("router.cache_entries_dropped", int64(dropped))
+	return dropped
+}
+
+func (rt *Router) handleSync(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		rt.writeError(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.requestTimeout())
+	defer cancel()
+	apiKey := r.Header.Get("X-API-Key")
+	shards := rt.man.Shards()
+	refreshed := make([][]*serve.DeltaResponse, len(shards))
+	errs := make([]error, len(shards))
+	skipped := make([]bool, len(shards))
+	var wg sync.WaitGroup
+	for i, sh := range shards {
+		if !rt.man.Available(sh) {
+			skipped[i] = true
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sh *Shard) {
+			defer wg.Done()
+			refreshed[i], errs[i] = rt.man.Sync(ctx, sh, apiKey)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	var out []*DeltaResponse
+	var reports []ShardReport
+	var anyOK bool
+	for i, sh := range shards {
+		rep := rt.man.Report(sh)
+		switch {
+		case skipped[i]:
+		case errs[i] != nil:
+			if shardFault(ctx, errs[i]) {
+				rt.man.MarkFailure(sh, errs[i])
+			}
+			rep = rt.man.Report(sh)
+			rep.Status = "failed"
+			rep.Error = errs[i].Error()
+		default:
+			rt.man.MarkSuccess(sh)
+			rep = rt.man.Report(sh)
+			anyOK = true
+			for _, sr := range refreshed[i] {
+				dropped := rt.applyShardDelta(sh.ID, sr)
+				out = append(out, &DeltaResponse{DeltaResponse: *sr, Shard: sh.ID, RouterCacheDropped: dropped})
+			}
+		}
+		reports = append(reports, rep)
+	}
+	if !anyOK {
+		rt.ctr.Add("router.sync_errors", 1)
+		rt.writeError(w, http.StatusServiceUnavailable, errors.New("all shards down"))
+		return
+	}
+	rt.ctr.Add("router.syncs", 1)
+	rt.writeJSON(w, http.StatusOK, map[string]any{"refreshed": out, "shards": reports})
+}
+
+// --- health / metrics ---
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	shards := rt.man.Shards()
+	reports := make([]ShardReport, 0, len(shards))
+	status := "ok"
+	for _, sh := range shards {
+		rep := rt.man.Report(sh)
+		if rep.Status != "ok" {
+			status = "degraded"
+		}
+		reports = append(reports, rep)
+	}
+	rt.writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"sources": rt.man.Sources(),
+		"shards":  reports,
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.ctr.Set("router.cache_entries", int64(rt.cache.size()))
+	snap := rt.ctr.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%s %d\n", strings.ReplaceAll(n, ".", "_"), snap[n])
+	}
+}

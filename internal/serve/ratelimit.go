@@ -1,0 +1,118 @@
+package serve
+
+// Per-tenant token-bucket rate limiting at the front door. The
+// admission gate (admission.go) bounds *concurrency* — how much work
+// runs at once; the rate limiter bounds *arrival rate* — how much work
+// a key may even ask for per second. Internet-facing deployments need
+// both: without a rate cap a single key can keep every queue slot
+// permanently full while staying inside the concurrency envelope.
+//
+// Keys are X-API-Key values as configured (medd -rate KEY:RPS,...).
+// Requests carrying an unlisted or missing key share the "default"
+// bucket when one is configured; with no "default" bucket such
+// requests are not rate limited (the operator opted only specific
+// keys in). Exhausted buckets answer 429 + Retry-After.
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RateDefaultKey is the bucket shared by unlisted and key-less
+// requests, when configured.
+const RateDefaultKey = "default"
+
+type rateBucket struct {
+	rps    float64
+	tokens float64
+	last   time.Time
+}
+
+// RateLimiter is a per-key token bucket set. Each key's bucket refills
+// continuously at its configured rate and holds at most one second of
+// burst. A nil *RateLimiter allows everything, so callers can wire it
+// unconditionally.
+type RateLimiter struct {
+	mu      sync.Mutex
+	buckets map[string]*rateBucket
+	now     func() time.Time
+}
+
+// NewRateLimiter builds a limiter from KEY -> requests/second. Returns
+// nil (allow-everything) when no limits are configured.
+func NewRateLimiter(limits map[string]float64) *RateLimiter {
+	if len(limits) == 0 {
+		return nil
+	}
+	rl := &RateLimiter{buckets: make(map[string]*rateBucket, len(limits)), now: time.Now}
+	for k, rps := range limits {
+		rl.buckets[k] = &rateBucket{rps: rps, tokens: rps}
+	}
+	return rl
+}
+
+// Allow reports whether a request under key may proceed now, consuming
+// one token if so. Unlisted keys fall into the "default" bucket when
+// one exists and are unlimited otherwise.
+func (rl *RateLimiter) Allow(key string) bool {
+	if rl == nil {
+		return true
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	b := rl.buckets[key]
+	if b == nil {
+		b = rl.buckets[RateDefaultKey]
+	}
+	if b == nil {
+		return true
+	}
+	now := rl.now()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.rps, b.tokens+now.Sub(b.last).Seconds()*b.rps)
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// ParseRateSpec parses the -rate flag syntax: comma-separated KEY:RPS
+// pairs (e.g. "gold:100,default:10"). Every pair needs a nonempty key
+// and a positive rate; malformed specs are configuration errors, not
+// something to collapse silently.
+func ParseRateSpec(spec string) (map[string]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	out := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, rstr, found := strings.Cut(part, ":")
+		key = strings.TrimSpace(key)
+		if key == "" {
+			return nil, fmt.Errorf("rate: empty key in %q", part)
+		}
+		if !found {
+			return nil, fmt.Errorf("rate: missing rate in %q (want KEY:RPS)", part)
+		}
+		rps, err := strconv.ParseFloat(strings.TrimSpace(rstr), 64)
+		if err != nil || rps <= 0 || math.IsInf(rps, 0) || math.IsNaN(rps) {
+			return nil, fmt.Errorf("rate: bad rate in %q (want a positive number)", part)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("rate: duplicate key %q", key)
+		}
+		out[key] = rps
+	}
+	return out, nil
+}

@@ -72,6 +72,15 @@ type Config struct {
 	// per tenant (default 64, negative = none allowed); beyond it the
 	// tenant's subscribe requests get 429 + Retry-After.
 	MaxSubsPerTenant int
+	// RateLimits arms front-door token-bucket rate limiting: X-API-Key
+	// -> requests/second on every /v1/* endpoint (429 + Retry-After
+	// beyond). Unlisted keys share the "default" bucket when present
+	// and are unlimited otherwise. Empty = no rate limiting.
+	RateLimits map[string]float64
+	// ShardID labels this server as one shard of a mediator cluster;
+	// it is reported on /healthz so a router can verify its topology.
+	// Empty outside cluster deployments.
+	ShardID string
 	// Log receives one structured line per request (nil = discard).
 	Log *log.Logger
 }
@@ -116,6 +125,7 @@ type Server struct {
 	cfg   Config
 	adm   *admission
 	cache *answerCache
+	rl    *RateLimiter
 	ctr   *obs.Counters
 	mux   *http.ServeMux
 	log   *log.Logger
@@ -142,6 +152,7 @@ func New(med *mediator.Mediator, cfg Config) *Server {
 		cfg:         cfg,
 		adm:         newAdmission(cfg.maxInFlight(), cfg.maxQueue(), cfg.TenantWeights),
 		cache:       newAnswerCache(cfg.CacheEntries),
+		rl:          NewRateLimiter(cfg.RateLimits),
 		ctr:         obs.NewCounters(),
 		log:         cfg.Log,
 		subscribers: map[*subscriber]struct{}{},
@@ -158,18 +169,29 @@ func New(med *mediator.Mediator, cfg Config) *Server {
 	mux.HandleFunc("/v1/subscribe", s.handleSubscribe)
 	mux.HandleFunc("/v1/plan", s.handlePlan)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/facts", s.handleFacts)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux = mux
 	return s
 }
 
-// Handler returns the HTTP handler (request accounting wraps the mux).
+// Handler returns the HTTP handler (request accounting and the
+// front-door rate limiter wrap the mux).
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.started.Add(1)
 		defer s.finished.Add(1)
 		s.ctr.Add("serve.requests", 1)
+		// Rate limiting guards the API surface only; health and metrics
+		// stay reachable from probes regardless of tenant abuse.
+		if strings.HasPrefix(r.URL.Path, "/v1/") && !s.rl.Allow(r.Header.Get("X-API-Key")) {
+			s.ctr.Add("serve.rate_limited", 1)
+			s.ctr.Add("serve.tenant."+s.tenantOf(r)+".rate_limited", 1)
+			w.Header().Set("Retry-After", "1")
+			s.writeError(w, http.StatusTooManyRequests, errors.New("rate limit exceeded"))
+			return
+		}
 		s.mux.ServeHTTP(w, r)
 	})
 }
@@ -300,8 +322,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	deps, global := queryDeps(body, aux)
-	key := cacheKey(body, aux, req.Vars, req.Planned)
+	deps, global := QueryDeps(body, aux)
+	key := CacheKey(body, aux, req.Vars, req.Planned)
 
 	compute := func() (cached, error) {
 		if err := s.adm.acquire(ctx, tenant); err != nil {
@@ -520,12 +542,42 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	inflight, queued := s.adm.stats()
-	s.writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":   "ok",
 		"sources":  s.med.Sources(),
 		"inflight": inflight,
 		"queued":   queued,
-	})
+	}
+	if s.cfg.ShardID != "" {
+		resp["shard_id"] = s.cfg.ShardID
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// FactsResponse is the GET /v1/facts reply: this mediator's per-source
+// contribution in the parseable rule language, reflecting every
+// applied delta. A cluster router gathers these from its shards when a
+// query cannot be answered by unioning per-shard answers.
+type FactsResponse struct {
+	ShardID string                `json:"shard_id,omitempty"`
+	Sources []mediator.SourceDump `json:"sources"`
+}
+
+func (s *Server) handleFacts(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.requestTimeout())
+	defer cancel()
+	dumps, err := s.med.FactsDump(ctx)
+	if err != nil {
+		s.ctr.Add("serve.facts_errors", 1)
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.ctr.Add("serve.facts_dumps", 1)
+	s.writeJSON(w, http.StatusOK, &FactsResponse{ShardID: s.cfg.ShardID, Sources: dumps})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -627,13 +679,14 @@ var srcPreds = map[string]bool{
 	mediator.PredAnchor: true,
 }
 
-// queryDeps derives the cache dependency set of a query: the ground
+// QueryDeps derives the cache dependency set of a query: the ground
 // source names its body (and any query-local rule bodies) read. Any
 // variable source position, derived predicate (views, GCM bridge,
 // domain-map operations) or aggregate over one makes the query depend
 // on everything (global), since those derivations can draw on any
-// source.
-func queryDeps(body []datalog.BodyElem, aux []datalog.Rule) (deps []string, global bool) {
+// source. Exported because the cluster router keys its own answer
+// cache the same way.
+func QueryDeps(body []datalog.BodyElem, aux []datalog.Rule) (deps []string, global bool) {
 	seen := map[string]bool{}
 	auxHeads := map[string]bool{}
 	for _, r := range aux {
@@ -675,10 +728,11 @@ func queryDeps(body []datalog.BodyElem, aux []datalog.Rule) (deps []string, glob
 	return deps, false
 }
 
-// cacheKey renders the normalized form of a query: the parsed body and
+// CacheKey renders the normalized form of a query: the parsed body and
 // query-local rules (whitespace of the original text no longer
-// matters), the selected vars, and the execution mode.
-func cacheKey(body []datalog.BodyElem, aux []datalog.Rule, vars []string, planned bool) string {
+// matters), the selected vars, and the execution mode. Exported
+// because the cluster router keys its own answer cache the same way.
+func CacheKey(body []datalog.BodyElem, aux []datalog.Rule, vars []string, planned bool) string {
 	var b strings.Builder
 	for i, e := range body {
 		if i > 0 {

@@ -179,8 +179,8 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
-	deps, global := queryDeps(body, aux)
-	key := cacheKey(body, aux, req.Vars, false)
+	deps, global := QueryDeps(body, aux)
+	key := CacheKey(body, aux, req.Vars, false)
 	evaluate := func() ([][]string, []string, error) {
 		// Each re-evaluation is one bounded query through the same
 		// admission gate and cache partition an ad-hoc request uses.
